@@ -1,0 +1,201 @@
+package llbpx_test
+
+// Benchmark harness: one benchmark per paper table/figure (each runs the
+// corresponding experiment at the quick scale and reports its headline
+// metric), plus micro-benchmarks for the performance-critical components.
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale reproductions are driven through cmd/experiments instead.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"llbpx"
+)
+
+// benchScale is the reduced effort benchmarks run at.
+func benchScale() llbpx.ExperimentScale {
+	sc := llbpx.QuickExperimentScale()
+	sc.Workloads = []string{"nodeapp", "whiskey"}
+	sc.WarmupInstr = 400_000
+	sc.MeasureInstr = 600_000
+	return sc
+}
+
+// reportSummaryRow parses the table's final (average/geomean) row and
+// reports its numeric cells as benchmark metrics.
+func reportSummaryRow(b *testing.B, res *llbpx.ExperimentResult, unit string) {
+	b.Helper()
+	if res.Table.NumRows() == 0 {
+		return
+	}
+	row := res.Table.Row(res.Table.NumRows() - 1)
+	headers := res.Table.Headers
+	for i := 1; i < len(row) && i < len(headers); i++ {
+		v, err := strconv.ParseFloat(row[i], 64)
+		if err != nil {
+			continue
+		}
+		name := strings.ReplaceAll(headers[i], " ", "-") + "-" + unit
+		b.ReportMetric(v, name)
+	}
+}
+
+func benchExperiment(b *testing.B, id, unit string) {
+	b.Helper()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := llbpx.RunExperiment(id, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSummaryRow(b, res, unit)
+		}
+	}
+}
+
+// Paper artifacts ----------------------------------------------------------
+
+func BenchmarkTable1(b *testing.B)    { benchExperiment(b, "table1", "mpki") }
+func BenchmarkFig1(b *testing.B)      { benchExperiment(b, "fig1", "pct") }
+func BenchmarkFig4(b *testing.B)      { benchExperiment(b, "fig4", "norm") }
+func BenchmarkFig5(b *testing.B)      { benchExperiment(b, "fig5", "pct") }
+func BenchmarkFig6(b *testing.B)      { benchExperiment(b, "fig6", "val") }
+func BenchmarkFig7(b *testing.B)      { benchExperiment(b, "fig7", "bits") }
+func BenchmarkFig8(b *testing.B)      { benchExperiment(b, "fig8", "pct") }
+func BenchmarkFig9(b *testing.B)      { benchExperiment(b, "fig9", "ratio") }
+func BenchmarkFig12(b *testing.B)     { benchExperiment(b, "fig12", "pct") }
+func BenchmarkFig13(b *testing.B)     { benchExperiment(b, "fig13", "speedup") }
+func BenchmarkFig14a(b *testing.B)    { benchExperiment(b, "fig14a", "pct") }
+func BenchmarkFig14b(b *testing.B)    { benchExperiment(b, "fig14b", "speedup") }
+func BenchmarkFig15a(b *testing.B)    { benchExperiment(b, "fig15a", "bits-per-instr") }
+func BenchmarkFig15b(b *testing.B)    { benchExperiment(b, "fig15b", "rel") }
+func BenchmarkFig16a(b *testing.B)    { benchExperiment(b, "fig16a", "pct") }
+func BenchmarkFig16b(b *testing.B)    { benchExperiment(b, "fig16b", "pct") }
+func BenchmarkBreakdown(b *testing.B) { benchExperiment(b, "breakdown", "pct") }
+func BenchmarkSensHth(b *testing.B)   { benchExperiment(b, "sens-hth", "pct") }
+func BenchmarkSensCTT(b *testing.B)   { benchExperiment(b, "sens-ctt", "pct") }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+func BenchmarkSweepW(b *testing.B)   { benchExperiment(b, "sweep-w", "pct") }
+func BenchmarkAdapt(b *testing.B)    { benchExperiment(b, "adapt", "mpki") }
+func BenchmarkSmallTSL(b *testing.B) { benchExperiment(b, "small-tsl", "speedup") }
+func BenchmarkSweepD(b *testing.B)   { benchExperiment(b, "sweep-d", "pct") }
+func BenchmarkAblX(b *testing.B)     { benchExperiment(b, "abl-x", "pct") }
+
+// Micro-benchmarks -----------------------------------------------------------
+
+// benchPredictor measures end-to-end predict+update throughput over a
+// prebuilt branch stream, reporting MPKI alongside.
+func benchPredictor(b *testing.B, build func() (llbpx.Predictor, error)) {
+	b.Helper()
+	prof, err := llbpx.WorkloadByName("nodeapp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := llbpx.NewGenerator(prog)
+	branches := make([]llbpx.Branch, 200_000)
+	for i := range branches {
+		branches[i], _ = gen.Next()
+	}
+	p, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mis, cond uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br := branches[i%len(branches)]
+		if br.Kind.Conditional() {
+			pred := p.Predict(br.PC)
+			if pred.Taken != br.Taken {
+				mis++
+			}
+			cond++
+			p.Update(br, pred)
+		} else {
+			p.TrackUnconditional(br)
+		}
+	}
+	if cond > 0 {
+		b.ReportMetric(float64(mis)/float64(cond)*100, "miss-%")
+	}
+}
+
+func BenchmarkPredictorTSL64K(b *testing.B) {
+	benchPredictor(b, func() (llbpx.Predictor, error) { return llbpx.NewTSL(llbpx.TSL64K()) })
+}
+
+func BenchmarkPredictorTSL512K(b *testing.B) {
+	benchPredictor(b, func() (llbpx.Predictor, error) { return llbpx.NewTSL(llbpx.TSL512K()) })
+}
+
+func BenchmarkPredictorLLBP(b *testing.B) {
+	benchPredictor(b, func() (llbpx.Predictor, error) { return llbpx.NewLLBP(llbpx.LLBPDefault()) })
+}
+
+func BenchmarkPredictorLLBPX(b *testing.B) {
+	benchPredictor(b, func() (llbpx.Predictor, error) { return llbpx.NewLLBPX(llbpx.LLBPXDefault()) })
+}
+
+func BenchmarkWorkloadGenerator(b *testing.B) {
+	prof, err := llbpx.WorkloadByName("whiskey")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := llbpx.NewGenerator(prog)
+	b.ResetTimer()
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		br, _ := gen.Next()
+		instr += br.Instructions()
+	}
+	b.ReportMetric(float64(instr)/float64(b.N), "instr-per-branch")
+}
+
+func BenchmarkTraceEncode(b *testing.B) {
+	prof, _ := llbpx.WorkloadByName("tpcc")
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := llbpx.NewGenerator(prog)
+	branches := make([]llbpx.Branch, 100_000)
+	for i := range branches {
+		branches[i], _ = gen.Next()
+	}
+	var buf discard
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := llbpx.NewTraceWriter(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, br := range branches {
+			if err := w.Write(br); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(branches)))
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

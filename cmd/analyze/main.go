@@ -1,0 +1,70 @@
+// Command analyze characterizes a workload's (or trace file's) branch
+// stream: dynamic branch mix, static working set, instruction gap, and
+// context locality at the paper's three context depths — the evidence
+// Sections II-III of the paper build on.
+//
+// Usage:
+//
+//	analyze -workload nodeapp
+//	analyze -trace run.trc -instructions 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"llbpx"
+	"llbpx/internal/analyze"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "nodeapp", "preset workload name")
+		tracePath    = flag.String("trace", "", "binary trace file to characterize instead")
+		instructions = flag.Uint64("instructions", 5_000_000, "instructions to characterize")
+	)
+	flag.Parse()
+
+	var (
+		src   llbpx.Source
+		title string
+	)
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r, err := llbpx.NewTraceReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		src, title = r, *tracePath
+	} else {
+		prof, err := llbpx.WorkloadByName(*workloadName)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := llbpx.BuildProgram(prof)
+		if err != nil {
+			fatal(err)
+		}
+		src, title = llbpx.NewGenerator(prog), prof.Name
+	}
+
+	opt := analyze.DefaultOptions()
+	opt.MaxInstructions = *instructions
+	rep, err := analyze.Run(src, opt)
+	if err != nil {
+		fatal(err)
+	}
+	if err := rep.Table("characterization: " + title).Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "analyze:", err)
+	os.Exit(1)
+}

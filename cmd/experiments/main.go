@@ -1,0 +1,133 @@
+// Command experiments reproduces the paper's tables and figures. Each
+// experiment prints a plain-text table followed by notes recording what
+// the paper reported for the same artifact.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig12
+//	experiments -exp all -quick
+//	experiments -exp fig4 -workloads nodeapp,whiskey -measure 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"llbpx"
+)
+
+// chartOf renders the first numeric column of the result's table as a bar
+// chart, or "" when nothing numeric is found.
+func chartOf(res *llbpx.ExperimentResult) string {
+	col := -1
+	// Find the first column that is numeric in the first data row.
+	if res.Table.NumRows() == 0 {
+		return ""
+	}
+	first := res.Table.Row(0)
+	for j := 1; j < len(first); j++ {
+		if _, err := strconv.ParseFloat(first[j], 64); err == nil {
+			col = j
+			break
+		}
+	}
+	if col < 0 {
+		return ""
+	}
+	c := llbpx.NewBarChart("  ["+res.Table.Headers[col]+"]", 40)
+	for i := 0; i < res.Table.NumRows(); i++ {
+		row := res.Table.Row(i)
+		if col >= len(row) {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			continue
+		}
+		c.Add(row[0], v)
+	}
+	return c.String()
+}
+
+func main() {
+	var (
+		exp       = flag.String("exp", "", "experiment ID, or 'all' (see -list)")
+		quick     = flag.Bool("quick", false, "reduced workload set and instruction budget")
+		verify    = flag.Bool("verify", false, "check each artifact's paper-trend assertions (calibrated for the default scale; -quick runs are noisy)")
+		chart     = flag.Bool("chart", false, "also render the first numeric column as an ASCII bar chart")
+		list      = flag.Bool("list", false, "list experiments, then exit")
+		workloads = flag.String("workloads", "", "comma-separated workload subset")
+		warmup    = flag.Uint64("warmup", 0, "override warmup instructions")
+		measure   = flag.Uint64("measure", 0, "override measured instructions")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments (in paper order):")
+		for _, id := range llbpx.ExperimentIDs() {
+			desc, _ := llbpx.DescribeExperiment(id)
+			fmt.Printf("  %-10s %s\n", id, desc)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun one with: experiments -exp <id>  (or -exp all)")
+		}
+		return
+	}
+
+	sc := llbpx.DefaultExperimentScale()
+	if *quick {
+		sc = llbpx.QuickExperimentScale()
+	}
+	if *workloads != "" {
+		sc.Workloads = strings.Split(*workloads, ",")
+	}
+	if *warmup > 0 {
+		sc.WarmupInstr = *warmup
+	}
+	if *measure > 0 {
+		sc.MeasureInstr = *measure
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = llbpx.ExperimentIDs()
+	}
+	failures := 0
+	for _, id := range ids {
+		start := time.Now()
+		res, err := llbpx.RunExperiment(id, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Table.String())
+		if *chart {
+			if c := chartOf(res); c != "" {
+				fmt.Println(c)
+			}
+		}
+		for _, note := range res.Notes {
+			fmt.Printf("  note: %s\n", note)
+		}
+		if *verify {
+			if violations := llbpx.VerifyExperiment(res); len(violations) > 0 {
+				failures += len(violations)
+				for _, viol := range violations {
+					fmt.Printf("  TREND-FAIL: %s\n", viol)
+				}
+			} else if llbpx.HasTrendCheck(id) {
+				fmt.Printf("  TREND-PASS: %s\n", id)
+			}
+		}
+		fmt.Printf("  (%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d trend assertions failed\n", failures)
+		os.Exit(2)
+	}
+}

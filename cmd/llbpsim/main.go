@@ -1,0 +1,142 @@
+// Command llbpsim runs one branch predictor over one workload (or a trace
+// file) and prints accuracy and internal statistics — the repository's
+// equivalent of the paper artifact's lightweight simulator binary.
+//
+// Usage:
+//
+//	llbpsim -workload nodeapp -predictor llbp-x
+//	llbpsim -trace run.trc -predictor tsl-64k -warmup 1000000 -measure 2000000
+//	llbpsim -champsim server.champsim.gz -predictor llbp
+//	llbpsim -list
+//
+// Predictors: tsl-8k tsl-16k tsl-32k tsl-64k tsl-128k tsl-512k tsl-inf
+// llbp llbp-0lat llbp-x.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"llbpx"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "nodeapp", "preset workload name (see -list)")
+		tracePath    = flag.String("trace", "", "binary trace file to replay instead of a workload")
+		champPath    = flag.String("champsim", "", "ChampSim instruction trace to replay (plain or .gz)")
+		predictor    = flag.String("predictor", "llbp-x", "predictor configuration")
+		warmup       = flag.Uint64("warmup", 2_000_000, "warmup instructions")
+		measure      = flag.Uint64("measure", 3_000_000, "measured instructions")
+		seed         = flag.Uint64("seed", 0, "override the workload seed (0 = preset)")
+		showStats    = flag.Bool("stats", false, "print predictor-internal counters")
+		list         = flag.Bool("list", false, "list workloads and predictors, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads: ", llbpx.WorkloadNames())
+		fmt.Println("predictors: tsl-8k tsl-16k tsl-32k tsl-64k tsl-128k tsl-512k tsl-inf llbp llbp-0lat llbp-x")
+		return
+	}
+
+	src, err := buildSource(*workloadName, *tracePath, *champPath, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := buildPredictor(*predictor)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := llbpx.Simulate(p, src, llbpx.SimOptions{WarmupInstr: *warmup, MeasureInstr: *measure})
+	if err != nil {
+		fatal(err)
+	}
+
+	m := res.Measured
+	fmt.Printf("predictor      %s\n", res.Predictor)
+	fmt.Printf("instructions   %d\n", m.Instructions)
+	fmt.Printf("cond branches  %d\n", m.CondBranches)
+	fmt.Printf("uncond         %d\n", m.UncondCount)
+	fmt.Printf("mispredicts    %d\n", m.Mispredicts)
+	fmt.Printf("MPKI           %.4f\n", res.MPKI())
+	fmt.Printf("accuracy       %.4f%%\n", 100*m.Accuracy())
+	if m.SecondLevelOK > 0 {
+		fmt.Printf("2nd-level hits %d correct predictions\n", m.SecondLevelOK)
+	}
+	if *showStats && res.Extra != nil {
+		keys := make([]string, 0, len(res.Extra))
+		for k := range res.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println("--- predictor counters ---")
+		for _, k := range keys {
+			fmt.Printf("%-28s %14.0f\n", k, res.Extra[k])
+		}
+	}
+}
+
+func buildSource(workloadName, tracePath, champPath string, seed uint64) (llbpx.Source, error) {
+	if champPath != "" {
+		f, err := os.Open(champPath)
+		if err != nil {
+			return nil, err
+		}
+		// The process exits after the run; the file closes with it.
+		return llbpx.NewChampSimReader(f)
+	}
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		return llbpx.NewTraceReader(f)
+	}
+	prof, err := llbpx.WorkloadByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	if seed != 0 {
+		prof.Seed = seed
+	}
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		return nil, err
+	}
+	return llbpx.NewGenerator(prog), nil
+}
+
+func buildPredictor(name string) (llbpx.Predictor, error) {
+	switch name {
+	case "tsl-8k":
+		return llbpx.NewTSL(llbpx.TSL8K())
+	case "tsl-16k":
+		return llbpx.NewTSL(llbpx.TSL16K())
+	case "tsl-32k":
+		return llbpx.NewTSL(llbpx.TSL32K())
+	case "tsl-64k":
+		return llbpx.NewTSL(llbpx.TSL64K())
+	case "tsl-128k":
+		return llbpx.NewTSL(llbpx.TSL128K())
+	case "tsl-512k":
+		return llbpx.NewTSL(llbpx.TSL512K())
+	case "tsl-inf":
+		return llbpx.NewTSL(llbpx.TSLInf())
+	case "llbp":
+		return llbpx.NewLLBP(llbpx.LLBPDefault())
+	case "llbp-0lat":
+		return llbpx.NewLLBP(llbpx.LLBPZeroLatency())
+	case "llbp-x":
+		return llbpx.NewLLBPX(llbpx.LLBPXDefault())
+	default:
+		return nil, fmt.Errorf("unknown predictor %q (try -list)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llbpsim:", err)
+	os.Exit(1)
+}

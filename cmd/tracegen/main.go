@@ -1,0 +1,90 @@
+// Command tracegen synthesizes a server workload and writes its branch
+// stream to a binary trace file, the stand-in for downloading the paper's
+// ChampSim traces. The resulting file replays bit-identically through
+// llbpsim -trace.
+//
+// Usage:
+//
+//	tracegen -workload whiskey -instructions 5000000 -o whiskey.trc
+//	tracegen -workload tpcc -format champsim -o tpcc.champsim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"llbpx"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "nodeapp", "preset workload name")
+		instructions = flag.Uint64("instructions", 5_000_000, "instructions to emit")
+		out          = flag.String("o", "", "output file (required)")
+		format       = flag.String("format", "llbp", "output format: llbp (compact binary) or champsim")
+		seed         = flag.Uint64("seed", 0, "override the workload seed (0 = preset)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatal(fmt.Errorf("-o output file is required"))
+	}
+
+	prof, err := llbpx.WorkloadByName(*workloadName)
+	if err != nil {
+		fatal(err)
+	}
+	if *seed != 0 {
+		prof.Seed = *seed
+	}
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		fatal(err)
+	}
+	gen := llbpx.NewGenerator(prog)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	switch *format {
+	case "champsim":
+		instr, branches, err := llbpx.ExportChampSim(f, gen, *instructions)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d branches (%d instructions, champsim format) to %s\n", branches, instr, *out)
+	case "llbp":
+		w, err := llbpx.NewTraceWriter(f)
+		if err != nil {
+			fatal(err)
+		}
+		var emitted uint64
+		for emitted < *instructions {
+			b, _ := gen.Next()
+			emitted += b.Instructions()
+			if err := w.Write(b); err != nil {
+				fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d branches (%d instructions) to %s\n", w.Count(), emitted, *out)
+	default:
+		fatal(fmt.Errorf("unknown format %q (llbp or champsim)", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+package llbpx_test
+
+import (
+	"fmt"
+
+	"llbpx"
+)
+
+// ExampleWorkloadNames lists the Table I workload presets.
+func ExampleWorkloadNames() {
+	names := llbpx.WorkloadNames()
+	fmt.Println(len(names), "workloads")
+	fmt.Println(names[0], "...", names[len(names)-1])
+	// Output:
+	// 14 workloads
+	// nodeapp ... whiskey
+}
+
+// ExampleHistoryLengths shows the TAGE history-length table the whole
+// predictor family shares.
+func ExampleHistoryLengths() {
+	lens := llbpx.HistoryLengths()
+	fmt.Println(len(lens), "lengths, from", lens[0], "to", lens[len(lens)-1], "bits")
+	// Output:
+	// 21 lengths, from 6 to 3000 bits
+}
+
+// ExampleSimulate runs the baseline predictor over a tiny slice of a
+// synthetic workload. Everything is deterministic, so the simulation is
+// reproducible bit for bit.
+func ExampleSimulate() {
+	prof, _ := llbpx.WorkloadByName("kafka")
+	prog, _ := llbpx.BuildProgram(prof)
+	p, _ := llbpx.NewTSL(llbpx.TSL64K())
+	res, _ := llbpx.Simulate(p, llbpx.NewGenerator(prog),
+		llbpx.SimOptions{WarmupInstr: 50_000, MeasureInstr: 50_000})
+	total := res.Warmup.Instructions + res.Measured.Instructions
+	fmt.Println(res.Predictor, "simulated", total >= 100_000)
+	// Output:
+	// tsl-64k simulated true
+}
+
+// ExampleNewLLBPX builds the paper's LLBP-X configuration and inspects its
+// shape.
+func ExampleNewLLBPX() {
+	cfg := llbpx.LLBPXDefault()
+	fmt.Println("depths:", cfg.WShallow, "/", cfg.WDeep)
+	fmt.Println("ctt entries:", cfg.CTTEntries)
+	p, err := llbpx.NewLLBPX(cfg)
+	fmt.Println(p.Name(), err)
+	// Output:
+	// depths: 2 / 64
+	// ctt entries: 6144
+	// llbp-x <nil>
+}

@@ -1,0 +1,65 @@
+// custom-workload shows how to author a synthetic program model of your
+// own — picking request entropy, call-graph size, and branch behaviour
+// mix — and race the predictor family on it. Use it to explore how the
+// LLBP designs respond to workload properties the presets don't cover.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llbpx"
+)
+
+func main() {
+	// Start from the default mid-sized profile and exaggerate the
+	// hard-to-predict ingredients: a large call graph, generous request
+	// entropy, and a heavy payload-correlated branch mix.
+	prof := llbpx.DefaultWorkload("my-service", 4242)
+	prof.Functions = 700
+	prof.Layers = 8
+	prof.RequestTypes = 24
+	prof.PayloadBits = 7
+	prof.PreambleBits = 12
+	prof.FracPayload = 0.16
+	prof.FracMixed = 0.10
+	prof.MinRequestBranches = 1200
+	if err := prof.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %q: %d static conditional sites\n\n", prof.Name, prog.StaticCondSites())
+
+	opt := llbpx.SimOptions{WarmupInstr: 1_500_000, MeasureInstr: 2_500_000}
+	predictors := []struct {
+		label string
+		build func() (llbpx.Predictor, error)
+	}{
+		{"tsl-64k", func() (llbpx.Predictor, error) { return llbpx.NewTSL(llbpx.TSL64K()) }},
+		{"llbp", func() (llbpx.Predictor, error) { return llbpx.NewLLBP(llbpx.LLBPDefault()) }},
+		{"llbp-x", func() (llbpx.Predictor, error) { return llbpx.NewLLBPX(llbpx.LLBPXDefault()) }},
+		{"tsl-512k", func() (llbpx.Predictor, error) { return llbpx.NewTSL(llbpx.TSL512K()) }},
+	}
+
+	var base float64
+	for i, pc := range predictors {
+		p, err := pc.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := llbpx.Simulate(p, llbpx.NewGenerator(prog), opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = res.MPKI()
+			fmt.Printf("%-10s MPKI %.4f (baseline)\n", pc.label, res.MPKI())
+			continue
+		}
+		fmt.Printf("%-10s MPKI %.4f (%+.2f%% vs baseline)\n",
+			pc.label, res.MPKI(), 100*(base-res.MPKI())/base)
+	}
+}

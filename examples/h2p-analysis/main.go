@@ -1,0 +1,35 @@
+// h2p-analysis replays the paper's Section III characterization on one
+// workload: it runs an unconstrained (infinite patterns/contexts) LLBP,
+// tracks which patterns usefully override the baseline, and prints the
+// per-context skew (Figure 6), the history-length correlation (Figure 7),
+// and the duplication-vs-context-depth trade-off (Figure 8) — the three
+// observations that motivate dynamic context depth adaptation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"llbpx"
+)
+
+func main() {
+	name := flag.String("workload", "nodeapp", "workload to characterize")
+	flag.Parse()
+
+	sc := llbpx.DefaultExperimentScale()
+	sc.Workloads = []string{*name}
+
+	for _, id := range []string{"fig6", "fig7", "fig8", "fig9"} {
+		res, err := llbpx.RunExperiment(id, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Table.String())
+		for _, n := range res.Notes {
+			fmt.Println("  note:", n)
+		}
+		fmt.Println()
+	}
+}

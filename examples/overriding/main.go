@@ -1,0 +1,64 @@
+// overriding demonstrates the paper's Section VII-C overriding-front-end
+// study (Figure 14b): when every slow-stage correction of the fast
+// single-cycle prediction costs a 3-cycle redirect, LLBP-X — whose pattern
+// buffer answers in the fast stage — beats simply doubling the TAGE to
+// 128KB.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llbpx"
+)
+
+func main() {
+	prof, err := llbpx.WorkloadByName("tomcat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := llbpx.SimOptions{WarmupInstr: 1_500_000, MeasureInstr: 2_500_000}
+	coreCfg := llbpx.ServerCore() // includes the 3-cycle override penalty
+
+	run := func(label string, p llbpx.Predictor) llbpx.CoreResult {
+		res, err := llbpx.Simulate(p, llbpx.NewGenerator(prog), opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := coreCfg.Run(llbpx.CoreActivity{
+			Instructions: res.Measured.Instructions,
+			Mispredicts:  res.Measured.Mispredicts,
+			Overrides:    res.Measured.Overrides,
+		})
+		fmt.Printf("%-10s MPKI %.4f  overrides/kilo-instr %.2f  CPI %.4f\n",
+			label, res.MPKI(),
+			float64(res.Measured.Overrides)/float64(res.Measured.Instructions)*1000,
+			r.CPI)
+		return r
+	}
+
+	base64, err := llbpx.NewTSL(llbpx.TSL64K())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tsl128, err := llbpx.NewTSL(llbpx.TSL128K())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lx, err := llbpx.NewLLBPX(llbpx.LLBPXDefault())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rBase := run("tsl-64k", base64)
+	r128 := run("tsl-128k", tsl128)
+	rX := run("llbp-x", lx)
+
+	fmt.Printf("\nspeedup over 64K TSL under a 3-cycle overriding scheme:\n")
+	fmt.Printf("  tsl-128k: %.4fx\n", llbpx.Speedup(rBase, r128))
+	fmt.Printf("  llbp-x:   %.4fx\n", llbpx.Speedup(rBase, rX))
+}

@@ -1,0 +1,48 @@
+// Quickstart: build one synthetic server workload, run the baseline 64K
+// TAGE-SC-L and LLBP-X over the same branch stream, and compare MPKI —
+// the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llbpx"
+)
+
+func main() {
+	prof, err := llbpx.WorkloadByName("nodeapp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := llbpx.SimOptions{WarmupInstr: 1_000_000, MeasureInstr: 2_000_000}
+
+	baseline, err := llbpx.NewTSL(llbpx.TSL64K())
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseRes, err := llbpx.Simulate(baseline, llbpx.NewGenerator(prog), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	enhanced, err := llbpx.NewLLBPX(llbpx.LLBPXDefault())
+	if err != nil {
+		log.Fatal(err)
+	}
+	xRes, err := llbpx.Simulate(enhanced, llbpx.NewGenerator(prog), opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload:          %s\n", prof.Name)
+	fmt.Printf("64K TSL MPKI:      %.4f\n", baseRes.MPKI())
+	fmt.Printf("LLBP-X MPKI:       %.4f\n", xRes.MPKI())
+	fmt.Printf("MPKI reduction:    %.2f%%\n",
+		100*(baseRes.MPKI()-xRes.MPKI())/baseRes.MPKI())
+	fmt.Printf("2nd-level correct: %d predictions\n", xRes.Measured.SecondLevelOK)
+}

@@ -1,0 +1,3 @@
+module llbpx
+
+go 1.23

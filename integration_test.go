@@ -1,0 +1,146 @@
+package llbpx_test
+
+import (
+	"bytes"
+	"testing"
+
+	"llbpx"
+)
+
+// TestCapacityOrdering checks the reproduction's headline invariant on a
+// real workload: more predictor capacity must not hurt, and the infinite
+// TAGE bounds everything from below.
+func TestCapacityOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration ordering check skipped in -short")
+	}
+	prof, err := llbpx.WorkloadByName("nodeapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := llbpx.SimOptions{WarmupInstr: 1_000_000, MeasureInstr: 1_500_000}
+	mpki := func(build func() (llbpx.Predictor, error)) float64 {
+		p, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := llbpx.Simulate(p, llbpx.NewGenerator(prog), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MPKI()
+	}
+	m64 := mpki(func() (llbpx.Predictor, error) { return llbpx.NewTSL(llbpx.TSL64K()) })
+	m512 := mpki(func() (llbpx.Predictor, error) { return llbpx.NewTSL(llbpx.TSL512K()) })
+	mInf := mpki(func() (llbpx.Predictor, error) { return llbpx.NewTSL(llbpx.TSLInf()) })
+	mX := mpki(func() (llbpx.Predictor, error) { return llbpx.NewLLBPX(llbpx.LLBPXDefault()) })
+
+	if m512 >= m64 {
+		t.Errorf("512K TSL (%.3f) should clearly beat 64K (%.3f)", m512, m64)
+	}
+	if mInf > m512*1.02 {
+		t.Errorf("Inf TSL (%.3f) should not lose to 512K (%.3f)", mInf, m512)
+	}
+	if mX > m64*1.02 {
+		t.Errorf("LLBP-X (%.3f) should not lose to its own baseline (%.3f)", mX, m64)
+	}
+	if m64 < 3.0 || m64 > 6.5 {
+		t.Errorf("nodeapp 64K MPKI %.3f drifted from its Table I calibration (4.43)", m64)
+	}
+}
+
+// TestTraceReplayEquivalence verifies that simulating through the binary
+// trace format is bit-identical to simulating the generator directly —
+// the property that makes cmd/tracegen artifacts trustworthy.
+func TestTraceReplayEquivalence(t *testing.T) {
+	prof, err := llbpx.WorkloadByName("tpcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture a bounded stream into the trace format.
+	gen := llbpx.NewGenerator(prog)
+	var branches []llbpx.Branch
+	var instr uint64
+	for instr < 600_000 {
+		b, _ := gen.Next()
+		branches = append(branches, b)
+		instr += b.Instructions()
+	}
+	var buf bytes.Buffer
+	if err := llbpx.WriteTrace(&buf, branches); err != nil {
+		t.Fatal(err)
+	}
+
+	opt := llbpx.SimOptions{WarmupInstr: 200_000, MeasureInstr: 300_000}
+	direct, err := llbpx.NewTSL(llbpx.TSL64K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := llbpx.Simulate(direct, llbpx.NewSliceSource(branches), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reader, err := llbpx.NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := llbpx.NewTSL(llbpx.TSL64K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres, err := llbpx.Simulate(replay, reader, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if dres.Measured.Mispredicts != rres.Measured.Mispredicts ||
+		dres.Measured.CondBranches != rres.Measured.CondBranches ||
+		dres.Measured.Instructions != rres.Measured.Instructions {
+		t.Fatalf("trace replay diverged: direct=%+v replay=%+v", dres.Measured, rres.Measured)
+	}
+}
+
+// TestSecondLevelActivity asserts the hierarchical predictors actually
+// exercise their second level on a server workload (overrides, prefetches,
+// writebacks) rather than silently degrading to the baseline.
+func TestSecondLevelActivity(t *testing.T) {
+	prof, err := llbpx.WorkloadByName("charlie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := llbpx.NewLLBPX(llbpx.LLBPXDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := llbpx.Simulate(p, llbpx.NewGenerator(prog),
+		llbpx.SimOptions{WarmupInstr: 500_000, MeasureInstr: 800_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FinishMeasurement()
+	st := p.Stats()
+	for _, key := range []string{
+		"llbpx.overrides", "llbpx.useful", "llbpx.allocs",
+		"llbpx.prefetch.issued", "llbpx.store.writes",
+	} {
+		if st[key] == 0 {
+			t.Errorf("%s == 0: second level inactive", key)
+		}
+	}
+	if res.Measured.SecondLevelOK == 0 {
+		t.Error("no correct second-level predictions observed")
+	}
+}

@@ -1,0 +1,236 @@
+// Package analyze characterizes branch streams: branch mix, static
+// working sets, context-locality statistics across the paper's three
+// context depths, and per-branch predictability classes. It backs
+// cmd/analyze and reproduces the kind of workload evidence Sections II-III
+// of the paper build their motivation on.
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"llbpx/internal/core"
+	"llbpx/internal/llbp"
+	"llbpx/internal/stats"
+)
+
+// Options bounds a characterization pass.
+type Options struct {
+	// MaxInstructions stops the pass after this many retired instructions.
+	MaxInstructions uint64
+	// ContextDepths are the W values context locality is measured at.
+	ContextDepths []int
+	// SkipD is the context skip distance used for the context IDs.
+	SkipD int
+}
+
+// DefaultOptions characterizes 5M instructions at the paper's three
+// depths.
+func DefaultOptions() Options {
+	return Options{
+		MaxInstructions: 5_000_000,
+		ContextDepths:   []int{2, 8, 64},
+		SkipD:           4,
+	}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.MaxInstructions == 0 {
+		return fmt.Errorf("analyze: MaxInstructions must be positive")
+	}
+	if len(o.ContextDepths) == 0 {
+		return fmt.Errorf("analyze: need at least one context depth")
+	}
+	for _, w := range o.ContextDepths {
+		if w < 0 || o.SkipD+w > llbp.MaxRCRDepth {
+			return fmt.Errorf("analyze: depth %d (with skip %d) out of RCR range", w, o.SkipD)
+		}
+	}
+	return nil
+}
+
+// ContextLocality summarizes context recurrence at one depth.
+type ContextLocality struct {
+	// W is the context depth.
+	W int
+	// Distinct is the number of distinct context IDs observed.
+	Distinct int
+	// Singletons is how many occurred exactly once (pure cold contexts).
+	Singletons int
+	// MeanOccurrences is the average occurrences per distinct context.
+	MeanOccurrences float64
+	// Top10Share is the fraction of all context occurrences covered by
+	// the 10 hottest contexts.
+	Top10Share float64
+}
+
+// Report is the outcome of a characterization pass.
+type Report struct {
+	// Instructions, Branches are totals over the pass.
+	Instructions uint64
+	Branches     uint64
+	// Mix counts dynamic branches per kind.
+	Mix map[core.BranchKind]uint64
+	// TakenRate is the fraction of conditional branches taken.
+	TakenRate float64
+	// StaticCond / StaticUncond are distinct branch PCs seen.
+	StaticCond   int
+	StaticUncond int
+	// HotCondShare is the dynamic-execution share of the 100 hottest
+	// conditional PCs.
+	HotCondShare float64
+	// Locality holds context statistics per requested depth.
+	Locality []ContextLocality
+	// InstrPerBranch is the mean instruction gap.
+	InstrPerBranch float64
+	// SameContextPairShare is the fraction of consecutive conditional-
+	// branch pairs with no intervening unconditional branch — pairs a
+	// multi-prediction front end can serve from a single pattern-buffer
+	// read (the paper's Section D.1 dual-porting discussion).
+	SameContextPairShare float64
+}
+
+// Run characterizes the stream from src.
+func Run(src core.Source, opt Options) (*Report, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{Mix: make(map[core.BranchKind]uint64)}
+	var rcr llbp.RCR
+	ctxCounts := make([]map[uint64]uint64, len(opt.ContextDepths))
+	for i := range ctxCounts {
+		ctxCounts[i] = make(map[uint64]uint64)
+	}
+	condPCs := make(map[uint64]uint64)
+	uncondPCs := make(map[uint64]struct{})
+	var taken uint64
+	var condPairs, sameCtxPairs uint64
+	sawCond := false     // any conditional so far
+	prevWasCond := false // the immediately previous branch was conditional
+
+	for r.Instructions < opt.MaxInstructions {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		r.Instructions += b.Instructions()
+		r.Branches++
+		r.Mix[b.Kind]++
+		if b.Kind.Conditional() {
+			condPCs[b.PC]++
+			if b.Taken {
+				taken++
+			}
+			if sawCond {
+				condPairs++
+				if prevWasCond {
+					sameCtxPairs++ // no unconditional branch in between
+				}
+			}
+			sawCond = true
+			prevWasCond = true
+		} else {
+			prevWasCond = false
+			uncondPCs[b.PC] = struct{}{}
+			rcr.Push(b.PC)
+			for i, w := range opt.ContextDepths {
+				ctxCounts[i][rcr.ContextID(opt.SkipD, w)]++
+			}
+		}
+	}
+	if r.Branches == 0 {
+		return r, nil
+	}
+
+	condTotal := r.Mix[core.CondDirect]
+	if condTotal > 0 {
+		r.TakenRate = float64(taken) / float64(condTotal)
+	}
+	r.StaticCond = len(condPCs)
+	r.StaticUncond = len(uncondPCs)
+	r.InstrPerBranch = float64(r.Instructions) / float64(r.Branches)
+	r.HotCondShare = hotShare(condPCs, 100)
+	if condPairs > 0 {
+		r.SameContextPairShare = float64(sameCtxPairs) / float64(condPairs)
+	}
+
+	for i, w := range opt.ContextDepths {
+		r.Locality = append(r.Locality, localityOf(w, ctxCounts[i]))
+	}
+	return r, nil
+}
+
+func hotShare(counts map[uint64]uint64, topN int) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	all := make([]uint64, 0, len(counts))
+	var total uint64
+	for _, c := range counts {
+		all = append(all, c)
+		total += c
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] > all[j] })
+	if topN > len(all) {
+		topN = len(all)
+	}
+	var top uint64
+	for _, c := range all[:topN] {
+		top += c
+	}
+	return float64(top) / float64(total)
+}
+
+func localityOf(w int, counts map[uint64]uint64) ContextLocality {
+	loc := ContextLocality{W: w, Distinct: len(counts)}
+	if len(counts) == 0 {
+		return loc
+	}
+	occ := make([]uint64, 0, len(counts))
+	var total uint64
+	for _, c := range counts {
+		occ = append(occ, c)
+		total += c
+		if c == 1 {
+			loc.Singletons++
+		}
+	}
+	sort.Slice(occ, func(i, j int) bool { return occ[i] > occ[j] })
+	loc.MeanOccurrences = float64(total) / float64(len(counts))
+	topN := 10
+	if topN > len(occ) {
+		topN = len(occ)
+	}
+	var top uint64
+	for _, c := range occ[:topN] {
+		top += c
+	}
+	loc.Top10Share = float64(top) / float64(total)
+	return loc
+}
+
+// Table renders the report as the standard plain-text table.
+func (r *Report) Table(title string) *stats.Table {
+	t := stats.NewTable(title, "metric", "value")
+	t.AddRow("instructions", float64(r.Instructions))
+	t.AddRow("branches", float64(r.Branches))
+	t.AddRow("instr/branch", r.InstrPerBranch)
+	for _, kind := range []core.BranchKind{core.CondDirect, core.Jump, core.Call, core.Return, core.IndirectJump} {
+		if n := r.Mix[kind]; n > 0 {
+			t.AddRow("dyn "+kind.String(), float64(n))
+		}
+	}
+	t.AddRow("cond taken rate", r.TakenRate)
+	t.AddRow("static cond PCs", r.StaticCond)
+	t.AddRow("static uncond PCs", r.StaticUncond)
+	t.AddRow("hottest-100 cond share", r.HotCondShare)
+	t.AddRow("same-context cond pairs", r.SameContextPairShare)
+	for _, loc := range r.Locality {
+		t.AddRow(fmt.Sprintf("W=%d distinct contexts", loc.W), loc.Distinct)
+		t.AddRow(fmt.Sprintf("W=%d mean occurrences", loc.W), loc.MeanOccurrences)
+		t.AddRow(fmt.Sprintf("W=%d singleton contexts", loc.W), loc.Singletons)
+		t.AddRow(fmt.Sprintf("W=%d top-10 share", loc.W), loc.Top10Share)
+	}
+	return t
+}

@@ -1,0 +1,142 @@
+package analyze
+
+import (
+	"testing"
+
+	"llbpx/internal/core"
+	"llbpx/internal/workload"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Options{
+		{MaxInstructions: 0, ContextDepths: []int{2}},
+		{MaxInstructions: 10},
+		{MaxInstructions: 10, ContextDepths: []int{200}},
+	}
+	for i, o := range bad {
+		if o.Validate() == nil {
+			t.Errorf("options %d should fail", i)
+		}
+	}
+}
+
+func TestRunOnWorkload(t *testing.T) {
+	prof, err := workload.ByName("tomcat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.MaxInstructions = 500_000
+	rep, err := Run(workload.NewGenerator(prog), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Instructions < opt.MaxInstructions {
+		t.Fatalf("pass ended early: %d instructions", rep.Instructions)
+	}
+	if rep.Mix[core.CondDirect] == 0 || rep.Mix[core.Call] == 0 || rep.Mix[core.Return] == 0 {
+		t.Fatalf("branch mix incomplete: %v", rep.Mix)
+	}
+	if rep.TakenRate <= 0 || rep.TakenRate >= 1 {
+		t.Fatalf("taken rate %v implausible", rep.TakenRate)
+	}
+	if rep.StaticCond < 100 {
+		t.Fatalf("static cond working set %d too small", rep.StaticCond)
+	}
+	if rep.InstrPerBranch < 2 || rep.InstrPerBranch > 12 {
+		t.Fatalf("instr/branch %v implausible", rep.InstrPerBranch)
+	}
+	if len(rep.Locality) != 3 {
+		t.Fatalf("locality depths = %d", len(rep.Locality))
+	}
+	// Deeper contexts must be strictly more numerous and less recurrent —
+	// the trade-off behind the paper's W analysis.
+	for i := 1; i < len(rep.Locality); i++ {
+		if rep.Locality[i].Distinct <= rep.Locality[i-1].Distinct {
+			t.Fatalf("W=%d should have more distinct contexts than W=%d",
+				rep.Locality[i].W, rep.Locality[i-1].W)
+		}
+		if rep.Locality[i].MeanOccurrences >= rep.Locality[i-1].MeanOccurrences {
+			t.Fatalf("W=%d should recur less than W=%d",
+				rep.Locality[i].W, rep.Locality[i-1].W)
+		}
+	}
+}
+
+func TestRunEmptySource(t *testing.T) {
+	rep, err := Run(core.NewSliceSource(nil), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Branches != 0 {
+		t.Fatal("empty source must report nothing")
+	}
+	// Rendering an empty report must not panic.
+	_ = rep.Table("empty")
+}
+
+func TestTableRendering(t *testing.T) {
+	prof, _ := workload.ByName("kafka")
+	prog, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.MaxInstructions = 100_000
+	rep, err := Run(workload.NewGenerator(prog), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Table("kafka characterization").String()
+	for _, want := range []string{"instructions", "dyn cond", "W=2", "W=64", "static cond PCs"} {
+		if !contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestSameContextPairShare(t *testing.T) {
+	// Hand-built stream: C C U C C C -> pairs: (C,C)=same, (C,C across U)
+	// =crossing, (C,C)=same, (C,C)=same -> 3/4.
+	mk := func(kind core.BranchKind, pc uint64) core.Branch {
+		return core.Branch{PC: pc, Kind: kind, Taken: true, InstrGap: 1}
+	}
+	stream := []core.Branch{
+		mk(core.CondDirect, 0x10),
+		mk(core.CondDirect, 0x20),
+		mk(core.Call, 0x30),
+		mk(core.CondDirect, 0x40),
+		mk(core.CondDirect, 0x50),
+		mk(core.CondDirect, 0x60),
+	}
+	opt := DefaultOptions()
+	opt.MaxInstructions = 6
+	rep, err := Run(core.NewSliceSource(stream), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.SameContextPairShare, 0.75; got != want {
+		t.Fatalf("SameContextPairShare = %v, want %v", got, want)
+	}
+}

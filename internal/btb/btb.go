@@ -1,0 +1,353 @@
+// Package btb implements the front-end target substrate from the paper's
+// Table II: a set-associative branch target buffer (16K entries, 8-way)
+// and an ITTAGE-style indirect-target predictor. Direction prediction
+// (package tage and friends) decides *whether* a branch redirects; this
+// package decides *where to* — the other half of the decoupled front end
+// the paper's core model assumes.
+//
+// The paper does not evaluate target prediction directly (its traces have
+// resolved targets), so this substrate backs the timing model and the
+// indirect-branch extension example rather than a paper figure.
+package btb
+
+import (
+	"fmt"
+
+	"llbpx/internal/core"
+	"llbpx/internal/hashutil"
+	"llbpx/internal/history"
+)
+
+// Config shapes a BTB.
+type Config struct {
+	// Name labels the configuration.
+	Name string
+	// Entries is the total capacity (16K in Table II).
+	Entries int
+	// Assoc is the set associativity (8 in Table II).
+	Assoc int
+	// TagBits is the partial tag width.
+	TagBits uint
+}
+
+// DefaultConfig returns the Table II BTB: 16K entries, 8-way.
+func DefaultConfig() Config {
+	return Config{Name: "btb-16k", Entries: 16 * 1024, Assoc: 8, TagBits: 16}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Entries < c.Assoc || c.Assoc < 1:
+		return fmt.Errorf("btb %q: invalid geometry %d/%d", c.Name, c.Entries, c.Assoc)
+	case c.TagBits < 4 || c.TagBits > 40:
+		return fmt.Errorf("btb %q: tag bits %d out of range", c.Name, c.TagBits)
+	}
+	return nil
+}
+
+type btbEntry struct {
+	tag    uint32
+	target uint64
+	kind   core.BranchKind
+	lru    uint64
+	valid  bool
+}
+
+// BTB is a set-associative branch target buffer.
+type BTB struct {
+	cfg     Config
+	sets    [][]btbEntry
+	mask    uint64
+	tagMask uint32
+	clock   uint64
+
+	// Stats.
+	lookups uint64
+	hits    uint64
+	wrongT  uint64 // hit with a stale target
+}
+
+// New builds a BTB.
+func New(cfg Config) (*BTB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	numSets := 1
+	for numSets*2*cfg.Assoc <= cfg.Entries {
+		numSets *= 2
+	}
+	b := &BTB{
+		cfg:     cfg,
+		mask:    uint64(numSets - 1),
+		tagMask: uint32(uint64(1)<<cfg.TagBits - 1),
+	}
+	b.sets = make([][]btbEntry, numSets)
+	for i := range b.sets {
+		b.sets[i] = make([]btbEntry, cfg.Entries/numSets)
+	}
+	return b, nil
+}
+
+// MustNew is New but panics on configuration errors.
+func MustNew(cfg Config) *BTB {
+	b, err := New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("btb: invalid config: %v", err))
+	}
+	return b
+}
+
+func (b *BTB) index(pc uint64) (set uint64, tag uint32) {
+	// Full-entropy mix: instruction addresses cluster in a narrow range,
+	// so raw high bits would leave the tag nearly constant.
+	h := hashutil.Mix64(pc)
+	return h & b.mask, uint32(h>>32) & b.tagMask
+}
+
+// Lookup predicts the target (and kind) of the branch at pc. ok=false is
+// a BTB miss: the front end does not even know a branch lives here.
+func (b *BTB) Lookup(pc uint64) (target uint64, kind core.BranchKind, ok bool) {
+	b.lookups++
+	set, tag := b.index(pc)
+	for i := range b.sets[set] {
+		e := &b.sets[set][i]
+		if e.valid && e.tag == tag {
+			b.hits++
+			e.lru = b.clockTick()
+			return e.target, e.kind, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Update installs or refreshes the branch's entry after resolution; it
+// reports whether a prior hit carried a stale target (a misfetch).
+func (b *BTB) Update(br core.Branch) {
+	set, tag := b.index(br.PC)
+	row := b.sets[set]
+	for i := range row {
+		e := &row[i]
+		if e.valid && e.tag == tag {
+			if e.target != br.Target {
+				b.wrongT++
+				e.target = br.Target
+			}
+			e.kind = br.Kind
+			e.lru = b.clockTick()
+			return
+		}
+	}
+	victim := 0
+	for i := range row {
+		if !row[i].valid {
+			victim = i
+			break
+		}
+		if row[i].lru < row[victim].lru {
+			victim = i
+		}
+	}
+	row[victim] = btbEntry{tag: tag, target: br.Target, kind: br.Kind, lru: b.clockTick(), valid: true}
+}
+
+func (b *BTB) clockTick() uint64 {
+	b.clock++
+	return b.clock
+}
+
+// Stats returns lookup/hit/stale-target counters.
+func (b *BTB) Stats() (lookups, hits, wrongTarget uint64) {
+	return b.lookups, b.hits, b.wrongT
+}
+
+// ITTAGE is a compact indirect-target predictor in the ITTAGE mold: a
+// direct-mapped base table plus tagged tables with geometrically longer
+// global histories, each entry holding a full target and a confidence
+// counter. The longest matching entry provides the target.
+type ITTAGE struct {
+	ghist *history.Global
+	folds []*history.Folded
+	tagFs []*history.Folded
+	lens  []int
+	base  []ittEntry
+	tabs  [][]ittEntry
+
+	lookups uint64
+	correct uint64
+}
+
+type ittEntry struct {
+	tag    uint32
+	target uint64
+	conf   int8
+	valid  bool
+}
+
+const (
+	ittLogBase  = 11
+	ittLogTable = 9
+	ittTagBits  = 10
+	ittConfMax  = 3
+)
+
+// NewITTAGE builds the predictor with the given history lengths
+// (defaults: 8, 16, 32, 64 when nil).
+func NewITTAGE(lens []int) *ITTAGE {
+	if lens == nil {
+		lens = []int{8, 16, 32, 64}
+	}
+	p := &ITTAGE{
+		ghist: history.NewGlobal(lens[len(lens)-1] + 8),
+		lens:  lens,
+		base:  make([]ittEntry, 1<<ittLogBase),
+	}
+	for _, l := range lens {
+		p.folds = append(p.folds, history.NewFolded(l, ittLogTable))
+		p.tagFs = append(p.tagFs, history.NewFolded(l, ittTagBits))
+		p.tabs = append(p.tabs, make([]ittEntry, 1<<ittLogTable))
+	}
+	return p
+}
+
+func (p *ITTAGE) indexTag(pc uint64, t int) (idx uint64, tag uint32) {
+	m := hashutil.PCMix(pc)
+	idx = (m ^ p.folds[t].Value()) & (1<<ittLogTable - 1)
+	tag = uint32((m>>7)^p.tagFs[t].Value()) & (1<<ittTagBits - 1)
+	return idx, tag
+}
+
+// Predict returns the predicted target for the indirect branch at pc
+// (0 when nothing is known yet).
+func (p *ITTAGE) Predict(pc uint64) uint64 {
+	p.lookups++
+	for t := len(p.tabs) - 1; t >= 0; t-- {
+		idx, tag := p.indexTag(pc, t)
+		e := &p.tabs[t][idx]
+		if e.valid && e.tag == tag && e.conf >= 0 {
+			return e.target
+		}
+	}
+	e := &p.base[hashutil.PCMix(pc)&(1<<ittLogBase-1)]
+	if e.valid {
+		return e.target
+	}
+	return 0
+}
+
+// Update trains with the resolved target and advances history; call once
+// per retired indirect branch, after Predict.
+func (p *ITTAGE) Update(br core.Branch, predicted uint64) {
+	if predicted == br.Target {
+		p.correct++
+	}
+	// Train the providing entry; allocate one longer entry on a miss.
+	provider := -1
+	for t := len(p.tabs) - 1; t >= 0; t-- {
+		idx, tag := p.indexTag(pc64(br), t)
+		e := &p.tabs[t][idx]
+		if e.valid && e.tag == tag {
+			provider = t
+			if e.target == br.Target {
+				if e.conf < ittConfMax {
+					e.conf++
+				}
+			} else if e.conf > 0 {
+				e.conf--
+			} else {
+				e.target = br.Target
+				e.conf = 0
+			}
+			break
+		}
+	}
+	be := &p.base[hashutil.PCMix(br.PC)&(1<<ittLogBase-1)]
+	if !be.valid || be.target != br.Target {
+		*be = ittEntry{target: br.Target, valid: true}
+	}
+	if predicted != br.Target {
+		for t := provider + 1; t < len(p.tabs); t++ {
+			idx, tag := p.indexTag(pc64(br), t)
+			e := &p.tabs[t][idx]
+			if !e.valid || e.conf <= 0 {
+				*e = ittEntry{tag: tag, target: br.Target, valid: true}
+				break
+			}
+			e.conf--
+		}
+	}
+	p.push(br)
+}
+
+func pc64(br core.Branch) uint64 { return br.PC }
+
+// Observe advances history for non-indirect branches so the folds track
+// the same stream the direction predictors see.
+func (p *ITTAGE) Observe(br core.Branch) { p.push(br) }
+
+func (p *ITTAGE) push(br core.Branch) {
+	p.ghist.Push(core.HistoryBit(br))
+	for i := range p.folds {
+		p.folds[i].Update(p.ghist)
+		p.tagFs[i].Update(p.ghist)
+	}
+}
+
+// Accuracy returns the fraction of indirect predictions that matched.
+func (p *ITTAGE) Accuracy() float64 {
+	if p.lookups == 0 {
+		return 1
+	}
+	return float64(p.correct) / float64(p.lookups)
+}
+
+// FrontEndStats aggregates a target-prediction pass over a branch stream.
+type FrontEndStats struct {
+	Branches      uint64
+	BTBMisses     uint64 // branch unknown to the BTB at fetch
+	StaleTargets  uint64 // BTB hit, direct target changed (rare)
+	IndirectSeen  uint64
+	IndirectWrong uint64 // ITTAGE target mispredictions
+}
+
+// Redirects returns the total front-end redirect count (BTB misses plus
+// wrong indirect targets): the target-side analogue of direction MPKI.
+func (s FrontEndStats) Redirects() uint64 {
+	return s.BTBMisses + s.StaleTargets + s.IndirectWrong
+}
+
+// RunFrontEnd drives the BTB and ITTAGE over a branch stream for up to
+// maxInstr instructions, returning target-prediction statistics.
+func RunFrontEnd(src core.Source, b *BTB, it *ITTAGE, maxInstr uint64) (FrontEndStats, error) {
+	if b == nil || it == nil {
+		return FrontEndStats{}, fmt.Errorf("btb: nil structures")
+	}
+	var st FrontEndStats
+	var instr uint64
+	for instr < maxInstr {
+		br, ok := src.Next()
+		if !ok {
+			break
+		}
+		instr += br.Instructions()
+		st.Branches++
+
+		_, _, hit := b.Lookup(br.PC)
+		if !hit {
+			st.BTBMisses++
+		}
+		if br.Kind == core.IndirectJump {
+			st.IndirectSeen++
+			pred := it.Predict(br.PC)
+			if pred != br.Target {
+				st.IndirectWrong++
+			}
+			it.Update(br, pred)
+		} else {
+			it.Observe(br)
+		}
+		b.Update(br)
+	}
+	_, _, st.StaleTargets = b.Stats()
+	return st, nil
+}

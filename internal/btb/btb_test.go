@@ -1,0 +1,160 @@
+package btb
+
+import (
+	"testing"
+
+	"llbpx/internal/core"
+	"llbpx/internal/hashutil"
+	"llbpx/internal/workload"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Name: "b", Entries: 4, Assoc: 8, TagBits: 16},
+		{Name: "a", Entries: 16, Assoc: 0, TagBits: 16},
+		{Name: "t", Entries: 16, Assoc: 4, TagBits: 2},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("%s should fail validation", c.Name)
+		}
+	}
+}
+
+func TestBTBHitAfterInstall(t *testing.T) {
+	b := MustNew(DefaultConfig())
+	br := core.Branch{PC: 0x4000, Target: 0x8000, Kind: core.Call, Taken: true}
+	if _, _, ok := b.Lookup(br.PC); ok {
+		t.Fatal("cold BTB must miss")
+	}
+	b.Update(br)
+	target, kind, ok := b.Lookup(br.PC)
+	if !ok || target != 0x8000 || kind != core.Call {
+		t.Fatalf("lookup after install = (%#x, %v, %v)", target, kind, ok)
+	}
+}
+
+func TestBTBStaleTargetCounted(t *testing.T) {
+	b := MustNew(DefaultConfig())
+	br := core.Branch{PC: 0x4000, Target: 0x8000, Kind: core.IndirectJump, Taken: true}
+	b.Update(br)
+	br.Target = 0x9000
+	b.Update(br)
+	if _, _, wrong := b.Stats(); wrong != 1 {
+		t.Fatalf("stale target not counted: %d", wrong)
+	}
+	if target, _, _ := b.Lookup(br.PC); target != 0x9000 {
+		t.Fatal("target not refreshed")
+	}
+}
+
+func TestBTBLRUEviction(t *testing.T) {
+	b := MustNew(Config{Name: "tiny", Entries: 8, Assoc: 8, TagBits: 20})
+	// Fill one set beyond capacity; the least recently used entry goes.
+	for i := 0; i < 9; i++ {
+		b.Update(core.Branch{PC: uint64(i) << 24, Target: 1, Kind: core.Jump, Taken: true})
+	}
+	hits := 0
+	for i := 0; i < 9; i++ {
+		if _, _, ok := b.Lookup(uint64(i) << 24); ok {
+			hits++
+		}
+	}
+	if hits != 8 {
+		t.Fatalf("expected exactly one eviction, got %d/9 resident", hits)
+	}
+}
+
+func TestITTAGELearnsPayloadDispatch(t *testing.T) {
+	// A virtual-call site whose target depends on a 2-bit key encoded in
+	// preceding history: ITTAGE must learn it, a plain base table cannot.
+	p := NewITTAGE(nil)
+	rng := hashutil.NewRand(5)
+	wrong, n := 0, 0
+	for i := 0; i < 30000; i++ {
+		key := rng.Intn(4)
+		// Two history branches reveal the key.
+		for bit := 0; bit < 2; bit++ {
+			br := core.Branch{PC: 0x100 + uint64(bit)*8, Kind: core.CondDirect, Taken: key>>bit&1 == 1, InstrGap: 2}
+			p.Observe(br)
+		}
+		br := core.Branch{PC: 0x4000, Target: 0x8000 + uint64(key)*0x100, Kind: core.IndirectJump, Taken: true, InstrGap: 3}
+		pred := p.Predict(br.PC)
+		if i > 5000 {
+			n++
+			if pred != br.Target {
+				wrong++
+			}
+		}
+		p.Update(br, pred)
+	}
+	if rate := float64(wrong) / float64(n); rate > 0.05 {
+		t.Fatalf("ITTAGE missed %.1f%% of history-determined targets", 100*rate)
+	}
+	if p.Accuracy() < 0.8 {
+		t.Fatalf("accuracy accounting broken: %.3f", p.Accuracy())
+	}
+}
+
+func TestITTAGEMonomorphicSite(t *testing.T) {
+	p := NewITTAGE(nil)
+	br := core.Branch{PC: 0x4000, Target: 0xbeef, Kind: core.IndirectJump, Taken: true}
+	for i := 0; i < 100; i++ {
+		pred := p.Predict(br.PC)
+		p.Update(br, pred)
+	}
+	if p.Predict(br.PC) != 0xbeef {
+		t.Fatal("monomorphic target not learned")
+	}
+}
+
+func TestRunFrontEndOnIndirectWorkload(t *testing.T) {
+	prof := workload.Default("indirect", 77)
+	prof.IndirectFrac = 0.05
+	if err := prof.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunFrontEnd(workload.NewGenerator(prog), MustNew(DefaultConfig()), NewITTAGE(nil), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IndirectSeen == 0 {
+		t.Fatal("indirect workload emitted no indirect branches")
+	}
+	if st.Branches == 0 || st.BTBMisses == 0 {
+		t.Fatal("front end saw no traffic")
+	}
+	// The BTB working set fits easily: misses must be a cold-start
+	// residue, not steady-state.
+	if missRate := float64(st.BTBMisses) / float64(st.Branches); missRate > 0.10 {
+		t.Fatalf("BTB miss rate %.2f%% too high for a fitting working set", 100*missRate)
+	}
+	// ITTAGE must beat the trivial always-wrong bound by far; payload-
+	// driven dispatch is learnable through history.
+	if wrongRate := float64(st.IndirectWrong) / float64(st.IndirectSeen); wrongRate > 0.5 {
+		t.Fatalf("indirect wrong rate %.1f%%", 100*wrongRate)
+	}
+}
+
+func TestRunFrontEndNilStructures(t *testing.T) {
+	if _, err := RunFrontEnd(core.NewSliceSource(nil), nil, nil, 10); err == nil {
+		t.Fatal("nil structures must error")
+	}
+}
+
+func TestDefaultWorkloadsEmitNoIndirects(t *testing.T) {
+	// The preset workloads must stay direct-call only (IndirectFrac 0):
+	// the recorded experiment results depend on their streams.
+	for _, prof := range workload.Workloads() {
+		if prof.IndirectFrac != 0 {
+			t.Errorf("preset %s has IndirectFrac %v", prof.Name, prof.IndirectFrac)
+		}
+	}
+}

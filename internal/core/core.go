@@ -1,0 +1,193 @@
+// Package core defines the shared vocabulary of the LLBP-X reproduction:
+// branch records, the predictor contract, and simulation results. It is the
+// root of the internal dependency graph — every substrate (TAGE, LLBP,
+// LLBP-X, the workload generator, the simulator) speaks these types.
+package core
+
+import "fmt"
+
+// BranchKind classifies a control-flow instruction. The distinction that
+// matters to LLBP is conditional vs unconditional: unconditional branches
+// (calls, returns, direct and indirect jumps) feed the rolling context
+// register, while conditional branches are predicted.
+type BranchKind uint8
+
+const (
+	// CondDirect is a direct conditional branch; the only kind that is
+	// predicted for direction.
+	CondDirect BranchKind = iota
+	// Jump is a direct unconditional jump.
+	Jump
+	// Call is a direct function call.
+	Call
+	// Return is a function return.
+	Return
+	// IndirectJump is an indirect unconditional jump (including indirect
+	// calls, which behave identically for context formation).
+	IndirectJump
+
+	numBranchKinds
+)
+
+var kindNames = [numBranchKinds]string{
+	CondDirect:   "cond",
+	Jump:         "jump",
+	Call:         "call",
+	Return:       "ret",
+	IndirectJump: "ijump",
+}
+
+// String returns a short lower-case mnemonic for the kind.
+func (k BranchKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("BranchKind(%d)", uint8(k))
+}
+
+// Conditional reports whether branches of this kind are direction-predicted.
+func (k BranchKind) Conditional() bool { return k == CondDirect }
+
+// Unconditional reports whether branches of this kind always redirect
+// control flow. Unconditional branches form LLBP's program contexts.
+func (k BranchKind) Unconditional() bool { return k != CondDirect && k < numBranchKinds }
+
+// Valid reports whether k is one of the defined kinds.
+func (k BranchKind) Valid() bool { return k < numBranchKinds }
+
+// Branch is one retired control-flow instruction in a trace.
+type Branch struct {
+	// PC is the address of the branch instruction.
+	PC uint64
+	// Target is the address control transfers to when the branch is taken.
+	Target uint64
+	// Kind classifies the branch.
+	Kind BranchKind
+	// Taken is the resolved direction. Unconditional branches are always
+	// taken.
+	Taken bool
+	// InstrGap is the number of instructions retired since the previous
+	// branch, inclusive of this branch (so it is always >= 1). Summing
+	// InstrGap over a trace yields the retired instruction count used for
+	// MPKI accounting.
+	InstrGap uint32
+}
+
+// Instructions returns the instruction count this branch accounts for,
+// treating a zero gap (e.g. from a hand-built record) as a single
+// instruction.
+func (b Branch) Instructions() uint64 {
+	if b.InstrGap == 0 {
+		return 1
+	}
+	return uint64(b.InstrGap)
+}
+
+// Prediction carries everything a hierarchical predictor needs to know
+// about a direction prediction: the direction itself plus provenance used
+// for arbitration, statistical-corrector gating, and stats.
+type Prediction struct {
+	// Taken is the final predicted direction.
+	Taken bool
+	// ProviderLen is the global-history length (in bits) of the component
+	// that provided the prediction; 0 means the bimodal fallback.
+	ProviderLen int
+	// Confidence is a small non-negative arbitration weight: higher means
+	// the providing counter was more saturated.
+	Confidence int
+	// FastTaken is the direction a single-cycle front-end component
+	// (bimodal, or the LLBP pattern buffer) would have produced. The
+	// overriding-pipeline model compares it with Taken to count override
+	// redirects.
+	FastTaken bool
+	// FromSecondLevel reports whether the second-level (LLBP/LLBP-X
+	// pattern buffer) provided the final direction.
+	FromSecondLevel bool
+}
+
+// Predictor is the contract every direction predictor in this repository
+// implements. The simulator drives it in retire order:
+//
+//   - Predict is called once per conditional branch, before the outcome is
+//     revealed. It must not commit any state that depends on the outcome.
+//   - Update is called for the same conditional branch immediately after,
+//     with the resolved record and the prediction previously returned.
+//   - TrackUnconditional is called once per unconditional branch so the
+//     predictor can maintain global history and (for LLBP) the rolling
+//     context register.
+//
+// Implementations are not safe for concurrent use; a simulator owns one
+// predictor.
+type Predictor interface {
+	// Name identifies the configuration (e.g. "tsl-64k", "llbp", "llbp-x").
+	Name() string
+	// Predict returns the direction prediction for the conditional branch
+	// at pc.
+	Predict(pc uint64) Prediction
+	// Update commits the resolved conditional branch, training all
+	// components. pred must be the value returned by the immediately
+	// preceding Predict call for the same branch.
+	Update(b Branch, pred Prediction)
+	// TrackUnconditional observes a retired unconditional branch.
+	TrackUnconditional(b Branch)
+}
+
+// StatsProvider is implemented by predictors that expose internal counters
+// (bandwidth, prefetch timeliness, context occupancy, ...). Keys are
+// dotted lower-case paths, e.g. "llbp.prefetch.ontime".
+type StatsProvider interface {
+	Stats() map[string]float64
+}
+
+// Resetter is implemented by predictors whose measurement counters can be
+// cleared after warmup without disturbing learned state.
+type Resetter interface {
+	ResetStats()
+}
+
+// Source yields a stream of retired branches in program order. Next
+// returns ok=false when the stream is exhausted. Sources are single-pass;
+// callers needing multiple passes construct a fresh Source per pass.
+type Source interface {
+	Next() (Branch, bool)
+}
+
+// SliceSource adapts a slice of branches to the Source interface.
+type SliceSource struct {
+	branches []Branch
+	pos      int
+}
+
+// NewSliceSource returns a Source reading from branches.
+func NewSliceSource(branches []Branch) *SliceSource {
+	return &SliceSource{branches: branches}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Branch, bool) {
+	if s.pos >= len(s.branches) {
+		return Branch{}, false
+	}
+	b := s.branches[s.pos]
+	s.pos++
+	return b, true
+}
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// HistoryBit is the canonical one-bit-per-branch global-history update
+// rule shared by all predictors and by the synthetic workloads' outcome
+// functions: conditional branches contribute their direction, and
+// unconditional branches contribute a path bit of their address. Every
+// component observing history MUST use this rule so that "deterministic
+// function of history" workload branches are observable by the predictors.
+func HistoryBit(b Branch) uint8 {
+	if b.Kind.Conditional() {
+		if b.Taken {
+			return 1
+		}
+		return 0
+	}
+	return uint8(b.PC>>4) & 1
+}

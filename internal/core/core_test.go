@@ -1,0 +1,84 @@
+package core
+
+import "testing"
+
+func TestBranchKindClassification(t *testing.T) {
+	cases := []struct {
+		kind   BranchKind
+		cond   bool
+		uncond bool
+		name   string
+	}{
+		{CondDirect, true, false, "cond"},
+		{Jump, false, true, "jump"},
+		{Call, false, true, "call"},
+		{Return, false, true, "ret"},
+		{IndirectJump, false, true, "ijump"},
+	}
+	for _, c := range cases {
+		if c.kind.Conditional() != c.cond {
+			t.Errorf("%v.Conditional() = %v", c.kind, c.kind.Conditional())
+		}
+		if c.kind.Unconditional() != c.uncond {
+			t.Errorf("%v.Unconditional() = %v", c.kind, c.kind.Unconditional())
+		}
+		if !c.kind.Valid() {
+			t.Errorf("%v should be valid", c.kind)
+		}
+		if c.kind.String() != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.kind, c.kind.String(), c.name)
+		}
+	}
+	if BranchKind(200).Valid() {
+		t.Error("kind 200 should be invalid")
+	}
+	if BranchKind(200).String() == "" {
+		t.Error("invalid kind should still stringify")
+	}
+}
+
+func TestBranchInstructions(t *testing.T) {
+	if got := (Branch{InstrGap: 0}).Instructions(); got != 1 {
+		t.Errorf("zero gap should count as 1 instruction, got %d", got)
+	}
+	if got := (Branch{InstrGap: 7}).Instructions(); got != 7 {
+		t.Errorf("Instructions() = %d, want 7", got)
+	}
+}
+
+func TestHistoryBitRule(t *testing.T) {
+	taken := Branch{Kind: CondDirect, Taken: true}
+	notTaken := Branch{Kind: CondDirect, Taken: false}
+	if HistoryBit(taken) != 1 || HistoryBit(notTaken) != 0 {
+		t.Fatal("conditional branches must contribute their direction")
+	}
+	// Unconditional branches contribute an address bit, independent of
+	// Taken.
+	u1 := Branch{Kind: Call, PC: 0x10, Taken: true} // bit4 set
+	u2 := Branch{Kind: Call, PC: 0x20, Taken: true} // bit4 clear
+	if HistoryBit(u1) != 1 || HistoryBit(u2) != 0 {
+		t.Fatal("unconditional branches must contribute PC bit 4")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	branches := []Branch{
+		{PC: 1, Kind: CondDirect, Taken: true},
+		{PC: 2, Kind: Call},
+		{PC: 3, Kind: Return},
+	}
+	s := NewSliceSource(branches)
+	for i := range branches {
+		b, ok := s.Next()
+		if !ok || b.PC != branches[i].PC {
+			t.Fatalf("Next() #%d = (%v, %v)", i, b, ok)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted source must report ok=false")
+	}
+	s.Reset()
+	if b, ok := s.Next(); !ok || b.PC != 1 {
+		t.Fatal("Reset must rewind to the first branch")
+	}
+}

@@ -1,0 +1,99 @@
+// Package energy is a small analytical SRAM access-energy model, the
+// repository's stand-in for CACTI 7.0 in the paper's Figure 15b analysis.
+// Per-access energy grows with the square root of array capacity (bitline
+// and wordline lengths scale with the array's linear dimension), linearly
+// with the data width read out, and linearly with associativity (parallel
+// way reads and tag compares). Only *relative* energies between LLBP and
+// LLBP-X matter for the reproduction, so coefficients are normalized
+// rather than calibrated to a process node.
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Structure describes one SRAM structure of a predictor.
+type Structure struct {
+	// Name labels the structure ("PB", "CD", "PS", "TAGE", "CTT").
+	Name string
+	// Bits is the total storage capacity in bits.
+	Bits int
+	// Assoc is the associativity (1 = direct mapped).
+	Assoc int
+	// AccessBits is the data width of one access.
+	AccessBits int
+}
+
+// Validate reports structure errors.
+func (s Structure) Validate() error {
+	if s.Bits <= 0 || s.Assoc <= 0 || s.AccessBits <= 0 {
+		return fmt.Errorf("energy %q: all parameters must be positive", s.Name)
+	}
+	return nil
+}
+
+// Model coefficients (normalized picojoule-like units).
+const (
+	coefArray  = 0.010 // * sqrt(total bits): bitline/wordline capacitance
+	coefWidth  = 0.020 // * access width: sense amps and output drivers
+	coefAssoc  = 0.150 // * (assoc-1): parallel way reads and tag compares
+	coefStatic = 0.500 // fixed decode/control overhead
+)
+
+// AccessEnergy returns the energy of one access in normalized units.
+func AccessEnergy(s Structure) float64 {
+	return coefStatic +
+		coefArray*math.Sqrt(float64(s.Bits)) +
+		coefWidth*float64(s.AccessBits) +
+		coefAssoc*float64(s.Assoc-1)
+}
+
+// Access pairs a structure with its access count over a run.
+type Access struct {
+	Structure Structure
+	Count     uint64
+}
+
+// Total returns the summed energy of all accesses.
+func Total(accesses []Access) float64 {
+	var e float64
+	for _, a := range accesses {
+		e += AccessEnergy(a.Structure) * float64(a.Count)
+	}
+	return e
+}
+
+// Paper-geometry structures (Section VII-D): the CD is 7-way and 8 bits
+// wide, PB 4-way and 36 bytes wide, the pattern store direct-mapped and 36
+// bytes wide, TAGE direct-mapped and 42 bytes wide, and the CTT 6-way and
+// 2 bytes wide.
+
+// PatternStore returns the LLBP pattern store structure for a given
+// context count (16 patterns x 24 bits per set approximates the 515KB
+// budget at 14K contexts).
+func PatternStore(contexts int) Structure {
+	return Structure{Name: "PS", Bits: contexts * 16 * 24, Assoc: 1, AccessBits: 36 * 8}
+}
+
+// ContextDirectory returns the CD structure for a given context count.
+func ContextDirectory(contexts int) Structure {
+	return Structure{Name: "CD", Bits: contexts * 16, Assoc: 7, AccessBits: 8}
+}
+
+// PatternBuffer returns the 64-entry PB structure.
+func PatternBuffer() Structure {
+	return Structure{Name: "PB", Bits: 64 * 16 * 24, Assoc: 4, AccessBits: 36 * 8}
+}
+
+// TAGE returns the first-level TAGE structure for a storage budget in
+// bits.
+func TAGE(bits int) Structure {
+	return Structure{Name: "TAGE", Bits: bits, Assoc: 1, AccessBits: 42 * 8}
+}
+
+// CTT returns the LLBP-X context tracking table (6K entries x 12 bits =
+// 9KB).
+func CTT(entries int) Structure {
+	return Structure{Name: "CTT", Bits: entries * 12, Assoc: 6, AccessBits: 16}
+}

@@ -1,0 +1,98 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessEnergyMonotone(t *testing.T) {
+	base := Structure{Name: "s", Bits: 1 << 16, Assoc: 1, AccessBits: 64}
+	bigger := base
+	bigger.Bits *= 4
+	wider := base
+	wider.AccessBits *= 2
+	deeper := base
+	deeper.Assoc = 8
+	e := AccessEnergy(base)
+	if AccessEnergy(bigger) <= e {
+		t.Fatal("larger arrays must cost more per access")
+	}
+	if AccessEnergy(wider) <= e {
+		t.Fatal("wider accesses must cost more")
+	}
+	if AccessEnergy(deeper) <= e {
+		t.Fatal("higher associativity must cost more")
+	}
+}
+
+func TestAccessEnergyPositive(t *testing.T) {
+	prop := func(bitsRaw uint32, assocRaw, widthRaw uint8) bool {
+		s := Structure{
+			Name:       "p",
+			Bits:       int(bitsRaw%1_000_000) + 1,
+			Assoc:      int(assocRaw%16) + 1,
+			AccessBits: int(widthRaw)%200 + 1,
+		}
+		return AccessEnergy(s) > 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalWeightsByCount(t *testing.T) {
+	s := PatternBuffer()
+	one := Total([]Access{{Structure: s, Count: 1}})
+	ten := Total([]Access{{Structure: s, Count: 10}})
+	if ten != 10*one {
+		t.Fatalf("Total must scale linearly: %v vs %v", ten, one)
+	}
+	if Total(nil) != 0 {
+		t.Fatal("empty access list must be free")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := CTT(6144)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Structure{
+		{Name: "b", Bits: 0, Assoc: 1, AccessBits: 1},
+		{Name: "a", Bits: 1, Assoc: 0, AccessBits: 1},
+		{Name: "w", Bits: 1, Assoc: 1, AccessBits: 0},
+	} {
+		if s.Validate() == nil {
+			t.Errorf("%s should fail validation", s.Name)
+		}
+	}
+}
+
+func TestPaperGeometries(t *testing.T) {
+	// CTT: 6K entries x 12 bits = 9KB (the paper's overhead figure).
+	if bits := CTT(6 * 1024).Bits; bits != 6*1024*12 {
+		t.Fatalf("CTT bits = %d", bits)
+	}
+	// Pattern store at 14K contexts holds 224K patterns.
+	ps := PatternStore(14 * 1024)
+	if ps.Bits < 14*1024*16*20 {
+		t.Fatalf("pattern store suspiciously small: %d bits", ps.Bits)
+	}
+	if ContextDirectory(14*1024).Assoc != 7 {
+		t.Fatal("CD must be 7-way (paper energy model)")
+	}
+	if PatternBuffer().Assoc != 4 {
+		t.Fatal("PB must be 4-way (paper energy model)")
+	}
+	if TAGE(64*8*1024).AccessBits != 42*8 {
+		t.Fatal("TAGE access width must be 42 bytes")
+	}
+}
+
+func TestCTTOverheadSmallRelativeToLLBP(t *testing.T) {
+	// The CTT energy per access must be far below the pattern store's —
+	// otherwise Figure 15b's +1.5% net could not hold.
+	if AccessEnergy(CTT(6*1024)) >= AccessEnergy(PatternStore(14*1024)) {
+		t.Fatal("CTT access should be much cheaper than a PS access")
+	}
+}

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+
+	"llbpx/internal/llbp"
+	"llbpx/internal/sim"
+	"llbpx/internal/stats"
+	"llbpx/internal/tage"
+	"llbpx/internal/workload"
+)
+
+func init() {
+	register("fig6", "Figure 6: useful patterns per context (distribution, NodeApp)", fig6)
+	register("fig7", "Figure 7: average history length of useful patterns per context (NodeApp)", fig7)
+	register("fig8", "Figure 8: pattern duplication vs history length for W in {2,8,64} (NodeApp)", fig8)
+	register("fig9", "Figure 9: useful predictions per history length, W in {2,64} relative to W=8 (NodeApp)", fig9)
+}
+
+// analysisWorkload picks the single workload Figures 6-9 characterize
+// (NodeApp in the paper; the first scale workload when restricted).
+func analysisWorkload(sc Scale) (workload.Profile, error) {
+	name := "nodeapp"
+	if sc.Workloads != nil && len(sc.Workloads) > 0 {
+		name = sc.Workloads[0]
+	}
+	return workload.ByName(name)
+}
+
+// analysisConfig is the "+Inf Patterns" limit configuration (Figure 5)
+// with useful-pattern collection enabled.
+func analysisConfig(w int) llbp.Config {
+	c := llbp.ZeroLatency()
+	c.Name = fmt.Sprintf("llbp-analysis-w%d", w)
+	c.W = w
+	c.NoTweaks = true
+	c.TagBits = 20
+	c.InfiniteContexts = true
+	c.InfinitePatterns = true
+	c.CollectUseful = true
+	return c
+}
+
+// usefulSnapshot runs the analysis configuration and returns the tracker
+// snapshot.
+func usefulSnapshot(sc Scale, prof workload.Profile, w int) (*llbp.UsefulStats, error) {
+	prog, err := workload.Build(prof)
+	if err != nil {
+		return nil, err
+	}
+	p := llbp.MustNew(analysisConfig(w))
+	if _, err := sim.Run(p, workload.NewGenerator(prog), sc.options()); err != nil {
+		return nil, err
+	}
+	us := p.Tracker()
+	if us == nil {
+		return nil, fmt.Errorf("experiments: useful tracker unexpectedly disabled")
+	}
+	return us, nil
+}
+
+func fig6(sc Scale) (*Result, error) {
+	prof, err := analysisWorkload(sc)
+	if err != nil {
+		return nil, err
+	}
+	us, err := usefulSnapshot(sc, prof, 8)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(us.Contexts))
+	over16, under8 := 0, 0
+	for i, c := range us.Contexts {
+		counts[i] = c.Patterns
+		if c.Patterns > 16 {
+			over16++
+		}
+		if c.Patterns <= 8 {
+			under8++
+		}
+	}
+	t := stats.NewTable(fmt.Sprintf("Figure 6: useful patterns per context (%s, W=8, unconstrained LLBP)", prof.Name),
+		"metric", "value")
+	n := len(counts)
+	t.AddRow("contexts with useful patterns", n)
+	if n > 0 {
+		t.AddRow("max useful patterns in a context", counts[0])
+		t.AddRow("p99 useful patterns", percentileDesc(counts, 0.01))
+		t.AddRow("p90 useful patterns", percentileDesc(counts, 0.10))
+		t.AddRow("median useful patterns", percentileDesc(counts, 0.50))
+		t.AddRow("contexts exceeding 16-pattern sets (%)", 100*float64(over16)/float64(n))
+		t.AddRow("contexts with <= 8 useful patterns (%)", 100*float64(under8)/float64(n))
+	}
+	return &Result{
+		ID:    "fig6",
+		Table: t,
+		Notes: []string{
+			"Paper (NodeApp): the distribution is highly skewed — 14% of contexts exceed the 16-pattern set capacity",
+			"while 68% hold 8 or fewer useful patterns. The skew (few overflowing contexts, most underutilized) is the target shape.",
+		},
+	}, nil
+}
+
+// percentileDesc returns the value at quantile q of a descending-sorted
+// slice (q=0.10 -> the top-10% boundary).
+func percentileDesc(desc []int, q float64) int {
+	if len(desc) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(desc)))
+	if i >= len(desc) {
+		i = len(desc) - 1
+	}
+	return desc[i]
+}
+
+func fig7(sc Scale) (*Result, error) {
+	prof, err := analysisWorkload(sc)
+	if err != nil {
+		return nil, err
+	}
+	us, err := usefulSnapshot(sc, prof, 8)
+	if err != nil {
+		return nil, err
+	}
+	// Contexts are already sorted by useful-pattern count descending (the
+	// Figure 6/7 x-axis). Compare history lengths across that order.
+	n := len(us.Contexts)
+	t := stats.NewTable(fmt.Sprintf("Figure 7: avg history length of useful patterns per context (%s)", prof.Name),
+		"context group (by #useful patterns)", "mean of avg-hist-len (bits)")
+	if n > 0 {
+		group := func(lo, hi int) float64 {
+			var sum float64
+			cnt := 0
+			for i := lo; i < hi && i < n; i++ {
+				sum += us.Contexts[i].AvgHistLen
+				cnt++
+			}
+			if cnt == 0 {
+				return 0
+			}
+			return sum / float64(cnt)
+		}
+		t.AddRow("top 1% (most patterns)", group(0, max(1, n/100)))
+		t.AddRow("top 10%", group(0, max(1, n/10)))
+		t.AddRow("middle 40-60%", group(n*2/5, n*3/5))
+		t.AddRow("bottom 50% (fewest patterns)", group(n/2, n))
+	}
+	return &Result{
+		ID:    "fig7",
+		Table: t,
+		Notes: []string{
+			"Paper (NodeApp): contexts with the most useful patterns also hold the longest histories (avg up to 112 bits),",
+			"while contexts with the fewest hold short ones (avg 17 bits). Expect a monotone decline down the groups.",
+		},
+	}, nil
+}
+
+func fig8(sc Scale) (*Result, error) {
+	prof, err := analysisWorkload(sc)
+	if err != nil {
+		return nil, err
+	}
+	depths := []int{2, 8, 64}
+	snaps := make([]*llbp.UsefulStats, len(depths))
+	for i, w := range depths {
+		s, err := usefulSnapshot(sc, prof, w)
+		if err != nil {
+			return nil, err
+		}
+		snaps[i] = s
+	}
+	t := stats.NewTable(fmt.Sprintf("Figure 8: duplicate fraction of useful patterns by history length (%s)", prof.Name),
+		"hist-len", "dup%-w2", "dup%-w8", "dup%-w64")
+	for li, bits := range tage.HistoryLengths {
+		any := false
+		for _, s := range snaps {
+			if s.TotalByLen[li] > 0 {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		t.AddRow(bits,
+			100*snaps[0].DuplicateFraction(li),
+			100*snaps[1].DuplicateFraction(li),
+			100*snaps[2].DuplicateFraction(li))
+	}
+	return &Result{
+		ID:    "fig8",
+		Table: t,
+		Notes: []string{
+			"Paper (NodeApp): short patterns duplicate heavily and duplication grows with W — e.g. at length 6:",
+			"8.5% (W=2), 10.1% (W=8), 17.2% (W=64); at length 78: 0.2%, 0.9%, 3.3%.",
+			"Target shape: duplication decreasing with history length, increasing with W.",
+		},
+	}, nil
+}
+
+func fig9(sc Scale) (*Result, error) {
+	prof, err := analysisWorkload(sc)
+	if err != nil {
+		return nil, err
+	}
+	depths := []int{2, 8, 64}
+	snaps := make([]*llbp.UsefulStats, len(depths))
+	for i, w := range depths {
+		s, err := usefulSnapshot(sc, prof, w)
+		if err != nil {
+			return nil, err
+		}
+		snaps[i] = s
+	}
+	t := stats.NewTable(fmt.Sprintf("Figure 9: useful predictions per history length, relative to W=8 (%s)", prof.Name),
+		"hist-len", "events-w8", "w2/w8", "w64/w8")
+	for li, bits := range tage.HistoryLengths {
+		ref := float64(snaps[1].EventsByLen[li])
+		if ref == 0 {
+			continue
+		}
+		t.AddRow(bits, ref,
+			float64(snaps[0].EventsByLen[li])/ref,
+			float64(snaps[2].EventsByLen[li])/ref)
+	}
+	return &Result{
+		ID:    "fig9",
+		Table: t,
+		Notes: []string{
+			"Paper (NodeApp): shallow contexts (W=2) raise useful predictions by 63-213% for short patterns (6-37 bits)",
+			"and lose 49-74% for long ones (232-3000); deep contexts (W=64) show the mirrored trend (+4.2-95% for long).",
+			"Target shape: w2/w8 > 1 at short lengths and < 1 at long; w64/w8 the reverse.",
+		},
+	}, nil
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+
+	"llbpx/internal/core"
+	"llbpx/internal/energy"
+	"llbpx/internal/llbp"
+	"llbpx/internal/llbpx"
+	"llbpx/internal/sim"
+	"llbpx/internal/stats"
+	"llbpx/internal/tage"
+)
+
+func init() {
+	register("fig15a", "Figure 15a: PS<->PB transfer bandwidth, LLBP vs LLBP-X", fig15a)
+	register("fig15b", "Figure 15b: relative energy, LLBP-X vs LLBP", fig15b)
+	register("fig16a", "Figure 16a: LLBP-X pattern store size sensitivity", fig16a)
+	register("fig16b", "Figure 16b: baseline TAGE size sensitivity", fig16b)
+}
+
+// storeTraffic extracts pattern-store read/write transaction counts from a
+// result's stats snapshot, handling both predictors' key prefixes.
+func storeTraffic(r sim.Result) (reads, writes float64) {
+	for _, prefix := range []string{"llbp", "llbpx"} {
+		reads += r.Extra[prefix+".store.reads"]
+		writes += r.Extra[prefix+".store.writes"]
+	}
+	return reads, writes
+}
+
+func fig15a(sc Scale) (*Result, error) {
+	profiles, err := sc.profiles()
+	if err != nil {
+		return nil, err
+	}
+	res, err := grid(sc, profiles, []func() core.Predictor{mkLLBP, mkLLBPX})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 15a: transfer bandwidth between pattern store and pattern buffer (bits/instruction)",
+		"workload", "llbp-read", "llbp-write", "llbp-total", "llbpx-read", "llbpx-write", "llbpx-total")
+	var tot [2]float64
+	for i, prof := range profiles {
+		row := []any{prof.Name}
+		for j := 0; j < 2; j++ {
+			rd, wr := storeTraffic(res[i][j])
+			instr := float64(res[i][j].Measured.Instructions)
+			if instr == 0 {
+				instr = 1
+			}
+			rb := rd * llbp.TransferBits / instr
+			wb := wr * llbp.TransferBits / instr
+			tot[j] += rb + wb
+			row = append(row, rb, wb, rb+wb)
+		}
+		t.AddRow(row...)
+	}
+	n := float64(len(profiles))
+	t.AddRow("average", "", "", tot[0]/n, "", "", tot[1]/n)
+	return &Result{
+		ID:    "fig15a",
+		Table: t,
+		Notes: []string{
+			"Paper: 288-bit transactions; reads dominate (writes ~a fifth); LLBP-X needs 9.9 bits/instruction",
+			"vs LLBP's 10.6 — a 6.1% reduction from less duplication and more precise deep contexts.",
+			"Target shape: llbpx-total <= llbp-total, reads >> writes.",
+		},
+	}, nil
+}
+
+func fig15b(sc Scale) (*Result, error) {
+	profiles, err := sc.profiles()
+	if err != nil {
+		return nil, err
+	}
+	res, err := grid(sc, profiles, []func() core.Predictor{mkLLBP, mkLLBPX})
+	if err != nil {
+		return nil, err
+	}
+	contexts := llbp.Default().NumContexts
+	ps := energy.PatternStore(contexts)
+	cd := energy.ContextDirectory(contexts)
+	pb := energy.PatternBuffer()
+	ctt := energy.CTT(llbpx.Default().CTTEntries)
+
+	t := stats.NewTable("Figure 15b: energy of LLBP-X structures relative to LLBP (access-weighted model)",
+		"workload", "llbp-energy", "llbpx-energy", "llbpx/llbp", "ctt-share%")
+	var relSum float64
+	for i, prof := range profiles {
+		var e [2]float64
+		var cttE float64
+		for j := 0; j < 2; j++ {
+			r := res[i][j]
+			rd, wr := storeTraffic(r)
+			accesses := []energy.Access{
+				// The PB is looked up for every prediction.
+				{Structure: pb, Count: r.Measured.CondBranches},
+				// CD (and for LLBP-X the CTT) consult on unconditional
+				// branches.
+				{Structure: cd, Count: r.Measured.UncondCount},
+				// The pattern store is touched on fills and writebacks.
+				{Structure: ps, Count: uint64(rd + wr)},
+			}
+			if j == 1 {
+				c := energy.Access{Structure: ctt, Count: r.Measured.UncondCount}
+				cttE = energy.AccessEnergy(ctt) * float64(c.Count)
+				accesses = append(accesses, c)
+			}
+			e[j] = energy.Total(accesses)
+		}
+		rel := e[1] / e[0]
+		relSum += rel
+		t.AddRow(prof.Name, e[0], e[1], rel, 100*cttE/e[1])
+	}
+	t.AddRow("average", "", "", relSum/float64(len(profiles)), "")
+	return &Result{
+		ID:    "fig15b",
+		Table: t,
+		Notes: []string{
+			"Paper (CACTI 7.0 @22nm): LLBP-X saves 5.4% pattern-store read energy but the new CTT costs 5.2%,",
+			"for a net +1.5% energy vs LLBP. Substitution: CACTI -> analytical sqrt-capacity SRAM model;",
+			"only the relative comparison is meaningful. Target shape: ratio near 1 with a small CTT-driven increase.",
+		},
+	}, nil
+}
+
+func fig16a(sc Scale) (*Result, error) {
+	profiles, err := sc.profiles()
+	if err != nil {
+		return nil, err
+	}
+	// The paper sweeps 8K..128K contexts; this reproduction's synthetic
+	// workloads have far smaller context working sets (hundreds to a few
+	// thousand live contexts), so the sweep extends below the working set
+	// where capacity actually binds, keeping the paper's question ("does
+	// accuracy scale with pattern store size?") answerable.
+	sweep := []int{256, 512, 1024, 2048, 4096, 14 * 1024}
+	makers := []func() core.Predictor{mk64K}
+	for _, contexts := range sweep {
+		contexts := contexts
+		makers = append(makers, func() core.Predictor {
+			c := llbpx.Default()
+			c.Base.Name = fmt.Sprintf("llbp-x-ctx%d", contexts)
+			c.Base.NumContexts = contexts
+			// The sweep uses a zero-latency, fully associative directory
+			// (the paper's Section VII-G methodology).
+			c.Base.LatencyBranches = 0
+			c.Base.CDAssoc = contexts
+			return llbpx.MustNew(c)
+		})
+	}
+	res, err := grid(sc, profiles, makers)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 16a: LLBP-X pattern store size sensitivity (avg MPKI reduction over 64K TSL, %)",
+		"contexts", "reduction-%")
+	for j, contexts := range sweep {
+		var sum float64
+		for i := range profiles {
+			sum += reductionPct(res[i][0].MPKI(), res[i][j+1].MPKI())
+		}
+		t.AddRow(contexts, sum/float64(len(profiles)))
+	}
+	return &Result{
+		ID:    "fig16a",
+		Table: t,
+		Notes: []string{
+			"Paper: MPKI reduction grows monotonically from 10.5% at 8K contexts to 17.6% at 128K.",
+			"This reproduction's context working sets are smaller, so the sweep starts at 256 contexts; the",
+			"target shape (non-decreasing reduction with pattern store size, saturating once the working set fits)",
+			"is unchanged.",
+		},
+	}, nil
+}
+
+func fig16b(sc Scale) (*Result, error) {
+	profiles, err := sc.profiles()
+	if err != nil {
+		return nil, err
+	}
+	bases := []tage.Config{tage.Config8K(), tage.Config16K(), tage.Config32K(), tage.Config64K()}
+	var makers []func() core.Predictor
+	for _, b := range bases {
+		b := b
+		makers = append(makers, func() core.Predictor { return tage.MustNew(b) })
+		makers = append(makers, func() core.Predictor {
+			c := llbpx.Default()
+			c.Base.Name = "llbp-x-on-" + b.Name
+			c.Base.TSL = b
+			c.Base.LatencyBranches = 0
+			return llbpx.MustNew(c)
+		})
+	}
+	res, err := grid(sc, profiles, makers)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 16b: baseline TAGE size sensitivity (avg MPKI reduction of LLBP-X over its own baseline, %)",
+		"baseline", "reduction-%")
+	for j, b := range bases {
+		var sum float64
+		for i := range profiles {
+			sum += reductionPct(res[i][2*j].MPKI(), res[i][2*j+1].MPKI())
+		}
+		t.AddRow(b.Name, sum/float64(len(profiles)))
+	}
+	return &Result{
+		ID:    "fig16b",
+		Table: t,
+		Notes: []string{
+			"Paper: with a fixed 14K-context LLBP-X, effectiveness holds as the baseline shrinks (e.g. 2.6% reduction",
+			"on a 4x smaller 16K TSL) — LLBP-X can compensate for smaller, faster first-level predictors.",
+			"Target shape: positive reductions across baseline sizes.",
+		},
+	}, nil
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the harness tests fast: two workloads, short runs.
+func tinyScale() Scale {
+	return Scale{
+		WarmupInstr:  150_000,
+		MeasureInstr: 250_000,
+		Workloads:    []string{"kafka", "wikipedia"},
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "fig1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig12", "fig13", "fig14a", "fig14b", "fig15a", "fig15b",
+		"fig16a", "fig16b", "breakdown", "sens-hth", "sens-ctt",
+		"sweep-w", "sweep-d", "abl-x", "adapt", "small-tsl",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry holds %d experiments, want %d", len(IDs()), len(want))
+	}
+	for _, id := range IDs() {
+		if desc, ok := Describe(id); !ok || desc == "" {
+			t.Errorf("experiment %q lacks a description", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", tinyScale()); err == nil {
+		t.Fatal("unknown ID must error")
+	}
+	if _, ok := Describe("fig99"); ok {
+		t.Fatal("unknown ID must not describe")
+	}
+}
+
+func TestScaleProfiles(t *testing.T) {
+	sc := tinyScale()
+	profiles, err := sc.profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	sc.Workloads = []string{"bogus"}
+	if _, err := sc.profiles(); err == nil {
+		t.Fatal("bogus workload must error")
+	}
+	all := DefaultScale()
+	profiles, err = all.profiles()
+	if err != nil || len(profiles) != 14 {
+		t.Fatalf("default scale must cover all 14 workloads: %d, %v", len(profiles), err)
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	res, err := Run("table1", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 3 { // 2 workloads + average
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+	if !strings.Contains(res.Table.String(), "kafka") {
+		t.Fatal("table missing workload rows")
+	}
+	if len(res.Notes) == 0 {
+		t.Fatal("experiments must record the paper's reported numbers")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	res, err := Run("fig4", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 workloads + average row, 6 columns.
+	if res.Table.NumRows() != 3 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+	if got := len(res.Table.Headers); got != 6 {
+		t.Fatalf("columns = %d", got)
+	}
+}
+
+func TestFig6UsesFirstWorkload(t *testing.T) {
+	res, err := Run("fig6", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Table.Title, "kafka") {
+		t.Fatalf("fig6 should characterize the first scale workload: %q", res.Table.Title)
+	}
+}
+
+func TestFig15bRelativeEnergyNearOne(t *testing.T) {
+	res, err := Run("fig15b", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The relative energy column of each workload row must be near 1
+	// (LLBP-X differs from LLBP only by the small CTT and fewer PS
+	// reads).
+	for i := 0; i < res.Table.NumRows()-1; i++ {
+		row := res.Table.Row(i)
+		rel := row[3]
+		if !strings.HasPrefix(rel, "0.") && !strings.HasPrefix(rel, "1.") && rel != "1" {
+			t.Fatalf("relative energy %q far from 1", rel)
+		}
+	}
+}
+
+func TestGridOrdering(t *testing.T) {
+	sc := tinyScale()
+	profiles, err := sc.profiles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := grid(sc, profiles, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(profiles) {
+		t.Fatalf("grid rows = %d", len(res))
+	}
+}
+
+func TestGem5WorkloadsExcludeGoogleTraces(t *testing.T) {
+	sc := DefaultScale()
+	profiles, err := gem5Workloads(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 10 {
+		t.Fatalf("expected 10 gem5 workloads (14 minus 4 Google traces), got %d", len(profiles))
+	}
+	for _, p := range profiles {
+		switch p.Name {
+		case "charlie", "delta", "merced", "whiskey":
+			t.Errorf("Google trace %s must be excluded from timing studies", p.Name)
+		}
+	}
+	// A scale consisting only of Google traces falls back to the full set
+	// rather than running nothing.
+	sc.Workloads = []string{"charlie", "delta"}
+	profiles, err = gem5Workloads(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) == 0 {
+		t.Fatal("all-excluded scale must fall back to the given workloads")
+	}
+}
+
+func TestFig5ConfigsAreCumulative(t *testing.T) {
+	cfgs := fig5Configs()
+	if len(cfgs) != 6 {
+		t.Fatalf("limit study has 6 steps, got %d", len(cfgs))
+	}
+	names := []string{"llbp-0lat", "+no-tweaks", "+20b-tag", "+inf-contexts", "+inf-patterns", "+no-context"}
+	for i, c := range cfgs {
+		if c.name != names[i] {
+			t.Fatalf("step %d = %q, want %q", i, c.name, names[i])
+		}
+		p := c.mk()
+		if p == nil {
+			t.Fatalf("step %q produced no predictor", c.name)
+		}
+	}
+}
+
+func TestSweepExperimentsRegisterRunners(t *testing.T) {
+	for _, id := range []string{"sweep-w", "sweep-d", "abl-x"} {
+		if _, ok := Describe(id); !ok {
+			t.Errorf("ablation %q missing", id)
+		}
+	}
+}
+
+// TestAllExperimentsRunAtMicroScale executes every registered experiment
+// at a tiny budget: results are noisy and unchecked, but every runner's
+// code path (config construction, grid plumbing, table assembly) must
+// complete without error.
+func TestAllExperimentsRunAtMicroScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro-scale sweep skipped in -short")
+	}
+	sc := Scale{
+		WarmupInstr:  60_000,
+		MeasureInstr: 120_000,
+		Workloads:    []string{"kafka", "delta"},
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := Run(id, sc)
+			if err != nil {
+				t.Fatalf("%s failed: %v", id, err)
+			}
+			if res.Table == nil || res.Table.NumRows() == 0 {
+				t.Fatalf("%s produced no rows", id)
+			}
+			if len(res.Notes) == 0 {
+				t.Fatalf("%s lacks paper notes", id)
+			}
+			// Verify must not panic at any scale (violations are fine).
+			_ = Verify(res)
+		})
+	}
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"llbpx/internal/core"
+	"llbpx/internal/llbpx"
+	"llbpx/internal/pipeline"
+	"llbpx/internal/sim"
+	"llbpx/internal/stats"
+	"llbpx/internal/tage"
+	"llbpx/internal/workload"
+)
+
+func init() {
+	register("fig1", "Figure 1: MPKI vs branch-stall share on a narrow vs aggressive core", fig1)
+	register("fig13", "Figure 13: speedup over 64K TSL (timing model)", fig13)
+	register("fig14a", "Figure 14a: prefetch timeliness with and without false-path prefetches", fig14a)
+	register("fig14b", "Figure 14b: overriding front end, LLBP-X vs 128K TSL speedup", fig14b)
+}
+
+// gem5Workloads mirrors the paper's performance-evaluation set: the four
+// Google traces are trace-only and excluded from timing studies.
+func gem5Workloads(sc Scale) ([]workload.Profile, error) {
+	profiles, err := sc.profiles()
+	if err != nil {
+		return nil, err
+	}
+	excluded := map[string]bool{"charlie": true, "delta": true, "merced": true, "whiskey": true}
+	var out []workload.Profile
+	for _, p := range profiles {
+		if !excluded[p.Name] {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		out = profiles
+	}
+	return out, nil
+}
+
+func activity(r sim.Result) pipeline.Activity {
+	return pipeline.Activity{
+		Instructions: r.Measured.Instructions,
+		Mispredicts:  r.Measured.Mispredicts,
+		Overrides:    r.Measured.Overrides,
+	}
+}
+
+func fig1(sc Scale) (*Result, error) {
+	profiles, err := gem5Workloads(sc)
+	if err != nil {
+		return nil, err
+	}
+	if len(profiles) > 3 {
+		profiles = profiles[:3] // the paper characterizes three workloads
+	}
+	// The older core pairs with a smaller predictor, the aggressive core
+	// with the 64K baseline — mirroring generational growth.
+	mk32K := func() core.Predictor { return tage.MustNew(tage.Config32K()) }
+	res, err := grid(sc, profiles, []func() core.Predictor{mk32K, mk64K})
+	if err != nil {
+		return nil, err
+	}
+	oldCore, newCore := pipeline.SkylakeLike(), pipeline.SPRLike()
+	t := stats.NewTable("Figure 1: branch MPKI and mispredict-stall share, old vs aggressive core",
+		"workload", "mpki-old", "mpki-new", "stall%-old", "stall%-new")
+	for i, prof := range profiles {
+		ro := oldCore.Run(activity(res[i][0]))
+		rn := newCore.Run(activity(res[i][1]))
+		t.AddRow(prof.Name,
+			res[i][0].MPKI(), res[i][1].MPKI(),
+			100*ro.BranchStallShare, 100*rn.BranchStallShare)
+	}
+	return &Result{
+		ID:    "fig1",
+		Table: t,
+		Notes: []string{
+			"Paper (Skylake vs Sapphire Rapids hardware counters): the newer core has 15-60% fewer mispredictions",
+			"yet 7-45% *higher* share of stall cycles caused by them — mispredict cost cannot be masked by aggression.",
+			"Substitution: hardware counters -> cycle-approximate model with a narrow (skylake-like, 32K TSL) and",
+			"an aggressive (spr-like, 64K TSL) configuration. Target shape: mpki-new < mpki-old, stall%-new > stall%-old.",
+		},
+	}, nil
+}
+
+func fig13(sc Scale) (*Result, error) {
+	profiles, err := gem5Workloads(sc)
+	if err != nil {
+		return nil, err
+	}
+	makers := []func() core.Predictor{mk64K, mkLLBP, mkLLBPX, mk512K}
+	res, err := grid(sc, profiles, makers)
+	if err != nil {
+		return nil, err
+	}
+	coreCfg := pipeline.Server()
+	coreCfg.OverridePenalty = 0 // Figure 13 models a non-overriding front end
+	t := stats.NewTable("Figure 13: speedup over 64K TSL (cycle-approximate model)",
+		"workload", "llbp", "llbp-x", "512k-tsl")
+	var sp [3][]float64
+	for i, prof := range profiles {
+		base := coreCfg.Run(activity(res[i][0]))
+		row := []any{prof.Name}
+		for j := 1; j < len(makers); j++ {
+			s := pipeline.Speedup(base, coreCfg.Run(activity(res[i][j])))
+			sp[j-1] = append(sp[j-1], s)
+			row = append(row, s)
+		}
+		t.AddRow(row...)
+	}
+	t.AddRow("geomean", stats.GeoMean(sp[0]), stats.GeoMean(sp[1]), stats.GeoMean(sp[2]))
+	return &Result{
+		ID:    "fig13",
+		Table: t,
+		Notes: []string{
+			"Paper (gem5): LLBP-X 1% average speedup (0.08-2.7%), LLBP 0.71% (0.02-2.2%), ideal 512K TSL 2.4%.",
+			"Substitution: gem5 -> analytic core model; the Google traces are excluded as in the paper.",
+			"Target shape: speedup(llbp-x) >= speedup(llbp), both well below 512k.",
+		},
+	}, nil
+}
+
+func fig14a(sc Scale) (*Result, error) {
+	profiles, err := gem5Workloads(sc)
+	if err != nil {
+		return nil, err
+	}
+	mkFP := func() core.Predictor {
+		c := llbpx.Default()
+		c.Base.Name = "llbp-x-fp"
+		c.ModelFalsePath = true
+		return llbpx.MustNew(c)
+	}
+	res, err := grid(sc, profiles, []func() core.Predictor{mkFP, mkLLBPX})
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Figure 14a: prefetch timeliness, with (fp) and without (nofp) false-path prefetches",
+		"workload", "ontime%-fp", "late%-fp", "unused%-fp", "ontime%-nofp", "unused%-nofp", "mpki-fp", "mpki-nofp")
+	var fills [2]float64
+	for i, prof := range profiles {
+		row := []any{prof.Name}
+		for j := 0; j < 2; j++ {
+			ex := res[i][j].Extra
+			issued := ex["llbpx.prefetch.issued"]
+			fills[j] += issued
+			if issued == 0 {
+				issued = 1
+			}
+			if j == 0 {
+				row = append(row,
+					100*ex["llbpx.prefetch.ontime"]/issued,
+					100*ex["llbpx.prefetch.late"]/issued,
+					100*ex["llbpx.prefetch.unused"]/issued)
+			} else {
+				row = append(row,
+					100*ex["llbpx.prefetch.ontime"]/issued,
+					100*ex["llbpx.prefetch.unused"]/issued)
+			}
+		}
+		row = append(row, res[i][0].MPKI(), res[i][1].MPKI())
+		t.AddRow(row...)
+	}
+	return &Result{
+		ID:    "fig14a",
+		Table: t,
+		Notes: []string{
+			"Paper: 84% of prefetches arrive on time; ~40% are never used. Dropping false-path prefetches removes",
+			"56% of the over-prefetches but costs 8% coverage and 1.4% accuracy.",
+			"Substitution: this commit-order simulator cannot execute real wrong paths; false-path fetches are modeled",
+			"as re-requests of recently evicted prefetch contexts in each misprediction's shadow. That reproduces the",
+			"over-prefetch side of the trade-off (unused% rises with fp on) but NOT the paper's coverage/accuracy benefit,",
+			"which needs execution-driven wrong-path reconvergence — a documented fidelity limit.",
+		},
+	}, nil
+}
+
+func fig14b(sc Scale) (*Result, error) {
+	profiles, err := gem5Workloads(sc)
+	if err != nil {
+		return nil, err
+	}
+	mk128K := func() core.Predictor { return tage.MustNew(tage.Config128K()) }
+	res, err := grid(sc, profiles, []func() core.Predictor{mk64K, mk128K, mkLLBPX})
+	if err != nil {
+		return nil, err
+	}
+	coreCfg := pipeline.Server() // 3-cycle override penalty
+	t := stats.NewTable("Figure 14b: overriding front end (3-cycle redirect), speedup over 64K TSL",
+		"workload", "128k-tsl", "llbp-x")
+	var sp [2][]float64
+	for i, prof := range profiles {
+		base := coreCfg.Run(activity(res[i][0]))
+		s128 := pipeline.Speedup(base, coreCfg.Run(activity(res[i][1])))
+		sx := pipeline.Speedup(base, coreCfg.Run(activity(res[i][2])))
+		sp[0] = append(sp[0], s128)
+		sp[1] = append(sp[1], sx)
+		t.AddRow(prof.Name, s128, sx)
+	}
+	t.AddRow("geomean", stats.GeoMean(sp[0]), stats.GeoMean(sp[1]))
+	return &Result{
+		ID:    "fig14b",
+		Table: t,
+		Notes: []string{
+			"Paper: under a 3-cycle overriding scheme a 128K TSL gains 0.6% while LLBP-X gains 1.4% over 64K TSL,",
+			"because LLBP-X's pattern buffer provides its prediction in the fast (single-cycle) stage.",
+			"Target shape: llbp-x >= 128k-tsl under overriding.",
+		},
+	}, nil
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"testing"
+
+	"llbpx/internal/stats"
+)
+
+// mkResult builds a synthetic experiment result for checker tests.
+func mkResult(id string, headers []string, rows ...[]any) *Result {
+	t := stats.NewTable(id, headers...)
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
+	return &Result{ID: id, Table: t}
+}
+
+func TestVerifyUnknownIDPasses(t *testing.T) {
+	res := mkResult("fig9", []string{"a"}, []any{"x"})
+	if v := Verify(res); len(v) != 0 {
+		t.Fatalf("experiments without checks must pass: %v", v)
+	}
+	if HasTrendCheck("fig9") {
+		t.Fatal("fig9 has no registered check")
+	}
+	if !HasTrendCheck("fig4") {
+		t.Fatal("fig4 must have a check")
+	}
+}
+
+func TestCheckTable1(t *testing.T) {
+	good := mkResult("table1", []string{"workload", "mpki", "paper-mpki"},
+		[]any{"nodeapp", 4.4, 4.43},
+		[]any{"average", 2.9, 2.92})
+	if v := Verify(good); len(v) != 0 {
+		t.Fatalf("calibrated table must pass: %v", v)
+	}
+	bad := mkResult("table1", []string{"workload", "mpki", "paper-mpki"},
+		[]any{"nodeapp", 9.0, 4.43},
+		[]any{"average", 9.0, 2.92})
+	if v := Verify(bad); len(v) == 0 {
+		t.Fatal("3x drift must fail")
+	}
+}
+
+func TestCheckFig4(t *testing.T) {
+	good := mkResult("fig4", []string{"workload", "64k-mpki", "llbp", "llbp-0lat", "512k-tsl", "inf-tsl"},
+		[]any{"nodeapp", 4.4, 0.97, 0.97, 0.60, 0.58},
+		[]any{"average", "", 0.99, 0.99, 0.70, 0.69})
+	if v := Verify(good); len(v) != 0 {
+		t.Fatalf("correct ordering must pass: %v", v)
+	}
+	bad := mkResult("fig4", []string{"workload", "64k-mpki", "llbp", "llbp-0lat", "512k-tsl", "inf-tsl"},
+		[]any{"average", "", 1.05, 1.05, 0.70, 0.80})
+	v := Verify(bad)
+	if len(v) < 2 {
+		t.Fatalf("regressing LLBP and inverted inf/512k must both fail: %v", v)
+	}
+}
+
+func TestCheckFig1(t *testing.T) {
+	good := mkResult("fig1", []string{"workload", "mpki-old", "mpki-new", "stall%-old", "stall%-new"},
+		[]any{"nodeapp", 5.0, 4.0, 20.0, 25.0})
+	if v := Verify(good); len(v) != 0 {
+		t.Fatalf("figure-1 mechanism must pass: %v", v)
+	}
+	bad := mkResult("fig1", []string{"workload", "mpki-old", "mpki-new", "stall%-old", "stall%-new"},
+		[]any{"nodeapp", 4.0, 5.0, 25.0, 20.0})
+	if v := Verify(bad); len(v) != 2 {
+		t.Fatalf("both inversions must be reported: %v", v)
+	}
+}
+
+func TestCheckFig7(t *testing.T) {
+	good := mkResult("fig7", []string{"context group (by #useful patterns)", "mean of avg-hist-len (bits)"},
+		[]any{"top 1% (most patterns)", 90.0},
+		[]any{"top 10%", 70.0},
+		[]any{"middle 40-60%", 30.0},
+		[]any{"bottom 50% (fewest patterns)", 15.0})
+	if v := Verify(good); len(v) != 0 {
+		t.Fatalf("monotone history skew must pass: %v", v)
+	}
+	bad := mkResult("fig7", []string{"g", "v"},
+		[]any{"top 1% (most patterns)", 15.0},
+		[]any{"bottom 50%", 70.0})
+	if v := Verify(bad); len(v) == 0 {
+		t.Fatal("inverted skew must fail")
+	}
+}
+
+func TestCheckFig12(t *testing.T) {
+	good := mkResult("fig12", []string{"workload", "64k-mpki", "llbp", "llbp-x", "llbp-x-optw", "512k-tsl"},
+		[]any{"average", "", 1.0, 1.2, 1.2, 30.0})
+	if v := Verify(good); len(v) != 0 {
+		t.Fatalf("expected pass: %v", v)
+	}
+	bad := mkResult("fig12", []string{"workload", "64k-mpki", "llbp", "llbp-x", "llbp-x-optw", "512k-tsl"},
+		[]any{"average", "", 2.0, 0.5, 0.5, 5.0})
+	if v := Verify(bad); len(v) < 2 {
+		t.Fatalf("llbpx regression and lost 512k headroom must fail: %v", v)
+	}
+}
+
+func TestCheckFig16aMonotone(t *testing.T) {
+	good := mkResult("fig16a", []string{"contexts", "reduction-%"},
+		[]any{"8K", 1.0}, []any{"14K", 1.2}, []any{"32K", 1.5}, []any{"128K", 2.0})
+	if v := Verify(good); len(v) != 0 {
+		t.Fatalf("monotone sweep must pass: %v", v)
+	}
+	bad := mkResult("fig16a", []string{"contexts", "reduction-%"},
+		[]any{"8K", 2.0}, []any{"14K", 0.2})
+	if v := Verify(bad); len(v) == 0 {
+		t.Fatal("collapsing sweep must fail")
+	}
+}
+
+func TestCheckSweepW(t *testing.T) {
+	good := mkResult("sweep-w", []string{"w", "reduction-%"},
+		[]any{2, 2.0}, []any{8, 1.0}, []any{64, -1.0})
+	if v := Verify(good); len(v) != 0 {
+		t.Fatalf("shallow-beats-deep must pass: %v", v)
+	}
+	bad := mkResult("sweep-w", []string{"w", "reduction-%"},
+		[]any{2, -1.0}, []any{64, 2.0})
+	if v := Verify(bad); len(v) == 0 {
+		t.Fatal("deep-beats-shallow must fail")
+	}
+}
+
+func TestCheckFig15b(t *testing.T) {
+	good := mkResult("fig15b", []string{"workload", "llbp-energy", "llbpx-energy", "llbpx/llbp", "ctt-share%"},
+		[]any{"nodeapp", 100.0, 101.5, 1.015, 5.0},
+		[]any{"average", "", "", 1.015, ""})
+	if v := Verify(good); len(v) != 0 {
+		t.Fatalf("near-parity energy must pass: %v", v)
+	}
+	bad := mkResult("fig15b", []string{"workload", "llbp-energy", "llbpx-energy", "llbpx/llbp", "ctt-share%"},
+		[]any{"average", "", "", 2.5, ""})
+	if v := Verify(bad); len(v) == 0 {
+		t.Fatal("2.5x energy must fail")
+	}
+}
+
+func TestVerifyOnRealQuickRun(t *testing.T) {
+	// End to end: a real (tiny) fig4 run must satisfy its own trend check.
+	// The infinite TAGE's alias-free tables train from scratch, so the
+	// run needs enough warmup for the asymptotic ordering to appear.
+	res, err := Run("fig4", Scale{
+		WarmupInstr:  1_600_000,
+		MeasureInstr: 2_000_000,
+		Workloads:    []string{"nodeapp", "charlie"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Verify(res); len(v) != 0 {
+		t.Fatalf("real fig4 run violates its trend contract: %v", v)
+	}
+}

@@ -1,0 +1,85 @@
+// Package hashutil provides the small deterministic hashing and
+// pseudo-random primitives shared by the predictors and the workload
+// generator: folded XOR hashes for index/tag formation, a 64-bit mixer, and
+// a splitmix64 PRNG used wherever reproducible randomness is needed.
+package hashutil
+
+// Mix64 is the splitmix64 finalizer: a fast, high-quality 64-bit mixing
+// function. It is the basis for context-ID hashing and for the synthetic
+// workloads' deterministic "random" functions.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Combine folds b into a, producing a new 64-bit hash. It is associative
+// enough for rolling use but order-sensitive, which context formation
+// requires (the same unconditional branches in a different order must form
+// a different context).
+func Combine(a, b uint64) uint64 {
+	return Mix64(a*0x9e3779b97f4a7c15 + b)
+}
+
+// Fold reduces a 64-bit value to n bits (1 <= n <= 63) by XOR-folding all
+// 64 bits into the low n.
+func Fold(x uint64, n uint) uint64 {
+	if n >= 64 {
+		return x
+	}
+	var out uint64
+	for x != 0 {
+		out ^= x & ((1 << n) - 1)
+		x >>= n
+	}
+	return out
+}
+
+// PCMix spreads the entropy of an instruction address. Branch PCs tend to
+// differ only in their low bits; PCMix makes all bits usable for indexing.
+func PCMix(pc uint64) uint64 {
+	return pc ^ (pc >> 2) ^ (pc >> 5)
+}
+
+// Rand is a splitmix64 pseudo-random generator. The zero value is a valid
+// generator seeded with 0; use NewRand to seed explicitly. It is
+// deliberately tiny and allocation-free so workload models can embed one
+// per branch site.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Seed resets the generator state.
+func (r *Rand) Seed(seed uint64) { r.state = seed }
+
+// Uint64 returns the next 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return Mix64(r.state)
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("hashutil: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}

@@ -1,0 +1,155 @@
+package hashutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Deterministic(t *testing.T) {
+	for _, x := range []uint64{0, 1, 42, 1 << 63, ^uint64(0)} {
+		if Mix64(x) != Mix64(x) {
+			t.Fatalf("Mix64(%d) not deterministic", x)
+		}
+	}
+}
+
+func TestMix64Spreads(t *testing.T) {
+	// Neighbouring inputs must differ in many output bits (avalanche).
+	for x := uint64(0); x < 1000; x++ {
+		diff := Mix64(x) ^ Mix64(x+1)
+		bits := 0
+		for d := diff; d != 0; d >>= 1 {
+			bits += int(d & 1)
+		}
+		if bits < 10 {
+			t.Fatalf("Mix64 avalanche too weak at %d: %d differing bits", x, bits)
+		}
+	}
+}
+
+func TestMix64Injective(t *testing.T) {
+	// splitmix64's finalizer is a bijection; spot-check for collisions.
+	seen := make(map[uint64]uint64)
+	for x := uint64(0); x < 100000; x++ {
+		h := Mix64(x)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d)", x, prev)
+		}
+		seen[h] = x
+	}
+}
+
+func TestCombineOrderSensitive(t *testing.T) {
+	a, b := uint64(0x1234), uint64(0x9876)
+	if Combine(Combine(0, a), b) == Combine(Combine(0, b), a) {
+		t.Fatal("Combine must be order sensitive (context IDs depend on branch order)")
+	}
+}
+
+func TestFoldWidth(t *testing.T) {
+	prop := func(x uint64, nRaw uint8) bool {
+		n := uint(nRaw%63) + 1
+		return Fold(x, n) < 1<<n
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldFullWidth(t *testing.T) {
+	if Fold(0xdeadbeef, 64) != 0xdeadbeef {
+		t.Fatal("Fold with n >= 64 must be identity")
+	}
+}
+
+func TestFoldPreservesParityOfSetBits(t *testing.T) {
+	// Folding to 1 bit equals the XOR of all bits (parity).
+	prop := func(x uint64) bool {
+		parity := uint64(0)
+		for v := x; v != 0; v >>= 1 {
+			parity ^= v & 1
+		}
+		return Fold(x, 1) == parity
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterministicAndSeeded(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield the same sequence")
+		}
+	}
+	c := NewRand(8)
+	same := 0
+	a.Seed(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal values", same)
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(5)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Float64 mean %.4f far from 0.5", mean)
+	}
+}
+
+func TestRandBoolProbability(t *testing.T) {
+	r := NewRand(11)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) rate %.4f far from 0.3", frac)
+	}
+}
+
+func TestPCMixDeterministic(t *testing.T) {
+	if PCMix(0x400123) != PCMix(0x400123) {
+		t.Fatal("PCMix must be deterministic")
+	}
+	if PCMix(0x400120) == PCMix(0x400124) {
+		t.Fatal("PCMix should distinguish adjacent instruction addresses")
+	}
+}

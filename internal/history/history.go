@@ -1,0 +1,137 @@
+// Package history implements the speculative global-history machinery
+// shared by TAGE-style predictors: a long global direction history, the
+// folded (cyclic-shift-register) compressions of it used to form table
+// indices and tags in O(1) per branch, and a short path history of branch
+// address bits.
+package history
+
+// Global is a circular buffer of direction bits. It comfortably holds the
+// 3000-bit histories modern TAGE-SC-L configurations use; capacity is
+// rounded up to a power of two.
+type Global struct {
+	bits []uint8
+	ptr  int // index of the most recent bit
+	mask int
+}
+
+// NewGlobal returns a history able to answer Bit(age) for age < capacity.
+func NewGlobal(capacity int) *Global {
+	n := 1
+	for n < capacity+1 {
+		n <<= 1
+	}
+	return &Global{bits: make([]uint8, n), mask: n - 1}
+}
+
+// Push records the newest direction bit (1 = taken).
+func (g *Global) Push(bit uint8) {
+	g.ptr = (g.ptr - 1) & g.mask
+	g.bits[g.ptr] = bit & 1
+}
+
+// Bit returns the direction bit age positions in the past; age 0 is the
+// most recently pushed bit.
+func (g *Global) Bit(age int) uint8 {
+	return g.bits[(g.ptr+age)&g.mask]
+}
+
+// Capacity returns the number of bits the history retains.
+func (g *Global) Capacity() int { return len(g.bits) }
+
+// Hash returns an XOR-fold of the most recent n history bits into width
+// bits. It is O(n); predictors use Folded for per-branch work and reserve
+// Hash for analysis and for the synthetic workloads' outcome functions.
+func (g *Global) Hash(n int, width uint) uint64 {
+	var h uint64
+	var acc uint64
+	shift := uint(0)
+	for i := 0; i < n; i++ {
+		acc |= uint64(g.Bit(i)) << shift
+		shift++
+		if shift == 64 {
+			h = h*0x9e3779b97f4a7c15 + acc
+			acc, shift = 0, 0
+		}
+	}
+	if shift > 0 {
+		h = h*0x9e3779b97f4a7c15 + acc
+	}
+	// Finalize (splitmix64-style) and fold.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	if width >= 64 {
+		return h
+	}
+	var out uint64
+	for h != 0 {
+		out ^= h & ((1 << width) - 1)
+		h >>= width
+	}
+	return out
+}
+
+// Folded maintains a compLen-bit cyclic compression of the most recent
+// origLen global-history bits, updated in O(1) per branch (Michaud/Seznec
+// folded history). Predictor tables keep one Folded per (table, use) pair.
+type Folded struct {
+	comp     uint64
+	compLen  uint
+	origLen  int
+	outPoint uint
+}
+
+// NewFolded returns a compression of origLen bits into compLen bits
+// (1 <= compLen <= 32).
+func NewFolded(origLen int, compLen uint) *Folded {
+	if compLen < 1 || compLen > 32 {
+		panic("history: folded compression length out of range")
+	}
+	return &Folded{
+		compLen:  compLen,
+		origLen:  origLen,
+		outPoint: uint(origLen) % compLen,
+	}
+}
+
+// Update advances the compression after g.Push recorded the newest bit.
+// It must be called exactly once per pushed bit, after the push.
+func (f *Folded) Update(g *Global) {
+	f.comp = (f.comp << 1) | uint64(g.Bit(0))
+	f.comp ^= uint64(g.Bit(f.origLen)) << f.outPoint
+	f.comp ^= f.comp >> f.compLen
+	f.comp &= (1 << f.compLen) - 1
+}
+
+// Value returns the current compLen-bit compression.
+func (f *Folded) Value() uint64 { return f.comp }
+
+// OrigLen returns the history length being compressed.
+func (f *Folded) OrigLen() int { return f.origLen }
+
+// Reset clears the compression (used when rebuilding state).
+func (f *Folded) Reset() { f.comp = 0 }
+
+// Path is a short history of branch-address bits, used to decorrelate
+// index hashes of tables with identical history lengths.
+type Path struct {
+	value uint64
+	width uint
+}
+
+// NewPath returns a path history retaining width bits (width <= 64).
+func NewPath(width uint) *Path {
+	if width == 0 || width > 64 {
+		panic("history: path width out of range")
+	}
+	return &Path{width: width}
+}
+
+// Push shifts one address bit of pc into the path history.
+func (p *Path) Push(pc uint64) {
+	p.value = (p.value << 1) | ((pc >> 2) & 1)
+	p.value &= (1 << p.width) - 1
+}
+
+// Value returns the current path bits.
+func (p *Path) Value() uint64 { return p.value }

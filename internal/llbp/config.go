@@ -1,0 +1,198 @@
+// Package llbp implements the Last-Level Branch Predictor (Schall et al.,
+// MICRO '24) as described in the LLBP-X paper: an unmodified TAGE-SC-L in
+// the first level augmented with a high-capacity, off-critical-path
+// pattern store in the second level. Patterns are grouped into per-context
+// pattern sets, located by a rolling hash over recently retired
+// unconditional branches, and prefetched into a small pattern buffer ahead
+// of use.
+//
+// The package also exposes the building blocks (RCR, context directory,
+// pattern sets, pattern buffer) that internal/llbpx composes into LLBP-X,
+// and the limit-study switches (+No Design Tweaks, +20b Tag,
+// +Inf Contexts, +Inf Patterns, +No Contextualization) behind the paper's
+// Figure 5 analysis.
+package llbp
+
+import (
+	"fmt"
+
+	"llbpx/internal/tage"
+)
+
+// DefaultHistIndices are the 16 of TAGE's 21 history lengths the original
+// LLBP keeps (a "design tweak" that drops five mid-range lengths), grouped
+// into four clean buckets of four:
+// {6,9,13,18} {26,37,53,78} {112,161,232,464} {928,1444,2048,3000}.
+var DefaultHistIndices = []int{0, 1, 2, 3, 4, 5, 7, 9, 11, 13, 15, 16, 17, 18, 19, 20}
+
+// AllHistIndices lists all 21 history lengths (used by the +No Design
+// Tweaks limit configuration).
+var AllHistIndices = func() []int {
+	idx := make([]int, tage.NumTables)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}()
+
+// Config parameterizes an LLBP instance.
+type Config struct {
+	// Name labels the configuration.
+	Name string
+
+	// W is the context depth: the number of unconditional branches hashed
+	// into a context ID (8 in the original design).
+	W int
+	// D is the number of most recent unconditional branches skipped when
+	// forming the *current* context ID; it is the temporal window that
+	// hides the pattern store's access latency.
+	D int
+
+	// NumContexts is the pattern store / context directory capacity
+	// (14K in the paper); ignored when InfiniteContexts.
+	NumContexts int
+	// CDAssoc is the context directory associativity (7 in the paper's
+	// energy model).
+	CDAssoc int
+	// PatternsPerSet is the pattern set capacity (16); ignored when
+	// InfinitePatterns.
+	PatternsPerSet int
+	// Buckets is the number of history-range buckets a pattern set is
+	// split into (4); only meaningful while design tweaks are enabled.
+	Buckets int
+	// TagBits is the stored pattern tag width (13; the +20b Tag limit
+	// configuration raises it to 20).
+	TagBits uint
+	// PBEntries is the pattern buffer capacity in pattern sets (64).
+	PBEntries int
+	// LatencyBranches is the pattern store access latency expressed in
+	// retired branches (the paper's 6 cycles correspond to roughly two
+	// branches at server IPCs). 0 models the LLBP-0Lat configuration.
+	LatencyBranches int
+
+	// HistIndices are the TAGE history-length indices LLBP may store.
+	HistIndices []int
+
+	// Limit-study switches (Figure 5).
+	//
+	// NoTweaks removes the practicality tweaks: pattern sets become fully
+	// associative (no buckets), all 21 history lengths are admitted, and
+	// the statistical corrector is no longer suppressed when LLBP
+	// provides.
+	NoTweaks bool
+	// InfiniteContexts lifts the context directory capacity limit.
+	InfiniteContexts bool
+	// InfinitePatterns lifts the per-set pattern limit.
+	InfinitePatterns bool
+	// NoContext replaces the RCR hash with the branch PC, creating one
+	// (unbounded) context per static branch.
+	NoContext bool
+
+	// AllocPerMiss is the number of consecutive active history lengths a
+	// misprediction allocates patterns at (the original design allocates
+	// one; TAGE itself allocates two).
+	AllocPerMiss int
+	// GateWeakOverride suppresses second-level overrides by just-allocated
+	// (confidence-1) patterns while a dynamic trust counter — trained on
+	// the outcomes of weak disagreements — is negative.
+	GateWeakOverride bool
+	// MinOverrideConf is the minimum pattern confidence (|2c+1|) required
+	// for a second-level override; 0 disables the filter. Longer-than-
+	// provider matches are exempt when ExemptLonger is set.
+	MinOverrideConf int
+	// ExemptLonger lets patterns strictly longer than the first-level
+	// provider override regardless of MinOverrideConf.
+	ExemptLonger bool
+	// UseChooser enables a small per-branch chooser table that suppresses
+	// second-level overrides for branches where they have not been paying
+	// off.
+	UseChooser bool
+	// OwnLadder makes allocation climb from the second level's own match
+	// length rather than from the (alias-prone) first-level provider
+	// length, so the per-context ladder grows bottom-up like TAGE's own.
+	OwnLadder bool
+
+	// CollectUseful enables the per-context useful-pattern accounting
+	// behind Figures 6-9. It costs memory proportional to the number of
+	// distinct (context, pattern) pairs, so it is off by default.
+	CollectUseful bool
+
+	// TSL is the baseline first-level predictor configuration.
+	TSL tage.Config
+}
+
+// Default returns the paper's baseline LLBP configuration on a 64K TSL:
+// 14K contexts x 16 patterns (515KB total), W=8, D=4, 13-bit tags, 6-cycle
+// (~2-branch) latency.
+func Default() Config {
+	return Config{
+		Name:             "llbp",
+		W:                8,
+		D:                4,
+		NumContexts:      14 * 1024,
+		CDAssoc:          7,
+		PatternsPerSet:   16,
+		Buckets:          4,
+		TagBits:          13,
+		PBEntries:        64,
+		LatencyBranches:  2,
+		AllocPerMiss:     1,
+		GateWeakOverride: true,
+		UseChooser:       true,
+		HistIndices:      DefaultHistIndices,
+		TSL:              tage.Config64K(),
+	}
+}
+
+// ZeroLatency returns the LLBP-0Lat configuration.
+func ZeroLatency() Config {
+	c := Default()
+	c.Name = "llbp-0lat"
+	c.LatencyBranches = 0
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.W < 0 || c.W > MaxRCRDepth:
+		return fmt.Errorf("llbp %q: W %d out of range [0,%d]", c.Name, c.W, MaxRCRDepth)
+	case c.D < 0 || c.D+c.W > MaxRCRDepth:
+		return fmt.Errorf("llbp %q: D+W %d exceeds RCR depth %d", c.Name, c.D+c.W, MaxRCRDepth)
+	case !c.InfiniteContexts && (c.NumContexts < c.CDAssoc || c.CDAssoc < 1):
+		return fmt.Errorf("llbp %q: invalid context directory geometry %d/%d", c.Name, c.NumContexts, c.CDAssoc)
+	case !c.InfinitePatterns && c.PatternsPerSet < 1:
+		return fmt.Errorf("llbp %q: PatternsPerSet must be >= 1", c.Name)
+	case !c.NoTweaks && !c.InfinitePatterns && c.PatternsPerSet%c.Buckets != 0:
+		return fmt.Errorf("llbp %q: PatternsPerSet %d not divisible by %d buckets", c.Name, c.PatternsPerSet, c.Buckets)
+	case c.TagBits < 5 || c.TagBits > 31:
+		return fmt.Errorf("llbp %q: TagBits %d out of range [5,31]", c.Name, c.TagBits)
+	case c.PBEntries < 1:
+		return fmt.Errorf("llbp %q: PBEntries must be >= 1", c.Name)
+	case c.LatencyBranches < 0:
+		return fmt.Errorf("llbp %q: negative latency", c.Name)
+	case c.AllocPerMiss < 1 || c.AllocPerMiss > 4:
+		return fmt.Errorf("llbp %q: AllocPerMiss %d out of range [1,4]", c.Name, c.AllocPerMiss)
+	case len(c.HistIndices) == 0:
+		return fmt.Errorf("llbp %q: no history lengths", c.Name)
+	}
+	for _, idx := range c.HistIndices {
+		if idx < 0 || idx >= tage.NumTables {
+			return fmt.Errorf("llbp %q: history index %d out of range", c.Name, idx)
+		}
+	}
+	return nil
+}
+
+// activeHistIndices returns the set of admitted history indices given the
+// tweak switches.
+func (c Config) activeHistIndices() []int {
+	if c.NoTweaks {
+		return AllHistIndices
+	}
+	return c.HistIndices
+}
+
+// TransferBits is the width of one pattern-store read or write
+// transaction, used for the bandwidth accounting of Figure 15a.
+const TransferBits = 288

@@ -1,0 +1,385 @@
+package llbp
+
+import (
+	"testing"
+
+	"llbpx/internal/core"
+	"llbpx/internal/sim"
+	"llbpx/internal/tage"
+	"llbpx/internal/workload"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := ZeroLatency().Validate(); err != nil {
+		t.Fatalf("zero-latency config invalid: %v", err)
+	}
+	bad := map[string]func(*Config){
+		"negative W":       func(c *Config) { c.W = -1 },
+		"window overflow":  func(c *Config) { c.D = MaxRCRDepth },
+		"bad directory":    func(c *Config) { c.NumContexts = 3; c.CDAssoc = 7 },
+		"zero patterns":    func(c *Config) { c.PatternsPerSet = 0 },
+		"bucket mismatch":  func(c *Config) { c.PatternsPerSet = 15 },
+		"tiny tags":        func(c *Config) { c.TagBits = 2 },
+		"no pb":            func(c *Config) { c.PBEntries = 0 },
+		"negative latency": func(c *Config) { c.LatencyBranches = -2 },
+		"no lengths":       func(c *Config) { c.HistIndices = nil },
+		"bad length idx":   func(c *Config) { c.HistIndices = []int{99} },
+		"bad alloc":        func(c *Config) { c.AllocPerMiss = 0 },
+	}
+	for name, mutate := range bad {
+		c := Default()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestDefaultHistIndices(t *testing.T) {
+	if len(DefaultHistIndices) != 16 {
+		t.Fatalf("LLBP keeps 16 of 21 lengths, got %d", len(DefaultHistIndices))
+	}
+	for i := 1; i < len(DefaultHistIndices); i++ {
+		if DefaultHistIndices[i] <= DefaultHistIndices[i-1] {
+			t.Fatal("indices must be ascending")
+		}
+	}
+	if len(AllHistIndices) != tage.NumTables {
+		t.Fatal("AllHistIndices must cover every table")
+	}
+}
+
+func TestRCROrderAndSkip(t *testing.T) {
+	var r RCR
+	for _, pc := range []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		r.Push(pc * 0x10)
+	}
+	// Skip semantics: skipping 2 with window 4 must equal the hash of the
+	// same window pushed without the 2 newest entries.
+	var r2 RCR
+	for _, pc := range []uint64{1, 2, 3, 4, 5, 6, 7, 8} {
+		r2.Push(pc * 0x10)
+	}
+	if r.ContextID(2, 4) != r2.ContextID(0, 4) {
+		t.Fatal("skip window must address older entries")
+	}
+	// Order sensitivity.
+	var a, b RCR
+	a.Push(0x10)
+	a.Push(0x20)
+	b.Push(0x20)
+	b.Push(0x10)
+	if a.ContextID(0, 2) == b.ContextID(0, 2) {
+		t.Fatal("context hash must be order sensitive")
+	}
+	// W=0 is a single global context.
+	if a.ContextID(0, 0) != b.ContextID(0, 0) {
+		t.Fatal("W=0 must collapse to one context")
+	}
+}
+
+func TestPatternSetAllocateAndLookup(t *testing.T) {
+	cfg := Default()
+	s := newPatternSet(42, &cfg)
+	s.Allocate(0x5a, 3, true, 0, 4)
+	p := s.Lookup(0x5a, 3)
+	if p == nil || !p.Taken() {
+		t.Fatal("allocated pattern must be found with its direction")
+	}
+	if s.Lookup(0x5a, 4) != nil || s.Lookup(0x5b, 3) != nil {
+		t.Fatal("lookup must match tag AND length")
+	}
+	if s.Size() != 1 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	if !s.Dirty {
+		t.Fatal("allocation must dirty the set")
+	}
+}
+
+func TestPatternSetBucketedReplacement(t *testing.T) {
+	cfg := Default() // 16 slots, 4 buckets
+	s := newPatternSet(1, &cfg)
+	// Fill bucket 0 (slots 0-3) and train one pattern confident.
+	for i := 0; i < 4; i++ {
+		s.Allocate(uint32(i), 0, true, 0, 4)
+	}
+	conf := s.Lookup(0, 0)
+	for i := 0; i < 5; i++ {
+		conf.CtrUpdate(true)
+	}
+	// A fifth allocation into bucket 0 must evict a *low-confidence*
+	// pattern, never the trained one.
+	s.Allocate(99, 1, true, 0, 4)
+	if s.Lookup(0, 0) == nil {
+		t.Fatal("confident pattern was evicted while weak candidates existed")
+	}
+	if s.Lookup(99, 1) == nil {
+		t.Fatal("new pattern missing")
+	}
+	// The bucket replaced in place: occupancy stays at capacity.
+	if s.Size() != 4 {
+		t.Fatalf("Size = %d, want 4 (bucket replacement, not growth)", s.Size())
+	}
+}
+
+func TestPatternCounters(t *testing.T) {
+	var p Pattern
+	p.LenIdx = 2
+	p.WeakInit(true)
+	if !p.Taken() || p.Confidence() != 1 || p.Confident() {
+		t.Fatalf("weak init wrong: %+v", p)
+	}
+	for i := 0; i < 10; i++ {
+		p.CtrUpdate(true)
+	}
+	if p.Ctr != 3 || !p.Confident() || p.Confidence() != 7 {
+		t.Fatalf("saturation wrong: %+v", p)
+	}
+	for i := 0; i < 20; i++ {
+		p.CtrUpdate(false)
+	}
+	if p.Ctr != -4 || p.Taken() {
+		t.Fatalf("negative saturation wrong: %+v", p)
+	}
+}
+
+func TestContextDirInsertLookupEvict(t *testing.T) {
+	cfg := Default()
+	cfg.NumContexts = 14
+	cfg.CDAssoc = 7
+	d := NewContextDir(&cfg)
+	if d.Capacity() != 14 {
+		t.Fatalf("capacity = %d", d.Capacity())
+	}
+	s1, _, ev := d.Insert(2) // row = cid & 1
+	if ev {
+		t.Fatal("first insert must not evict")
+	}
+	if d.Lookup(2) != s1 {
+		t.Fatal("lookup after insert failed")
+	}
+	// Re-insert returns the same set.
+	again, _, _ := d.Insert(2)
+	if again != s1 {
+		t.Fatal("insert must be idempotent")
+	}
+	// Fill row 0 beyond associativity; the least-confident set must go.
+	trained, _, _ := d.Insert(4)
+	trained.Allocate(1, 0, true, 0, 4)
+	pat := trained.Lookup(1, 0)
+	for i := 0; i < 5; i++ {
+		pat.CtrUpdate(true)
+	}
+	// Fill row 0 (even cids) exactly to its associativity of 7: cids
+	// 2 and 4 are resident, five more fit.
+	for cid := uint64(6); cid <= 14; cid += 2 {
+		d.Insert(cid)
+	}
+	_, evictedCID, evicted := d.Insert(1000)
+	if !evicted {
+		t.Fatal("full row must evict")
+	}
+	if evictedCID == 4 {
+		t.Fatal("the set with confident patterns should have been protected")
+	}
+	if d.Evicted() != 1 {
+		t.Fatalf("Evicted = %d", d.Evicted())
+	}
+}
+
+func TestContextDirInfinite(t *testing.T) {
+	cfg := Default()
+	cfg.InfiniteContexts = true
+	d := NewContextDir(&cfg)
+	if d.Capacity() != 0 {
+		t.Fatal("infinite directory must report unbounded capacity")
+	}
+	for cid := uint64(0); cid < 1000; cid++ {
+		d.Insert(cid)
+	}
+	if d.Live() != 1000 || d.Evicted() != 0 {
+		t.Fatalf("infinite directory evicted: live=%d evicted=%d", d.Live(), d.Evicted())
+	}
+}
+
+func TestPatternBufferLRUAndStats(t *testing.T) {
+	cfg := Default()
+	b := NewPatternBuffer(2)
+	s1 := newPatternSet(1, &cfg)
+	s2 := newPatternSet(2, &cfg)
+	s3 := newPatternSet(3, &cfg)
+	e1 := b.Fill(1, s1, 0, 0, true, false)
+	b.Fill(2, s2, 1, 1, true, false)
+	e1.Used = true
+	e1.LastUse = 5 // make 2 the LRU victim
+	b.Fill(3, s3, 6, 8, true, false)
+	if b.Get(2) != nil {
+		t.Fatal("LRU entry must have been evicted")
+	}
+	if b.Get(1) == nil || b.Get(3) == nil {
+		t.Fatal("wrong entry evicted")
+	}
+	if b.Stats.Unused != 1 {
+		t.Fatalf("evicting an unused fill must count: %+v", b.Stats)
+	}
+	// Dirty writeback accounting on flush.
+	s1.Dirty = true
+	b.FlushStats()
+	if b.Stats.StoreWr != 1 {
+		t.Fatalf("dirty set must write back: %+v", b.Stats)
+	}
+	if b.Stats.OnTime != 1 {
+		t.Fatalf("used-on-time entry not counted: %+v", b.Stats)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	active := DefaultHistIndices
+	if BucketOf(active, 4, active[0]) != 0 {
+		t.Fatal("first length must land in bucket 0")
+	}
+	if BucketOf(active, 4, active[15]) != 3 {
+		t.Fatal("last length must land in bucket 3")
+	}
+	if NextActiveLen(active, -1) != active[0] {
+		t.Fatal("ladder must start at the shortest active length")
+	}
+	if NextActiveLen(active, active[15]) != -1 {
+		t.Fatal("no length above the longest")
+	}
+	if NextActiveLen(active, 6) != 7 {
+		t.Fatalf("NextActiveLen(6) = %d, want 7", NextActiveLen(active, 6))
+	}
+}
+
+func TestUsefulTracker(t *testing.T) {
+	tr := NewUsefulTracker()
+	tr.Record(1, 0xaa, 0)
+	tr.Record(1, 0xaa, 0)
+	tr.Record(1, 0xbb, 5)
+	tr.Record(2, 0xaa, 0) // same pattern in another context: a duplicate
+	s := tr.Snapshot()
+	if len(s.Contexts) != 2 {
+		t.Fatalf("contexts = %d", len(s.Contexts))
+	}
+	if s.Contexts[0].Patterns != 2 || s.Contexts[0].CID != 1 {
+		t.Fatalf("sort order wrong: %+v", s.Contexts[0])
+	}
+	if s.TotalByLen[0] != 2 || s.UniqueByLen[0] != 1 {
+		t.Fatalf("duplication accounting wrong: total=%d unique=%d", s.TotalByLen[0], s.UniqueByLen[0])
+	}
+	if f := s.DuplicateFraction(0); f != 0.5 {
+		t.Fatalf("DuplicateFraction = %v", f)
+	}
+	if s.DuplicateFraction(3) != 0 {
+		t.Fatal("unused length must report 0 duplication")
+	}
+	if s.EventsByLen[0] != 3 {
+		t.Fatalf("events = %d", s.EventsByLen[0])
+	}
+	tr.Reset()
+	if len(tr.Snapshot().Contexts) != 0 {
+		t.Fatal("Reset must clear")
+	}
+}
+
+func TestEndToEndAgainstBaseline(t *testing.T) {
+	prof, err := workload.ByName("nodeapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sim.Options{WarmupInstr: 400_000, MeasureInstr: 800_000}
+
+	base, err := sim.Run(tage.MustNew(tage.Config64K()), workload.NewGenerator(prog), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MustNew(Default())
+	res, err := sim.Run(p, workload.NewGenerator(prog), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LLBP must stay within a small band of the baseline at worst and
+	// provide second-level activity.
+	if res.MPKI() > base.MPKI()*1.10 {
+		t.Fatalf("LLBP (%.3f) much worse than baseline (%.3f)", res.MPKI(), base.MPKI())
+	}
+	p.FinishMeasurement()
+	st := p.Stats()
+	if st["llbp.overrides"] == 0 {
+		t.Fatal("second level never provided a prediction")
+	}
+	if st["llbp.contexts.live"] == 0 {
+		t.Fatal("no contexts materialized")
+	}
+	if st["llbp.store.reads"] == 0 {
+		t.Fatal("no pattern store traffic")
+	}
+}
+
+func TestZeroLatencyNotWorseThanDefault(t *testing.T) {
+	prof, _ := workload.ByName("whiskey")
+	prog, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sim.Options{WarmupInstr: 400_000, MeasureInstr: 800_000}
+	lat, err := sim.Run(MustNew(Default()), workload.NewGenerator(prog), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := sim.Run(MustNew(ZeroLatency()), workload.NewGenerator(prog), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.MPKI() > lat.MPKI()*1.05 {
+		t.Fatalf("0-latency (%.3f) clearly worse than 6-cycle (%.3f)", zero.MPKI(), lat.MPKI())
+	}
+}
+
+func TestNoContextMode(t *testing.T) {
+	c := ZeroLatency()
+	c.NoContext = true
+	c.InfinitePatterns = true
+	p := MustNew(c)
+	prof, _ := workload.ByName("kafka")
+	prog, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(p, workload.NewGenerator(prog), sim.Options{WarmupInstr: 200_000, MeasureInstr: 400_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured.CondBranches == 0 {
+		t.Fatal("no branches simulated")
+	}
+}
+
+func TestResetStatsKeepsLearnedState(t *testing.T) {
+	p := MustNew(ZeroLatency())
+	b := core.Branch{PC: 0x100, Kind: core.CondDirect, Taken: true, InstrGap: 4}
+	u := core.Branch{PC: 0x200, Kind: core.Call, Taken: true, InstrGap: 4}
+	for i := 0; i < 500; i++ {
+		pred := p.Predict(b.PC)
+		p.Update(b, pred)
+		p.TrackUnconditional(u)
+	}
+	p.ResetStats()
+	st := p.Stats()
+	if st["llbp.overrides"] != 0 || st["llbp.useful"] != 0 {
+		t.Fatal("ResetStats must clear measurement counters")
+	}
+	pred := p.Predict(b.PC)
+	if !pred.Taken {
+		t.Fatal("learned direction lost across ResetStats")
+	}
+}

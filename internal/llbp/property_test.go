@@ -1,0 +1,143 @@
+package llbp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"llbpx/internal/hashutil"
+)
+
+// TestPatternSetOccupancyInvariant: no sequence of allocations can push a
+// finite set past its capacity, and every allocation is immediately
+// findable.
+func TestPatternSetOccupancyInvariant(t *testing.T) {
+	cfg := Default()
+	prop := func(seed uint64, opsRaw uint8) bool {
+		rng := hashutil.NewRand(seed)
+		s := newPatternSet(1, &cfg)
+		ops := int(opsRaw)%200 + 1
+		for i := 0; i < ops; i++ {
+			lenPos := rng.Intn(len(DefaultHistIndices))
+			lenIdx := DefaultHistIndices[lenPos]
+			tag := uint32(rng.Intn(1 << 13))
+			taken := rng.Bool(0.5)
+			s.Allocate(tag, lenIdx, taken, BucketOf(DefaultHistIndices, 4, lenIdx), 4)
+			if s.Size() > cfg.PatternsPerSet {
+				return false
+			}
+			p := s.Lookup(tag, lenIdx)
+			if p == nil || p.Taken() != taken {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPatternSetUnboundedInvariant: the +Inf Patterns mode never evicts.
+func TestPatternSetUnboundedInvariant(t *testing.T) {
+	cfg := Default()
+	cfg.InfinitePatterns = true
+	s := newPatternSet(1, &cfg)
+	rng := hashutil.NewRand(9)
+	type key struct {
+		tag uint32
+		li  int
+	}
+	inserted := map[key]bool{}
+	for i := 0; i < 2000; i++ {
+		k := key{uint32(rng.Intn(1 << 20)), rng.Intn(21)}
+		s.Allocate(k.tag, k.li, true, 0, 1)
+		inserted[k] = true
+	}
+	for k := range inserted {
+		if s.Lookup(k.tag, k.li) == nil {
+			t.Fatalf("unbounded set lost pattern %+v", k)
+		}
+	}
+	if s.Size() != len(inserted) {
+		t.Fatalf("Size %d != distinct insertions %d", s.Size(), len(inserted))
+	}
+}
+
+// TestContextDirResidencyInvariant: Live never exceeds Capacity, and a
+// just-inserted context is always resident.
+func TestContextDirResidencyInvariant(t *testing.T) {
+	prop := func(seed uint64, opsRaw uint8) bool {
+		cfg := Default()
+		cfg.NumContexts = 64
+		cfg.CDAssoc = 4
+		d := NewContextDir(&cfg)
+		rng := hashutil.NewRand(seed)
+		ops := int(opsRaw)%300 + 1
+		for i := 0; i < ops; i++ {
+			cid := rng.Uint64() % 512
+			set, _, _ := d.Insert(cid)
+			if set == nil || d.Lookup(cid) != set {
+				return false
+			}
+			if d.Live() > d.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRCRWindowProperty: the context hash must depend on exactly the
+// window [skip, skip+w) — pushing more entries shifts it predictably.
+func TestRCRWindowProperty(t *testing.T) {
+	prop := func(seed uint64, skipRaw, wRaw uint8) bool {
+		skip := int(skipRaw) % 8
+		w := int(wRaw)%16 + 1
+		rng := hashutil.NewRand(seed)
+		var r RCR
+		pcs := make([]uint64, 64)
+		for i := range pcs {
+			pcs[i] = rng.Uint64() | 1
+			r.Push(pcs[i])
+		}
+		before := r.ContextID(skip, w)
+		// Pushing one more entry must equal hashing with skip+1 relative
+		// to the new state.
+		r.Push(rng.Uint64() | 1)
+		after := r.ContextID(skip+1, w)
+		return before == after
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPatternBufferNeverExceedsCapacity holds under arbitrary fill/drop
+// interleavings.
+func TestPatternBufferNeverExceedsCapacity(t *testing.T) {
+	cfg := Default()
+	prop := func(seed uint64, opsRaw uint8) bool {
+		b := NewPatternBuffer(8)
+		rng := hashutil.NewRand(seed)
+		ops := int(opsRaw)%300 + 1
+		for i := 0; i < ops; i++ {
+			cid := rng.Uint64() % 64
+			switch rng.Intn(3) {
+			case 0, 1:
+				b.Fill(cid, newPatternSet(cid, &cfg), int64(i), int64(i), rng.Bool(0.5), false)
+			case 2:
+				b.Drop(cid)
+			}
+			if b.Len() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package llbp
+
+import "llbpx/internal/hashutil"
+
+// MaxRCRDepth is the deepest context window any configuration may use
+// (LLBP-X's deep contexts hash 64 unconditional branches; the skip window
+// D rides on top).
+const MaxRCRDepth = 72
+
+// RCR is the rolling context register: a ring of recently retired
+// unconditional-branch addresses from which context IDs are hashed. The
+// hash is order-sensitive — the same branches in a different order form a
+// different context.
+type RCR struct {
+	ubs [MaxRCRDepth]uint64
+	pos int // index of the most recent entry
+}
+
+// Push records a retired unconditional branch.
+func (r *RCR) Push(pc uint64) {
+	r.pos = (r.pos - 1 + MaxRCRDepth) % MaxRCRDepth
+	r.ubs[r.pos] = pc
+}
+
+// ContextID hashes the w unconditional branches preceding the skip most
+// recent ones into a context identifier. w == 0 returns a fixed value (a
+// single global context).
+func (r *RCR) ContextID(skip, w int) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < w; i++ {
+		h = hashutil.Combine(h, r.ubs[(r.pos+skip+i)%MaxRCRDepth])
+	}
+	return h
+}

@@ -1,0 +1,458 @@
+package llbp
+
+import (
+	"llbpx/internal/tage"
+)
+
+// Pattern is one second-level TAGE pattern: a partial tag, the history
+// length it was formed over (as an index into tage.HistoryLengths), and a
+// signed 3-bit direction counter.
+type Pattern struct {
+	Tag    uint32
+	LenIdx int8 // -1 marks an empty slot
+	Ctr    int8
+}
+
+// Valid reports whether the slot holds a pattern.
+func (p Pattern) Valid() bool { return p.LenIdx >= 0 }
+
+// Taken is the predicted direction.
+func (p Pattern) Taken() bool { return p.Ctr >= 0 }
+
+// Confidence is |2*Ctr+1|: 1 = just allocated, 7 = saturated.
+func (p Pattern) Confidence() int {
+	v := 2*int(p.Ctr) + 1
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+// Confident reports whether the counter is strong enough to count toward
+// the replacement metadata and the LLBP-X overflow signal.
+func (p Pattern) Confident() bool { return p.Confidence() >= 5 }
+
+const (
+	ctrMax = 3
+	ctrMin = -4
+)
+
+// CtrUpdate moves the pattern counter toward the outcome.
+func (p *Pattern) CtrUpdate(taken bool) {
+	if taken {
+		if p.Ctr < ctrMax {
+			p.Ctr++
+		}
+	} else if p.Ctr > ctrMin {
+		p.Ctr--
+	}
+}
+
+// WeakInit resets the counter to weakly taken or not-taken.
+func (p *Pattern) WeakInit(taken bool) {
+	if taken {
+		p.Ctr = 0
+	} else {
+		p.Ctr = -1
+	}
+}
+
+// PatternSet holds the patterns of one program context. With design
+// tweaks enabled the fixed slots are grouped into histogram buckets (four
+// slots per history-length range); without them the set is a flat
+// associative array, and in the +Inf Patterns limit mode it grows without
+// bound.
+type PatternSet struct {
+	CID   uint64
+	slots []Pattern
+	// unbounded (limit mode) storage, keyed by (tag, lenIdx).
+	overflow map[patternKey]*Pattern
+	// Dirty marks modifications since the set was fetched into the PB.
+	Dirty bool
+}
+
+type patternKey struct {
+	tag    uint32
+	lenIdx int8
+}
+
+// newPatternSet returns an empty set for cid shaped by cfg.
+func newPatternSet(cid uint64, cfg *Config) *PatternSet {
+	s := &PatternSet{CID: cid}
+	if cfg.InfinitePatterns {
+		s.overflow = make(map[patternKey]*Pattern)
+		return s
+	}
+	s.slots = make([]Pattern, cfg.PatternsPerSet)
+	for i := range s.slots {
+		s.slots[i].LenIdx = -1
+	}
+	return s
+}
+
+// Lookup returns the valid pattern matching (tag, lenIdx), or nil.
+func (s *PatternSet) Lookup(tag uint32, lenIdx int) *Pattern {
+	if s.overflow != nil {
+		return s.overflow[patternKey{tag, int8(lenIdx)}]
+	}
+	for i := range s.slots {
+		p := &s.slots[i]
+		if p.Valid() && int(p.LenIdx) == lenIdx && p.Tag == tag {
+			return p
+		}
+	}
+	return nil
+}
+
+// ConfidentCount returns the number of confident patterns, the replacement
+// metadata the context directory and the LLBP-X overflow signal use.
+func (s *PatternSet) ConfidentCount() int {
+	n := 0
+	if s.overflow != nil {
+		for _, p := range s.overflow {
+			if p.Confident() {
+				n++
+			}
+		}
+		return n
+	}
+	for i := range s.slots {
+		if s.slots[i].Valid() && s.slots[i].Confident() {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the number of valid patterns in the set.
+func (s *PatternSet) Size() int {
+	if s.overflow != nil {
+		return len(s.overflow)
+	}
+	n := 0
+	for i := range s.slots {
+		if s.slots[i].Valid() {
+			n++
+		}
+	}
+	return n
+}
+
+// Patterns calls fn for every valid pattern in the set.
+func (s *PatternSet) Patterns(fn func(*Pattern)) {
+	if s.overflow != nil {
+		for _, p := range s.overflow {
+			fn(p)
+		}
+		return
+	}
+	for i := range s.slots {
+		if s.slots[i].Valid() {
+			fn(&s.slots[i])
+		}
+	}
+}
+
+// Allocate installs a new weak pattern for (tag, lenIdx), replacing the
+// least confident pattern in the target region: the slot range of the
+// pattern's bucket when bucketing is active, or any slot of the flat set.
+// bucket is the bucket index (ignored for flat/unbounded sets).
+func (s *PatternSet) Allocate(tag uint32, lenIdx int, taken bool, bucket, buckets int) {
+	s.Dirty = true
+	if s.overflow != nil {
+		p := &Pattern{Tag: tag, LenIdx: int8(lenIdx)}
+		p.WeakInit(taken)
+		s.overflow[patternKey{tag, int8(lenIdx)}] = p
+		return
+	}
+	lo, hi := 0, len(s.slots)
+	if buckets > 1 {
+		per := len(s.slots) / buckets
+		lo = bucket * per
+		hi = lo + per
+	}
+	victim := lo
+	best := 1 << 30
+	for i := lo; i < hi; i++ {
+		p := &s.slots[i]
+		if !p.Valid() {
+			victim = i
+			break
+		}
+		if c := p.Confidence(); c < best {
+			best, victim = c, i
+		}
+	}
+	p := &s.slots[victim]
+	p.Tag = tag
+	p.LenIdx = int8(lenIdx)
+	p.WeakInit(taken)
+}
+
+// ContextDir combines the paper's context directory (CD) and pattern
+// store (PS): a set-associative directory from context IDs to pattern
+// sets. Replacement keeps the sets with the most confident patterns (the
+// paper's policy), evicting the least-trained set of the index set.
+type ContextDir struct {
+	sets    [][]*PatternSet // finite geometry
+	assoc   int
+	mask    uint64
+	inf     map[uint64]*PatternSet // InfiniteContexts mode
+	cfg     *Config
+	evicted uint64 // count of discarded pattern sets
+}
+
+// NewContextDir builds the directory for cfg.
+func NewContextDir(cfg *Config) *ContextDir {
+	d := &ContextDir{cfg: cfg}
+	if cfg.InfiniteContexts || cfg.NoContext {
+		d.inf = make(map[uint64]*PatternSet)
+		return d
+	}
+	numSets := 1
+	for numSets*2*cfg.CDAssoc <= cfg.NumContexts {
+		numSets *= 2
+	}
+	d.assoc = cfg.NumContexts / numSets
+	d.sets = make([][]*PatternSet, numSets)
+	d.mask = uint64(numSets - 1)
+	return d
+}
+
+// Capacity returns the number of contexts the directory can track
+// (0 = unbounded).
+func (d *ContextDir) Capacity() int {
+	if d.inf != nil {
+		return 0
+	}
+	return len(d.sets) * d.assoc
+}
+
+// Live returns the number of resident pattern sets.
+func (d *ContextDir) Live() int {
+	if d.inf != nil {
+		return len(d.inf)
+	}
+	n := 0
+	for _, s := range d.sets {
+		n += len(s)
+	}
+	return n
+}
+
+// Evicted returns the number of pattern sets discarded by replacement.
+func (d *ContextDir) Evicted() uint64 { return d.evicted }
+
+// Lookup returns the pattern set for cid, or nil.
+func (d *ContextDir) Lookup(cid uint64) *PatternSet {
+	if d.inf != nil {
+		return d.inf[cid]
+	}
+	row := d.sets[cid&d.mask]
+	for _, s := range row {
+		if s.CID == cid {
+			return s
+		}
+	}
+	return nil
+}
+
+// Insert creates (or returns the existing) pattern set for cid, evicting
+// the least-confident set of the row when full. evictedCID reports the
+// context whose set was discarded (valid only when evicted is true), so
+// the caller can invalidate stale pattern-buffer entries.
+func (d *ContextDir) Insert(cid uint64) (s *PatternSet, evictedCID uint64, evicted bool) {
+	if s := d.Lookup(cid); s != nil {
+		return s, 0, false
+	}
+	s = newPatternSet(cid, d.cfg)
+	if d.inf != nil {
+		d.inf[cid] = s
+		return s, 0, false
+	}
+	rowIdx := cid & d.mask
+	row := d.sets[rowIdx]
+	if len(row) < d.assoc {
+		d.sets[rowIdx] = append(row, s)
+		return s, 0, false
+	}
+	// Evict the set with the fewest confident patterns (paper's policy:
+	// favor sets with more high-confidence patterns).
+	victim, best := 0, 1<<30
+	for i, cand := range row {
+		if c := cand.ConfidentCount(); c < best {
+			best, victim = c, i
+		}
+	}
+	evictedCID = row[victim].CID
+	row[victim] = s
+	d.evicted++
+	return s, evictedCID, true
+}
+
+// PBEntry is one pattern-buffer slot with its prefetch timing metadata.
+type PBEntry struct {
+	Set       *PatternSet
+	AvailAt   int64 // tick at which the prefetched data is usable
+	FetchedAt int64
+	LastUse   int64 // LRU stamp
+	Used      bool  // matched at least one prediction
+	WasLate   bool  // a prediction wanted it before it arrived
+	FalsePath bool  // brought in by a modeled wrong-path prefetch
+	fromStore bool  // filled by a PS read (vs created fresh on allocation)
+}
+
+// PrefetchStats aggregates the pattern buffer's timeliness accounting
+// (Figure 14a).
+type PrefetchStats struct {
+	Issued   uint64 // PS->PB fills
+	OnTime   uint64 // used, and available when first needed
+	Late     uint64 // used, but a prediction wanted it before arrival
+	Unused   uint64 // evicted without serving a prediction
+	StoreRd  uint64 // pattern store reads (bandwidth)
+	StoreWr  uint64 // pattern store writebacks (bandwidth)
+	FPIssued uint64 // fills attributed to modeled false-path fetches
+	FPUsed   uint64 // false-path fills that ended up used
+}
+
+// PatternBuffer is the small in-core cache of pattern sets predictions are
+// served from. It tracks prefetch timeliness and PS<->PB traffic.
+type PatternBuffer struct {
+	entries  map[uint64]*PBEntry
+	capacity int
+	Stats    PrefetchStats
+}
+
+// NewPatternBuffer returns an empty buffer holding up to capacity sets.
+func NewPatternBuffer(capacity int) *PatternBuffer {
+	return &PatternBuffer{
+		entries:  make(map[uint64]*PBEntry, capacity+1),
+		capacity: capacity,
+	}
+}
+
+// Get returns the buffered entry for cid, or nil, without touching LRU
+// state.
+func (b *PatternBuffer) Get(cid uint64) *PBEntry { return b.entries[cid] }
+
+// Fill inserts the pattern set for cid, arriving at availAt. fromStore
+// marks a genuine PS read (counted as bandwidth); falsePath marks a
+// modeled wrong-path fetch.
+func (b *PatternBuffer) Fill(cid uint64, set *PatternSet, now, availAt int64, fromStore, falsePath bool) *PBEntry {
+	if e := b.entries[cid]; e != nil {
+		e.LastUse = now
+		return e
+	}
+	if len(b.entries) >= b.capacity {
+		b.evictLRU(now)
+	}
+	e := &PBEntry{Set: set, AvailAt: availAt, FetchedAt: now, LastUse: now, FalsePath: falsePath, fromStore: fromStore}
+	b.entries[cid] = e
+	if fromStore {
+		b.Stats.Issued++
+		b.Stats.StoreRd++
+		if falsePath {
+			b.Stats.FPIssued++
+		}
+	}
+	return e
+}
+
+// Drop removes cid from the buffer without writeback accounting (used when
+// the directory invalidates a context).
+func (b *PatternBuffer) Drop(cid uint64) { delete(b.entries, cid) }
+
+func (b *PatternBuffer) evictLRU(now int64) {
+	var victimCID uint64
+	var victim *PBEntry
+	first := true
+	for cid, e := range b.entries {
+		if first || e.LastUse < victim.LastUse {
+			victimCID, victim, first = cid, e, false
+		}
+	}
+	if victim == nil {
+		return
+	}
+	b.retire(victim)
+	delete(b.entries, victimCID)
+}
+
+// retire folds an entry's lifetime into the stats and writes back dirty
+// sets.
+func (b *PatternBuffer) retire(e *PBEntry) {
+	if e.fromStore {
+		switch {
+		case !e.Used:
+			b.Stats.Unused++
+		case e.WasLate:
+			b.Stats.Late++
+		default:
+			b.Stats.OnTime++
+		}
+		if e.Used && e.FalsePath {
+			b.Stats.FPUsed++
+		}
+	}
+	if e.Set.Dirty {
+		b.Stats.StoreWr++
+		e.Set.Dirty = false
+	}
+}
+
+// FlushStats retires every resident entry's accounting (end of run).
+func (b *PatternBuffer) FlushStats() {
+	for _, e := range b.entries {
+		b.retire(e)
+		// Avoid double counting if called twice.
+		e.fromStore = false
+	}
+}
+
+// Len returns the number of resident pattern sets.
+func (b *PatternBuffer) Len() int { return len(b.entries) }
+
+// BucketOf returns the bucket index of lenIdx within the active history
+// list (four history lengths per bucket in the default design).
+func BucketOf(active []int, buckets int, lenIdx int) int {
+	if buckets <= 1 {
+		return 0
+	}
+	per := (len(active) + buckets - 1) / buckets
+	for i, l := range active {
+		if l == lenIdx {
+			return i / per
+		}
+	}
+	return 0
+}
+
+// NextActiveLen returns the smallest active history index strictly greater
+// than lenIdx, or -1 if none.
+func NextActiveLen(active []int, lenIdx int) int {
+	for _, l := range active {
+		if l > lenIdx {
+			return l
+		}
+	}
+	return -1
+}
+
+// lenFromBits maps a history length in bits to its index, returning -1 for
+// non-table lengths.
+func lenFromBits(bits int) int { return tage.HistoryIndex(bits) }
+
+// ForEach visits every resident pattern set (diagnostics and tests).
+func (d *ContextDir) ForEach(fn func(*PatternSet)) {
+	if d.inf != nil {
+		for _, s := range d.inf {
+			fn(s)
+		}
+		return
+	}
+	for _, row := range d.sets {
+		for _, s := range row {
+			fn(s)
+		}
+	}
+}

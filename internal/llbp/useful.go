@@ -1,0 +1,102 @@
+package llbp
+
+import (
+	"sort"
+
+	"llbpx/internal/tage"
+)
+
+// UsefulTracker records, per context, which patterns usefully overrode the
+// baseline (the accounting behind the paper's Figures 6-9). A pattern is
+// useful when its prediction was correct while the baseline TSL would have
+// mispredicted.
+type UsefulTracker struct {
+	perContext map[uint64]map[patternKey]uint64
+}
+
+func NewUsefulTracker() *UsefulTracker {
+	return &UsefulTracker{perContext: make(map[uint64]map[patternKey]uint64)}
+}
+
+// Record notes one useful override by pattern (tag, lenIdx) in context cid.
+func (t *UsefulTracker) Record(cid uint64, tag uint32, lenIdx int) {
+	m := t.perContext[cid]
+	if m == nil {
+		m = make(map[patternKey]uint64)
+		t.perContext[cid] = m
+	}
+	m[patternKey{tag, int8(lenIdx)}]++
+}
+
+// Reset clears all recorded data.
+func (t *UsefulTracker) Reset() {
+	t.perContext = make(map[uint64]map[patternKey]uint64)
+}
+
+// ContextUseful summarizes one context's useful patterns.
+type ContextUseful struct {
+	CID uint64
+	// Patterns is the number of distinct useful patterns.
+	Patterns int
+	// AvgHistLen is the mean history length (bits) of those patterns.
+	AvgHistLen float64
+	// Events is the total number of useful overrides.
+	Events uint64
+}
+
+// UsefulStats is a processed snapshot of the tracker.
+type UsefulStats struct {
+	// Contexts is sorted by Patterns descending — the order of Figures
+	// 6 and 7.
+	Contexts []ContextUseful
+	// TotalByLen / UniqueByLen count useful pattern instances and distinct
+	// useful patterns per history index (Figure 8's duplication inputs):
+	// an instance is a (context, pattern) pair, a distinct pattern a
+	// (tag, length) pair regardless of context.
+	TotalByLen  [tage.NumTables]uint64
+	UniqueByLen [tage.NumTables]uint64
+	// EventsByLen counts useful override events per history index
+	// (Figure 9).
+	EventsByLen [tage.NumTables]uint64
+}
+
+// Snapshot processes the raw per-context maps into the figure-ready form.
+func (t *UsefulTracker) Snapshot() *UsefulStats {
+	s := &UsefulStats{}
+	unique := make(map[patternKey]struct{})
+	for cid, pats := range t.perContext {
+		cu := ContextUseful{CID: cid, Patterns: len(pats)}
+		var lenSum float64
+		for key, events := range pats {
+			lenSum += float64(tage.HistoryLengths[key.lenIdx])
+			cu.Events += events
+			s.TotalByLen[key.lenIdx]++
+			s.EventsByLen[key.lenIdx] += events
+			if _, seen := unique[key]; !seen {
+				unique[key] = struct{}{}
+				s.UniqueByLen[key.lenIdx]++
+			}
+		}
+		if cu.Patterns > 0 {
+			cu.AvgHistLen = lenSum / float64(cu.Patterns)
+		}
+		s.Contexts = append(s.Contexts, cu)
+	}
+	sort.Slice(s.Contexts, func(i, j int) bool {
+		if s.Contexts[i].Patterns != s.Contexts[j].Patterns {
+			return s.Contexts[i].Patterns > s.Contexts[j].Patterns
+		}
+		return s.Contexts[i].CID < s.Contexts[j].CID
+	})
+	return s
+}
+
+// DuplicateFraction returns, for a history index, the fraction of useful
+// pattern instances that are duplicates of a pattern already present in
+// another context: 1 - unique/total (0 when the length is unused).
+func (s *UsefulStats) DuplicateFraction(lenIdx int) float64 {
+	if s.TotalByLen[lenIdx] == 0 {
+		return 0
+	}
+	return 1 - float64(s.UniqueByLen[lenIdx])/float64(s.TotalByLen[lenIdx])
+}

@@ -1,0 +1,161 @@
+package llbpx
+
+import "llbpx/internal/hashutil"
+
+// cttEntry is one context tracking table entry: a short tag, the
+// avg-hist-len saturating counter, the depth bit, and replacement age.
+type cttEntry struct {
+	tag     uint32
+	avgHist int8
+	deep    bool
+	age     uint8
+	valid   bool
+}
+
+// CTT is the context tracking table: a small set-associative structure,
+// indexed by shallow context IDs, that decides each context's depth. It
+// tracks only contexts whose pattern sets signalled overflow.
+type CTT struct {
+	sets    [][]cttEntry
+	assoc   int
+	mask    uint64
+	tagMask uint32
+	sat     int8
+
+	// Measurement counters.
+	tracked     uint64
+	toDeep      uint64
+	toShallow   uint64
+	deepCurrent int
+}
+
+// newCTT builds a table with the given geometry.
+func newCTT(entries, assoc int, tagBits uint, sat int) *CTT {
+	numSets := 1
+	for numSets*2*assoc <= entries {
+		numSets *= 2
+	}
+	t := &CTT{
+		assoc:   entries / numSets,
+		mask:    uint64(numSets - 1),
+		tagMask: uint32(uint64(1)<<tagBits - 1),
+		sat:     int8(sat),
+	}
+	t.sets = make([][]cttEntry, numSets)
+	for i := range t.sets {
+		t.sets[i] = make([]cttEntry, t.assoc)
+	}
+	return t
+}
+
+func (t *CTT) index(cid uint64) (set uint64, tag uint32) {
+	h := hashutil.Mix64(cid)
+	return h & t.mask, uint32(h>>32) & t.tagMask
+}
+
+// Deep reports whether the context identified by the shallow cid should
+// use the deep depth. Untracked contexts are shallow.
+func (t *CTT) Deep(cid uint64) bool {
+	set, tag := t.index(cid)
+	for i := range t.sets[set] {
+		e := &t.sets[set][i]
+		if e.valid && e.tag == tag {
+			return e.deep
+		}
+	}
+	return false
+}
+
+// Track begins monitoring a context after its pattern set signalled
+// overflow; existing entries are refreshed, new entries evict by age among
+// shallow entries first.
+func (t *CTT) Track(cid uint64) {
+	set, tag := t.index(cid)
+	row := t.sets[set]
+	for i := range row {
+		e := &row[i]
+		if e.valid && e.tag == tag {
+			e.age = 0
+			return
+		}
+	}
+	victim := -1
+	for i := range row {
+		if !row[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		// Prefer evicting shallow (less proven) entries, oldest first.
+		bestAge := -1
+		for i := range row {
+			e := &row[i]
+			score := int(e.age)
+			if !e.deep {
+				score += 256
+			}
+			if score > bestAge {
+				bestAge, victim = score, i
+			}
+		}
+		if row[victim].deep {
+			t.deepCurrent--
+		}
+	}
+	row[victim] = cttEntry{tag: tag, valid: true}
+	t.tracked++
+	t.ageRow(row, victim)
+}
+
+func (t *CTT) ageRow(row []cttEntry, except int) {
+	for i := range row {
+		if i != except && row[i].valid && row[i].age < 3 {
+			row[i].age++
+		}
+	}
+}
+
+// Observe feeds a tracked context one pattern-allocation event: longHist
+// reports whether the allocated pattern's history length exceeded H_th.
+// Reaching saturation flips the context deep; draining to zero flips it
+// back to shallow. Untracked contexts are ignored.
+func (t *CTT) Observe(cid uint64, longHist bool) {
+	set, tag := t.index(cid)
+	for i := range t.sets[set] {
+		e := &t.sets[set][i]
+		if !e.valid || e.tag != tag {
+			continue
+		}
+		if longHist {
+			if e.avgHist < t.sat {
+				e.avgHist++
+			}
+			if e.avgHist >= t.sat && !e.deep {
+				e.deep = true
+				t.toDeep++
+				t.deepCurrent++
+			}
+		} else {
+			if e.avgHist > 0 {
+				e.avgHist--
+			}
+			if e.avgHist == 0 && e.deep {
+				e.deep = false
+				t.toShallow++
+				t.deepCurrent--
+			}
+		}
+		return
+	}
+}
+
+// DeepContexts returns the number of currently deep tracked contexts.
+func (t *CTT) DeepContexts() int { return t.deepCurrent }
+
+// Transitions returns the cumulative shallow->deep and deep->shallow
+// transition counts.
+func (t *CTT) Transitions() (toDeep, toShallow uint64) { return t.toDeep, t.toShallow }
+
+// Tracked returns the number of Track insertions performed.
+func (t *CTT) Tracked() uint64 { return t.tracked }

@@ -1,0 +1,292 @@
+package llbpx
+
+import (
+	"testing"
+
+	"llbpx/internal/core"
+	"llbpx/internal/llbp"
+	"llbpx/internal/sim"
+	"llbpx/internal/tage"
+	"llbpx/internal/workload"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := map[string]func(*Config){
+		"depths inverted": func(c *Config) { c.WShallow, c.WDeep = 64, 2 },
+		"rcr overflow":    func(c *Config) { c.WDeep = llbp.MaxRCRDepth },
+		"bad ctt":         func(c *Config) { c.CTTEntries = 2; c.CTTAssoc = 6 },
+		"bad ctt tag":     func(c *Config) { c.CTTTagBits = 1 },
+		"bad overflow":    func(c *Config) { c.OverflowThreshold = 0 },
+		"bad sat":         func(c *Config) { c.AvgHistSat = 0 },
+		"hth not a len":   func(c *Config) { c.Hth = 100 },
+		"base invalid":    func(c *Config) { c.Base.PBEntries = 0 },
+	}
+	for name, mutate := range bad {
+		c := Default()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestHistRanges(t *testing.T) {
+	c := Default()
+	sh, dp := c.shallowLens(), c.deepLens()
+	if len(sh) != 16 || len(dp) != 16 {
+		t.Fatalf("ranges must hold 16 lengths each: %d/%d", len(sh), len(dp))
+	}
+	if tage.HistoryLengths[sh[0]] != 6 || tage.HistoryLengths[sh[15]] != 232 {
+		t.Fatalf("shallow range must span 6..232, got %d..%d",
+			tage.HistoryLengths[sh[0]], tage.HistoryLengths[sh[15]])
+	}
+	if tage.HistoryLengths[dp[0]] != 37 || tage.HistoryLengths[dp[15]] != 3000 {
+		t.Fatalf("deep range must span 37..3000, got %d..%d",
+			tage.HistoryLengths[dp[0]], tage.HistoryLengths[dp[15]])
+	}
+	// Without range selection both depths fall back to LLBP's 16 lengths.
+	c.HistRange = false
+	if len(c.shallowLens()) != len(llbp.DefaultHistIndices) {
+		t.Fatal("disabled range selection must use the base lengths")
+	}
+}
+
+func TestCTTTrackObserveTransition(t *testing.T) {
+	ctt := newCTT(64, 4, 6, 3)
+	const cid = 0xabc
+	if ctt.Deep(cid) {
+		t.Fatal("untracked context must be shallow")
+	}
+	// Observations before tracking are ignored.
+	ctt.Observe(cid, true)
+	if ctt.Deep(cid) {
+		t.Fatal("untracked context must not transition")
+	}
+	ctt.Track(cid)
+	for i := 0; i < 3; i++ {
+		if ctt.Deep(cid) {
+			t.Fatalf("transitioned after only %d long observations (sat=3)", i)
+		}
+		ctt.Observe(cid, true)
+	}
+	if !ctt.Deep(cid) {
+		t.Fatal("saturated counter must flip the context deep")
+	}
+	toDeep, toShallow := ctt.Transitions()
+	if toDeep != 1 || toShallow != 0 {
+		t.Fatalf("transitions = %d/%d", toDeep, toShallow)
+	}
+	if ctt.DeepContexts() != 1 {
+		t.Fatalf("DeepContexts = %d", ctt.DeepContexts())
+	}
+	// Hysteresis: draining the counter reverts to shallow.
+	for i := 0; i < 3; i++ {
+		ctt.Observe(cid, false)
+	}
+	if ctt.Deep(cid) {
+		t.Fatal("drained counter must revert to shallow")
+	}
+	if _, toShallow = ctt.Transitions(); toShallow != 1 {
+		t.Fatalf("toShallow = %d", toShallow)
+	}
+}
+
+func TestCTTTrackIsIdempotentAndEvicts(t *testing.T) {
+	ctt := newCTT(4, 4, 8, 3) // one set of 4 ways
+	ctt.Track(1)
+	ctt.Track(1)
+	if ctt.Tracked() != 1 {
+		t.Fatalf("re-tracking must refresh, not duplicate: %d", ctt.Tracked())
+	}
+	// Make cid 1 deep; filling the set must evict shallow entries first.
+	for i := 0; i < 3; i++ {
+		ctt.Observe(1, true)
+	}
+	for cid := uint64(2); cid <= 6; cid++ {
+		ctt.Track(cid)
+	}
+	if !ctt.Deep(1) {
+		t.Fatal("deep entry was evicted while shallow candidates existed")
+	}
+}
+
+func TestDepthSelectionChangesContext(t *testing.T) {
+	// With an oracle forcing deep, the predictor must use the deep
+	// context ID stream.
+	c := Default()
+	c.OracleDepth = map[uint64]bool{} // empty: everything shallow
+	p := MustNew(c)
+
+	ub := func(pc uint64) core.Branch {
+		return core.Branch{PC: pc, Kind: core.Call, Taken: true, InstrGap: 3}
+	}
+	for i := 0; i < 100; i++ {
+		p.TrackUnconditional(ub(0x1000 + uint64(i)*16))
+	}
+	shallowCID := p.ccid
+
+	// Same UB stream with everything deep yields a different context.
+	c2 := Default()
+	all := make(map[uint64]bool)
+	c2.OracleDepth = all
+	p2 := MustNew(c2)
+	for i := 0; i < 100; i++ {
+		all[p2.pcidShallow] = true // force deep for every observed context
+		p2.TrackUnconditional(ub(0x1000 + uint64(i)*16))
+	}
+	if p2.ccid == shallowCID {
+		t.Fatal("deep selection must change the active context ID")
+	}
+	if !p2.ccidDeepSelected {
+		t.Fatal("oracle-deep context not marked deep")
+	}
+}
+
+func TestEndToEndRuns(t *testing.T) {
+	prof, err := workload.ByName("nodeapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sim.Options{WarmupInstr: 400_000, MeasureInstr: 800_000}
+	base, err := sim.Run(tage.MustNew(tage.Config64K()), workload.NewGenerator(prog), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MustNew(Default())
+	res, err := sim.Run(p, workload.NewGenerator(prog), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MPKI() > base.MPKI()*1.10 {
+		t.Fatalf("LLBP-X (%.3f) much worse than baseline (%.3f)", res.MPKI(), base.MPKI())
+	}
+	p.FinishMeasurement()
+	st := p.Stats()
+	for _, key := range []string{"llbpx.overrides", "llbpx.allocs", "llbpx.contexts.live", "llbpx.store.reads"} {
+		if st[key] == 0 {
+			t.Errorf("stat %s unexpectedly zero", key)
+		}
+	}
+}
+
+func TestOracleModeSkipsCTT(t *testing.T) {
+	prof, _ := workload.ByName("kafka")
+	prog, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Default()
+	c.OracleDepth = map[uint64]bool{}
+	p := MustNew(c)
+	if _, err := sim.Run(p, workload.NewGenerator(prog), sim.Options{WarmupInstr: 100_000, MeasureInstr: 200_000}); err != nil {
+		t.Fatal(err)
+	}
+	if p.ctt.Tracked() != 0 {
+		t.Fatal("oracle mode must bypass CTT learning")
+	}
+	if len(p.DeepHistory()) != 0 {
+		t.Fatal("oracle mode must not record transitions")
+	}
+}
+
+func TestDeepHistoryFeedsOracle(t *testing.T) {
+	prof, _ := workload.ByName("whiskey")
+	prog, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Default()
+	c.Hth = 18 // aggressive threshold to guarantee transitions
+	c.AvgHistSat = 2
+	probe := MustNew(c)
+	if _, err := sim.Run(probe, workload.NewGenerator(prog), sim.Options{WarmupInstr: 300_000, MeasureInstr: 600_000}); err != nil {
+		t.Fatal(err)
+	}
+	hist := probe.DeepHistory()
+	if len(hist) == 0 {
+		t.Skip("no transitions at this scale; nothing to verify")
+	}
+	c2 := Default()
+	c2.OracleDepth = hist
+	replay := MustNew(c2)
+	if _, err := sim.Run(replay, workload.NewGenerator(prog), sim.Options{WarmupInstr: 100_000, MeasureInstr: 200_000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePathModeIssuesExtraPrefetches(t *testing.T) {
+	prof, _ := workload.ByName("nodeapp")
+	prog, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sim.Options{WarmupInstr: 300_000, MeasureInstr: 600_000}
+	c := Default()
+	c.ModelFalsePath = true
+	p := MustNew(c)
+	if _, err := sim.Run(p, workload.NewGenerator(prog), opt); err != nil {
+		t.Fatal(err)
+	}
+	p.FinishMeasurement()
+	st := p.Stats()
+	if st["llbpx.prefetch.fp"] == 0 {
+		t.Fatal("false-path mode issued no wrong-path fetch attempts")
+	}
+}
+
+func TestResetStatsKeepsLearnedState(t *testing.T) {
+	p := MustNew(Default())
+	b := core.Branch{PC: 0x100, Kind: core.CondDirect, Taken: true, InstrGap: 4}
+	u := core.Branch{PC: 0x200, Kind: core.Call, Taken: true, InstrGap: 4}
+	for i := 0; i < 500; i++ {
+		pred := p.Predict(b.PC)
+		p.Update(b, pred)
+		p.TrackUnconditional(u)
+	}
+	p.ResetStats()
+	if st := p.Stats(); st["llbpx.overrides"] != 0 {
+		t.Fatal("ResetStats must clear counters")
+	}
+	if !p.Predict(b.PC).Taken {
+		t.Fatal("learned direction lost across ResetStats")
+	}
+}
+
+func TestAllocationRespectsDepthRange(t *testing.T) {
+	// With history range selection on and depth adaptation off, every
+	// context is shallow, so no resident pattern may use a history length
+	// beyond the shallow range (index 15 = 232 bits).
+	prof, _ := workload.ByName("tpcc")
+	prog, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Default()
+	c.DepthAdaptation = false
+	p := MustNew(c)
+	if _, err := sim.Run(p, workload.NewGenerator(prog), sim.Options{WarmupInstr: 200_000, MeasureInstr: 300_000}); err != nil {
+		t.Fatal(err)
+	}
+	maxShallow := int8(ShallowHistIndices[len(ShallowHistIndices)-1])
+	leaks := 0
+	p.Directory().ForEach(func(set *llbp.PatternSet) {
+		set.Patterns(func(pat *llbp.Pattern) {
+			if pat.LenIdx > maxShallow {
+				leaks++
+			}
+		})
+	})
+	if leaks > 0 {
+		t.Fatalf("%d patterns leaked past the shallow history range", leaks)
+	}
+	if st := p.Stats(); st["llbpx.allocs"] == 0 {
+		t.Fatal("no allocations happened")
+	}
+}

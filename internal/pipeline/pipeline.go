@@ -1,0 +1,105 @@
+// Package pipeline is a cycle-approximate core model, the repository's
+// stand-in for the paper's gem5 full-system simulations. It charges a base
+// CPI for useful work, a flush penalty per branch misprediction, and — in
+// the overriding front-end variant — a redirect penalty whenever a slow
+// predictor stage overrides the single-cycle fast prediction. The model
+// reproduces first-order relations (who is faster, by roughly how much),
+// not absolute IPC.
+package pipeline
+
+import "fmt"
+
+// CoreConfig describes a modeled core.
+type CoreConfig struct {
+	// Name labels the configuration ("skylake-like", "spr-like").
+	Name string
+	// BaseCPI is the cycles per instruction of a misprediction-free run:
+	// it folds in fetch width, window size, and memory stalls.
+	BaseCPI float64
+	// FlushPenalty is the cycles lost per branch misprediction (redirect,
+	// refill, squashed work).
+	FlushPenalty float64
+	// OverridePenalty is the cycles lost when a slower predictor stage
+	// overrides the single-cycle fast prediction (0 disables the
+	// overriding front-end model).
+	OverridePenalty float64
+}
+
+// SkylakeLike approximates the paper's Figure 1 older core: narrow,
+// smaller window, higher base CPI, cheaper flushes.
+func SkylakeLike() CoreConfig {
+	return CoreConfig{Name: "skylake-like", BaseCPI: 1.45, FlushPenalty: 16}
+}
+
+// SPRLike approximates the aggressive Sapphire-Rapids-like core: the wide
+// pipeline and big window halve the base CPI, but each flush wastes more
+// in-flight work.
+func SPRLike() CoreConfig {
+	return CoreConfig{Name: "spr-like", BaseCPI: 0.78, FlushPenalty: 24}
+}
+
+// Server is the Table II-like core used for the speedup studies
+// (Figures 13 and 14b).
+func Server() CoreConfig {
+	return CoreConfig{Name: "server-8w", BaseCPI: 0.95, FlushPenalty: 24, OverridePenalty: 3}
+}
+
+// Validate reports configuration errors.
+func (c CoreConfig) Validate() error {
+	switch {
+	case c.BaseCPI <= 0:
+		return fmt.Errorf("pipeline %q: BaseCPI must be positive", c.Name)
+	case c.FlushPenalty < 0 || c.OverridePenalty < 0:
+		return fmt.Errorf("pipeline %q: negative penalty", c.Name)
+	}
+	return nil
+}
+
+// Activity is the per-run input to the model, produced by the simulator.
+type Activity struct {
+	Instructions uint64
+	Mispredicts  uint64
+	// Overrides counts predictions whose final direction differed from the
+	// single-cycle fast component (bimodal, or the LLBP pattern buffer).
+	Overrides uint64
+}
+
+// Result is the model's timing outcome.
+type Result struct {
+	Core           string
+	Cycles         float64
+	CPI            float64
+	BranchStallCyc float64
+	// BranchStallShare is the fraction of all cycles spent on
+	// misprediction-induced stalls — the Figure 1 metric.
+	BranchStallShare float64
+}
+
+// Run evaluates the model for one activity profile.
+func (c CoreConfig) Run(a Activity) Result {
+	base := float64(a.Instructions) * c.BaseCPI
+	stall := float64(a.Mispredicts) * c.FlushPenalty
+	override := float64(a.Overrides) * c.OverridePenalty
+	cycles := base + stall + override
+	r := Result{
+		Core:           c.Name,
+		Cycles:         cycles,
+		BranchStallCyc: stall,
+	}
+	if a.Instructions > 0 {
+		r.CPI = cycles / float64(a.Instructions)
+	}
+	if cycles > 0 {
+		r.BranchStallShare = stall / cycles
+	}
+	return r
+}
+
+// Speedup returns how much faster x is than base for the same instruction
+// count.
+func Speedup(base, x Result) float64 {
+	if x.Cycles == 0 {
+		return 0
+	}
+	return base.Cycles / x.Cycles
+}

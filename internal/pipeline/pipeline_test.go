@@ -1,0 +1,92 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, c := range []CoreConfig{SkylakeLike(), SPRLike(), Server()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.Name, err)
+		}
+	}
+	bad := CoreConfig{Name: "bad", BaseCPI: 0}
+	if bad.Validate() == nil {
+		t.Error("zero BaseCPI must fail")
+	}
+	neg := CoreConfig{Name: "neg", BaseCPI: 1, FlushPenalty: -1}
+	if neg.Validate() == nil {
+		t.Error("negative penalty must fail")
+	}
+}
+
+func TestRunArithmetic(t *testing.T) {
+	c := CoreConfig{Name: "t", BaseCPI: 1.0, FlushPenalty: 20, OverridePenalty: 3}
+	r := c.Run(Activity{Instructions: 1000, Mispredicts: 5, Overrides: 10})
+	wantCycles := 1000.0 + 5*20 + 10*3
+	if math.Abs(r.Cycles-wantCycles) > 1e-9 {
+		t.Fatalf("Cycles = %v, want %v", r.Cycles, wantCycles)
+	}
+	if math.Abs(r.CPI-wantCycles/1000) > 1e-12 {
+		t.Fatalf("CPI = %v", r.CPI)
+	}
+	if math.Abs(r.BranchStallShare-100.0/wantCycles) > 1e-12 {
+		t.Fatalf("BranchStallShare = %v", r.BranchStallShare)
+	}
+}
+
+func TestMoreMispredictsMoreCycles(t *testing.T) {
+	c := Server()
+	prop := func(m1Raw, m2Raw uint16) bool {
+		m1, m2 := uint64(m1Raw), uint64(m2Raw)
+		if m1 > m2 {
+			m1, m2 = m2, m1
+		}
+		r1 := c.Run(Activity{Instructions: 100000, Mispredicts: m1})
+		r2 := c.Run(Activity{Instructions: 100000, Mispredicts: m2})
+		return r1.Cycles <= r2.Cycles
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	c := Server()
+	base := c.Run(Activity{Instructions: 100000, Mispredicts: 300})
+	better := c.Run(Activity{Instructions: 100000, Mispredicts: 200})
+	s := Speedup(base, better)
+	if s <= 1 {
+		t.Fatalf("fewer mispredicts must speed up: %v", s)
+	}
+	if Speedup(base, base) != 1 {
+		t.Fatal("identical runs must have speedup 1")
+	}
+	if Speedup(base, Result{}) != 0 {
+		t.Fatal("zero-cycle result must not divide by zero")
+	}
+}
+
+func TestFigure1Mechanism(t *testing.T) {
+	// The aggressive core halves base CPI but flushes cost more: with a
+	// modestly lower MPKI, the *share* of stall cycles must still rise —
+	// the paper's Figure 1 observation.
+	old := SkylakeLike().Run(Activity{Instructions: 1_000_000, Mispredicts: 4000})
+	agg := SPRLike().Run(Activity{Instructions: 1_000_000, Mispredicts: 3000})
+	if agg.Cycles >= old.Cycles {
+		t.Fatal("aggressive core should be faster overall")
+	}
+	if agg.BranchStallShare <= old.BranchStallShare {
+		t.Fatalf("stall share must grow on the aggressive core: %.3f vs %.3f",
+			agg.BranchStallShare, old.BranchStallShare)
+	}
+}
+
+func TestEmptyActivity(t *testing.T) {
+	r := Server().Run(Activity{})
+	if r.CPI != 0 || r.BranchStallShare != 0 {
+		t.Fatal("empty activity must not divide by zero")
+	}
+}

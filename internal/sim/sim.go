@@ -1,0 +1,118 @@
+// Package sim drives a predictor over a branch stream in retire order and
+// collects the accuracy metrics the experiments report. It is the
+// lightweight, branch-only simulator the paper uses for characterization
+// and sensitivity studies (its gem5 runs are covered by
+// internal/pipeline).
+package sim
+
+import (
+	"fmt"
+
+	"llbpx/internal/core"
+	"llbpx/internal/stats"
+)
+
+// Options bounds a simulation. Instruction counts follow the paper's
+// warmup-then-measure protocol; both are expressed in retired
+// instructions (not branches).
+type Options struct {
+	// WarmupInstr is the number of instructions simulated before
+	// measurement starts; predictors train but mispredictions are not
+	// counted against them.
+	WarmupInstr uint64
+	// MeasureInstr is the measured instruction count.
+	MeasureInstr uint64
+}
+
+// DefaultOptions is a scaled-down version of the paper's 100M warmup +
+// 200M measurement protocol that keeps the full experiment suite runnable
+// in minutes.
+func DefaultOptions() Options {
+	return Options{WarmupInstr: 2_000_000, MeasureInstr: 4_000_000}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.MeasureInstr == 0 {
+		return fmt.Errorf("sim: MeasureInstr must be positive")
+	}
+	return nil
+}
+
+// Result is one simulation's outcome.
+type Result struct {
+	// Predictor is the predictor's Name.
+	Predictor string
+	// Warmup and Measured are the per-phase branch statistics; MPKI and
+	// reductions are always computed from Measured.
+	Warmup   stats.BranchStats
+	Measured stats.BranchStats
+	// Extra is the predictor's internal counter snapshot at the end of the
+	// run (nil for predictors without one).
+	Extra map[string]float64
+}
+
+// MPKI returns the measured mispredictions per kilo-instruction.
+func (r Result) MPKI() float64 { return r.Measured.MPKI() }
+
+// Run simulates p over src with the given options. The source must yield
+// at least WarmupInstr+MeasureInstr instructions; infinite sources (the
+// synthetic workloads) always do, and a finite trace that ends early simply
+// yields a shorter measurement.
+func Run(p core.Predictor, src core.Source, opt Options) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Predictor: p.Name()}
+	var instr uint64
+	measuring := opt.WarmupInstr == 0
+	if measuring {
+		resetStats(p)
+	}
+	limit := opt.WarmupInstr + opt.MeasureInstr
+
+	for instr < limit {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		instr += b.Instructions()
+		phase := &res.Warmup
+		if measuring {
+			phase = &res.Measured
+		}
+		phase.Instructions += b.Instructions()
+
+		if b.Kind.Conditional() {
+			phase.CondBranches++
+			pred := p.Predict(b.PC)
+			if pred.Taken != b.Taken {
+				phase.Mispredicts++
+			} else if pred.FromSecondLevel {
+				phase.SecondLevelOK++
+			}
+			if pred.Taken != pred.FastTaken {
+				phase.Overrides++
+			}
+			p.Update(b, pred)
+		} else {
+			phase.UncondCount++
+			p.TrackUnconditional(b)
+		}
+
+		if !measuring && instr >= opt.WarmupInstr {
+			measuring = true
+			resetStats(p)
+		}
+	}
+	if sp, ok := p.(core.StatsProvider); ok {
+		res.Extra = sp.Stats()
+	}
+	return res, nil
+}
+
+func resetStats(p core.Predictor) {
+	if r, ok := p.(core.Resetter); ok {
+		r.ResetStats()
+	}
+}

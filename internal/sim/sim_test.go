@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+
+	"llbpx/internal/core"
+)
+
+// countingPredictor is a deterministic stub: it predicts taken always and
+// records calls.
+type countingPredictor struct {
+	predicts, updates, unconds int
+	resets                     int
+}
+
+func (p *countingPredictor) Name() string { return "stub" }
+func (p *countingPredictor) Predict(pc uint64) core.Prediction {
+	p.predicts++
+	return core.Prediction{Taken: true, FastTaken: pc%2 == 0, FromSecondLevel: true}
+}
+func (p *countingPredictor) Update(b core.Branch, pred core.Prediction) { p.updates++ }
+func (p *countingPredictor) TrackUnconditional(b core.Branch)           { p.unconds++ }
+func (p *countingPredictor) ResetStats()                                { p.resets++ }
+
+func branches(n int) []core.Branch {
+	out := make([]core.Branch, n)
+	for i := range out {
+		if i%4 == 3 {
+			out[i] = core.Branch{PC: uint64(i), Kind: core.Call, Taken: true, InstrGap: 5}
+		} else {
+			out[i] = core.Branch{PC: uint64(i), Kind: core.CondDirect, Taken: i%2 == 0, InstrGap: 5}
+		}
+	}
+	return out
+}
+
+func TestRunAccounting(t *testing.T) {
+	bs := branches(400) // 2000 instructions total
+	p := &countingPredictor{}
+	res, err := Run(p, core.NewSliceSource(bs), Options{WarmupInstr: 500, MeasureInstr: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Predictor != "stub" {
+		t.Fatalf("Predictor = %q", res.Predictor)
+	}
+	// 500 warmup + 1000 measured = 1500 instructions = 300 branches.
+	total := res.Warmup.Instructions + res.Measured.Instructions
+	if total != 1500 {
+		t.Fatalf("total instructions = %d, want 1500", total)
+	}
+	if res.Warmup.Instructions < 500 || res.Warmup.Instructions > 505 {
+		t.Fatalf("warmup instructions = %d", res.Warmup.Instructions)
+	}
+	if p.predicts != p.updates {
+		t.Fatal("every Predict must pair with an Update")
+	}
+	if p.unconds == 0 {
+		t.Fatal("unconditional branches not delivered")
+	}
+	// Predictor predicts always-taken; every odd-index conditional is a
+	// miss (taken == i%2==0).
+	if res.Measured.Mispredicts == 0 {
+		t.Fatal("expected mispredictions from the always-taken stub")
+	}
+	if res.Measured.SecondLevelOK == 0 {
+		t.Fatal("second-level correct predictions not counted")
+	}
+	if res.Measured.Overrides == 0 {
+		t.Fatal("override events not counted")
+	}
+	if p.resets != 1 {
+		t.Fatalf("ResetStats called %d times, want 1 (warmup boundary)", p.resets)
+	}
+}
+
+func TestRunZeroWarmup(t *testing.T) {
+	p := &countingPredictor{}
+	res, err := Run(p, core.NewSliceSource(branches(100)), Options{MeasureInstr: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warmup.Instructions != 0 {
+		t.Fatal("no warmup requested but warmup instructions recorded")
+	}
+	if res.Measured.Instructions < 300 {
+		t.Fatalf("measured %d instructions", res.Measured.Instructions)
+	}
+	if p.resets != 1 {
+		t.Fatal("stats must be reset at measurement start even without warmup")
+	}
+}
+
+func TestRunShortSource(t *testing.T) {
+	p := &countingPredictor{}
+	res, err := Run(p, core.NewSliceSource(branches(10)), Options{WarmupInstr: 10, MeasureInstr: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured.Instructions == 0 {
+		t.Fatal("short source should still produce a measurement")
+	}
+	if res.Measured.Instructions > 50 {
+		t.Fatal("measured more instructions than the source held")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if _, err := Run(&countingPredictor{}, core.NewSliceSource(nil), Options{}); err == nil {
+		t.Fatal("zero MeasureInstr must error")
+	}
+	if DefaultOptions().Validate() != nil {
+		t.Fatal("default options must validate")
+	}
+}
+
+func TestResultMPKI(t *testing.T) {
+	r := Result{}
+	r.Measured.Instructions = 1000
+	r.Measured.Mispredicts = 3
+	if r.MPKI() != 3 {
+		t.Fatalf("MPKI = %v", r.MPKI())
+	}
+}

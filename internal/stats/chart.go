@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders labelled values as a horizontal ASCII bar chart — the
+// closest a terminal gets to the paper's figures. Bars scale to the
+// largest absolute value; negative values extend a '<'-marked bar so
+// regressions remain visible.
+type BarChart struct {
+	Title string
+	rows  []barRow
+	width int
+}
+
+type barRow struct {
+	label string
+	value float64
+}
+
+// NewBarChart returns a chart whose bars occupy up to width characters
+// (minimum 10).
+func NewBarChart(title string, width int) *BarChart {
+	if width < 10 {
+		width = 10
+	}
+	return &BarChart{Title: title, width: width}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.rows = append(c.rows, barRow{label, value})
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if len(c.rows) == 0 {
+		return b.String()
+	}
+	labelW, maxAbs := 0, 0.0
+	for _, r := range c.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+		if a := math.Abs(r.value); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	for _, r := range c.rows {
+		n := 0
+		if maxAbs > 0 {
+			n = int(math.Round(math.Abs(r.value) / maxAbs * float64(c.width)))
+		}
+		bar := strings.Repeat("#", n)
+		if r.value < 0 {
+			bar = "<" + strings.Repeat("-", n)
+		}
+		fmt.Fprintf(&b, "  %-*s | %-*s %g\n", labelW, r.label, c.width+1, bar, round4(r.value))
+	}
+	return b.String()
+}
+
+func round4(v float64) float64 {
+	return math.Round(v*1e4) / 1e4
+}

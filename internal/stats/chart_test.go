@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartRendering(t *testing.T) {
+	c := NewBarChart("speedups", 20)
+	c.Add("llbp", 1.0)
+	c.Add("llbp-x", 2.0)
+	c.Add("worse", -1.0)
+	out := c.String()
+	if !strings.Contains(out, "speedups") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected title + 3 bars, got %d lines:\n%s", len(lines), out)
+	}
+	// The largest value owns the full width; half value half the bar.
+	full := strings.Count(lines[2], "#")
+	half := strings.Count(lines[1], "#")
+	if full != 20 {
+		t.Fatalf("max bar should span the width: %d", full)
+	}
+	if half < 9 || half > 11 {
+		t.Fatalf("half-value bar should be ~10: %d", half)
+	}
+	if !strings.Contains(lines[3], "<") {
+		t.Fatal("negative bars must be visually marked")
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	c := NewBarChart("", 5)
+	if c.String() != "" {
+		t.Fatal("empty chart must render nothing")
+	}
+	c.Add("zero", 0)
+	out := c.String()
+	if strings.Count(out, "#") != 0 {
+		t.Fatal("zero values draw no bar")
+	}
+}
+
+func TestBarChartMinWidth(t *testing.T) {
+	c := NewBarChart("t", 1)
+	c.Add("a", 5)
+	if !strings.Contains(c.String(), strings.Repeat("#", 10)) {
+		t.Fatal("width must clamp to the minimum of 10")
+	}
+}

@@ -1,0 +1,151 @@
+// Package tage implements the TAGE-SC-L branch predictor family: a bimodal
+// fallback, 21 partially tagged tables with geometrically increasing
+// global-history lengths (6…3000 bits), a statistical corrector, and a
+// loop predictor. It supports the finite configurations the paper sweeps
+// (8K…512K-entry presets) plus the alias-free "infinite" configuration used
+// as the accuracy upper bound, and exposes the lookup/commit hooks the
+// hierarchical LLBP/LLBP-X predictors build on.
+package tage
+
+import "fmt"
+
+// HistoryLengths are the 21 global-history lengths (bits) used by every
+// TAGE table set in this repository. They are anchored to the values the
+// paper quotes: 6 (shortest), 37 (start of LLBP-X's deep range), 78 and
+// 112 (Figure 7/8 anchors), 232 (end of the shallow range and default
+// H_th), 1444 (H_th sweep endpoint), and 3000 (longest).
+var HistoryLengths = [NumTables]int{
+	6, 9, 13, 18, 26, 37, 44, 53, 64, 78, 93,
+	112, 134, 161, 193, 232, 464, 928, 1444, 2048, 3000,
+}
+
+// NumTables is the number of tagged TAGE tables.
+const NumTables = 21
+
+// HistoryIndex returns the table index (0-based) of the given history
+// length, or -1 if it is not one of HistoryLengths.
+func HistoryIndex(length int) int {
+	for i, l := range HistoryLengths {
+		if l == length {
+			return i
+		}
+	}
+	return -1
+}
+
+// Config parameterizes a TAGE-SC-L instance.
+type Config struct {
+	// Name labels the configuration ("tsl-64k", ...).
+	Name string
+	// LogEntries is log2 of the entry count of each tagged table (finite
+	// mode only).
+	LogEntries int
+	// LogBimodal is log2 of the bimodal table's entry count.
+	LogBimodal int
+	// ShortTagBits and LongTagBits are the partial tag widths for tables
+	// with short (index < LongTagFrom) and long histories.
+	ShortTagBits int
+	LongTagBits  int
+	// LongTagFrom is the first table index using LongTagBits.
+	LongTagFrom int
+	// CtrBits is the width of the signed prediction counters (3 in TSL).
+	CtrBits int
+	// UseSC enables the statistical corrector.
+	UseSC bool
+	// UseLocalSC additionally gives the statistical corrector a
+	// local-history component (per-branch direction histories feeding a
+	// small GEHL), as in full TAGE-SC-L. Off by default: the presets model
+	// the paper's configuration, and the local component is an optional
+	// extension evaluated separately.
+	UseLocalSC bool
+	// UseLoop enables the loop predictor.
+	UseLoop bool
+	// Infinite removes all capacity constraints: tables become alias-free
+	// associative maps additionally tagged with the full branch PC (the
+	// paper's "Inf TSL").
+	Infinite bool
+	// UResetPeriod is the number of updates between graceful halvings of
+	// the usefulness counters (finite mode).
+	UResetPeriod int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Infinite {
+		return nil
+	}
+	switch {
+	case c.LogEntries < 4 || c.LogEntries > 20:
+		return fmt.Errorf("tage %q: LogEntries %d out of range [4,20]", c.Name, c.LogEntries)
+	case c.LogBimodal < 4 || c.LogBimodal > 24:
+		return fmt.Errorf("tage %q: LogBimodal %d out of range [4,24]", c.Name, c.LogBimodal)
+	case c.ShortTagBits < 4 || c.ShortTagBits > 20 || c.LongTagBits < c.ShortTagBits:
+		return fmt.Errorf("tage %q: invalid tag widths %d/%d", c.Name, c.ShortTagBits, c.LongTagBits)
+	case c.CtrBits < 2 || c.CtrBits > 6:
+		return fmt.Errorf("tage %q: CtrBits %d out of range [2,6]", c.Name, c.CtrBits)
+	case c.UResetPeriod <= 0:
+		return fmt.Errorf("tage %q: UResetPeriod must be positive", c.Name)
+	}
+	return nil
+}
+
+// tagBits returns the tag width of table i.
+func (c Config) tagBits(i int) int {
+	if i >= c.LongTagFrom {
+		return c.LongTagBits
+	}
+	return c.ShortTagBits
+}
+
+// StorageBits estimates the configuration's storage budget in bits
+// (tagged tables + bimodal; SC and loop structures add ~10%).
+func (c Config) StorageBits() int {
+	if c.Infinite {
+		return 0
+	}
+	total := (1 << c.LogBimodal) * 2
+	for i := 0; i < NumTables; i++ {
+		total += (1 << c.LogEntries) * (c.tagBits(i) + c.CtrBits + 1)
+	}
+	return total
+}
+
+// sized returns a preset whose tagged tables have 2^logEntries entries
+// each. The names follow the paper's "<size>K TSL" convention, which
+// refers to the overall storage budget in KiB.
+func sized(name string, logEntries, logBimodal int) Config {
+	return Config{
+		Name:         name,
+		LogEntries:   logEntries,
+		LogBimodal:   logBimodal,
+		ShortTagBits: 10,
+		LongTagBits:  13,
+		LongTagFrom:  10,
+		CtrBits:      3,
+		UseSC:        true,
+		UseLoop:      true,
+		UResetPeriod: 1 << 18,
+	}
+}
+
+// Config64K is the paper's baseline 64 KB TAGE-SC-L (~30 K patterns:
+// 21 tables x 1K entries, 16K-entry bimodal).
+func Config64K() Config { return sized("tsl-64k", 10, 14) }
+
+// Config8K, Config16K, Config32K, Config128K scale the tagged tables for
+// the Figure 16b sensitivity sweep.
+func Config8K() Config   { return sized("tsl-8k", 7, 11) }
+func Config16K() Config  { return sized("tsl-16k", 8, 12) }
+func Config32K() Config  { return sized("tsl-32k", 9, 13) }
+func Config128K() Config { return sized("tsl-128k", 11, 15) }
+
+// Config512K is the idealized equal-storage comparison point (~240 K
+// patterns, zero assumed access latency).
+func Config512K() Config { return sized("tsl-512k", 13, 17) }
+
+// ConfigInf is the alias-free infinite TAGE-SC-L upper bound.
+func ConfigInf() Config {
+	c := sized("tsl-inf", 10, 14)
+	c.Infinite = true
+	return c
+}

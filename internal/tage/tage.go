@@ -1,0 +1,537 @@
+package tage
+
+import (
+	"fmt"
+
+	"llbpx/internal/core"
+	"llbpx/internal/hashutil"
+	"llbpx/internal/history"
+)
+
+// entry is one tagged-table pattern: a partial tag, a signed direction
+// counter, and a usefulness bit(s) guiding replacement.
+type entry struct {
+	tag uint32
+	ctr int8
+	u   uint8
+}
+
+// Detail is the full provenance of one TAGE-SC-L lookup. Hierarchical
+// predictors (LLBP/LLBP-X) use it to arbitrate against the pattern buffer
+// and to decide statistical-corrector gating; the plain predictor distills
+// it into a core.Prediction.
+type Detail struct {
+	// FinalTaken is the TSL prediction after loop and SC stages.
+	FinalTaken bool
+	// TageTaken is the TAGE prediction (after use-alt-on-newly-allocated
+	// arbitration, before loop/SC).
+	TageTaken bool
+	// BimTaken is the bimodal fallback direction (the single-cycle "fast"
+	// prediction in an overriding front end).
+	BimTaken bool
+	// Provider is the providing table index, or -1 for bimodal.
+	Provider int
+	// ProviderLen is the provider's history length in bits (0 = bimodal).
+	ProviderLen int
+	// Confidence is |2*ctr+1| of the providing counter (1 = weakest).
+	Confidence int
+	// AltTaken is the alternate prediction's direction.
+	AltTaken     bool
+	altProvider  int
+	weakProvider bool
+	usedAlt      bool
+	// Loop predictor outputs.
+	LoopValid bool
+	LoopTaken bool
+	// SCSum is the statistical corrector's weighted vote; SCUsed reports
+	// whether it overrode the input prediction.
+	SCSum  int
+	SCUsed bool
+}
+
+// Predictor is a TAGE-SC-L instance. It implements core.Predictor for
+// standalone use and exposes Lookup/CommitDetail/TrackUnconditional plus
+// history access for the hierarchical predictors layered on top of it.
+// Not safe for concurrent use.
+type Predictor struct {
+	cfg Config
+
+	ghist *history.Global
+	path  *history.Path
+
+	idxFold  []*history.Folded
+	tagFold1 []*history.Folded
+	tagFold2 []*history.Folded
+
+	tables  [][]entry           // finite mode
+	inf     []map[uint64]*entry // infinite mode, keyed alias-free
+	infTag1 []*history.Folded   // wide folds for infinite keys
+	infTag2 []*history.Folded
+	bimodal []int8
+
+	useAlt int // use-alt-on-newly-allocated counter [-8,7]
+	rng    *hashutil.Rand
+	tick   int
+
+	sc   *corrector
+	loop *loopPredictor
+
+	// Per-lookup scratch, valid between Lookup and CommitDetail.
+	idx [NumTables]uint32
+	tag [NumTables]uint32
+
+	last Detail // cached for the core.Predictor fast path
+}
+
+// New constructs a predictor from cfg.
+func New(cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Predictor{
+		cfg:   cfg,
+		ghist: history.NewGlobal(HistoryLengths[NumTables-1] + 8),
+		path:  history.NewPath(16),
+		rng:   hashutil.NewRand(0x7a5e5),
+	}
+	p.idxFold = make([]*history.Folded, NumTables)
+	p.tagFold1 = make([]*history.Folded, NumTables)
+	p.tagFold2 = make([]*history.Folded, NumTables)
+	for i, l := range HistoryLengths {
+		logE := cfg.LogEntries
+		if cfg.Infinite {
+			logE = 10 // inf mode still folds for key mixing
+		}
+		p.idxFold[i] = history.NewFolded(l, uint(logE))
+		tb := cfg.tagBits(i)
+		if cfg.Infinite {
+			tb = 12
+		}
+		p.tagFold1[i] = history.NewFolded(l, uint(tb))
+		p.tagFold2[i] = history.NewFolded(l, uint(tb-1))
+	}
+	if cfg.Infinite {
+		p.inf = make([]map[uint64]*entry, NumTables)
+		p.infTag1 = make([]*history.Folded, NumTables)
+		p.infTag2 = make([]*history.Folded, NumTables)
+		for i, l := range HistoryLengths {
+			p.inf[i] = make(map[uint64]*entry)
+			p.infTag1[i] = history.NewFolded(l, 24)
+			p.infTag2[i] = history.NewFolded(l, 23)
+		}
+	} else {
+		p.tables = make([][]entry, NumTables)
+		for i := range p.tables {
+			p.tables[i] = make([]entry, 1<<cfg.LogEntries)
+		}
+	}
+	p.bimodal = make([]int8, 1<<cfg.LogBimodal)
+	if cfg.UseSC {
+		p.sc = newCorrector()
+		if cfg.UseLocalSC {
+			p.sc.enableLocal()
+		}
+	}
+	if cfg.UseLoop {
+		p.loop = newLoopPredictor()
+	}
+	return p, nil
+}
+
+// MustNew is New but panics on configuration errors; presets are known
+// valid.
+func MustNew(cfg Config) *Predictor {
+	p, err := New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("tage: invalid preset: %v", err))
+	}
+	return p
+}
+
+// Name implements core.Predictor.
+func (p *Predictor) Name() string { return p.cfg.Name }
+
+// Config returns the predictor's configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// History exposes the global history register so second-level predictors
+// can hook their own folded registers to the same bit stream.
+func (p *Predictor) History() *history.Global { return p.ghist }
+
+func ctrTaken(c int8) bool { return c >= 0 }
+
+func confidence(c int8) int {
+	v := 2*int(c) + 1
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+func (p *Predictor) ctrMax() int8 { return int8(1<<(p.cfg.CtrBits-1)) - 1 }
+func (p *Predictor) ctrMin() int8 { return -int8(1 << (p.cfg.CtrBits - 1)) }
+
+func (p *Predictor) ctrUpdate(c *int8, taken bool) {
+	if taken {
+		if *c < p.ctrMax() {
+			*c++
+		}
+	} else if *c > p.ctrMin() {
+		*c--
+	}
+}
+
+// bimIndex returns the bimodal index for pc.
+func (p *Predictor) bimIndex(pc uint64) uint64 {
+	return (pc >> 2) & uint64(len(p.bimodal)-1)
+}
+
+// computeHashes fills the per-table index and tag scratch for pc using the
+// current (pre-branch) history state.
+func (p *Predictor) computeHashes(pc uint64) {
+	mixed := hashutil.PCMix(pc)
+	pathBits := p.path.Value()
+	for i := 0; i < NumTables; i++ {
+		logE := uint(p.cfg.LogEntries)
+		if p.cfg.Infinite {
+			logE = 10
+		}
+		mask := uint64(1)<<logE - 1
+		ph := pathBits
+		if HistoryLengths[i] < 16 {
+			ph &= uint64(1)<<uint(HistoryLengths[i]) - 1
+		}
+		idx := mixed ^ (mixed >> (uint(i%7) + 2)) ^ p.idxFold[i].Value() ^ ph ^ uint64(i)*0x9e3779b9
+		p.idx[i] = uint32(hashutil.Fold(idx, logE) & mask)
+
+		tb := uint(p.cfg.tagBits(i))
+		if p.cfg.Infinite {
+			tb = 12
+		}
+		t := mixed ^ p.tagFold1[i].Value() ^ (p.tagFold2[i].Value() << 1)
+		p.tag[i] = uint32(t & (uint64(1)<<tb - 1))
+	}
+}
+
+// infKey builds the alias-free entry key for table i: the full PC combined
+// with two wide history folds, so distinct (pc, history) pairs collide with
+// negligible probability.
+func (p *Predictor) infKey(pc uint64, i int) uint64 {
+	return hashutil.Mix64(pc*0x9e3779b97f4a7c15 + p.infTag1[i].Value()<<25 + p.infTag2[i].Value()<<2 + uint64(i))
+}
+
+// lookupEntry returns the matching entry of table i, or nil.
+func (p *Predictor) lookupEntry(pc uint64, i int) *entry {
+	if p.cfg.Infinite {
+		if e, ok := p.inf[i][p.infKey(pc, i)]; ok {
+			return e
+		}
+		return nil
+	}
+	e := &p.tables[i][p.idx[i]]
+	if e.tag == p.tag[i] {
+		return e
+	}
+	return nil
+}
+
+// Lookup performs a full, side-effect-free TSL prediction for pc. The
+// returned Detail must be passed back to CommitDetail for the same branch
+// before the next Lookup.
+func (p *Predictor) Lookup(pc uint64) Detail {
+	p.computeHashes(pc)
+	var d Detail
+	d.Provider, d.altProvider = -1, -1
+
+	var provEntry, altEntry *entry
+	for i := NumTables - 1; i >= 0; i-- {
+		e := p.lookupEntry(pc, i)
+		if e == nil {
+			continue
+		}
+		if d.Provider < 0 {
+			d.Provider = i
+			provEntry = e
+		} else {
+			d.altProvider = i
+			altEntry = e
+			break
+		}
+	}
+
+	d.BimTaken = p.bimodal[p.bimIndex(pc)] >= 0
+	d.AltTaken = d.BimTaken
+	if altEntry != nil {
+		d.AltTaken = ctrTaken(altEntry.ctr)
+	}
+
+	if provEntry != nil {
+		d.ProviderLen = HistoryLengths[d.Provider]
+		d.Confidence = confidence(provEntry.ctr)
+		provTaken := ctrTaken(provEntry.ctr)
+		d.weakProvider = confidence(provEntry.ctr) == 1 && provEntry.u == 0
+		if d.weakProvider && p.useAlt >= 0 {
+			d.TageTaken = d.AltTaken
+			d.usedAlt = true
+		} else {
+			d.TageTaken = provTaken
+		}
+	} else {
+		d.TageTaken = d.BimTaken
+		d.Confidence = 1
+	}
+
+	d.FinalTaken = d.TageTaken
+	if p.loop != nil {
+		if taken, valid := p.loop.lookup(pc); valid {
+			d.LoopValid, d.LoopTaken = true, taken
+			d.FinalTaken = taken
+		}
+	}
+	if p.sc != nil && !d.LoopValid {
+		sum := p.sc.lookup(pc, d.FinalTaken, d.Confidence)
+		d.SCSum = sum
+		scTaken := sum >= 0
+		if scTaken != d.FinalTaken && abs(sum) >= p.sc.useThreshold() {
+			d.SCUsed = true
+			d.FinalTaken = scTaken
+		}
+	}
+	p.last = d
+	return d
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SCDecide applies the statistical corrector to an externally provided
+// prediction (the LLBP-X pattern-buffer output) using the current history
+// state, without training anything. It returns the possibly corrected
+// direction and the SC sum.
+func (p *Predictor) SCDecide(pc uint64, taken bool, conf int) (bool, int) {
+	if p.sc == nil {
+		return taken, 0
+	}
+	sum := p.sc.lookup(pc, taken, conf)
+	scTaken := sum >= 0
+	if scTaken != taken && abs(sum) >= p.sc.useThreshold() {
+		return scTaken, sum
+	}
+	return taken, sum
+}
+
+// CommitDetail trains all components with the resolved branch and pushes
+// the branch's bit into the global history. d must come from the
+// immediately preceding Lookup for the same pc. scInputTaken is the
+// direction that was fed to the SC stage (differs from d's when a
+// second-level predictor provided it), and scFinal whether the SC's
+// decision was actually used by the hierarchy; together they let the SC
+// train on what it really saw.
+func (p *Predictor) CommitDetail(b core.Branch, d Detail, scInputTaken bool, scApplied bool) {
+	pc, taken := b.PC, b.Taken
+
+	if p.loop != nil {
+		p.loop.update(pc, taken, d.TageTaken != taken)
+	}
+	if p.sc != nil {
+		if scApplied {
+			p.sc.train(pc, scInputTaken, d.Confidence, taken)
+		}
+		p.sc.pushLocal(pc, taken)
+	}
+
+	// use-alt-on-newly-allocated bookkeeping.
+	if d.Provider >= 0 && d.weakProvider {
+		provEntry := p.lookupEntry(pc, d.Provider)
+		if provEntry != nil {
+			provTaken := ctrTaken(provEntry.ctr)
+			if provTaken != d.AltTaken {
+				if d.AltTaken == taken {
+					if p.useAlt < 7 {
+						p.useAlt++
+					}
+				} else if p.useAlt > -8 {
+					p.useAlt--
+				}
+			}
+		}
+	}
+
+	// Provider (and, for weak providers, alternate) counter updates.
+	if d.Provider >= 0 {
+		e := p.lookupEntry(pc, d.Provider)
+		if e != nil {
+			provTaken := ctrTaken(e.ctr)
+			// Usefulness: provider correct where alternate differs.
+			if provTaken != d.AltTaken {
+				if provTaken == taken {
+					if e.u < 3 {
+						e.u++
+					}
+				} else if e.u > 0 {
+					e.u--
+				}
+			}
+			p.ctrUpdate(&e.ctr, taken)
+			if d.weakProvider {
+				if d.altProvider >= 0 {
+					if ae := p.lookupEntry(pc, d.altProvider); ae != nil {
+						p.ctrUpdate(&ae.ctr, taken)
+					}
+				} else {
+					p.bimUpdate(pc, taken)
+				}
+			}
+		}
+	} else {
+		p.bimUpdate(pc, taken)
+	}
+
+	// Allocation on a TAGE misprediction.
+	if d.TageTaken != taken && d.Provider < NumTables-1 {
+		p.allocate(pc, taken, d.Provider)
+	}
+
+	// Graceful usefulness aging.
+	if !p.cfg.Infinite {
+		p.tick++
+		if p.tick >= p.cfg.UResetPeriod {
+			p.tick = 0
+			for i := range p.tables {
+				tbl := p.tables[i]
+				for j := range tbl {
+					tbl[j].u >>= 1
+				}
+			}
+		}
+	}
+
+	p.pushHistory(b)
+}
+
+func (p *Predictor) bimUpdate(pc uint64, taken bool) {
+	i := p.bimIndex(pc)
+	c := p.bimodal[i]
+	if taken {
+		if c < 1 {
+			c++
+		}
+	} else if c > -2 {
+		c--
+	}
+	p.bimodal[i] = c
+}
+
+// allocate installs 1-2 new weak patterns on tables longer than the
+// provider, following TAGE's usefulness-guided policy.
+func (p *Predictor) allocate(pc uint64, taken bool, provider int) {
+	weak := int8(0)
+	if !taken {
+		weak = -1
+	}
+	start := provider + 1
+	// Random jitter over the first candidate spreads allocation pressure.
+	if p.rng.Intn(4) == 0 && start < NumTables-1 {
+		start++
+	}
+	if p.cfg.Infinite {
+		// Alias-free mode: always room.
+		allocated := 0
+		for i := start; i < NumTables && allocated < 2; i++ {
+			key := p.infKey(pc, i)
+			if _, ok := p.inf[i][key]; !ok {
+				p.inf[i][key] = &entry{ctr: weak}
+				allocated++
+				i++ // leave a gap between allocations
+			}
+		}
+		return
+	}
+	allocated := 0
+	for i := start; i < NumTables && allocated < 2; i++ {
+		e := &p.tables[i][p.idx[i]]
+		if e.u == 0 {
+			e.tag = p.tag[i]
+			e.ctr = weak
+			allocated++
+			i++ // leave a gap between allocations
+		} else {
+			e.u--
+		}
+	}
+}
+
+// pushHistory records the branch's canonical history bit and advances all
+// folded registers; it must run exactly once per retired branch.
+func (p *Predictor) pushHistory(b core.Branch) {
+	p.ghist.Push(core.HistoryBit(b))
+	p.path.Push(b.PC)
+	for i := 0; i < NumTables; i++ {
+		p.idxFold[i].Update(p.ghist)
+		p.tagFold1[i].Update(p.ghist)
+		p.tagFold2[i].Update(p.ghist)
+	}
+	if p.cfg.Infinite {
+		for i := 0; i < NumTables; i++ {
+			p.infTag1[i].Update(p.ghist)
+			p.infTag2[i].Update(p.ghist)
+		}
+	}
+	if p.sc != nil {
+		p.sc.pushHistory(p.ghist)
+	}
+}
+
+// TrackUnconditional implements core.Predictor: unconditional branches
+// only advance history state.
+func (p *Predictor) TrackUnconditional(b core.Branch) {
+	p.pushHistory(b)
+}
+
+// Predict implements core.Predictor.
+func (p *Predictor) Predict(pc uint64) core.Prediction {
+	d := p.Lookup(pc)
+	return core.Prediction{
+		Taken:       d.FinalTaken,
+		ProviderLen: d.ProviderLen,
+		Confidence:  d.Confidence,
+		FastTaken:   d.BimTaken,
+	}
+}
+
+// Update implements core.Predictor.
+func (p *Predictor) Update(b core.Branch, _ core.Prediction) {
+	p.CommitDetail(b, p.last, p.last.TageTaken, p.sc != nil && !p.last.LoopValid)
+}
+
+// PatternCount reports the number of live tagged patterns (infinite mode:
+// allocated entries; finite mode: entries with a non-zero counter or tag).
+func (p *Predictor) PatternCount() int {
+	n := 0
+	if p.cfg.Infinite {
+		for _, m := range p.inf {
+			n += len(m)
+		}
+		return n
+	}
+	for _, t := range p.tables {
+		for _, e := range t {
+			if e.tag != 0 || e.ctr != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// LoopDebug exposes the loop predictor entry state for pc (diagnostics).
+func (p *Predictor) LoopDebug(pc uint64) string {
+	if p.loop == nil {
+		return "loop disabled"
+	}
+	return p.loop.debugState(pc)
+}

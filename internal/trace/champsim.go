@@ -1,0 +1,296 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"llbpx/internal/core"
+)
+
+// ChampSim trace interop. The paper's artifact distributes its server
+// traces in the ChampSim instruction format: fixed 64-byte records of
+//
+//	ip(8) is_branch(1) branch_taken(1)
+//	destination_registers[2](2) source_registers[4](4)
+//	destination_memory[2](16) source_memory[4](32)
+//
+// Branch kind is not stored; like ChampSim itself we reconstruct it from
+// the architectural registers each branch reads and writes, and the taken
+// target from the next record's instruction pointer. Plain and
+// gzip-compressed streams are supported (the published .xz archives must
+// be decompressed first — the Go standard library has no xz reader).
+
+// ChampSim register identifiers used by the kind heuristic.
+const (
+	champSP    = 6  // stack pointer
+	champFlags = 25 // condition flags
+	champIP    = 26 // instruction pointer
+)
+
+// champRecordSize is the fixed on-disk record size.
+const champRecordSize = 8 + 1 + 1 + 2 + 4 + 16 + 32
+
+// champRecord is one decoded instruction record.
+type champRecord struct {
+	ip       uint64
+	isBranch bool
+	taken    bool
+	dst      [2]byte
+	src      [4]byte
+}
+
+// champKind reconstructs the ChampSim branch classification.
+func (r champRecord) champKind() (core.BranchKind, bool) {
+	if !r.isBranch {
+		return 0, false
+	}
+	has := func(regs []byte, want byte) bool {
+		for _, g := range regs {
+			if g == want {
+				return true
+			}
+		}
+		return false
+	}
+	readsSP := has(r.src[:], champSP)
+	readsIP := has(r.src[:], champIP)
+	readsFlags := has(r.src[:], champFlags)
+	writesSP := has(r.dst[:], champSP)
+	writesIP := has(r.dst[:], champIP)
+	readsOther := false
+	for _, g := range r.src {
+		if g != 0 && g != champSP && g != champIP && g != champFlags {
+			readsOther = true
+		}
+	}
+	switch {
+	case !writesIP:
+		// A "branch" that does not write the IP: treat as a plain jump so
+		// the record is not silently dropped.
+		return core.Jump, true
+	case readsSP && writesSP && writesIP && !readsIP:
+		return core.Return, true
+	case readsSP && writesSP && writesIP && readsIP && readsOther:
+		return core.IndirectJump, true // indirect call
+	case readsSP && writesSP && writesIP && readsIP:
+		return core.Call, true
+	case readsFlags:
+		return core.CondDirect, true
+	case readsOther:
+		return core.IndirectJump, true
+	default:
+		return core.Jump, true
+	}
+}
+
+// ChampSimReader decodes a ChampSim instruction trace into branch records;
+// it implements core.Source. Non-branch instructions are folded into the
+// following branch's InstrGap.
+type ChampSimReader struct {
+	r       *bufio.Reader
+	buf     [champRecordSize]byte
+	pending *champRecord // decoded branch awaiting its target (next ip)
+	gap     uint32       // instructions since the previous branch
+	err     error
+	count   uint64
+}
+
+// NewChampSimReader wraps r, transparently ungzipping if needed.
+func NewChampSimReader(r io.Reader) (*ChampSimReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: champsim gzip: %w", err)
+		}
+		br = bufio.NewReaderSize(gz, 1<<16)
+	} else if err == nil && magic[0] == 0xfd && len(magic) > 1 {
+		if more, err2 := br.Peek(6); err2 == nil && string(more[1:6]) == "7zXZ\x00" {
+			return nil, errors.New("trace: champsim .xz input: decompress with `xz -d` first (no xz support in the Go standard library)")
+		}
+	}
+	return &ChampSimReader{r: br}, nil
+}
+
+// readRecord decodes the next 64-byte record.
+func (c *ChampSimReader) readRecord() (champRecord, error) {
+	if _, err := io.ReadFull(c.r, c.buf[:]); err != nil {
+		return champRecord{}, err
+	}
+	rec := champRecord{
+		ip:       binary.LittleEndian.Uint64(c.buf[0:8]),
+		isBranch: c.buf[8] != 0,
+		taken:    c.buf[9] != 0,
+	}
+	copy(rec.dst[:], c.buf[10:12])
+	copy(rec.src[:], c.buf[12:16])
+	return rec, nil
+}
+
+// Next implements core.Source: it returns the next branch, with its taken
+// target inferred from the following record's instruction pointer.
+func (c *ChampSimReader) Next() (core.Branch, bool) {
+	if c.err != nil {
+		return core.Branch{}, false
+	}
+	for {
+		rec, err := c.readRecord()
+		if err != nil {
+			if !errors.Is(err, io.EOF) || c.pending != nil && errors.Is(err, io.ErrUnexpectedEOF) {
+				if !errors.Is(err, io.EOF) {
+					c.err = fmt.Errorf("trace: champsim record: %w", err)
+				}
+			}
+			// Flush a trailing branch without a known target.
+			if c.pending != nil {
+				b := c.finish(*c.pending, c.pending.ip+4)
+				c.pending = nil
+				return b, true
+			}
+			return core.Branch{}, false
+		}
+		c.gap++
+		if c.pending != nil {
+			b := c.finish(*c.pending, rec.ip)
+			c.pending = nil
+			if kind, ok := rec.champKind(); ok {
+				// The new record is itself a branch: stash it.
+				r := rec
+				_ = kind
+				c.pending = &r
+			}
+			return b, true
+		}
+		if _, ok := rec.champKind(); ok {
+			r := rec
+			c.pending = &r
+			continue
+		}
+	}
+}
+
+// finish materializes a pending branch once its fall-through/target is
+// known from the successor's ip.
+func (c *ChampSimReader) finish(rec champRecord, nextIP uint64) core.Branch {
+	kind, _ := rec.champKind()
+	target := nextIP
+	if !rec.taken {
+		// Fall-through successor: the taken target is unknown; use a
+		// synthetic forward target for bookkeeping.
+		target = rec.ip + 4
+	}
+	gap := c.gap - 1 // instructions counted after the branch belong to the next gap
+	if gap == 0 {
+		gap = 1
+	}
+	b := core.Branch{
+		PC:       rec.ip,
+		Target:   target,
+		Kind:     kind,
+		Taken:    rec.taken || kind.Unconditional(),
+		InstrGap: gap,
+	}
+	c.gap = 1 // the successor instruction itself
+	c.count++
+	return b
+}
+
+// Err returns the first decode error (nil on clean EOF).
+func (c *ChampSimReader) Err() error { return c.err }
+
+// Count returns the number of branches produced.
+func (c *ChampSimReader) Count() uint64 { return c.count }
+
+// WriteChampSimRecord encodes one instruction in the ChampSim format; used
+// by tests and by tooling that exports synthetic workloads for the
+// reference simulator.
+func WriteChampSimRecord(w io.Writer, ip uint64, isBranch, taken bool, dst [2]byte, src [4]byte) error {
+	var buf [champRecordSize]byte
+	binary.LittleEndian.PutUint64(buf[0:8], ip)
+	if isBranch {
+		buf[8] = 1
+	}
+	if taken {
+		buf[9] = 1
+	}
+	copy(buf[10:12], dst[:])
+	copy(buf[12:16], src[:])
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// ExportChampSim writes the branch stream from src as a ChampSim
+// instruction trace, synthesizing the non-branch filler instructions each
+// branch's InstrGap implies. The result replays through NewChampSimReader
+// (and through the reference ChampSim/LLBP artifact) with the same branch
+// sequence. It stops after maxInstr instructions and returns the counts
+// written.
+func ExportChampSim(w io.Writer, src core.Source, maxInstr uint64) (instructions, branches uint64, err error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fillerIP := uint64(0x70_0000_0000)
+	for instructions < maxInstr {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		gap := b.Instructions()
+		// gap-1 filler instructions precede the branch; the first filler
+		// sits exactly at the previous branch's destination so the reader
+		// (and ChampSim) reconstruct that target.
+		for i := uint64(1); i < gap; i++ {
+			if err := WriteChampSimRecord(bw, fillerIP, false, false, [2]byte{}, [4]byte{1}); err != nil {
+				return instructions, branches, fmt.Errorf("trace: champsim export: %w", err)
+			}
+			instructions++
+			fillerIP += 4
+		}
+		var dst [2]byte
+		var srcRegs [4]byte
+		switch b.Kind {
+		case core.CondDirect:
+			dst = [2]byte{champIP}
+			srcRegs = [4]byte{champFlags, champIP}
+		case core.Call:
+			dst = [2]byte{champIP, champSP}
+			srcRegs = [4]byte{champIP, champSP}
+		case core.Return:
+			dst = [2]byte{champIP, champSP}
+			srcRegs = [4]byte{champSP}
+		case core.IndirectJump:
+			dst = [2]byte{champIP}
+			srcRegs = [4]byte{3}
+		default: // Jump
+			dst = [2]byte{champIP}
+			srcRegs = [4]byte{champIP}
+		}
+		if err := WriteChampSimRecord(bw, b.PC, true, b.Taken, dst, srcRegs); err != nil {
+			return instructions, branches, fmt.Errorf("trace: champsim export: %w", err)
+		}
+		instructions++
+		branches++
+		// ChampSim infers the taken target from the successor record; a
+		// taken branch must therefore be followed by its target, a
+		// not-taken one by its fall-through.
+		if b.Taken {
+			fillerIP = b.Target
+		} else {
+			fillerIP = b.PC + 4
+		}
+	}
+	// A terminal filler record at the final destination lets the reader
+	// (and ChampSim) resolve the last branch's target.
+	if branches > 0 {
+		if err := WriteChampSimRecord(bw, fillerIP, false, false, [2]byte{}, [4]byte{1}); err != nil {
+			return instructions, branches, fmt.Errorf("trace: champsim export: %w", err)
+		}
+		instructions++
+	}
+	if err := bw.Flush(); err != nil {
+		return instructions, branches, fmt.Errorf("trace: champsim export: %w", err)
+	}
+	return instructions, branches, nil
+}

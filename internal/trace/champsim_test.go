@@ -1,0 +1,295 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+
+	"llbpx/internal/core"
+)
+
+// champBuilder assembles a synthetic ChampSim instruction stream.
+type champBuilder struct {
+	buf bytes.Buffer
+	t   *testing.T
+}
+
+func (b *champBuilder) plain(ip uint64) {
+	if err := WriteChampSimRecord(&b.buf, ip, false, false, [2]byte{}, [4]byte{1}); err != nil {
+		b.t.Fatal(err)
+	}
+}
+
+func (b *champBuilder) cond(ip uint64, taken bool) {
+	// Conditional: writes IP, reads FLAGS (+IP).
+	if err := WriteChampSimRecord(&b.buf, ip, true, taken, [2]byte{champIP}, [4]byte{champFlags, champIP}); err != nil {
+		b.t.Fatal(err)
+	}
+}
+
+func (b *champBuilder) call(ip uint64) {
+	// Direct call: reads IP+SP, writes IP+SP.
+	if err := WriteChampSimRecord(&b.buf, ip, true, true, [2]byte{champIP, champSP}, [4]byte{champIP, champSP}); err != nil {
+		b.t.Fatal(err)
+	}
+}
+
+func (b *champBuilder) ret(ip uint64) {
+	// Return: reads SP, writes IP+SP (no IP read).
+	if err := WriteChampSimRecord(&b.buf, ip, true, true, [2]byte{champIP, champSP}, [4]byte{champSP}); err != nil {
+		b.t.Fatal(err)
+	}
+}
+
+func (b *champBuilder) indirect(ip uint64) {
+	// Indirect jump: writes IP, reads a general register.
+	if err := WriteChampSimRecord(&b.buf, ip, true, true, [2]byte{champIP}, [4]byte{3}); err != nil {
+		b.t.Fatal(err)
+	}
+}
+
+func TestChampSimKindsAndTargets(t *testing.T) {
+	b := &champBuilder{t: t}
+	b.plain(0x100)
+	b.cond(0x104, true) // taken conditional; target = next ip
+	b.plain(0x200)      // the taken destination
+	b.call(0x204)
+	b.plain(0x400)
+	b.ret(0x404)
+	b.indirect(0x500)
+	b.plain(0x600)
+
+	r, err := NewChampSimReader(bytes.NewReader(b.buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []core.Branch
+	for {
+		br, ok := r.Next()
+		if !ok {
+			break
+		}
+		got = append(got, br)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(got) != 4 {
+		t.Fatalf("decoded %d branches, want 4: %+v", len(got), got)
+	}
+	if got[0].Kind != core.CondDirect || !got[0].Taken || got[0].Target != 0x200 {
+		t.Fatalf("conditional decoded wrong: %+v", got[0])
+	}
+	if got[1].Kind != core.Call || got[1].Target != 0x400 {
+		t.Fatalf("call decoded wrong: %+v", got[1])
+	}
+	if got[2].Kind != core.Return || got[2].Target != 0x500 {
+		t.Fatalf("return decoded wrong: %+v", got[2])
+	}
+	if got[3].Kind != core.IndirectJump || got[3].Target != 0x600 {
+		t.Fatalf("indirect decoded wrong: %+v", got[3])
+	}
+	// Instruction gaps: the plain instructions fold into the branches.
+	if got[0].InstrGap != 2 { // plain(0x100) + the branch itself
+		t.Fatalf("gap of first branch = %d, want 2", got[0].InstrGap)
+	}
+}
+
+func TestChampSimNotTakenConditional(t *testing.T) {
+	b := &champBuilder{t: t}
+	b.cond(0x104, false)
+	b.plain(0x108) // fall-through
+	r, err := NewChampSimReader(bytes.NewReader(b.buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, ok := r.Next()
+	if !ok || br.Taken {
+		t.Fatalf("not-taken conditional decoded wrong: %+v ok=%v", br, ok)
+	}
+}
+
+func TestChampSimGzip(t *testing.T) {
+	b := &champBuilder{t: t}
+	b.cond(0x10, true)
+	b.plain(0x20)
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	if _, err := zw.Write(b.buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewChampSimReader(&zbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, ok := r.Next()
+	if !ok || br.PC != 0x10 || br.Target != 0x20 {
+		t.Fatalf("gzip stream decoded wrong: %+v ok=%v", br, ok)
+	}
+}
+
+func TestChampSimXZRejectedWithHint(t *testing.T) {
+	xzMagic := []byte{0xfd, '7', 'z', 'X', 'Z', 0x00, 0, 0}
+	if _, err := NewChampSimReader(bytes.NewReader(xzMagic)); err == nil ||
+		!strings.Contains(err.Error(), "xz") {
+		t.Fatalf("xz input must be rejected with a decompression hint, got %v", err)
+	}
+}
+
+func TestChampSimTruncatedRecord(t *testing.T) {
+	b := &champBuilder{t: t}
+	b.cond(0x10, true)
+	data := b.buf.Bytes()[:champRecordSize-5]
+	r, err := NewChampSimReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated record must not decode")
+	}
+}
+
+func TestChampSimTrailingBranchFlushed(t *testing.T) {
+	b := &champBuilder{t: t}
+	b.plain(0x100)
+	b.cond(0x104, true) // stream ends right after the branch
+	r, err := NewChampSimReader(bytes.NewReader(b.buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, ok := r.Next()
+	if !ok || br.PC != 0x104 {
+		t.Fatalf("trailing branch lost: %+v ok=%v", br, ok)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("stream must end after the flush")
+	}
+	if r.Count() != 1 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+func TestChampSimFeedsPredictor(t *testing.T) {
+	// End to end: a repeated loop pattern through the ChampSim decoder
+	// must be learnable by the simulator stack (kinds and gaps sane).
+	b := &champBuilder{t: t}
+	for rep := 0; rep < 500; rep++ {
+		for it := 0; it < 4; it++ {
+			b.plain(0x1000 + uint64(it)*8)
+			b.cond(0x2000, it < 3)
+		}
+	}
+	r, err := NewChampSimReader(bytes.NewReader(b.buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		br, ok := r.Next()
+		if !ok {
+			break
+		}
+		if !br.Kind.Valid() || br.InstrGap == 0 {
+			t.Fatalf("malformed branch from decoder: %+v", br)
+		}
+		n++
+	}
+	if n != 2000 {
+		t.Fatalf("decoded %d branches, want 2000", n)
+	}
+}
+
+func TestExportChampSimRoundTrip(t *testing.T) {
+	// Export a hand-built branch stream and decode it back: branch PCs,
+	// kinds, directions and taken targets must survive.
+	// A self-consistent stream: after a taken branch, execution (and so
+	// the next record) continues at its target; after a not-taken one, at
+	// the fall-through. gap-1 filler instructions lead each branch.
+	in := []core.Branch{
+		{PC: 0x208, Target: 0x300, Kind: core.CondDirect, Taken: true, InstrGap: 3},
+		{PC: 0x304, Target: 0x800, Kind: core.Call, Taken: true, InstrGap: 2},
+		{PC: 0x800, Target: 0x820, Kind: core.CondDirect, Taken: false, InstrGap: 1},
+		{PC: 0x808, Target: 0x308, Kind: core.Return, Taken: true, InstrGap: 2},
+	}
+	var buf bytes.Buffer
+	instr, branches, err := ExportChampSim(&buf, core.NewSliceSource(in), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if branches != 4 {
+		t.Fatalf("exported %d branches", branches)
+	}
+	wantInstr := uint64(3 + 2 + 1 + 2 + 1) // + terminal filler
+	if instr != wantInstr {
+		t.Fatalf("exported %d instructions, want %d", instr, wantInstr)
+	}
+	r, err := NewChampSimReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []core.Branch
+	for {
+		b, ok := r.Next()
+		if !ok {
+			break
+		}
+		out = append(out, b)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d branches, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].PC != in[i].PC || out[i].Kind != in[i].Kind || out[i].Taken != in[i].Taken {
+			t.Fatalf("branch %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+		if in[i].Taken && out[i].Target != in[i].Target {
+			t.Fatalf("branch %d taken target lost: %#x vs %#x", i, out[i].Target, in[i].Target)
+		}
+		if out[i].InstrGap != in[i].InstrGap {
+			t.Fatalf("branch %d gap %d, want %d", i, out[i].InstrGap, in[i].InstrGap)
+		}
+	}
+}
+
+func TestExportChampSimFromWorkloadStream(t *testing.T) {
+	// A synthetic workload exported to ChampSim format must replay with
+	// identical branch PCs and directions.
+	src := sampleBranches(2000, 7)
+	// sampleBranches produces arbitrary targets; force taken branches'
+	// targets to differ from fall-through so the inference is observable.
+	for i := range src {
+		if src[i].Taken {
+			src[i].Target = src[i].PC + 0x40
+		}
+		// Give every branch a leading filler so the taken target is
+		// carried by a filler record rather than colliding with the next
+		// branch's own PC.
+		if src[i].InstrGap < 2 {
+			src[i].InstrGap = 2
+		}
+	}
+	var buf bytes.Buffer
+	if _, _, err := ExportChampSim(&buf, core.NewSliceSource(src), 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewChampSimReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("stream ended at branch %d", i)
+		}
+		if got.PC != src[i].PC || got.Taken != src[i].Taken {
+			t.Fatalf("branch %d mismatch: %+v vs %+v", i, got, src[i])
+		}
+		if src[i].Taken && got.Target != src[i].Target {
+			t.Fatalf("branch %d target %#x, want %#x", i, got.Target, src[i].Target)
+		}
+	}
+}

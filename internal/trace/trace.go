@@ -1,0 +1,195 @@
+// Package trace defines the repository's compact binary branch-trace
+// format, the stand-in for the ChampSim traces the paper's artifact uses.
+// A trace file is a magic header followed by varint-delta-encoded branch
+// records; cmd/tracegen writes them and cmd/llbpsim can replay them.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"llbpx/internal/core"
+)
+
+// Magic identifies a trace file (8 bytes, version-suffixed).
+const Magic = "LLBPTRC1"
+
+// ErrBadMagic reports that the input is not a trace file this package
+// understands.
+var ErrBadMagic = errors.New("trace: bad magic (not an LLBPTRC1 file)")
+
+// Writer encodes branches to an underlying stream. Close must be called to
+// flush buffered output.
+type Writer struct {
+	w      *bufio.Writer
+	prevPC uint64
+	count  uint64
+	buf    [3 * binary.MaxVarintLen64]byte
+	err    error
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// zigzag encodes a signed delta as unsigned.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag decodes a zigzag-encoded value.
+func unzigzag(v uint64) int64 { return int64(v>>1) ^ -int64(v&1) }
+
+// Write appends one branch record.
+func (w *Writer) Write(b core.Branch) error {
+	if w.err != nil {
+		return w.err
+	}
+	if !b.Kind.Valid() {
+		w.err = fmt.Errorf("trace: invalid branch kind %d", b.Kind)
+		return w.err
+	}
+	// Record layout: [kind|taken<<3] varint, pc zigzag delta, target zigzag
+	// delta from pc, instruction gap.
+	head := uint64(b.Kind)
+	if b.Taken {
+		head |= 1 << 3
+	}
+	n := binary.PutUvarint(w.buf[:], head)
+	n += binary.PutUvarint(w.buf[n:], zigzag(int64(b.PC-w.prevPC)))
+	n += binary.PutUvarint(w.buf[n:], zigzag(int64(b.Target-b.PC)))
+	n += binary.PutUvarint(w.buf[n:], uint64(b.InstrGap))
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		w.err = fmt.Errorf("trace: writing record: %w", err)
+		return w.err
+	}
+	w.prevPC = b.PC
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Close flushes buffered data. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = fmt.Errorf("trace: flushing: %w", err)
+		return w.err
+	}
+	return nil
+}
+
+// Reader decodes a trace stream. It implements core.Source; decoding
+// errors surface through Err after Next returns false.
+type Reader struct {
+	r      *bufio.Reader
+	prevPC uint64
+	err    error
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != Magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next implements core.Source. A clean end of stream and a decode error
+// both return ok=false; check Err to distinguish them.
+func (r *Reader) Next() (core.Branch, bool) {
+	if r.err != nil {
+		return core.Branch{}, false
+	}
+	head, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			r.err = fmt.Errorf("trace: reading record head: %w", err)
+		}
+		return core.Branch{}, false
+	}
+	kind := core.BranchKind(head & 0x7)
+	if !kind.Valid() {
+		r.err = fmt.Errorf("trace: invalid branch kind %d in stream", kind)
+		return core.Branch{}, false
+	}
+	pcDelta, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = fmt.Errorf("trace: truncated record (pc): %w", err)
+		return core.Branch{}, false
+	}
+	tgtDelta, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = fmt.Errorf("trace: truncated record (target): %w", err)
+		return core.Branch{}, false
+	}
+	gap, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = fmt.Errorf("trace: truncated record (gap): %w", err)
+		return core.Branch{}, false
+	}
+	pc := w64(r.prevPC, pcDelta)
+	b := core.Branch{
+		PC:       pc,
+		Target:   w64(pc, tgtDelta),
+		Kind:     kind,
+		Taken:    head&(1<<3) != 0,
+		InstrGap: uint32(gap),
+	}
+	r.prevPC = pc
+	return b, true
+}
+
+func w64(base uint64, zz uint64) uint64 {
+	return uint64(int64(base) + unzigzag(zz))
+}
+
+// Err returns the first error encountered while decoding, or nil on a
+// clean end of stream.
+func (r *Reader) Err() error { return r.err }
+
+// ReadAll decodes every record from r into memory.
+func ReadAll(r io.Reader) ([]core.Branch, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []core.Branch
+	for {
+		b, ok := tr.Next()
+		if !ok {
+			break
+		}
+		out = append(out, b)
+	}
+	return out, tr.Err()
+}
+
+// WriteAll encodes all branches to w.
+func WriteAll(w io.Writer, branches []core.Branch) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, b := range branches {
+		if err := tw.Write(b); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}

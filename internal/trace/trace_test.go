@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"llbpx/internal/core"
+	"llbpx/internal/hashutil"
+)
+
+func sampleBranches(n int, seed uint64) []core.Branch {
+	r := hashutil.NewRand(seed)
+	out := make([]core.Branch, n)
+	pc := uint64(0x400000)
+	for i := range out {
+		pc += uint64(r.Intn(64)) * 4
+		kind := core.BranchKind(r.Intn(5))
+		out[i] = core.Branch{
+			PC:       pc,
+			Target:   pc + uint64(r.Intn(1<<16)) - 1<<15,
+			Kind:     kind,
+			Taken:    kind.Unconditional() || r.Bool(0.6),
+			InstrGap: uint32(1 + r.Intn(10)),
+		}
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	branches := sampleBranches(5000, 1)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, branches); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(branches) {
+		t.Fatalf("decoded %d branches, want %d", len(got), len(branches))
+	}
+	for i := range got {
+		if got[i] != branches[i] {
+			t.Fatalf("branch %d mismatch: %+v vs %+v", i, got[i], branches[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(seed uint64, nRaw uint8) bool {
+		branches := sampleBranches(int(nRaw)%100+1, seed)
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, branches); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil || len(got) != len(branches) {
+			return false
+		}
+		for i := range got {
+			if got[i] != branches[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE..."))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestShortHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("LLB"))); err == nil {
+		t.Fatal("truncated header must error")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	branches := sampleBranches(10, 2)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, branches); err != nil {
+		t.Fatal(err)
+	}
+	// Chop bytes off the end; decoding must surface an error (not a clean
+	// EOF) unless the cut lands exactly on a record boundary.
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n >= len(branches) {
+		t.Fatal("truncated stream decoded all records")
+	}
+	if r.Err() == nil {
+		t.Fatal("mid-record truncation must set Err")
+	}
+}
+
+func TestInvalidKindRejectedOnWrite(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(core.Branch{Kind: core.BranchKind(9)}); err == nil {
+		t.Fatal("invalid kind must be rejected")
+	}
+	// The writer is poisoned after an error.
+	if err := w.Write(core.Branch{Kind: core.Jump}); err == nil {
+		t.Fatal("writer must stay failed after an error")
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range sampleBranches(17, 3) {
+		if err := w.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 17 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+}
+
+func TestReaderIsSource(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sampleBranches(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src core.Source = r
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("read %d records via Source, want 3", n)
+	}
+	if r.Err() != nil {
+		t.Fatalf("clean EOF must not set Err: %v", r.Err())
+	}
+}
+
+func TestCompactEncoding(t *testing.T) {
+	// Sequential PCs with small deltas should encode far below 16 bytes
+	// per record.
+	branches := sampleBranches(10000, 5)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, branches); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := float64(buf.Len()) / float64(len(branches))
+	if perRecord > 12 {
+		t.Fatalf("encoding too large: %.1f bytes/record", perRecord)
+	}
+}
+
+func TestReaderSurvivesGarbage(t *testing.T) {
+	// Random byte streams with a valid magic must never panic: they
+	// either decode (by chance) or end with an error.
+	r := hashutil.NewRand(99)
+	for trial := 0; trial < 200; trial++ {
+		data := []byte(Magic)
+		n := r.Intn(200)
+		for i := 0; i < n; i++ {
+			data = append(data, byte(r.Intn(256)))
+		}
+		tr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("header rejected: %v", err)
+		}
+		for i := 0; i < 1000; i++ {
+			if _, ok := tr.Next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	prop := func(v int64) bool {
+		return unzigzag(zigzag(v)) == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

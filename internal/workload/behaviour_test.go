@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"testing"
+
+	"llbpx/internal/sim"
+	"llbpx/internal/tage"
+)
+
+// TestBehaviourClassLearnability is the workload generator's core
+// integration contract: each behaviour class must land in its intended
+// predictability band under the baseline 64K TAGE-SC-L. If static branches
+// miss, the generator is broken; if guards/payload branches are at coin-
+// flip rates, the payload-revelation chain is broken (the regression that
+// motivated function-entry guard branches).
+func TestBehaviourClassLearnability(t *testing.T) {
+	prof, err := ByName("nodeapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewGenerator(prog)
+	p := tage.MustNew(tage.Config64K())
+
+	miss := map[string]int{}
+	count := map[string]int{}
+	var instr uint64
+	for instr < 3_000_000 {
+		b, _ := gen.Next()
+		instr += b.Instructions()
+		if !b.Kind.Conditional() {
+			p.TrackUnconditional(b)
+			continue
+		}
+		pred := p.Predict(b.PC)
+		if instr > 1_500_000 {
+			cls := prog.SiteClass(b.PC)
+			count[cls]++
+			if pred.Taken != b.Taken {
+				miss[cls]++
+			}
+		}
+		p.Update(b, pred)
+	}
+
+	rate := func(cls string) float64 {
+		if count[cls] == 0 {
+			t.Fatalf("class %q never executed", cls)
+		}
+		return float64(miss[cls]) / float64(count[cls])
+	}
+
+	if r := rate("static"); r > 0.02 {
+		t.Errorf("static branches miss at %.2f%% — generator or predictor broken", 100*r)
+	}
+	if r := rate("short"); r > 0.15 {
+		t.Errorf("short-history branches miss at %.2f%% — should be learnable", 100*r)
+	}
+	if r := rate("guard"); r > 0.30 {
+		t.Errorf("guard branches miss at %.2f%% — payload revelation chain broken", 100*r)
+	}
+	if r := rate("preamble"); r < 0.02 {
+		t.Errorf("preamble misses only %.2f%% — payload entropy has leaked somewhere", 100*r)
+	}
+	// Payload-correlated classes are the H2P population: harder than
+	// short patterns but far from coin flips.
+	for _, cls := range []string{"payload", "mixed"} {
+		if r := rate(cls); r > 0.40 {
+			t.Errorf("%s branches at %.2f%% — effectively unpredictable", cls, 100*r)
+		}
+	}
+	if r := rate("loop-exit"); r > 0.25 {
+		t.Errorf("loop exits miss at %.2f%%", 100*r)
+	}
+}
+
+// TestCapacitySensitivity asserts the working set actually pressures the
+// 64K baseline: a 512K TAGE must fix a visible share of its misses. This
+// is the property every capacity experiment in the paper rests on.
+func TestCapacitySensitivity(t *testing.T) {
+	prof, err := ByName("charlie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sim.Options{WarmupInstr: 1_000_000, MeasureInstr: 1_500_000}
+	r64, err := sim.Run(tage.MustNew(tage.Config64K()), NewGenerator(prog), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r512, err := sim.Run(tage.MustNew(tage.Config512K()), NewGenerator(prog), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := (r64.MPKI() - r512.MPKI()) / r64.MPKI()
+	if red < 0.10 {
+		t.Fatalf("512K fixes only %.1f%% of charlie's misses — capacity pressure lost", 100*red)
+	}
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The 14 preset profiles mirror the paper's workload list (Table I). Each
+// is calibrated so a 64 KB TAGE-SC-L lands roughly at the paper's absolute
+// MPKI; PaperMPKI records the target. The knobs follow the workloads'
+// published characters: the Google traces (Charlie/Delta/Merced/Whiskey)
+// and NodeApp have the largest instruction footprints and the most H2P
+// pressure, Kafka and Finagle-chirper are small and highly predictable.
+
+// PaperMPKI maps workload name to the 64K TSL MPKI reported in Table I.
+var PaperMPKI = map[string]float64{
+	"nodeapp": 4.43, "phpwiki": 3.08, "tpcc": 3.74, "twitter": 3.03,
+	"wikipedia": 2.52, "kafka": 0.26, "spring": 3.58, "tomcat": 3.40,
+	"chirper": 0.48, "finagle-http": 2.81, "charlie": 2.89, "delta": 1.09,
+	"merced": 4.13, "whiskey": 5.38,
+}
+
+func preset(name string, seed uint64, mutate func(*Profile)) Profile {
+	p := Default(name, seed)
+	mutate(&p)
+	return p
+}
+
+// Workloads returns the 14 preset profiles in Table I order.
+func Workloads() []Profile {
+	return []Profile{
+		preset("nodeapp", 101, func(p *Profile) {
+			p.Functions, p.Layers = 560, 7
+			p.PayloadBits, p.PreambleBits = 4, 9
+			p.RequestTypes = 16
+			p.FracPayload, p.FracMixed = 0.12, 0.07
+			p.FracBiased, p.BiasedP = 0.05, 0.96
+			p.MinRequestBranches = 850
+		}),
+		preset("phpwiki", 102, func(p *Profile) {
+			p.Functions = 420
+			p.PayloadBits, p.PreambleBits = 4, 9
+			p.FracPayload, p.FracMixed = 0.12, 0.07
+			p.FracBiased, p.BiasedP = 0.05, 0.96
+			p.MinRequestBranches = 500
+		}),
+		preset("tpcc", 103, func(p *Profile) {
+			p.Functions, p.Layers = 500, 6
+			p.RequestTypes = 5 // TPC-C's five transaction types
+			p.ZipfS = 0.4
+			p.PayloadBits, p.PreambleBits = 5, 10
+			p.FracPayload, p.FracMixed = 0.13, 0.08
+			p.FracBiased, p.BiasedP = 0.06, 0.95
+			p.MinRequestBranches = 450
+		}),
+		preset("twitter", 104, func(p *Profile) {
+			p.Functions = 430
+			p.PayloadBits, p.PreambleBits = 4, 9
+			p.FracPayload, p.FracMixed = 0.12, 0.07
+			p.FracBiased, p.BiasedP = 0.06, 0.955
+			p.MinRequestBranches = 500
+		}),
+		preset("wikipedia", 105, func(p *Profile) {
+			p.Functions = 380
+			p.PayloadBits, p.PreambleBits = 3, 8
+			p.FracPayload, p.FracMixed = 0.11, 0.06
+			p.FracBiased, p.BiasedP = 0.05, 0.96
+			p.MinRequestBranches = 400
+		}),
+		preset("kafka", 106, func(p *Profile) {
+			// Tiny, loop-dominated, highly predictable broker loop.
+			p.Functions, p.Layers = 90, 4
+			p.RequestTypes = 4
+			p.PayloadBits, p.PreambleBits = 2, 7
+			p.FracShort, p.FracPayload, p.FracMixed = 0.28, 0.02, 0.01
+			p.FracLoop = 0.10
+			p.FracBiased, p.BiasedP = 0.03, 0.995
+			p.MinRequestBranches = 1000
+		}),
+		preset("spring", 107, func(p *Profile) {
+			p.Functions, p.Layers = 520, 7
+			p.PayloadBits, p.PreambleBits = 4, 9
+			p.FracPayload, p.FracMixed = 0.13, 0.09
+			p.FracBiased, p.BiasedP = 0.07, 0.95
+			p.MinRequestBranches = 500
+		}),
+		preset("tomcat", 108, func(p *Profile) {
+			p.Functions, p.Layers = 480, 6
+			p.PayloadBits, p.PreambleBits = 4, 9
+			p.FracPayload, p.FracMixed = 0.13, 0.06
+			p.FracBiased, p.BiasedP = 0.06, 0.96
+			p.MinRequestBranches = 1000
+		}),
+		preset("chirper", 109, func(p *Profile) {
+			// Finagle-chirper: small footprint, low entropy.
+			p.Functions, p.Layers = 120, 4
+			p.RequestTypes = 6
+			p.PayloadBits, p.PreambleBits = 2, 7
+			p.FracShort, p.FracPayload, p.FracMixed = 0.26, 0.03, 0.02
+			p.FracBiased, p.BiasedP = 0.04, 0.99
+			p.MinRequestBranches = 500
+		}),
+		preset("finagle-http", 110, func(p *Profile) {
+			p.Functions = 400
+			p.PayloadBits, p.PreambleBits = 3, 8
+			p.FracPayload, p.FracMixed = 0.09, 0.07
+			p.FracBiased, p.BiasedP = 0.05, 0.965
+			p.MinRequestBranches = 400
+		}),
+		preset("charlie", 111, func(p *Profile) {
+			// Google trace: very large footprint.
+			p.Functions, p.Layers = 620, 7
+			p.RequestTypes = 20
+			p.PayloadBits, p.PreambleBits = 3, 8
+			p.FracPayload, p.FracMixed = 0.12, 0.08
+			p.FracBiased, p.BiasedP = 0.05, 0.965
+			p.MinRequestBranches = 700
+		}),
+		preset("delta", 112, func(p *Profile) {
+			p.Functions, p.Layers = 300, 5
+			p.RequestTypes = 10
+			p.PayloadBits, p.PreambleBits = 2, 7
+			p.FracShort, p.FracPayload, p.FracMixed = 0.24, 0.06, 0.04
+			p.FracBiased, p.BiasedP = 0.05, 0.97
+			p.MinRequestBranches = 400
+		}),
+		preset("merced", 113, func(p *Profile) {
+			p.Functions, p.Layers = 600, 7
+			p.RequestTypes = 18
+			p.PayloadBits, p.PreambleBits = 4, 9
+			p.FracPayload, p.FracMixed = 0.10, 0.06
+			p.FracBiased, p.BiasedP = 0.05, 0.96
+			p.MinRequestBranches = 500
+		}),
+		preset("whiskey", 114, func(p *Profile) {
+			// The hardest workload in Table I.
+			p.Functions, p.Layers = 680, 8
+			p.RequestTypes = 22
+			p.PayloadBits, p.PreambleBits = 5, 10
+			p.FracPayload, p.FracMixed = 0.16, 0.08
+			p.FracBiased, p.BiasedP = 0.06, 0.95
+			p.MinRequestBranches = 1200
+		}),
+	}
+}
+
+// Names returns the preset workload names in Table I order.
+func Names() []string {
+	ws := Workloads()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// ByName returns the preset profile with the given name.
+func ByName(name string) (Profile, error) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	known := Names()
+	sort.Strings(known)
+	return Profile{}, fmt.Errorf("workload: unknown workload %q (known: %v)", name, known)
+}

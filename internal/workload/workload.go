@@ -1,0 +1,674 @@
+// Package workload synthesizes server-like branch streams. It is the
+// repository's substitute for the paper's 14 gem5/Google traces, which are
+// not redistributable here. Each workload is a deterministic *program
+// model*: a layered call graph of functions whose conditional branches are
+// drawn from behaviour classes chosen to manufacture the phenomena the
+// paper studies —
+//
+//   - a branch working set that overflows a 64 KB TAGE-SC-L,
+//   - a small population of hard-to-predict (H2P) branches whose outcomes
+//     depend on request data revealed many branches earlier (so they need
+//     long histories and many patterns),
+//   - a large population of easy branches that need only a few short
+//     patterns (so contextualization duplicates them),
+//   - dense unconditional-branch (call/return/jump) structure so the
+//     rolling context register sees realistic program contexts.
+//
+// The generated stream is a pure function of the profile (including its
+// seed): two generators built from the same profile yield identical
+// streams, which the experiments rely on when comparing predictors.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"llbpx/internal/core"
+	"llbpx/internal/hashutil"
+	"llbpx/internal/history"
+)
+
+// behaviourKind classifies how a conditional branch site resolves.
+type behaviourKind uint8
+
+const (
+	// behaviourStatic branches always resolve the same way (fall-through
+	// guards, error checks). Trivially predictable.
+	behaviourStatic behaviourKind = iota
+	// behaviourBiased branches are taken with a fixed probability using
+	// fresh entropy: the residual (1-p) is irreducible noise.
+	behaviourBiased
+	// behaviourShort branches are a deterministic function of the last k
+	// (k <= 16) global-history bits: predictable with short histories and
+	// a handful of patterns.
+	behaviourShort
+	// behaviourPayload branches are a deterministic function of the
+	// current request's (type, payload) pair. The payload was encoded into
+	// global history by the request preamble, so predicting these requires
+	// history long enough to reach back to payload-revealing bits — the
+	// H2P class with many long-history patterns.
+	behaviourPayload
+	// behaviourMixed branches combine payload with the last k history
+	// bits: H2P branches whose outcome also varies within a request.
+	behaviourMixed
+)
+
+type behaviour struct {
+	kind  behaviourKind
+	taken bool    // static direction
+	p     float64 // biased probability of taken
+	k     int     // short-history window (bits)
+	salt  uint64  // per-site hash salt
+}
+
+type siteKind uint8
+
+const (
+	siteCond siteKind = iota
+	siteCall
+	siteIndirect
+	siteJump
+	siteLoop
+)
+
+// site is one static control-flow instruction in a function body.
+type site struct {
+	kind   siteKind
+	pc     uint64
+	target uint64
+	gap    uint32 // instructions retired up to and including this branch
+
+	// Conditional sites.
+	beh  behaviour
+	skip int // sites skipped (not executed) when taken
+
+	// Call sites.
+	callee int
+	// Indirect call sites: payload-selected candidate callees.
+	candidates []int
+
+	// Loop sites.
+	inner    []site // body executed each iteration
+	tripBase int    // iterations when tripMod == 0
+	tripMod  int    // payload-dependent extra iterations (payload % tripMod)
+}
+
+// function is a node in the program's call DAG.
+type function struct {
+	base  uint64
+	body  []site
+	retPC uint64
+}
+
+// Profile parameterizes a synthetic workload. The zero value is not
+// usable; start from one of the presets in Workloads or from Default.
+type Profile struct {
+	// Name labels the workload in reports.
+	Name string
+	// Seed makes the program structure and the request stream
+	// reproducible.
+	Seed uint64
+
+	// RequestTypes is the number of distinct request handlers (root
+	// functions); the request mix is Zipf-distributed over them.
+	RequestTypes int
+	// ZipfS is the Zipf skew of the request mix (0 = uniform).
+	ZipfS float64
+	// PayloadBits is the per-request payload entropy in bits; payloads are
+	// drawn uniformly from [0, 2^PayloadBits). Each request irreducibly
+	// costs about PayloadBits mispredictions while the preamble reveals
+	// the payload, setting the floor MPKI.
+	PayloadBits int
+	// PreambleBits is the number of payload-encoding branches each
+	// request executes before real work; must be >= PayloadBits for the
+	// payload to be fully observable in history.
+	PreambleBits int
+
+	// Functions is the number of library functions in the call DAG; the
+	// main knob for branch working-set size (and so for 64K TAGE capacity
+	// pressure).
+	Functions int
+	// Layers controls call-tree depth: functions are assigned to layers
+	// and only call into deeper layers.
+	Layers int
+	// BodySites is the [min,max) range of sites per function body.
+	BodySites [2]int
+	// MaxDepth bounds dynamic call depth.
+	MaxDepth int
+
+	// Behaviour mix for conditional sites (fractions; the remainder after
+	// all classes is behaviourStatic). FracBiased branches use fresh
+	// entropy with probability BiasedP of being taken.
+	FracShort   float64
+	FracPayload float64
+	FracMixed   float64
+	FracLoop    float64
+	FracBiased  float64
+	BiasedP     float64
+
+	// GuardBranches is the number of payload-revealing conditional
+	// branches emitted at every function entry. They model the
+	// data-dependent guard tests real code performs on its arguments and
+	// keep the request payload observable within a few hundred history
+	// bits of every deep branch — the property that makes the H2P classes
+	// learnable by long histories (and by nothing shorter).
+	GuardBranches int
+
+	// CallFrac is the fraction of body sites that are call sites;
+	// JumpFrac the fraction that are plain unconditional jumps.
+	CallFrac float64
+	JumpFrac float64
+	// IndirectFrac is the fraction of body sites that are indirect calls
+	// whose callee is selected by the request payload from a small
+	// candidate set (virtual dispatch). Default 0: the preset workloads
+	// are direct-call only, matching the paper's direction-prediction
+	// focus; the BTB/ITTAGE substrate and the indirect-targets example
+	// raise it.
+	IndirectFrac float64
+
+	// AvgGap is the mean instruction gap between branches (server codes
+	// run ~5 instructions per branch).
+	AvgGap int
+
+	// MinRequestBranches is the minimum number of branches a request
+	// emits: the handler re-runs until it reaches this length. Long
+	// requests keep long-history windows intra-request, which is what
+	// makes the deterministic branch classes learnable — windows spanning
+	// request boundaries contain stale random payloads and never recur.
+	MinRequestBranches int
+	// MaxRequestBranches caps a request (call-tree fan-out is geometric);
+	// once exceeded, call sites stop descending. 0 means 4x the minimum.
+	MaxRequestBranches int
+
+	// PhaseShiftRequests, when positive, re-salts every data-dependent
+	// branch behaviour after that many requests: the program's control
+	// flow keeps its structure but all learned patterns invert — a
+	// behavioural phase change. The paper's Section III-C identifies
+	// adaptation time after such changes as one of contextualization's
+	// costs; the adapt experiment measures it. 0 (the default, used by all
+	// presets) disables phase shifts.
+	PhaseShiftRequests int
+}
+
+// Default returns a mid-sized profile with sane fractions; presets in
+// Workloads derive from it.
+func Default(name string, seed uint64) Profile {
+	return Profile{
+		Name:               name,
+		Seed:               seed,
+		RequestTypes:       12,
+		ZipfS:              0.7,
+		PayloadBits:        6,
+		PreambleBits:       10,
+		Functions:          360,
+		Layers:             6,
+		BodySites:          [2]int{6, 14},
+		MaxDepth:           10,
+		FracShort:          0.22,
+		FracPayload:        0.12,
+		FracMixed:          0.08,
+		FracLoop:           0.06,
+		FracBiased:         0.10,
+		BiasedP:            0.92,
+		GuardBranches:      2,
+		CallFrac:           0.16,
+		JumpFrac:           0.08,
+		AvgGap:             5,
+		MinRequestBranches: 1000,
+	}
+}
+
+// Validate reports whether the profile's parameters are internally
+// consistent.
+func (p Profile) Validate() error {
+	switch {
+	case p.RequestTypes < 1:
+		return fmt.Errorf("workload %q: RequestTypes must be >= 1", p.Name)
+	case p.PayloadBits < 0 || p.PayloadBits > 20:
+		return fmt.Errorf("workload %q: PayloadBits out of range [0,20]", p.Name)
+	case p.PreambleBits < p.PayloadBits:
+		return fmt.Errorf("workload %q: PreambleBits (%d) < PayloadBits (%d)", p.Name, p.PreambleBits, p.PayloadBits)
+	case p.Functions < p.Layers:
+		return fmt.Errorf("workload %q: need at least one function per layer", p.Name)
+	case p.Layers < 2:
+		return fmt.Errorf("workload %q: Layers must be >= 2", p.Name)
+	case p.BodySites[0] < 2 || p.BodySites[1] <= p.BodySites[0]:
+		return fmt.Errorf("workload %q: invalid BodySites range", p.Name)
+	case p.MaxDepth < 2:
+		return fmt.Errorf("workload %q: MaxDepth must be >= 2", p.Name)
+	case p.AvgGap < 1:
+		return fmt.Errorf("workload %q: AvgGap must be >= 1", p.Name)
+	case p.GuardBranches < 0 || p.GuardBranches > 8:
+		return fmt.Errorf("workload %q: GuardBranches out of range [0,8]", p.Name)
+	case p.MinRequestBranches < 50:
+		return fmt.Errorf("workload %q: MinRequestBranches must be >= 50", p.Name)
+	case p.MaxRequestBranches != 0 && p.MaxRequestBranches < p.MinRequestBranches:
+		return fmt.Errorf("workload %q: MaxRequestBranches below MinRequestBranches", p.Name)
+	case p.IndirectFrac < 0 || p.IndirectFrac+p.CallFrac+p.JumpFrac+p.FracLoop > 1:
+		return fmt.Errorf("workload %q: site-kind fractions exceed 1", p.Name)
+	}
+	sum := p.FracShort + p.FracPayload + p.FracMixed + p.FracLoop + p.FracBiased
+	if sum > 1 {
+		return fmt.Errorf("workload %q: behaviour fractions sum to %.2f > 1", p.Name, sum)
+	}
+	return nil
+}
+
+// Program is the immutable compiled form of a Profile: the call DAG with
+// all sites, addresses, and behaviours fixed. Programs are safe to share
+// across generators.
+type Program struct {
+	profile Profile
+	funcs   []function
+	roots   []int     // one root function per request type
+	cumMix  []float64 // cumulative Zipf weights over request types
+	condSum int       // static conditional site count (diagnostics)
+
+	classes map[uint64]string // lazy PC -> behaviour class (SiteClass)
+}
+
+// Profile returns the profile the program was compiled from.
+func (p *Program) Profile() Profile { return p.profile }
+
+// StaticCondSites returns the number of static conditional branch sites,
+// a proxy for branch working-set size.
+func (p *Program) StaticCondSites() int { return p.condSum }
+
+// Build compiles a profile into a Program. The structure depends only on
+// the profile, including its seed.
+func Build(prof Profile) (*Program, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	rng := hashutil.NewRand(hashutil.Mix64(prof.Seed ^ 0xc0ffee))
+	p := &Program{profile: prof}
+
+	// Assign functions to layers: roots live in layer 0, libraries below.
+	layerOf := make([]int, prof.Functions)
+	for i := range layerOf {
+		if i < prof.RequestTypes {
+			layerOf[i] = 0
+		} else {
+			layerOf[i] = 1 + rng.Intn(prof.Layers-1)
+		}
+	}
+	// calleesByLayer[l] lists functions in layers > l.
+	calleesByLayer := make([][]int, prof.Layers)
+	for i, l := range layerOf {
+		for shallower := 0; shallower < l; shallower++ {
+			calleesByLayer[shallower] = append(calleesByLayer[shallower], i)
+		}
+	}
+
+	p.funcs = make([]function, prof.Functions)
+	for i := range p.funcs {
+		p.funcs[i] = buildFunction(prof, rng, i, layerOf[i], calleesByLayer[layerOf[i]], p)
+	}
+	p.roots = make([]int, prof.RequestTypes)
+	for r := range p.roots {
+		p.roots[r] = r
+	}
+	p.cumMix = zipfCumulative(prof.RequestTypes, prof.ZipfS)
+	return p, nil
+}
+
+// funcBase spaces functions out in the address space so PCs never collide.
+func funcBase(idx int) uint64 { return 0x10_0000 + uint64(idx)*0x4000 }
+
+func buildFunction(prof Profile, rng *hashutil.Rand, idx, layer int, callees []int, p *Program) function {
+	base := funcBase(idx)
+	n := prof.BodySites[0] + rng.Intn(prof.BodySites[1]-prof.BodySites[0])
+	var body []site
+	nextPC := base
+	newPC := func() uint64 {
+		pc := nextPC
+		nextPC += 4 * uint64(1+rng.Intn(2*prof.AvgGap-1))
+		return pc
+	}
+	gap := func(pc, prev uint64) uint32 { return uint32((pc-prev)/4 + 1) }
+
+	prev := base - 4
+	for j := 0; j < n; j++ {
+		pc := newPC()
+		s := site{pc: pc, gap: gap(pc, prev)}
+		prev = pc
+		r := rng.Float64()
+		switch {
+		case r < prof.IndirectFrac && len(callees) >= 2:
+			s.kind = siteIndirect
+			n := 2 + rng.Intn(3)
+			if n > len(callees) {
+				n = len(callees)
+			}
+			for k := 0; k < n; k++ {
+				s.candidates = append(s.candidates, callees[rng.Intn(len(callees))])
+			}
+		case r < prof.IndirectFrac+prof.CallFrac && len(callees) > 0:
+			s.kind = siteCall
+			s.callee = callees[rng.Intn(len(callees))]
+			s.target = funcBase(s.callee)
+		case r < prof.IndirectFrac+prof.CallFrac+prof.JumpFrac:
+			s.kind = siteJump
+			s.target = pc + 8
+		case r < prof.IndirectFrac+prof.CallFrac+prof.JumpFrac+prof.FracLoop:
+			s.kind = siteLoop
+			s.tripBase = 2 + rng.Intn(6)
+			if rng.Bool(0.4) {
+				s.tripMod = 2 + rng.Intn(4)
+			}
+			s.target = pc // backward branch to itself (loop head == end here)
+			// Loop bodies hold a couple of cheap conditional sites and,
+			// rarely, a call — calls inside loops multiply context reuse.
+			nb := 1 + rng.Intn(2)
+			for b := 0; b < nb; b++ {
+				ipc := newPC()
+				is := site{kind: siteCond, pc: ipc, gap: gap(ipc, prev), skip: 0}
+				is.beh = pickBehaviour(prof, rng, ipc, true)
+				s.inner = append(s.inner, is)
+				prev = ipc
+				p.condSum++
+			}
+			if len(callees) > 0 && rng.Bool(0.25) {
+				ipc := newPC()
+				callee := callees[rng.Intn(len(callees))]
+				s.inner = append(s.inner, site{
+					kind: siteCall, pc: ipc, gap: gap(ipc, prev),
+					callee: callee, target: funcBase(callee),
+				})
+				prev = ipc
+			}
+		default:
+			s.kind = siteCond
+			s.beh = pickBehaviour(prof, rng, pc, false)
+			// A third of conditionals guard a short region: when taken
+			// they skip 1-2 following sites, making the executed path (and
+			// so the unconditional-branch context) data-dependent.
+			if rng.Bool(0.33) {
+				s.skip = 1 + rng.Intn(2)
+			}
+			p.condSum++
+		}
+		body = append(body, s)
+	}
+	retPC := newPC()
+	return function{base: base, body: body, retPC: retPC}
+}
+
+// pickBehaviour draws a conditional behaviour from the profile mix.
+// innerLoop sites avoid payload-only behaviours (their repetition inside
+// one request would make them trivially easy) in favour of mixed ones.
+func pickBehaviour(prof Profile, rng *hashutil.Rand, pc uint64, innerLoop bool) behaviour {
+	salt := hashutil.Mix64(pc ^ prof.Seed)
+	r := rng.Float64()
+	cut := prof.FracShort
+	if r < cut {
+		return behaviour{kind: behaviourShort, k: 3 + rng.Intn(5), salt: salt}
+	}
+	cut += prof.FracPayload
+	if r < cut {
+		if innerLoop {
+			return behaviour{kind: behaviourMixed, k: 3 + rng.Intn(4), salt: salt}
+		}
+		return behaviour{kind: behaviourPayload, salt: salt}
+	}
+	cut += prof.FracMixed
+	if r < cut {
+		return behaviour{kind: behaviourMixed, k: 3 + rng.Intn(4), salt: salt}
+	}
+	cut += prof.FracBiased
+	if r < cut {
+		return behaviour{kind: behaviourBiased, p: prof.BiasedP, salt: salt}
+	}
+	return behaviour{kind: behaviourStatic, taken: rng.Bool(0.55), salt: salt}
+}
+
+func zipfCumulative(n int, s float64) []float64 {
+	w := make([]float64, n)
+	var sum float64
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	cum := make([]float64, n)
+	var acc float64
+	for i := range w {
+		acc += w[i] / sum
+		cum[i] = acc
+	}
+	cum[n-1] = 1
+	return cum
+}
+
+// Generator executes a Program request by request, emitting the retired
+// branch stream. It implements core.Source and never ends: callers bound
+// the run by instruction or branch count.
+type Generator struct {
+	prog  *Program
+	rng   *hashutil.Rand
+	ghist *history.Global
+
+	queue []core.Branch
+	qpos  int
+
+	reqType  int
+	payload  uint64
+	requests uint64
+	budget   int    // remaining branch budget of the current request
+	phase    uint64 // current behavioural phase (PhaseShiftRequests > 0)
+}
+
+// NewGenerator returns a generator at the beginning of the stream. The
+// stream is fully determined by the program (and its profile seed).
+func NewGenerator(prog *Program) *Generator {
+	return &Generator{
+		prog:  prog,
+		rng:   hashutil.NewRand(hashutil.Mix64(prog.profile.Seed ^ 0x5eed)),
+		ghist: history.NewGlobal(64),
+	}
+}
+
+// Requests returns the number of fully generated requests so far.
+func (g *Generator) Requests() uint64 { return g.requests }
+
+// Next implements core.Source; ok is always true.
+func (g *Generator) Next() (core.Branch, bool) {
+	for g.qpos >= len(g.queue) {
+		g.queue = g.queue[:0]
+		g.qpos = 0
+		g.runRequest()
+	}
+	b := g.queue[g.qpos]
+	g.qpos++
+	return b, true
+}
+
+func (g *Generator) emit(b core.Branch) {
+	g.queue = append(g.queue, b)
+	g.ghist.Push(core.HistoryBit(b))
+}
+
+// histBits returns the most recent k (<= 16) history bits as an integer.
+func (g *Generator) histBits(k int) uint64 {
+	var v uint64
+	for i := 0; i < k; i++ {
+		v = v<<1 | uint64(g.ghist.Bit(i))
+	}
+	return v
+}
+
+func (g *Generator) runRequest() {
+	prof := &g.prog.profile
+	// Pick a request type (Zipf) and payload (uniform): the only fresh
+	// entropy of the request besides biased-branch noise.
+	u := g.rng.Float64()
+	g.reqType = sort.SearchFloat64s(g.prog.cumMix, u)
+	if g.reqType >= len(g.prog.roots) {
+		g.reqType = len(g.prog.roots) - 1
+	}
+	g.payload = g.rng.Uint64() & ((1 << prof.PayloadBits) - 1)
+	g.requests++
+	if prof.PhaseShiftRequests > 0 {
+		g.phase = g.requests / uint64(prof.PhaseShiftRequests)
+	}
+
+	// Preamble: reveal the payload in global history, one branch per bit.
+	// These are the request's irreducible mispredictions: a predictor can
+	// pin the payload down only after ~PayloadBits of them retired.
+	root := g.prog.roots[g.reqType]
+	base := g.prog.funcs[root].base
+	code := hashutil.Mix64(g.payload ^ uint64(g.reqType)*0x9e3779b97f4a7c15 ^ prof.Seed ^ g.phaseSalt())
+	for i := 0; i < prof.PreambleBits; i++ {
+		pc := base - 0x200 + uint64(i)*8
+		taken := code>>uint(i)&1 == 1
+		g.emit(core.Branch{PC: pc, Target: pc + 16, Kind: core.CondDirect, Taken: taken, InstrGap: 3})
+	}
+	// Run the handler until the request reaches its minimum length;
+	// re-runs are deterministic given (type, payload), so the filler is
+	// predictable once trained.
+	g.budget = prof.MaxRequestBranches
+	if g.budget == 0 {
+		g.budget = 4 * prof.MinRequestBranches
+	}
+	for len(g.queue) < prof.MinRequestBranches {
+		// The dispatcher calls the handler: a real call branch, so call
+		// and return counts stay balanced in the stream.
+		g.emit(core.Branch{PC: base - 0x100, Target: base, Kind: core.Call, Taken: true, InstrGap: 4})
+		g.runFunc(root, 1)
+	}
+}
+
+func (g *Generator) runFunc(idx, depth int) {
+	f := &g.prog.funcs[idx]
+	// Guard branches: payload-dependent tests at function entry. Their
+	// outcomes re-reveal request data into global history, bounding how
+	// far back deep H2P branches must look.
+	code := hashutil.Mix64(g.payload*0x2545f4914f6cdd1d ^ f.base ^ g.prog.profile.Seed ^ g.phaseSalt())
+	for i := 0; i < g.prog.profile.GuardBranches; i++ {
+		pc := f.base - 0x80 + uint64(i)*8
+		taken := code>>uint(i)&1 == 1
+		g.emit(core.Branch{PC: pc, Target: pc + 24, Kind: core.CondDirect, Taken: taken, InstrGap: 3})
+	}
+	g.runBody(f.body, depth)
+	// Function return: an unconditional branch ending the activation.
+	g.emit(core.Branch{PC: f.retPC, Target: f.base ^ 0x33, Kind: core.Return, Taken: true, InstrGap: 2})
+}
+
+func (g *Generator) runBody(body []site, depth int) {
+	for i := 0; i < len(body); i++ {
+		s := &body[i]
+		switch s.kind {
+		case siteCond:
+			taken := g.evalCond(s)
+			g.emit(core.Branch{PC: s.pc, Target: s.pc + 32, Kind: core.CondDirect, Taken: taken, InstrGap: s.gap})
+			if taken && s.skip > 0 {
+				i += s.skip
+			}
+		case siteCall:
+			g.emit(core.Branch{PC: s.pc, Target: s.target, Kind: core.Call, Taken: true, InstrGap: s.gap})
+			if depth < g.prog.profile.MaxDepth && len(g.queue) < g.budget {
+				g.runFunc(s.callee, depth+1)
+			}
+		case siteIndirect:
+			// Virtual dispatch: the payload (plus the site) picks the
+			// callee deterministically — a target an ITTAGE can learn.
+			pick := s.candidates[int(hashutil.Mix64(g.payload^s.pc)%uint64(len(s.candidates)))]
+			g.emit(core.Branch{PC: s.pc, Target: funcBase(pick), Kind: core.IndirectJump, Taken: true, InstrGap: s.gap})
+			if depth < g.prog.profile.MaxDepth && len(g.queue) < g.budget {
+				g.runFunc(pick, depth+1)
+			}
+		case siteJump:
+			g.emit(core.Branch{PC: s.pc, Target: s.target, Kind: core.Jump, Taken: true, InstrGap: s.gap})
+		case siteLoop:
+			trip := s.tripBase
+			if s.tripMod > 0 {
+				trip += int(g.payload % uint64(s.tripMod))
+			}
+			for it := 0; it < trip; it++ {
+				g.runBody(s.inner, depth)
+				// Backward branch: taken to iterate, not-taken to exit.
+				g.emit(core.Branch{PC: s.pc, Target: s.target, Kind: core.CondDirect, Taken: it < trip-1, InstrGap: s.gap})
+			}
+		}
+	}
+}
+
+func (g *Generator) evalCond(s *site) bool {
+	salt := s.beh.salt ^ g.phaseSalt()
+	switch s.beh.kind {
+	case behaviourStatic:
+		return s.beh.taken
+	case behaviourBiased:
+		return g.rng.Bool(s.beh.p)
+	case behaviourShort:
+		return hashutil.Mix64(salt^g.histBits(s.beh.k))&1 == 1
+	case behaviourPayload:
+		return hashutil.Mix64(salt^g.payload*0x2545f4914f6cdd1d)&1 == 1
+	case behaviourMixed:
+		return hashutil.Mix64(salt^g.payload*0x2545f4914f6cdd1d^g.histBits(s.beh.k)<<40)&1 == 1
+	default:
+		panic("workload: unknown behaviour kind")
+	}
+}
+
+// phaseSalt perturbs data-dependent outcomes per behavioural phase; zero
+// in phase 0 and whenever phase shifts are disabled, so default streams
+// are untouched.
+func (g *Generator) phaseSalt() uint64 {
+	if g.phase == 0 {
+		return 0
+	}
+	return hashutil.Mix64(g.phase * 0x9e3779b97f4a7c15)
+}
+
+// SiteClass labels the behaviour class of a conditional branch PC, for
+// analysis and debugging. The empty string means the PC is not a
+// conditional site of this program.
+func (p *Program) SiteClass(pc uint64) string {
+	if p.classes == nil {
+		p.classes = make(map[uint64]string)
+		for fi := range p.funcs {
+			f := &p.funcs[fi]
+			for i := 0; i < p.profile.GuardBranches; i++ {
+				p.classes[f.base-0x80+uint64(i)*8] = "guard"
+			}
+			var walk func(body []site)
+			walk = func(body []site) {
+				for i := range body {
+					s := &body[i]
+					switch s.kind {
+					case siteCond:
+						p.classes[s.pc] = behaviourName(s.beh.kind)
+					case siteLoop:
+						p.classes[s.pc] = "loop-exit"
+						walk(s.inner)
+					}
+				}
+			}
+			walk(f.body)
+		}
+		for r := range p.roots {
+			base := p.funcs[p.roots[r]].base
+			for i := 0; i < p.profile.PreambleBits; i++ {
+				p.classes[base-0x200+uint64(i)*8] = "preamble"
+			}
+		}
+	}
+	return p.classes[pc]
+}
+
+func behaviourName(k behaviourKind) string {
+	switch k {
+	case behaviourStatic:
+		return "static"
+	case behaviourBiased:
+		return "biased"
+	case behaviourShort:
+		return "short"
+	case behaviourPayload:
+		return "payload"
+	case behaviourMixed:
+		return "mixed"
+	}
+	return "unknown"
+}

@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"testing"
+
+	"llbpx/internal/core"
+)
+
+func TestPresetsValidateAndBuild(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 14 {
+		t.Fatalf("expected 14 presets (Table I), got %d", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, prof := range ws {
+		if err := prof.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", prof.Name, err)
+			continue
+		}
+		if seen[prof.Name] {
+			t.Errorf("duplicate preset name %s", prof.Name)
+		}
+		seen[prof.Name] = true
+		if _, ok := PaperMPKI[prof.Name]; !ok {
+			t.Errorf("preset %s missing a PaperMPKI entry", prof.Name)
+		}
+		prog, err := Build(prof)
+		if err != nil {
+			t.Errorf("preset %s failed to build: %v", prof.Name, err)
+			continue
+		}
+		if prog.StaticCondSites() < 100 {
+			t.Errorf("preset %s suspiciously small: %d cond sites", prof.Name, prog.StaticCondSites())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("nodeapp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("no-such-workload"); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	base := Default("x", 1)
+	mutations := map[string]func(*Profile){
+		"no request types":   func(p *Profile) { p.RequestTypes = 0 },
+		"payload too large":  func(p *Profile) { p.PayloadBits = 21 },
+		"preamble too small": func(p *Profile) { p.PreambleBits = p.PayloadBits - 1 },
+		"too few functions":  func(p *Profile) { p.Functions = 1 },
+		"one layer":          func(p *Profile) { p.Layers = 1 },
+		"bad body range":     func(p *Profile) { p.BodySites = [2]int{5, 5} },
+		"shallow depth":      func(p *Profile) { p.MaxDepth = 1 },
+		"zero gap":           func(p *Profile) { p.AvgGap = 0 },
+		"fractions > 1":      func(p *Profile) { p.FracShort = 0.9; p.FracPayload = 0.9 },
+		"guards negative":    func(p *Profile) { p.GuardBranches = -1 },
+		"request too short":  func(p *Profile) { p.MinRequestBranches = 10 },
+		"max below min":      func(p *Profile) { p.MaxRequestBranches = p.MinRequestBranches - 1 },
+	}
+	for name, mutate := range mutations {
+		p := base
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base profile must be valid: %v", err)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	prof, err := ByName("wikipedia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, g2 := NewGenerator(prog), NewGenerator(prog)
+	for i := 0; i < 50000; i++ {
+		b1, _ := g1.Next()
+		b2, _ := g2.Next()
+		if b1 != b2 {
+			t.Fatalf("streams diverge at branch %d: %+v vs %+v", i, b1, b2)
+		}
+	}
+}
+
+func TestGeneratorSeparateProgramsShareStream(t *testing.T) {
+	// Two programs built from the same profile must generate identical
+	// streams (experiments rely on per-predictor rebuilds).
+	prof, _ := ByName("kafka")
+	p1, err := Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, g2 := NewGenerator(p1), NewGenerator(p2)
+	for i := 0; i < 20000; i++ {
+		b1, _ := g1.Next()
+		b2, _ := g2.Next()
+		if b1 != b2 {
+			t.Fatalf("streams from identical profiles diverge at %d", i)
+		}
+	}
+}
+
+func TestStreamShape(t *testing.T) {
+	prof, _ := ByName("nodeapp")
+	prog, err := Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(prog)
+	var cond, uncond, instr uint64
+	pcs := map[uint64]core.BranchKind{}
+	for i := 0; i < 200000; i++ {
+		b, ok := g.Next()
+		if !ok {
+			t.Fatal("generator must never end")
+		}
+		if !b.Kind.Valid() {
+			t.Fatalf("invalid kind at %d", i)
+		}
+		if b.InstrGap == 0 {
+			t.Fatalf("zero instruction gap at %d", i)
+		}
+		if b.Kind.Unconditional() && !b.Taken {
+			t.Fatalf("unconditional branch not taken at %d", i)
+		}
+		// A PC must always carry the same branch kind (sites are static).
+		if k, seen := pcs[b.PC]; seen && k != b.Kind {
+			t.Fatalf("pc %#x changes kind %v -> %v", b.PC, k, b.Kind)
+		}
+		pcs[b.PC] = b.Kind
+		instr += b.Instructions()
+		if b.Kind.Conditional() {
+			cond++
+		} else {
+			uncond++
+		}
+	}
+	condFrac := float64(cond) / float64(cond+uncond)
+	if condFrac < 0.5 || condFrac > 0.95 {
+		t.Fatalf("conditional fraction %.2f out of a plausible server range", condFrac)
+	}
+	gap := float64(instr) / float64(cond+uncond)
+	if gap < 2 || gap > 12 {
+		t.Fatalf("instruction gap %.2f implausible", gap)
+	}
+}
+
+func TestRequestLengthEnforced(t *testing.T) {
+	prof, _ := ByName("kafka") // MinRequestBranches = 1500
+	prog, err := Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(prog)
+	// Consume several requests; each must emit at least the minimum.
+	var count int
+	lastReq := g.Requests()
+	branchesInReq := 0
+	for count < 10 {
+		g.Next()
+		branchesInReq++
+		if r := g.Requests(); r != lastReq {
+			// The counter bumps at the start of generation for the next
+			// request, i.e. after the previous request fully drained.
+			if branchesInReq > 1 && branchesInReq < prof.MinRequestBranches {
+				t.Fatalf("request emitted only %d branches, min %d", branchesInReq, prof.MinRequestBranches)
+			}
+			branchesInReq = 0
+			lastReq = r
+			count++
+		}
+	}
+}
+
+func TestSiteClassCoversStream(t *testing.T) {
+	prof, _ := ByName("delta")
+	prog, err := Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(prog)
+	classes := map[string]int{}
+	for i := 0; i < 100000; i++ {
+		b, _ := g.Next()
+		if !b.Kind.Conditional() {
+			continue
+		}
+		cls := prog.SiteClass(b.PC)
+		if cls == "" {
+			t.Fatalf("conditional pc %#x has no site class", b.PC)
+		}
+		classes[cls]++
+	}
+	for _, want := range []string{"static", "short", "guard", "preamble"} {
+		if classes[want] == 0 {
+			t.Errorf("class %q never executed", want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := Default("a", 1)
+	b := Default("b", 2)
+	pa, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, gb := NewGenerator(pa), NewGenerator(pb)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		x, _ := ga.Next()
+		y, _ := gb.Next()
+		if x == y {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("different seeds produced nearly identical streams (%d/1000)", same)
+	}
+}

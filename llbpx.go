@@ -1,0 +1,277 @@
+// Package llbpx is a from-scratch Go reproduction of "The Last-Level
+// Branch Predictor Revisited" (HPCA 2026): the TAGE-SC-L predictor family,
+// the hierarchical LLBP design, and the paper's contribution LLBP-X with
+// dynamic context depth adaptation — plus the synthetic server workloads,
+// the branch-level simulator, the timing and energy models, and the
+// harness that regenerates every table and figure of the evaluation.
+//
+// # Quick start
+//
+//	prof, _ := llbpx.WorkloadByName("nodeapp")
+//	prog, _ := llbpx.BuildProgram(prof)
+//	res, _ := llbpx.Simulate(llbpx.NewLLBPX(llbpx.LLBPXDefault()),
+//		llbpx.NewGenerator(prog), llbpx.SimOptions{WarmupInstr: 1e6, MeasureInstr: 2e6})
+//	fmt.Println(res.MPKI())
+//
+// The runnable programs under examples/ and the cmd/ tools build only on
+// this package.
+package llbpx
+
+import (
+	"io"
+
+	"llbpx/internal/btb"
+	"llbpx/internal/core"
+	"llbpx/internal/experiments"
+	"llbpx/internal/llbp"
+	llbpximpl "llbpx/internal/llbpx"
+	"llbpx/internal/pipeline"
+	"llbpx/internal/sim"
+	"llbpx/internal/stats"
+	"llbpx/internal/tage"
+	"llbpx/internal/trace"
+	"llbpx/internal/workload"
+)
+
+// Core vocabulary ---------------------------------------------------------
+
+// Branch is one retired control-flow instruction.
+type Branch = core.Branch
+
+// BranchKind classifies a branch.
+type BranchKind = core.BranchKind
+
+// Branch kinds.
+const (
+	CondDirect   = core.CondDirect
+	Jump         = core.Jump
+	Call         = core.Call
+	Return       = core.Return
+	IndirectJump = core.IndirectJump
+)
+
+// Prediction is a direction prediction with provenance.
+type Prediction = core.Prediction
+
+// Predictor is the contract every predictor implements.
+type Predictor = core.Predictor
+
+// Source yields a branch stream.
+type Source = core.Source
+
+// NewSliceSource adapts a branch slice to a Source.
+func NewSliceSource(branches []Branch) Source { return core.NewSliceSource(branches) }
+
+// Workloads ---------------------------------------------------------------
+
+// WorkloadProfile parameterizes a synthetic server workload.
+type WorkloadProfile = workload.Profile
+
+// Program is a compiled workload.
+type Program = workload.Program
+
+// Generator executes a Program into a branch stream; it implements Source.
+type Generator = workload.Generator
+
+// Workloads returns the 14 preset profiles mirroring the paper's Table I.
+func Workloads() []WorkloadProfile { return workload.Workloads() }
+
+// WorkloadNames returns the preset names in Table I order.
+func WorkloadNames() []string { return workload.Names() }
+
+// WorkloadByName returns a preset profile.
+func WorkloadByName(name string) (WorkloadProfile, error) { return workload.ByName(name) }
+
+// DefaultWorkload returns a mid-sized custom profile to derive from.
+func DefaultWorkload(name string, seed uint64) WorkloadProfile { return workload.Default(name, seed) }
+
+// BuildProgram compiles a profile.
+func BuildProgram(p WorkloadProfile) (*Program, error) { return workload.Build(p) }
+
+// NewGenerator starts a program's branch stream.
+func NewGenerator(p *Program) *Generator { return workload.NewGenerator(p) }
+
+// Predictors ---------------------------------------------------------------
+
+// TSLConfig parameterizes a TAGE-SC-L instance.
+type TSLConfig = tage.Config
+
+// TSL presets: storage budgets in the paper's naming.
+func TSL8K() TSLConfig   { return tage.Config8K() }
+func TSL16K() TSLConfig  { return tage.Config16K() }
+func TSL32K() TSLConfig  { return tage.Config32K() }
+func TSL64K() TSLConfig  { return tage.Config64K() }
+func TSL128K() TSLConfig { return tage.Config128K() }
+func TSL512K() TSLConfig { return tage.Config512K() }
+func TSLInf() TSLConfig  { return tage.ConfigInf() }
+
+// TSLPredictor is a TAGE-SC-L instance.
+type TSLPredictor = tage.Predictor
+
+// NewTSL builds a TAGE-SC-L predictor.
+func NewTSL(cfg TSLConfig) (*TSLPredictor, error) { return tage.New(cfg) }
+
+// LLBPConfig parameterizes the original LLBP.
+type LLBPConfig = llbp.Config
+
+// LLBPDefault is the paper's baseline LLBP configuration (515KB, W=8,
+// D=4).
+func LLBPDefault() LLBPConfig { return llbp.Default() }
+
+// LLBPZeroLatency is the LLBP-0Lat configuration.
+func LLBPZeroLatency() LLBPConfig { return llbp.ZeroLatency() }
+
+// LLBPPredictor is an original-LLBP instance.
+type LLBPPredictor = llbp.Predictor
+
+// NewLLBP builds an LLBP predictor.
+func NewLLBP(cfg LLBPConfig) (*LLBPPredictor, error) { return llbp.New(cfg) }
+
+// LLBPXConfig parameterizes LLBP-X.
+type LLBPXConfig = llbpximpl.Config
+
+// LLBPXDefault is the paper's LLBP-X configuration (dynamic context depth
+// adaptation + history range selection).
+func LLBPXDefault() LLBPXConfig { return llbpximpl.Default() }
+
+// LLBPXPredictor is an LLBP-X instance.
+type LLBPXPredictor = llbpximpl.Predictor
+
+// NewLLBPX builds an LLBP-X predictor.
+func NewLLBPX(cfg LLBPXConfig) (*LLBPXPredictor, error) { return llbpximpl.New(cfg) }
+
+// HistoryLengths exposes the 21 TAGE global-history lengths.
+func HistoryLengths() []int {
+	out := make([]int, tage.NumTables)
+	copy(out, tage.HistoryLengths[:])
+	return out
+}
+
+// Simulation ---------------------------------------------------------------
+
+// SimOptions bounds a simulation (instruction counts).
+type SimOptions = sim.Options
+
+// SimResult is a simulation outcome; MPKI() is the headline metric.
+type SimResult = sim.Result
+
+// Simulate drives a predictor over a branch stream in retire order.
+func Simulate(p Predictor, src Source, opt SimOptions) (SimResult, error) {
+	return sim.Run(p, src, opt)
+}
+
+// Timing model --------------------------------------------------------------
+
+// CoreConfig describes a cycle-approximate core model.
+type CoreConfig = pipeline.CoreConfig
+
+// CoreActivity is the model input derived from a simulation.
+type CoreActivity = pipeline.Activity
+
+// CoreResult is the model's timing outcome.
+type CoreResult = pipeline.Result
+
+// ServerCore returns the Table II-like core configuration.
+func ServerCore() CoreConfig { return pipeline.Server() }
+
+// Speedup compares two timing results.
+func Speedup(base, x CoreResult) float64 { return pipeline.Speedup(base, x) }
+
+// Traces ---------------------------------------------------------------------
+
+// WriteTrace encodes branches to w in the repository's binary format.
+func WriteTrace(w io.Writer, branches []Branch) error { return trace.WriteAll(w, branches) }
+
+// ReadTrace decodes a full trace from r.
+func ReadTrace(r io.Reader) ([]Branch, error) { return trace.ReadAll(r) }
+
+// NewTraceReader returns a streaming trace decoder (a Source).
+func NewTraceReader(r io.Reader) (*trace.Reader, error) { return trace.NewReader(r) }
+
+// NewTraceWriter returns a streaming trace encoder.
+func NewTraceWriter(w io.Writer) (*trace.Writer, error) { return trace.NewWriter(w) }
+
+// NewChampSimReader decodes a ChampSim instruction trace (the paper
+// artifact's format) into a branch Source; plain and gzip streams are
+// supported.
+func NewChampSimReader(r io.Reader) (*trace.ChampSimReader, error) {
+	return trace.NewChampSimReader(r)
+}
+
+// ExportChampSim writes a branch stream as a ChampSim instruction trace,
+// runnable in the paper's reference artifact. It stops after maxInstr
+// instructions and returns the instruction and branch counts written.
+func ExportChampSim(w io.Writer, src Source, maxInstr uint64) (instructions, branches uint64, err error) {
+	return trace.ExportChampSim(w, src, maxInstr)
+}
+
+// Experiments ------------------------------------------------------------------
+
+// ExperimentScale bounds the experiment harness's simulation effort.
+type ExperimentScale = experiments.Scale
+
+// ExperimentResult is one reproduced table or figure.
+type ExperimentResult = experiments.Result
+
+// ExperimentIDs lists every reproducible paper artifact.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// DescribeExperiment returns an experiment's one-line description.
+func DescribeExperiment(id string) (string, bool) { return experiments.Describe(id) }
+
+// RunExperiment reproduces one paper artifact.
+func RunExperiment(id string, sc ExperimentScale) (*ExperimentResult, error) {
+	return experiments.Run(id, sc)
+}
+
+// DefaultExperimentScale runs all 14 workloads at the scaled-down default
+// instruction budget.
+func DefaultExperimentScale() ExperimentScale { return experiments.DefaultScale() }
+
+// QuickExperimentScale runs a four-workload subset at reduced budgets.
+func QuickExperimentScale() ExperimentScale { return experiments.QuickScale() }
+
+// Table is the plain-text table type experiments render into.
+type Table = stats.Table
+
+// BarChart renders labelled values as a horizontal ASCII bar chart.
+type BarChart = stats.BarChart
+
+// NewBarChart returns an empty chart with the given bar width.
+func NewBarChart(title string, width int) *BarChart { return stats.NewBarChart(title, width) }
+
+// VerifyExperiment checks a reproduced artifact against its registered
+// paper-trend assertions (orderings and signs the reproduction must
+// preserve); it returns the violations, empty when all trends hold.
+func VerifyExperiment(res *ExperimentResult) []string { return experiments.Verify(res) }
+
+// HasTrendCheck reports whether an experiment carries trend assertions.
+func HasTrendCheck(id string) bool { return experiments.HasTrendCheck(id) }
+
+// Front-end target substrate -------------------------------------------------
+
+// BTBConfig shapes a branch target buffer (Table II: 16K entries, 8-way).
+type BTBConfig = btb.Config
+
+// BTB is a set-associative branch target buffer.
+type BTB = btb.BTB
+
+// ITTAGE is an indirect-target predictor with geometric history lengths.
+type ITTAGE = btb.ITTAGE
+
+// FrontEndStats aggregates a target-prediction pass.
+type FrontEndStats = btb.FrontEndStats
+
+// DefaultBTB returns the Table II BTB configuration.
+func DefaultBTB() BTBConfig { return btb.DefaultConfig() }
+
+// NewBTB builds a branch target buffer.
+func NewBTB(cfg BTBConfig) (*BTB, error) { return btb.New(cfg) }
+
+// NewITTAGE builds the indirect-target predictor (nil lens = defaults).
+func NewITTAGE(lens []int) *ITTAGE { return btb.NewITTAGE(lens) }
+
+// RunFrontEnd drives the BTB and ITTAGE over a branch stream.
+func RunFrontEnd(src Source, b *BTB, it *ITTAGE, maxInstr uint64) (FrontEndStats, error) {
+	return btb.RunFrontEnd(src, b, it, maxInstr)
+}

@@ -1,0 +1,123 @@
+package llbpx_test
+
+import (
+	"bytes"
+	"testing"
+
+	"llbpx"
+)
+
+func TestPublicAPISimulation(t *testing.T) {
+	prof, err := llbpx.WorkloadByName("kafka")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := llbpx.NewLLBPX(llbpx.LLBPXDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := llbpx.Simulate(p, llbpx.NewGenerator(prog),
+		llbpx.SimOptions{WarmupInstr: 100_000, MeasureInstr: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warmup may overshoot by a few instructions (the boundary lands
+	// mid-branch), shaving the same amount off the measured phase.
+	if res.Measured.Instructions < 195_000 {
+		t.Fatalf("measured only %d instructions", res.Measured.Instructions)
+	}
+	if res.MPKI() < 0 || res.MPKI() > 100 {
+		t.Fatalf("implausible MPKI %v", res.MPKI())
+	}
+}
+
+func TestPublicAPIPredictorFamily(t *testing.T) {
+	builders := []func() (llbpx.Predictor, error){
+		func() (llbpx.Predictor, error) { return llbpx.NewTSL(llbpx.TSL8K()) },
+		func() (llbpx.Predictor, error) { return llbpx.NewTSL(llbpx.TSL16K()) },
+		func() (llbpx.Predictor, error) { return llbpx.NewTSL(llbpx.TSL32K()) },
+		func() (llbpx.Predictor, error) { return llbpx.NewTSL(llbpx.TSL64K()) },
+		func() (llbpx.Predictor, error) { return llbpx.NewTSL(llbpx.TSL128K()) },
+		func() (llbpx.Predictor, error) { return llbpx.NewTSL(llbpx.TSL512K()) },
+		func() (llbpx.Predictor, error) { return llbpx.NewTSL(llbpx.TSLInf()) },
+		func() (llbpx.Predictor, error) { return llbpx.NewLLBP(llbpx.LLBPDefault()) },
+		func() (llbpx.Predictor, error) { return llbpx.NewLLBP(llbpx.LLBPZeroLatency()) },
+		func() (llbpx.Predictor, error) { return llbpx.NewLLBPX(llbpx.LLBPXDefault()) },
+	}
+	for i, build := range builders {
+		p, err := build()
+		if err != nil {
+			t.Fatalf("builder %d: %v", i, err)
+		}
+		pred := p.Predict(0x1234)
+		p.Update(llbpx.Branch{PC: 0x1234, Kind: llbpx.CondDirect, Taken: pred.Taken, InstrGap: 4}, pred)
+		p.TrackUnconditional(llbpx.Branch{PC: 0x2000, Kind: llbpx.Call, Taken: true, InstrGap: 4})
+	}
+}
+
+func TestPublicAPITraceRoundTrip(t *testing.T) {
+	prof, _ := llbpx.WorkloadByName("delta")
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := llbpx.NewGenerator(prog)
+	var branches []llbpx.Branch
+	for i := 0; i < 5000; i++ {
+		b, _ := gen.Next()
+		branches = append(branches, b)
+	}
+	var buf bytes.Buffer
+	if err := llbpx.WriteTrace(&buf, branches); err != nil {
+		t.Fatal(err)
+	}
+	got, err := llbpx.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(branches) {
+		t.Fatalf("roundtrip lost records: %d vs %d", len(got), len(branches))
+	}
+	for i := range got {
+		if got[i] != branches[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestPublicAPIExperimentRegistry(t *testing.T) {
+	ids := llbpx.ExperimentIDs()
+	if len(ids) < 19 {
+		t.Fatalf("only %d experiments exposed", len(ids))
+	}
+	for _, id := range ids {
+		if desc, ok := llbpx.DescribeExperiment(id); !ok || desc == "" {
+			t.Errorf("experiment %s lacks a description", id)
+		}
+	}
+}
+
+func TestHistoryLengthsExposed(t *testing.T) {
+	lens := llbpx.HistoryLengths()
+	if len(lens) != 21 || lens[0] != 6 || lens[20] != 3000 {
+		t.Fatalf("history lengths wrong: %v", lens)
+	}
+	// The returned slice must be a copy.
+	lens[0] = 999
+	if llbpx.HistoryLengths()[0] != 6 {
+		t.Fatal("HistoryLengths leaked internal state")
+	}
+}
+
+func TestWorkloadsExposed(t *testing.T) {
+	if len(llbpx.Workloads()) != 14 || len(llbpx.WorkloadNames()) != 14 {
+		t.Fatal("14 Table I workloads expected")
+	}
+	if _, err := llbpx.WorkloadByName("nope"); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
