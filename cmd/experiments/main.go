@@ -64,6 +64,7 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset")
 		warmup    = flag.Uint64("warmup", 0, "override warmup instructions")
 		measure   = flag.Uint64("measure", 0, "override measured instructions")
+		parallel  = flag.Int("parallel", 0, "cap concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -92,18 +93,25 @@ func main() {
 	if *measure > 0 {
 		sc.MeasureInstr = *measure
 	}
+	if *parallel > 0 {
+		sc.Parallelism = *parallel
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = llbpx.ExperimentIDs()
 	}
 	failures := 0
+	errored := 0
 	for _, id := range ids {
 		start := time.Now()
 		res, err := llbpx.RunExperiment(id, sc)
 		if err != nil {
+			// Report and keep going: an -exp all run should surface every
+			// failing experiment, not stop at the first.
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
+			errored++
+			continue
 		}
 		fmt.Println(res.Table.String())
 		if *chart {
@@ -126,8 +134,16 @@ func main() {
 		}
 		fmt.Printf("  (%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if errored > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d of %d experiments failed\n", errored, len(ids))
+	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d trend assertions failed\n", failures)
+	}
+	switch {
+	case errored > 0:
+		os.Exit(1)
+	case failures > 0:
 		os.Exit(2)
 	}
 }

@@ -1,0 +1,94 @@
+// Command llbpd serves the repository's branch predictors over HTTP: the
+// last-level branch predictor as a network service. Each client session
+// owns one live predictor (any of the registry configurations) and
+// streams batches of branch records to it; the daemon replies with
+// per-branch predictions and running MPKI. Sessions live in a sharded
+// map, batches run through a bounded worker pool, idle sessions are
+// evicted after -ttl, and SIGTERM/SIGINT drains gracefully: in-flight
+// batches flush, then the final per-session stats print.
+//
+// Usage:
+//
+//	llbpd -addr :8713
+//	llbpd -addr :8713 -shards 32 -workers 8 -ttl 2m -max-batch 16384
+//
+// API:
+//
+//	POST   /v1/sessions/{id}/predict   {"predictor":"llbp-x","branches":[...]}
+//	GET    /v1/sessions/{id}           session stats
+//	DELETE /v1/sessions/{id}           close session, return final stats
+//	GET    /v1/stats                   server-wide stats (JSON)
+//	GET    /metrics                    Prometheus text format
+//
+// Drive it with cmd/llbpload.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"llbpx/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8713", "listen address")
+		shards    = flag.Int("shards", 16, "session map shard count")
+		workers   = flag.Int("workers", 0, "max concurrently executing batches (0 = GOMAXPROCS)")
+		maxBatch  = flag.Int("max-batch", 65536, "max branches per batch")
+		ttl       = flag.Duration("ttl", 5*time.Minute, "evict sessions idle longer than this (<0 disables)")
+		predictor = flag.String("predictor", "llbp-x", "default predictor for new sessions")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Shards:           *shards,
+		Workers:          *workers,
+		MaxBatch:         *maxBatch,
+		SessionTTL:       *ttl,
+		DefaultPredictor: *predictor,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Printf("llbpd: listening on %s (shards=%d workers=%d ttl=%v default=%s)\n",
+		*addr, srv.Config().Shards, srv.Config().Workers, srv.Config().SessionTTL, *predictor)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "llbpd:", err)
+			os.Exit(1)
+		}
+		return
+	case got := <-sig:
+		fmt.Printf("llbpd: %v — draining\n", got)
+	}
+
+	// Refuse new batches, flush in-flight ones, then close the listener.
+	finals := srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(ctx)
+
+	snap := srv.Stats()
+	fmt.Printf("llbpd: served %d batches / %d branches over %d sessions (%.0f branches/s)\n",
+		snap.Batches, snap.Branches, snap.SessionsCreated, snap.BranchesPerSec)
+	if len(finals) > 0 {
+		fmt.Printf("%-24s %-10s %12s %12s %10s\n", "session", "predictor", "instructions", "mispredicts", "MPKI")
+		for _, f := range finals {
+			fmt.Printf("%-24s %-10s %12d %12d %10.4f\n",
+				f.ID, f.Predictor, f.Stats.Instructions, f.Stats.Mispredicts, f.Stats.MPKI)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Command llbpload drives an llbpd daemon with the synthetic server
+// workloads: K concurrent sessions stream branch batches over HTTP, then
+// every session's server-side MPKI is checked against a local sim.Run of
+// the identical stream. It is the repository's end-to-end client/server
+// benchmark: it prints achieved branches/sec, per-workload server-vs-local
+// MPKI agreement, and the daemon's own /v1/stats counters.
+//
+// Usage:
+//
+//	llbpload -addr http://localhost:8713
+//	llbpload -workloads nodeapp,kafka,wikipedia,whiskey -sessions 8 -instr 200000
+//	llbpload -predictor tsl-64k -batch 8192 -skip-local
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"llbpx"
+	"llbpx/internal/serve"
+)
+
+// sessionResult is one streamed session's outcome.
+type sessionResult struct {
+	id       string
+	workload string
+	branches uint64
+	server   serve.SessionStats
+	err      error
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://localhost:8713", "llbpd base URL")
+		workloads = flag.String("workloads", "all", "comma-separated workloads, or 'all' (14 presets)")
+		sessions  = flag.Int("sessions", 8, "concurrent sessions (assigned workloads round-robin)")
+		predictor = flag.String("predictor", "llbp-x", "predictor for every session")
+		instr     = flag.Uint64("instr", 500_000, "instructions streamed per session")
+		batchSize = flag.Int("batch", 4096, "branches per batch")
+		skipLocal = flag.Bool("skip-local", false, "skip the local sim.Run MPKI cross-check")
+		tolerance = flag.Float64("tolerance", 0.01, "max |server-local|/local MPKI disagreement")
+	)
+	flag.Parse()
+	if *sessions < 1 || *batchSize < 1 || *instr == 0 {
+		fatal(fmt.Errorf("need -sessions >= 1, -batch >= 1, -instr > 0"))
+	}
+
+	names := llbpx.WorkloadNames()
+	if *workloads != "all" {
+		names = strings.Split(*workloads, ",")
+	}
+	for _, n := range names {
+		if _, err := llbpx.WorkloadByName(n); err != nil {
+			fatal(err)
+		}
+	}
+
+	client := serve.NewClient(*addr, &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: *sessions},
+		Timeout:   2 * time.Minute,
+	})
+	ctx := context.Background()
+
+	// Load phase: K sessions stream concurrently.
+	fmt.Printf("llbpload: %d sessions x %d instr over %d workloads against %s (predictor %s)\n",
+		*sessions, *instr, len(names), *addr, *predictor)
+	results := make([]sessionResult, *sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wl := names[i%len(names)]
+			id := fmt.Sprintf("load-%s-%d", wl, i)
+			results[i] = streamSession(ctx, client, id, wl, *predictor, *instr, *batchSize)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var totalBranches uint64
+	failed := 0
+	for _, r := range results {
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "llbpload: session %s: %v\n", r.id, r.err)
+			failed++
+			continue
+		}
+		totalBranches += r.branches
+	}
+	if failed == *sessions {
+		fatal(fmt.Errorf("all %d sessions failed", failed))
+	}
+	fmt.Printf("llbpload: streamed %d branches in %v — %.0f branches/s achieved\n",
+		totalBranches, elapsed.Round(time.Millisecond), float64(totalBranches)/elapsed.Seconds())
+
+	// Verification phase: local replay of each workload's stream.
+	local := map[string]float64{}
+	if !*skipLocal {
+		local = localMPKI(names, *predictor, *instr)
+	}
+	tbl := llbpx.Table{Title: "server vs local MPKI", Headers: []string{"session", "workload", "branches", "server-MPKI", "local-MPKI", "delta%"}}
+	mismatches := 0
+	for _, r := range results {
+		if r.err != nil {
+			continue
+		}
+		if *skipLocal {
+			tbl.AddRow(r.id, r.workload, fmt.Sprint(r.branches), r.server.MPKI, "-", "-")
+			continue
+		}
+		want := local[r.workload]
+		delta := 0.0
+		if want > 0 {
+			delta = (r.server.MPKI - want) / want
+		}
+		if delta < -*tolerance || delta > *tolerance {
+			mismatches++
+		}
+		tbl.AddRow(r.id, r.workload, fmt.Sprint(r.branches), r.server.MPKI, want, 100*delta)
+	}
+	fmt.Println(tbl.String())
+
+	if snap, err := client.ServerStats(ctx); err == nil {
+		fmt.Printf("server: %d batches, %d branches, %.0f branches/s lifetime, "+
+			"batch latency p50=%.0fus p99=%.0fus, sessions live=%d evicted=%d\n",
+			snap.Batches, snap.Branches, snap.BranchesPerSec,
+			snap.LatencyP50Us, snap.LatencyP99Us, snap.SessionsLive, snap.SessionsEvicted)
+	}
+
+	switch {
+	case failed > 0:
+		fatal(fmt.Errorf("%d sessions failed", failed))
+	case mismatches > 0:
+		fatal(fmt.Errorf("%d sessions disagree with local MPKI beyond %.2f%%", mismatches, 100**tolerance))
+	default:
+		if !*skipLocal {
+			fmt.Println("llbpload: all sessions agree with local simulation")
+		}
+	}
+}
+
+// streamSession streams one workload's branch stream to one server
+// session in batches and closes the session, returning its final stats.
+func streamSession(ctx context.Context, client *serve.Client, id, workloadName, predictor string, instrBudget uint64, batchSize int) sessionResult {
+	res := sessionResult{id: id, workload: workloadName}
+	src, err := workloadSource(workloadName)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	batch := make([]llbpx.Branch, 0, batchSize)
+	var instr uint64
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		resp, err := client.Predict(ctx, id, predictor, batch)
+		if err != nil {
+			return err
+		}
+		res.server = resp.Stats
+		res.branches += uint64(len(batch))
+		batch = batch[:0]
+		return nil
+	}
+	// Mirror sim.Run's stop condition exactly: pull while instr < budget,
+	// include the branch that crosses it.
+	for instr < instrBudget {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		instr += b.Instructions()
+		batch = append(batch, b)
+		if len(batch) == batchSize {
+			if res.err = flush(); res.err != nil {
+				return res
+			}
+		}
+	}
+	if res.err = flush(); res.err != nil {
+		return res
+	}
+	if fin, err := client.CloseSession(ctx, id); err == nil {
+		res.server = fin.Stats
+	}
+	return res
+}
+
+// localMPKI replays each workload's identical stream through a local
+// sim.Run (warmup 0, matching the server session's from-scratch stats)
+// and returns MPKI per workload.
+func localMPKI(names []string, predictor string, instrBudget uint64) map[string]float64 {
+	out := make(map[string]float64, len(names))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			src, err := workloadSource(name)
+			if err != nil {
+				return
+			}
+			p, err := llbpx.NewPredictorByName(predictor)
+			if err != nil {
+				return
+			}
+			res, err := llbpx.Simulate(p, src, llbpx.SimOptions{MeasureInstr: instrBudget})
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			out[name] = res.MPKI()
+			mu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+	return out
+}
+
+// workloadSource builds a fresh deterministic branch stream for a preset;
+// two calls yield identical streams, which the MPKI cross-check relies on.
+func workloadSource(name string) (llbpx.Source, error) {
+	prof, err := llbpx.WorkloadByName(name)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		return nil, err
+	}
+	return llbpx.NewGenerator(prog), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llbpload:", err)
+	os.Exit(1)
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"llbpx"
 )
@@ -38,7 +39,7 @@ func main() {
 
 	if *list {
 		fmt.Println("workloads: ", llbpx.WorkloadNames())
-		fmt.Println("predictors: tsl-8k tsl-16k tsl-32k tsl-64k tsl-128k tsl-512k tsl-inf llbp llbp-0lat llbp-x")
+		fmt.Println("predictors:", strings.Join(llbpx.PredictorNames(), " "))
 		return
 	}
 
@@ -46,7 +47,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	p, err := buildPredictor(*predictor)
+	p, err := llbpx.NewPredictorByName(*predictor)
 	if err != nil {
 		fatal(err)
 	}
@@ -107,33 +108,6 @@ func buildSource(workloadName, tracePath, champPath string, seed uint64) (llbpx.
 		return nil, err
 	}
 	return llbpx.NewGenerator(prog), nil
-}
-
-func buildPredictor(name string) (llbpx.Predictor, error) {
-	switch name {
-	case "tsl-8k":
-		return llbpx.NewTSL(llbpx.TSL8K())
-	case "tsl-16k":
-		return llbpx.NewTSL(llbpx.TSL16K())
-	case "tsl-32k":
-		return llbpx.NewTSL(llbpx.TSL32K())
-	case "tsl-64k":
-		return llbpx.NewTSL(llbpx.TSL64K())
-	case "tsl-128k":
-		return llbpx.NewTSL(llbpx.TSL128K())
-	case "tsl-512k":
-		return llbpx.NewTSL(llbpx.TSL512K())
-	case "tsl-inf":
-		return llbpx.NewTSL(llbpx.TSLInf())
-	case "llbp":
-		return llbpx.NewLLBP(llbpx.LLBPDefault())
-	case "llbp-0lat":
-		return llbpx.NewLLBP(llbpx.LLBPZeroLatency())
-	case "llbp-x":
-		return llbpx.NewLLBPX(llbpx.LLBPXDefault())
-	default:
-		return nil, fmt.Errorf("unknown predictor %q (try -list)", name)
-	}
 }
 
 func fatal(err error) {

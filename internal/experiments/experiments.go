@@ -153,28 +153,30 @@ type job struct {
 }
 
 // runJobs executes jobs with bounded parallelism, returning results in job
-// order.
+// order. The semaphore is acquired before each goroutine is spawned so at
+// most parallelism()+ goroutines exist at any time, rather than one per
+// job blocked on the semaphore.
 func runJobs(sc Scale, jobs []job) ([]sim.Result, error) {
 	results := make([]sim.Result, len(jobs))
 	errs := make([]error, len(jobs))
 	sem := make(chan struct{}, sc.parallelism())
 	var wg sync.WaitGroup
 	for i := range jobs {
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			j := jobs[i]
 			prog, err := workload.Build(j.profile)
 			if err != nil {
-				errs[i] = err
+				errs[i] = fmt.Errorf("workload %s: %w", j.profile.Name, err)
 				return
 			}
 			p := j.make()
 			res, err := sim.Run(p, workload.NewGenerator(prog), sc.options())
 			if err != nil {
-				errs[i] = err
+				errs[i] = fmt.Errorf("workload %s / predictor %s: %w", j.profile.Name, p.Name(), err)
 				return
 			}
 			if j.finish != nil {

@@ -44,6 +44,22 @@ func PCMix(pc uint64) uint64 {
 	return pc ^ (pc >> 2) ^ (pc >> 5)
 }
 
+// FNV1a returns the 64-bit FNV-1a hash of s. It is the string-keyed
+// sibling of Mix64, used where string identifiers (session IDs) must be
+// spread across shards without allocating.
+func FNV1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
 // Rand is a splitmix64 pseudo-random generator. The zero value is a valid
 // generator seeded with 0; use NewRand to seed explicitly. It is
 // deliberately tiny and allocation-free so workload models can embed one

@@ -1,6 +1,7 @@
 package hashutil
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -142,6 +143,35 @@ func TestRandBoolProbability(t *testing.T) {
 	frac := float64(hits) / n
 	if frac < 0.28 || frac > 0.32 {
 		t.Fatalf("Bool(0.3) rate %.4f far from 0.3", frac)
+	}
+}
+
+func TestFNV1aReference(t *testing.T) {
+	// Known FNV-1a vectors.
+	cases := map[string]uint64{
+		"":    14695981039346656037,
+		"a":   0xaf63dc4c8601ec8c,
+		"foo": 0xdcb27518fed9d577,
+	}
+	for s, want := range cases {
+		if got := FNV1a(s); got != want {
+			t.Fatalf("FNV1a(%q) = %#x, want %#x", s, got, want)
+		}
+	}
+}
+
+func TestFNV1aSpreadsShards(t *testing.T) {
+	// Session-ID-like strings must spread across a small shard count.
+	const shards = 16
+	var counts [shards]int
+	const n = 1024
+	for i := 0; i < n; i++ {
+		counts[FNV1a(fmt.Sprintf("session-%d", i))%shards]++
+	}
+	for s, c := range counts {
+		if c < n/shards/4 || c > n/shards*4 {
+			t.Fatalf("shard %d holds %d/%d keys: FNV1a spreads poorly", s, c, n)
+		}
 	}
 }
 

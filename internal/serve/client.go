@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"llbpx/internal/core"
+)
+
+// Client is a minimal llbpd API client, the transport half of
+// cmd/llbpload. It is safe for concurrent use by multiple goroutines
+// (each driving its own session).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the llbpd instance at base (e.g.
+// "http://localhost:8713"). hc may be nil for http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Predict streams one batch to session id, creating the session with the
+// named predictor if it does not exist ("" = server default).
+func (c *Client) Predict(ctx context.Context, id, predictor string, batch []core.Branch) (*PredictResponse, error) {
+	records := make([]BranchRecord, len(batch))
+	for i, b := range batch {
+		records[i] = RecordFromBranch(b)
+	}
+	body, err := json.Marshal(PredictRequest{Predictor: predictor, Branches: records})
+	if err != nil {
+		return nil, err
+	}
+	var out PredictResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/predict", body, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Predictions) != len(batch) {
+		return nil, fmt.Errorf("serve client: sent %d branches, got %d predictions", len(batch), len(out.Predictions))
+	}
+	return &out, nil
+}
+
+// SessionStats fetches a session's running statistics.
+func (c *Client) SessionStats(ctx context.Context, id string) (*SessionFinal, error) {
+	var out SessionFinal
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CloseSession deletes a session and returns its final statistics.
+func (c *Client) CloseSession(ctx context.Context, id string) (*SessionFinal, error) {
+	var out SessionFinal
+	if err := c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ServerStats fetches the server-wide snapshot from /v1/stats.
+func (c *Client) ServerStats(ctx context.Context) (*StatsSnapshot, error) {
+	var out StatsSnapshot
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er errorReply
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&er) == nil && er.Error != "" {
+			return fmt.Errorf("serve client: %s %s: %s (%d)", method, path, er.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("serve client: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

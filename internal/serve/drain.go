@@ -1,0 +1,71 @@
+package serve
+
+import "time"
+
+// janitor periodically evicts sessions idle longer than SessionTTL. It
+// runs from New until Drain (or Close) stops it. A non-positive TTL
+// disables eviction entirely.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	if s.cfg.SessionTTL < 0 {
+		<-s.janitorStop
+		return
+	}
+	tick := time.NewTicker(s.cfg.EvictEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-tick.C:
+			s.EvictIdle()
+		}
+	}
+}
+
+// EvictIdle evicts every session idle longer than SessionTTL right now
+// and returns how many were removed. Exposed for tests and operators; the
+// janitor calls it on its own schedule.
+func (s *Server) EvictIdle() int {
+	if s.cfg.SessionTTL <= 0 {
+		return 0
+	}
+	cutoff := time.Now().Add(-s.cfg.SessionTTL).UnixNano()
+	evicted := s.sessions.evictIdle(cutoff)
+	if n := len(evicted); n > 0 {
+		s.metrics.sessionsEvicted.Add(uint64(n))
+	}
+	return len(evicted)
+}
+
+// Draining reports whether the server has begun draining.
+func (s *Server) Draining() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the server down: new batches are refused with
+// 503 from the moment it is called, every batch already accepted runs to
+// completion (none is dropped mid-flight), the eviction janitor stops,
+// and the final per-session statistics of all remaining sessions are
+// returned, sorted by session ID. Drain is idempotent; later calls wait
+// for quiescence again and re-collect.
+func (s *Server) Drain() []SessionFinal {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	s.stopOnce.Do(func() { close(s.janitorStop) })
+	<-s.janitorDone
+	s.inflight.Wait()
+
+	sessions := s.sessions.all()
+	finals := make([]SessionFinal, 0, len(sessions))
+	for _, sess := range sessions {
+		finals = append(finals, sess.final())
+	}
+	return finals
+}
+
+// Close stops the server without collecting final stats (test teardown).
+func (s *Server) Close() { s.Drain() }

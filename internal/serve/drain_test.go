@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEvictionTTL verifies the janitor removes idle sessions after the
+// TTL and that a later batch transparently recreates the session.
+func TestEvictionTTL(t *testing.T) {
+	srv, client := testServer(t, Config{SessionTTL: 150 * time.Millisecond, EvictEvery: 10 * time.Millisecond})
+	ctx := context.Background()
+	batch := syntheticBatch(1, 16)
+
+	for i := 0; i < 3; i++ {
+		if _, err := client.Predict(ctx, fmt.Sprintf("ttl-%d", i), "tsl-8k", batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Sessions() != 3 {
+		t.Fatalf("sessions = %d, want 3", srv.Sessions())
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Sessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("janitor never evicted; %d sessions still live", srv.Sessions())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if snap := srv.Stats(); snap.SessionsEvicted != 3 {
+		t.Fatalf("evicted counter = %d, want 3", snap.SessionsEvicted)
+	}
+
+	// The same ID now creates a fresh session (stats restart from zero).
+	resp, err := client.Predict(ctx, "ttl-0", "tsl-8k", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Created || resp.Stats.Batches != 1 {
+		t.Fatalf("expected fresh session after eviction, got %+v", resp)
+	}
+}
+
+// TestEvictIdleSkipsFreshSessions pins the cutoff logic directly.
+func TestEvictIdleSkipsFreshSessions(t *testing.T) {
+	sm := newShardMap(2)
+	old, _ := newSession("old", "tsl-8k")
+	old.lastUsed.Store(time.Now().Add(-time.Hour).UnixNano())
+	fresh, _ := newSession("fresh", "tsl-8k")
+	sm.shard("old").m["old"] = old
+	sm.shard("fresh").m["fresh"] = fresh
+
+	evicted := sm.evictIdle(time.Now().Add(-time.Minute).UnixNano())
+	if len(evicted) != 1 || evicted[0].ID != "old" {
+		t.Fatalf("evicted %v, want [old]", evicted)
+	}
+	if sm.get("fresh") == nil {
+		t.Fatal("fresh session must survive")
+	}
+	// A busy session (mutex held) is never evicted, even when idle.
+	old2, _ := newSession("busy", "tsl-8k")
+	old2.lastUsed.Store(time.Now().Add(-time.Hour).UnixNano())
+	old2.mu.Lock()
+	defer old2.mu.Unlock()
+	sm.shard("busy").m["busy"] = old2
+	if ev := sm.evictIdle(time.Now().Add(-time.Minute).UnixNano()); len(ev) != 0 {
+		t.Fatalf("evicted a busy session: %v", ev)
+	}
+	if sm.get("busy") == nil {
+		t.Fatal("busy session must survive eviction")
+	}
+}
+
+// TestDrainDropsNoBatch races many streaming clients against Drain and
+// asserts conservation: every batch is either fully executed and counted
+// in the drain's final stats, or rejected whole with 503 — never
+// partially applied, never lost.
+func TestDrainDropsNoBatch(t *testing.T) {
+	const goroutines = 8
+	srv, client := testServer(t, Config{Workers: 2, SessionTTL: -1})
+	ctx := context.Background()
+
+	accepted := make([]uint64, goroutines) // branches acked per session
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("drain-%d", g)
+			for i := 0; ; i++ {
+				batch := syntheticBatch(uint64(g*1000+i), 32)
+				_, err := client.Predict(ctx, id, "tsl-8k", batch)
+				if err != nil {
+					if !strings.Contains(err.Error(), "503") {
+						t.Errorf("session %s: unexpected error %v", id, err)
+					}
+					return
+				}
+				accepted[g] += uint64(len(batch))
+			}
+		}(g)
+	}
+
+	time.Sleep(50 * time.Millisecond) // let traffic build up
+	finals := srv.Drain()
+	wg.Wait() // all clients have seen their final ack or the 503
+
+	if !srv.Draining() {
+		t.Fatal("server must report draining")
+	}
+	byID := make(map[string]SessionFinal, len(finals))
+	for _, f := range finals {
+		byID[f.ID] = f
+	}
+	var wantTotal, gotTotal uint64
+	for g := 0; g < goroutines; g++ {
+		id := fmt.Sprintf("drain-%d", g)
+		if accepted[g] == 0 {
+			continue // drained before this client's first batch landed
+		}
+		f, ok := byID[id]
+		if !ok {
+			t.Fatalf("session %s accepted %d branches but is missing from drain finals", id, accepted[g])
+		}
+		got := f.Stats.CondBranches + f.Stats.UncondCount
+		if got != accepted[g] {
+			t.Fatalf("session %s: server retained %d branches, client had %d acked", id, got, accepted[g])
+		}
+		wantTotal += accepted[g]
+		gotTotal += got
+	}
+	if wantTotal == 0 {
+		t.Fatal("drain happened before any batch was accepted; lower the sleep?")
+	}
+	if snap := srv.Stats(); snap.Branches != gotTotal {
+		t.Fatalf("metrics counted %d branches, sessions retained %d", snap.Branches, gotTotal)
+	}
+
+	// After drain every new batch is refused.
+	if _, err := client.Predict(ctx, "late", "tsl-8k", syntheticBatch(9, 8)); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("post-drain batch must get 503, got %v", err)
+	}
+	if snap := srv.Stats(); snap.Rejected == 0 {
+		t.Fatal("rejected counter must move for post-drain batches")
+	}
+}

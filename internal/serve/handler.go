@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"llbpx/internal/core"
+)
+
+// Wire types ---------------------------------------------------------------
+
+// BranchRecord is the wire form of one core.Branch. Kind uses the
+// core.BranchKind numeric encoding (0=cond, 1=jump, 2=call, 3=ret,
+// 4=ijump).
+type BranchRecord struct {
+	PC     uint64 `json:"pc"`
+	Target uint64 `json:"target,omitempty"`
+	Kind   uint8  `json:"kind"`
+	Taken  bool   `json:"taken"`
+	Gap    uint32 `json:"gap,omitempty"`
+}
+
+// ToBranch converts the wire record to the core type.
+func (r BranchRecord) ToBranch() core.Branch {
+	return core.Branch{PC: r.PC, Target: r.Target, Kind: core.BranchKind(r.Kind), Taken: r.Taken, InstrGap: r.Gap}
+}
+
+// RecordFromBranch converts a core.Branch to its wire form.
+func RecordFromBranch(b core.Branch) BranchRecord {
+	return BranchRecord{PC: b.PC, Target: b.Target, Kind: uint8(b.Kind), Taken: b.Taken, Gap: b.InstrGap}
+}
+
+// BranchPrediction is the per-branch reply. For unconditional branches
+// Cond is false and Taken/Correct are trivially true.
+type BranchPrediction struct {
+	Cond        bool `json:"cond"`
+	Taken       bool `json:"taken"`
+	Correct     bool `json:"correct"`
+	SecondLevel bool `json:"second_level,omitempty"`
+}
+
+// PredictRequest is the body of POST /v1/sessions/{id}/predict.
+type PredictRequest struct {
+	// Predictor names the registry configuration; consulted only when the
+	// batch creates the session (empty = server default). A non-empty name
+	// that conflicts with an existing session's predictor is a 409.
+	Predictor string `json:"predictor,omitempty"`
+	// Branches is the batch, in retire order.
+	Branches []BranchRecord `json:"branches"`
+}
+
+// PredictResponse is the reply: predictions align 1:1 with the request's
+// branches, and Stats is the session's running total after the batch.
+type PredictResponse struct {
+	Session     string             `json:"session"`
+	Predictor   string             `json:"predictor"`
+	Created     bool               `json:"created,omitempty"`
+	Predictions []BranchPrediction `json:"predictions"`
+	Stats       SessionStats       `json:"stats"`
+}
+
+// errorReply is the JSON body of every non-2xx response.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// Routing ------------------------------------------------------------------
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions/{id}/predict", s.handlePredict)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+// Handlers -----------------------------------------------------------------
+
+// maxBodyBytes bounds a predict request body; 64 bytes/branch of JSON is
+// generous, and MaxBatch bounds the decoded batch anyway.
+const maxBodyBytes = 64 << 20
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch body: %v", err)
+		return
+	}
+	if len(req.Branches) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Branches) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"batch of %d branches exceeds limit %d", len(req.Branches), s.cfg.MaxBatch)
+		return
+	}
+	batch := make([]core.Branch, len(req.Branches))
+	for i, rec := range req.Branches {
+		b := rec.ToBranch()
+		if !b.Kind.Valid() {
+			writeError(w, http.StatusBadRequest, "branch %d: invalid kind %d", i, rec.Kind)
+			return
+		}
+		batch[i] = b
+	}
+
+	// From here the batch counts as in-flight: drain waits for it and it
+	// is never dropped part-way.
+	if !s.beginBatch() {
+		s.metrics.rejected.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.endBatch()
+
+	predictorName := req.Predictor
+	if predictorName == "" {
+		predictorName = s.cfg.DefaultPredictor
+	}
+	sess, created, err := s.sessions.getOrCreate(id, func() (*Session, error) {
+		return newSession(id, predictorName)
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if created {
+		s.metrics.sessionsCreated.Add(1)
+	} else if req.Predictor != "" && req.Predictor != sess.PredictorName {
+		writeError(w, http.StatusConflict,
+			"session %q runs predictor %q, not %q", id, sess.PredictorName, req.Predictor)
+		return
+	}
+
+	// Bounded worker pool: a slot gates the CPU-heavy predictor walk so a
+	// flood of batches queues here instead of oversubscribing the host.
+	s.pool <- struct{}{}
+	start := time.Now()
+	preds, delta, snap := sess.executeBatch(batch)
+	elapsed := time.Since(start)
+	<-s.pool
+	s.metrics.observeBatch(sess.PredictorName, delta, elapsed)
+
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Session:     id,
+		Predictor:   sess.PredictorName,
+		Created:     created,
+		Predictions: preds,
+		Stats:       snap,
+	})
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess := s.sessions.get(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.final())
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess := s.sessions.remove(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	s.metrics.sessionsClosed.Add(1)
+	writeJSON(w, http.StatusOK, sess.final())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.Stats().writeProm(w)
+}

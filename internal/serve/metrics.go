@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"llbpx/internal/stats"
+)
+
+// latencyBuckets is the number of power-of-two microsecond buckets in the
+// batch-latency histogram; bucket i counts batches with latency in
+// [2^(i-1), 2^i) µs, so the top bucket covers ~134 s.
+const latencyBuckets = 28
+
+// metrics is the server's lock-free observability surface. Counters are
+// atomics bumped on the request path; only the per-predictor aggregate
+// takes a (short, uncontended) mutex.
+type metrics struct {
+	start time.Time
+
+	sessionsCreated atomic.Uint64
+	sessionsEvicted atomic.Uint64
+	sessionsClosed  atomic.Uint64
+	batches         atomic.Uint64
+	branches        atomic.Uint64
+	rejected        atomic.Uint64 // batches refused while draining
+
+	latency [latencyBuckets]atomic.Uint64
+
+	mu      sync.Mutex
+	perPred map[string]*stats.BranchStats
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), perPred: make(map[string]*stats.BranchStats)}
+}
+
+// observeBatch records one executed batch: its stats delta, its predictor
+// attribution, and its service latency.
+func (m *metrics) observeBatch(predictor string, delta stats.BranchStats, d time.Duration) {
+	m.batches.Add(1)
+	m.branches.Add(delta.CondBranches + delta.UncondCount)
+	m.latency[latencyBucket(d)].Add(1)
+	m.mu.Lock()
+	agg := m.perPred[predictor]
+	if agg == nil {
+		agg = &stats.BranchStats{}
+		m.perPred[predictor] = agg
+	}
+	agg.Add(delta)
+	m.mu.Unlock()
+}
+
+// latencyBucket maps a duration to its histogram bucket index.
+func latencyBucket(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 0 && b < latencyBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// bucketUpperUs is the inclusive upper bound of bucket b in microseconds.
+func bucketUpperUs(b int) float64 { return float64(uint64(1) << b) }
+
+// latencyQuantile returns the approximate q-quantile of batch latency in
+// microseconds (the upper bound of the bucket holding the q-th sample), or
+// 0 with no samples.
+func (m *metrics) latencyQuantile(q float64) float64 {
+	var counts [latencyBuckets]uint64
+	var total uint64
+	for i := range m.latency {
+		counts[i] = m.latency[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			return bucketUpperUs(i)
+		}
+	}
+	return bucketUpperUs(latencyBuckets - 1)
+}
+
+// PredictorStats is the wire form of a per-predictor aggregate.
+type PredictorStats struct {
+	Instructions uint64  `json:"instructions"`
+	CondBranches uint64  `json:"cond_branches"`
+	Mispredicts  uint64  `json:"mispredicts"`
+	MPKI         float64 `json:"mpki"`
+}
+
+// StatsSnapshot is the wire form of GET /v1/stats.
+type StatsSnapshot struct {
+	UptimeSec       float64                   `json:"uptime_sec"`
+	SessionsLive    int                       `json:"sessions_live"`
+	SessionsCreated uint64                    `json:"sessions_created"`
+	SessionsEvicted uint64                    `json:"sessions_evicted"`
+	SessionsClosed  uint64                    `json:"sessions_closed"`
+	Batches         uint64                    `json:"batches"`
+	Branches        uint64                    `json:"branches"`
+	Rejected        uint64                    `json:"rejected"`
+	BranchesPerSec  float64                   `json:"branches_per_sec"`
+	LatencyP50Us    float64                   `json:"batch_latency_p50_us"`
+	LatencyP99Us    float64                   `json:"batch_latency_p99_us"`
+	Predictors      map[string]PredictorStats `json:"predictors"`
+}
+
+// snapshot assembles the full snapshot; sessionsLive is supplied by the
+// server (it lives in the shard map, not here).
+func (m *metrics) snapshot(sessionsLive int) StatsSnapshot {
+	up := time.Since(m.start).Seconds()
+	branches := m.branches.Load()
+	snap := StatsSnapshot{
+		UptimeSec:       up,
+		SessionsLive:    sessionsLive,
+		SessionsCreated: m.sessionsCreated.Load(),
+		SessionsEvicted: m.sessionsEvicted.Load(),
+		SessionsClosed:  m.sessionsClosed.Load(),
+		Batches:         m.batches.Load(),
+		Branches:        branches,
+		Rejected:        m.rejected.Load(),
+		LatencyP50Us:    m.latencyQuantile(0.50),
+		LatencyP99Us:    m.latencyQuantile(0.99),
+		Predictors:      make(map[string]PredictorStats),
+	}
+	if up > 0 {
+		snap.BranchesPerSec = float64(branches) / up
+	}
+	m.mu.Lock()
+	for name, agg := range m.perPred {
+		snap.Predictors[name] = PredictorStats{
+			Instructions: agg.Instructions,
+			CondBranches: agg.CondBranches,
+			Mispredicts:  agg.Mispredicts,
+			MPKI:         agg.MPKI(),
+		}
+	}
+	m.mu.Unlock()
+	return snap
+}
+
+// writeProm renders the snapshot in Prometheus text exposition format for
+// GET /metrics.
+func (snap StatsSnapshot) writeProm(w io.Writer) {
+	p := func(name string, v float64) { fmt.Fprintf(w, "llbpd_%s %g\n", name, v) }
+	p("uptime_seconds", snap.UptimeSec)
+	p("sessions_live", float64(snap.SessionsLive))
+	p("sessions_created_total", float64(snap.SessionsCreated))
+	p("sessions_evicted_total", float64(snap.SessionsEvicted))
+	p("sessions_closed_total", float64(snap.SessionsClosed))
+	p("batches_total", float64(snap.Batches))
+	p("branches_total", float64(snap.Branches))
+	p("batches_rejected_total", float64(snap.Rejected))
+	p("branches_per_second", snap.BranchesPerSec)
+	p("batch_latency_p50_us", snap.LatencyP50Us)
+	p("batch_latency_p99_us", snap.LatencyP99Us)
+	names := make([]string, 0, len(snap.Predictors))
+	for name := range snap.Predictors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ps := snap.Predictors[name]
+		fmt.Fprintf(w, "llbpd_predictor_mpki{predictor=%q} %g\n", name, ps.MPKI)
+		fmt.Fprintf(w, "llbpd_predictor_branches_total{predictor=%q} %d\n", name, ps.CondBranches)
+		fmt.Fprintf(w, "llbpd_predictor_mispredicts_total{predictor=%q} %d\n", name, ps.Mispredicts)
+	}
+}

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"llbpx/internal/core"
+	"llbpx/internal/llbp"
+	llbpximpl "llbpx/internal/llbpx"
+	"llbpx/internal/tage"
+)
+
+// predictorMakers is the registry of named predictor configurations a
+// session can be created with. The names match cmd/llbpsim's vocabulary.
+var predictorMakers = map[string]func() (core.Predictor, error){
+	"tsl-8k":    func() (core.Predictor, error) { return tage.New(tage.Config8K()) },
+	"tsl-16k":   func() (core.Predictor, error) { return tage.New(tage.Config16K()) },
+	"tsl-32k":   func() (core.Predictor, error) { return tage.New(tage.Config32K()) },
+	"tsl-64k":   func() (core.Predictor, error) { return tage.New(tage.Config64K()) },
+	"tsl-128k":  func() (core.Predictor, error) { return tage.New(tage.Config128K()) },
+	"tsl-512k":  func() (core.Predictor, error) { return tage.New(tage.Config512K()) },
+	"tsl-inf":   func() (core.Predictor, error) { return tage.New(tage.ConfigInf()) },
+	"llbp":      func() (core.Predictor, error) { return llbp.New(llbp.Default()) },
+	"llbp-0lat": func() (core.Predictor, error) { return llbp.New(llbp.ZeroLatency()) },
+	"llbp-x":    func() (core.Predictor, error) { return llbpximpl.New(llbpximpl.Default()) },
+}
+
+// NewPredictor constructs a fresh predictor instance for a registry name.
+func NewPredictor(name string) (core.Predictor, error) {
+	mk, ok := predictorMakers[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown predictor %q (known: %v)", name, PredictorNames())
+	}
+	return mk()
+}
+
+// PredictorNames returns the registry names in sorted order.
+func PredictorNames() []string {
+	out := make([]string, 0, len(predictorMakers))
+	for name := range predictorMakers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

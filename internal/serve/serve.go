@@ -1,0 +1,127 @@
+// Package serve exposes the repository's branch predictors as a network
+// service: the core of cmd/llbpd. Each client session owns one live
+// predictor instance (any registry configuration — TAGE-SC-L sizes, LLBP,
+// LLBP-X) plus its running branch statistics; sessions live in an N-way
+// sharded map so thousands of concurrent sessions don't serialize on one
+// lock. Clients stream batches of branch records to
+// POST /v1/sessions/{id}/predict and get back per-branch predictions and
+// the session's updated MPKI — amortizing transport cost over the batch
+// exactly like inference batching. Batch execution runs through a bounded
+// worker pool, idle sessions are evicted after a configurable TTL, and
+// Drain implements graceful shutdown: stop accepting, flush in-flight
+// batches, emit final per-session stats. Observability lives at
+// GET /metrics (Prometheus text) and GET /v1/stats (JSON).
+//
+// A session's batch loop replicates internal/sim's retire-order protocol
+// bit for bit, so a session fed the branch stream of sim.Run reports the
+// identical MPKI — the property cmd/llbpload checks end to end.
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a Server. The zero value is usable; every field
+// has a sensible default applied by New.
+type Config struct {
+	// Shards is the session-map shard count (default 16).
+	Shards int
+	// Workers bounds concurrently executing batches (default GOMAXPROCS).
+	Workers int
+	// MaxBatch is the largest accepted batch, in branches (default 65536).
+	MaxBatch int
+	// SessionTTL evicts sessions idle longer than this (default 5m;
+	// negative disables eviction).
+	SessionTTL time.Duration
+	// EvictEvery is the janitor scan interval (default SessionTTL/4).
+	EvictEvery time.Duration
+	// DefaultPredictor is used when a session's first batch names none
+	// (default "llbp-x").
+	DefaultPredictor string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 65536
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 5 * time.Minute
+	}
+	if c.EvictEvery <= 0 {
+		c.EvictEvery = c.SessionTTL / 4
+		if c.EvictEvery <= 0 {
+			c.EvictEvery = time.Minute
+		}
+	}
+	if c.DefaultPredictor == "" {
+		c.DefaultPredictor = "llbp-x"
+	}
+	return c
+}
+
+// Server is the branch-prediction service. Create with New; it implements
+// http.Handler. Call Drain for graceful shutdown.
+type Server struct {
+	cfg      Config
+	sessions *shardMap
+	metrics  *metrics
+	pool     chan struct{} // worker-pool slots; len bounds executing batches
+
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup // accepted batches not yet responded to
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	stopOnce    sync.Once
+
+	mux *http.ServeMux
+}
+
+// New builds a Server and starts its eviction janitor.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		sessions:    newShardMap(cfg.Shards),
+		metrics:     newMetrics(),
+		pool:        make(chan struct{}, cfg.Workers),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	s.mux = s.buildMux()
+	go s.janitor()
+	return s
+}
+
+// Config returns the server's resolved configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Stats returns the current server-wide statistics snapshot.
+func (s *Server) Stats() StatsSnapshot { return s.metrics.snapshot(s.sessions.len()) }
+
+// Sessions returns the number of live sessions.
+func (s *Server) Sessions() int { return s.sessions.len() }
+
+// beginBatch registers an accepted batch with the drain barrier, or
+// reports false when the server is draining.
+func (s *Server) beginBatch() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+func (s *Server) endBatch() { s.inflight.Done() }

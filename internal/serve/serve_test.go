@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"llbpx/internal/core"
+	"llbpx/internal/sim"
+	"llbpx/internal/workload"
+)
+
+// testServer starts a Server over real HTTP and tears it down with the
+// test.
+func testServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	srv := New(cfg)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	return srv, NewClient(hs.URL, hs.Client())
+}
+
+// workloadBranches materializes the first instruction-budget worth of a
+// preset workload's deterministic stream, mirroring sim.Run's stop rule.
+func workloadBranches(t *testing.T, name string, instrBudget uint64) []core.Branch {
+	t.Helper()
+	prof, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(prog)
+	var out []core.Branch
+	var instr uint64
+	for instr < instrBudget {
+		b, ok := gen.Next()
+		if !ok {
+			break
+		}
+		instr += b.Instructions()
+		out = append(out, b)
+	}
+	return out
+}
+
+// sendInBatches streams branches to one session in fixed-size batches and
+// returns the final session stats from the last response.
+func sendInBatches(t *testing.T, c *Client, id, predictor string, branches []core.Branch, batchSize int) SessionStats {
+	t.Helper()
+	var last SessionStats
+	for start := 0; start < len(branches); start += batchSize {
+		end := min(start+batchSize, len(branches))
+		resp, err := c.Predict(context.Background(), id, predictor, branches[start:end])
+		if err != nil {
+			t.Fatalf("batch at %d: %v", start, err)
+		}
+		last = resp.Stats
+	}
+	return last
+}
+
+// TestServerMatchesLocalSim is the core fidelity property: a session fed
+// the exact branch stream of a local sim.Run must report identical
+// statistics — the serving layer adds transport, not semantics.
+func TestServerMatchesLocalSim(t *testing.T) {
+	const instrBudget = 120_000
+	branches := workloadBranches(t, "nodeapp", instrBudget)
+
+	p, err := NewPredictor("tsl-8k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sim.Run(p, core.NewSliceSource(branches), sim.Options{MeasureInstr: instrBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, client := testServer(t, Config{})
+	got := sendInBatches(t, client, "fidelity", "tsl-8k", branches, 1024)
+
+	want := local.Measured
+	if got.Instructions != want.Instructions || got.CondBranches != want.CondBranches ||
+		got.Mispredicts != want.Mispredicts || got.UncondCount != want.UncondCount ||
+		got.SecondLevelOK != want.SecondLevelOK {
+		t.Fatalf("server stats diverge from local sim:\nserver %+v\nlocal  %+v", got, want)
+	}
+	if got.MPKI != local.MPKI() {
+		t.Fatalf("server MPKI %v != local %v", got.MPKI, local.MPKI())
+	}
+}
+
+func TestPredictionsAlignWithBatch(t *testing.T) {
+	_, client := testServer(t, Config{})
+	batch := []core.Branch{
+		{PC: 0x100, Kind: core.CondDirect, Taken: true, InstrGap: 3},
+		{PC: 0x108, Kind: core.Call, Target: 0x800, Taken: true, InstrGap: 2},
+		{PC: 0x110, Kind: core.CondDirect, Taken: false, InstrGap: 4},
+		{PC: 0x118, Kind: core.Return, Taken: true, InstrGap: 1},
+	}
+	resp, err := client.Predict(context.Background(), "align", "tsl-8k", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Created || resp.Predictor != "tsl-8k" {
+		t.Fatalf("expected fresh tsl-8k session, got %+v", resp)
+	}
+	wantCond := []bool{true, false, true, false}
+	for i, pr := range resp.Predictions {
+		if pr.Cond != wantCond[i] {
+			t.Fatalf("prediction %d: cond=%v, want %v", i, pr.Cond, wantCond[i])
+		}
+	}
+	if resp.Stats.CondBranches != 2 || resp.Stats.UncondCount != 2 || resp.Stats.Instructions != 10 {
+		t.Fatalf("bad accounting: %+v", resp.Stats)
+	}
+}
+
+func TestSessionLifecycleAndErrors(t *testing.T) {
+	srv, client := testServer(t, Config{MaxBatch: 8})
+	ctx := context.Background()
+	batch := []core.Branch{{PC: 1, Kind: core.CondDirect, Taken: true, InstrGap: 1}}
+
+	// Unknown predictor never creates a session.
+	if _, err := client.Predict(ctx, "bad", "nonesuch", batch); err == nil || !strings.Contains(err.Error(), "unknown predictor") {
+		t.Fatalf("want unknown-predictor error, got %v", err)
+	}
+	if srv.Sessions() != 0 {
+		t.Fatal("failed create must not leave a session behind")
+	}
+
+	// Create, then conflict on a different predictor name.
+	if _, err := client.Predict(ctx, "s1", "tsl-8k", batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Predict(ctx, "s1", "llbp-x", batch); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("want 409 predictor conflict, got %v", err)
+	}
+	// Empty predictor joins the existing session regardless of default.
+	if resp, err := client.Predict(ctx, "s1", "", batch); err != nil || resp.Predictor != "tsl-8k" {
+		t.Fatalf("join existing session: resp=%+v err=%v", resp, err)
+	}
+
+	// Oversized batch.
+	big := make([]core.Branch, 9)
+	for i := range big {
+		big[i] = core.Branch{PC: uint64(i), Kind: core.CondDirect, InstrGap: 1}
+	}
+	if _, err := client.Predict(ctx, "s1", "", big); err == nil || !strings.Contains(err.Error(), "413") {
+		t.Fatalf("want 413, got %v", err)
+	}
+
+	// Invalid kind.
+	if _, err := client.Predict(ctx, "s1", "", []core.Branch{{PC: 1, Kind: 99}}); err == nil || !strings.Contains(err.Error(), "invalid kind") {
+		t.Fatalf("want invalid-kind error, got %v", err)
+	}
+
+	// Stats, delete, then 404.
+	if st, err := client.SessionStats(ctx, "s1"); err != nil || st.Stats.CondBranches != 2 {
+		t.Fatalf("session stats: %+v err=%v", st, err)
+	}
+	fin, err := client.CloseSession(ctx, "s1")
+	if err != nil || fin.Stats.CondBranches != 2 {
+		t.Fatalf("close: %+v err=%v", fin, err)
+	}
+	if _, err := client.CloseSession(ctx, "s1"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("want 404 after delete, got %v", err)
+	}
+	if srv.Sessions() != 0 {
+		t.Fatalf("sessions live = %d after delete", srv.Sessions())
+	}
+}
+
+func TestMetricsMoveUnderTraffic(t *testing.T) {
+	srv, client := testServer(t, Config{})
+	branches := workloadBranches(t, "kafka", 20_000)
+	sendInBatches(t, client, "m1", "tsl-8k", branches, 512)
+	sendInBatches(t, client, "m2", "llbp-x", branches, 512)
+
+	snap, err := client.ServerStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SessionsLive != 2 || snap.SessionsCreated != 2 {
+		t.Fatalf("sessions: %+v", snap)
+	}
+	if snap.Batches == 0 || snap.Branches != 2*uint64(len(branches)) {
+		t.Fatalf("batches=%d branches=%d want branches=%d", snap.Batches, snap.Branches, 2*len(branches))
+	}
+	if snap.BranchesPerSec <= 0 || snap.LatencyP50Us <= 0 || snap.LatencyP99Us < snap.LatencyP50Us {
+		t.Fatalf("rates/latency: %+v", snap)
+	}
+	for _, name := range []string{"tsl-8k", "llbp-x"} {
+		ps, ok := snap.Predictors[name]
+		if !ok || ps.MPKI <= 0 {
+			t.Fatalf("per-predictor MPKI missing for %s: %+v", name, snap.Predictors)
+		}
+	}
+
+	// Prometheus rendering carries the same counters.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"llbpd_sessions_live 2", "llbpd_branches_total", "llbpd_batch_latency_p99_us", `llbpd_predictor_mpki{predictor="llbp-x"}`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestLatencyBuckets(t *testing.T) {
+	if latencyBucket(0) != 0 {
+		t.Fatal("zero latency must land in bucket 0")
+	}
+	m := newMetrics()
+	for i := 0; i < 99; i++ {
+		m.latency[4].Add(1) // 99 samples at ~16us
+	}
+	m.latency[10].Add(1) // 1 sample at ~1ms
+	if p50 := m.latencyQuantile(0.50); p50 != bucketUpperUs(4) {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99 := m.latencyQuantile(0.99); p99 != bucketUpperUs(4) {
+		t.Fatalf("p99 = %v (99/100 samples are in bucket 4)", p99)
+	}
+	if p999 := m.latencyQuantile(0.9999); p999 != bucketUpperUs(10) {
+		t.Fatalf("p99.99 = %v", p999)
+	}
+}
+
+func TestPredictorRegistry(t *testing.T) {
+	names := PredictorNames()
+	if len(names) != 10 {
+		t.Fatalf("registry has %d names: %v", len(names), names)
+	}
+	for _, name := range names {
+		p, err := NewPredictor(name)
+		if err != nil {
+			t.Fatalf("NewPredictor(%s): %v", name, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("%s built a nameless predictor", name)
+		}
+	}
+	if _, err := NewPredictor("nope"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}

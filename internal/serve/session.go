@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"llbpx/internal/core"
+	"llbpx/internal/stats"
+)
+
+// Session is one client's live predictor. A session owns exactly one
+// predictor instance and its running branch statistics; batches within a
+// session execute serially (predictors are not concurrency-safe), which is
+// guarded by mu. Different sessions execute fully in parallel.
+type Session struct {
+	// ID is the client-chosen session identifier.
+	ID string
+	// PredictorName is the registry name the session was created with.
+	PredictorName string
+
+	// lastUsed is the unix-nano timestamp of the last batch (or creation),
+	// read lock-free by the eviction janitor.
+	lastUsed atomic.Int64
+
+	mu      sync.Mutex
+	pred    core.Predictor
+	stats   stats.BranchStats
+	batches uint64
+}
+
+// newSession builds a session with a fresh predictor from the registry.
+func newSession(id, predictorName string) (*Session, error) {
+	p, err := NewPredictor(predictorName)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{ID: id, PredictorName: predictorName, pred: p}
+	s.touch()
+	return s, nil
+}
+
+func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+// idleSince reports whether the session has been unused since cutoff
+// (unix nanos).
+func (s *Session) idleSince(cutoff int64) bool { return s.lastUsed.Load() < cutoff }
+
+// executeBatch drives the predictor over one batch of branches in retire
+// order, mirroring sim.Run's loop exactly so that a session's MPKI matches
+// a local simulation of the same stream. It returns the per-branch
+// predictions, the batch's own stats delta (used for server-wide
+// per-predictor aggregation), and the session's post-batch snapshot taken
+// under the same lock.
+func (s *Session) executeBatch(batch []core.Branch) ([]BranchPrediction, stats.BranchStats, SessionStats) {
+	out := make([]BranchPrediction, len(batch))
+	var delta stats.BranchStats
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, b := range batch {
+		delta.Instructions += b.Instructions()
+		if b.Kind.Conditional() {
+			delta.CondBranches++
+			pred := s.pred.Predict(b.PC)
+			correct := pred.Taken == b.Taken
+			if !correct {
+				delta.Mispredicts++
+			} else if pred.FromSecondLevel {
+				delta.SecondLevelOK++
+			}
+			if pred.Taken != pred.FastTaken {
+				delta.Overrides++
+			}
+			s.pred.Update(b, pred)
+			out[i] = BranchPrediction{
+				Cond:        true,
+				Taken:       pred.Taken,
+				Correct:     correct,
+				SecondLevel: pred.FromSecondLevel,
+			}
+		} else {
+			delta.UncondCount++
+			s.pred.TrackUnconditional(b)
+			// Unconditional branches are always taken and never predicted
+			// for direction.
+			out[i] = BranchPrediction{Taken: true, Correct: true}
+		}
+	}
+	s.stats.Add(delta)
+	s.batches++
+	s.touch()
+	return out, delta, s.snapshotLocked()
+}
+
+// snapshot returns the session's accumulated statistics.
+func (s *Session) snapshot() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *Session) snapshotLocked() SessionStats {
+	return SessionStats{
+		Instructions:  s.stats.Instructions,
+		CondBranches:  s.stats.CondBranches,
+		Mispredicts:   s.stats.Mispredicts,
+		UncondCount:   s.stats.UncondCount,
+		SecondLevelOK: s.stats.SecondLevelOK,
+		Batches:       s.batches,
+		MPKI:          s.stats.MPKI(),
+		Accuracy:      s.stats.Accuracy(),
+	}
+}
+
+// final returns the session's terminal record (for DELETE and drain).
+func (s *Session) final() SessionFinal {
+	return SessionFinal{ID: s.ID, Predictor: s.PredictorName, Stats: s.snapshot()}
+}
+
+// SessionStats is the wire form of a session's accumulated statistics.
+type SessionStats struct {
+	Instructions  uint64  `json:"instructions"`
+	CondBranches  uint64  `json:"cond_branches"`
+	Mispredicts   uint64  `json:"mispredicts"`
+	UncondCount   uint64  `json:"uncond_branches"`
+	SecondLevelOK uint64  `json:"second_level_ok"`
+	Batches       uint64  `json:"batches"`
+	MPKI          float64 `json:"mpki"`
+	Accuracy      float64 `json:"accuracy"`
+}
+
+// SessionFinal is a finished session's terminal record, emitted on DELETE
+// and on graceful drain.
+type SessionFinal struct {
+	ID        string       `json:"id"`
+	Predictor string       `json:"predictor"`
+	Stats     SessionStats `json:"stats"`
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+
+	"llbpx/internal/hashutil"
+)
+
+// shardMap is an N-way sharded session map. Each shard has its own mutex
+// so thousands of concurrent sessions touching different shards never
+// serialize on one lock; the shard is picked by FNV-1a of the session ID.
+type shardMap struct {
+	shards []mapShard
+}
+
+type mapShard struct {
+	mu sync.RWMutex
+	m  map[string]*Session
+}
+
+func newShardMap(n int) *shardMap {
+	if n < 1 {
+		n = 1
+	}
+	sm := &shardMap{shards: make([]mapShard, n)}
+	for i := range sm.shards {
+		sm.shards[i].m = make(map[string]*Session)
+	}
+	return sm
+}
+
+func (sm *shardMap) shard(id string) *mapShard {
+	return &sm.shards[hashutil.FNV1a(id)%uint64(len(sm.shards))]
+}
+
+// get returns the session for id, or nil.
+func (sm *shardMap) get(id string) *Session {
+	sh := sm.shard(id)
+	sh.mu.RLock()
+	s := sh.m[id]
+	sh.mu.RUnlock()
+	return s
+}
+
+// getOrCreate returns the existing session for id or inserts the one
+// built by create. created reports whether create ran; a create error
+// inserts nothing. The session's lastUsed is refreshed under the shard
+// lock so the janitor cannot see a just-fetched session as idle.
+func (sm *shardMap) getOrCreate(id string, create func() (*Session, error)) (s *Session, created bool, err error) {
+	sh := sm.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s = sh.m[id]; s != nil {
+		s.touch()
+		return s, false, nil
+	}
+	s, err = create()
+	if err != nil {
+		return nil, false, err
+	}
+	sh.m[id] = s
+	return s, true, nil
+}
+
+// remove deletes and returns the session for id, or nil.
+func (sm *shardMap) remove(id string) *Session {
+	sh := sm.shard(id)
+	sh.mu.Lock()
+	s := sh.m[id]
+	delete(sh.m, id)
+	sh.mu.Unlock()
+	return s
+}
+
+// len returns the total number of live sessions.
+func (sm *shardMap) len() int {
+	n := 0
+	for i := range sm.shards {
+		sh := &sm.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// all returns every live session, sorted by ID for stable output.
+func (sm *shardMap) all() []*Session {
+	var out []*Session
+	for i := range sm.shards {
+		sh := &sm.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.m {
+			out = append(out, s)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// evictIdle removes every session idle since cutoff (unix nanos) and
+// returns the evicted sessions. A session whose mutex is held (a batch is
+// executing) is skipped: TryLock both avoids blocking the shard and
+// guarantees we never evict mid-batch.
+func (sm *shardMap) evictIdle(cutoff int64) []*Session {
+	var evicted []*Session
+	for i := range sm.shards {
+		sh := &sm.shards[i]
+		sh.mu.Lock()
+		for id, s := range sh.m {
+			if !s.idleSince(cutoff) || !s.mu.TryLock() {
+				continue
+			}
+			// Re-check under the session lock: a batch may have finished
+			// (and touched the session) between the check and the lock.
+			if s.idleSince(cutoff) {
+				delete(sh.m, id)
+				evicted = append(evicted, s)
+			}
+			s.mu.Unlock()
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
+}

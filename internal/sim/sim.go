@@ -50,15 +50,20 @@ type Result struct {
 	// Extra is the predictor's internal counter snapshot at the end of the
 	// run (nil for predictors without one).
 	Extra map[string]float64
+	// Truncated reports that the source was exhausted before
+	// WarmupInstr+MeasureInstr retired instructions, so Measured covers a
+	// shorter window than requested. Infinite sources (the synthetic
+	// workloads) never truncate; finite traces may.
+	Truncated bool
 }
 
 // MPKI returns the measured mispredictions per kilo-instruction.
 func (r Result) MPKI() float64 { return r.Measured.MPKI() }
 
-// Run simulates p over src with the given options. The source must yield
+// Run simulates p over src with the given options. The source should yield
 // at least WarmupInstr+MeasureInstr instructions; infinite sources (the
-// synthetic workloads) always do, and a finite trace that ends early simply
-// yields a shorter measurement.
+// synthetic workloads) always do. A finite trace that ends early yields a
+// shorter measurement, recorded via Result.Truncated.
 func Run(p core.Predictor, src core.Source, opt Options) (Result, error) {
 	if err := opt.Validate(); err != nil {
 		return Result{}, err
@@ -74,6 +79,7 @@ func Run(p core.Predictor, src core.Source, opt Options) (Result, error) {
 	for instr < limit {
 		b, ok := src.Next()
 		if !ok {
+			res.Truncated = true
 			break
 		}
 		instr += b.Instructions()

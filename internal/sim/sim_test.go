@@ -72,6 +72,9 @@ func TestRunAccounting(t *testing.T) {
 	if p.resets != 1 {
 		t.Fatalf("ResetStats called %d times, want 1 (warmup boundary)", p.resets)
 	}
+	if res.Truncated {
+		t.Fatal("source covered the full budget; Truncated must be clear")
+	}
 }
 
 func TestRunZeroWarmup(t *testing.T) {
@@ -102,6 +105,9 @@ func TestRunShortSource(t *testing.T) {
 	}
 	if res.Measured.Instructions > 50 {
 		t.Fatal("measured more instructions than the source held")
+	}
+	if !res.Truncated {
+		t.Fatal("source ended before the instruction budget; Truncated must be set")
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"llbpx/internal/llbp"
 	llbpximpl "llbpx/internal/llbpx"
 	"llbpx/internal/pipeline"
+	"llbpx/internal/serve"
 	"llbpx/internal/sim"
 	"llbpx/internal/stats"
 	"llbpx/internal/tage"
@@ -139,6 +140,14 @@ type LLBPXPredictor = llbpximpl.Predictor
 
 // NewLLBPX builds an LLBP-X predictor.
 func NewLLBPX(cfg LLBPXConfig) (*LLBPXPredictor, error) { return llbpximpl.New(cfg) }
+
+// NewPredictorByName builds any predictor configuration from the shared
+// registry name ("tsl-8k" … "tsl-inf", "llbp", "llbp-0lat", "llbp-x") —
+// the vocabulary cmd/llbpsim and the llbpd serving layer share.
+func NewPredictorByName(name string) (Predictor, error) { return serve.NewPredictor(name) }
+
+// PredictorNames lists the registry's predictor configuration names.
+func PredictorNames() []string { return serve.PredictorNames() }
 
 // HistoryLengths exposes the 21 TAGE global-history lengths.
 func HistoryLengths() []int {
