@@ -10,9 +10,13 @@ package llbpx_test
 // Full-scale reproductions are driven through cmd/experiments instead.
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"llbpx"
 )
@@ -199,3 +203,122 @@ func BenchmarkTraceEncode(b *testing.B) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Warm start ---------------------------------------------------------------
+
+// warmStartMPKI drives p over branches and returns MPKI over the measured
+// span.
+func warmStartMPKI(p llbpx.Predictor, branches []llbpx.Branch) float64 {
+	var mis, instr uint64
+	for _, br := range branches {
+		if br.Kind.Conditional() {
+			pred := p.Predict(br.PC)
+			if pred.Taken != br.Taken {
+				mis++
+			}
+			p.Update(br, pred)
+		} else {
+			p.TrackUnconditional(br)
+		}
+		instr += br.Instructions()
+	}
+	if instr == 0 {
+		return 0
+	}
+	return float64(mis) / float64(instr) * 1000
+}
+
+// BenchmarkWarmStart measures what checkpointing buys at deployment time
+// for LLBP-X: the timed loop is one full snapshot restore (decode +
+// reconstruct), and the reported metrics compare a cold predictor's MPKI
+// over its first ~1M branches-worth of instructions against a
+// snapshot-restored one's over the same stream. Set LLBPX_BENCH_JSON to a
+// path to also record the data point as JSON (see BENCH_warmstart.json).
+func BenchmarkWarmStart(b *testing.B) {
+	const (
+		warmInstr  = 400_000
+		firstInstr = 1_000_000
+	)
+	prof, err := llbpx.WorkloadByName("nodeapp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := llbpx.NewGenerator(prog)
+	take := func(budget uint64) []llbpx.Branch {
+		var out []llbpx.Branch
+		for instr := uint64(0); instr < budget; {
+			br, ok := gen.Next()
+			if !ok {
+				break
+			}
+			instr += br.Instructions()
+			out = append(out, br)
+		}
+		return out
+	}
+	warm, first := take(warmInstr), take(firstInstr)
+
+	// Train once, snapshot once.
+	trained, err := llbpx.NewPredictorByName("llbp-x")
+	if err != nil {
+		b.Fatal(err)
+	}
+	warmStartMPKI(trained, warm)
+	var buf bytes.Buffer
+	if err := llbpx.SavePredictorState(&buf, "llbp-x", trained); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Cold baseline: fresh predictor straight into the measured span.
+	coldStart := time.Now()
+	cold, err := llbpx.NewPredictorByName("llbp-x")
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldBuildNs := float64(time.Since(coldStart).Nanoseconds())
+	coldMPKI := warmStartMPKI(cold, first)
+
+	// Warm path: restore from the snapshot, then the same measured span.
+	restored, _, err := llbpx.LoadPredictorState(bytes.NewReader(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	warmMPKI := warmStartMPKI(restored, first)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := llbpx.LoadPredictorState(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.SetBytes(int64(len(data)))
+	b.ReportMetric(coldBuildNs, "cold-build-ns")
+	b.ReportMetric(coldMPKI, "cold-mpki-1m")
+	b.ReportMetric(warmMPKI, "warm-mpki-1m")
+
+	if path := os.Getenv("LLBPX_BENCH_JSON"); path != "" {
+		point := map[string]any{
+			"benchmark":      "WarmStart",
+			"predictor":      "llbp-x",
+			"workload":       "nodeapp",
+			"warm_instr":     warmInstr,
+			"first_instr":    firstInstr,
+			"snapshot_bytes": len(data),
+			"cold_mpki_1m":   coldMPKI,
+			"warm_mpki_1m":   warmMPKI,
+		}
+		enc, err := json.MarshalIndent(point, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,6 +11,12 @@
 //
 //	llbpd -addr :8713
 //	llbpd -addr :8713 -shards 32 -workers 8 -ttl 2m -max-batch 16384
+//	llbpd -addr :8713 -snapshot-dir /var/lib/llbpd/snapshots
+//
+// With -snapshot-dir, idle-evicted sessions are checkpointed to disk
+// instead of discarded — the next batch for the same session ID restores
+// the predictor transparently — and drain checkpoints every remaining
+// session so a restarted daemon with the same directory boots warm.
 //
 // API:
 //
@@ -45,6 +51,7 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 65536, "max branches per batch")
 		ttl       = flag.Duration("ttl", 5*time.Minute, "evict sessions idle longer than this (<0 disables)")
 		predictor = flag.String("predictor", "llbp-x", "default predictor for new sessions")
+		snapDir   = flag.String("snapshot-dir", "", "checkpoint evicted/drained sessions here and restore them on demand (empty disables)")
 	)
 	flag.Parse()
 
@@ -54,6 +61,7 @@ func main() {
 		MaxBatch:         *maxBatch,
 		SessionTTL:       *ttl,
 		DefaultPredictor: *predictor,
+		SnapshotDir:      *snapDir,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
@@ -84,6 +92,10 @@ func main() {
 	snap := srv.Stats()
 	fmt.Printf("llbpd: served %d batches / %d branches over %d sessions (%.0f branches/s)\n",
 		snap.Batches, snap.Branches, snap.SessionsCreated, snap.BranchesPerSec)
+	if *snapDir != "" {
+		fmt.Printf("llbpd: checkpoints in %s (%d saved, %d restored, %d write errors)\n",
+			*snapDir, snap.SnapshotSaves, snap.SnapshotRestores, snap.SnapshotSaveErrors)
+	}
 	if len(finals) > 0 {
 		fmt.Printf("%-24s %-10s %12s %12s %10s\n", "session", "predictor", "instructions", "mispredicts", "MPKI")
 		for _, f := range finals {

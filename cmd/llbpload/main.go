@@ -10,6 +10,13 @@
 //	llbpload -addr http://localhost:8713
 //	llbpload -workloads nodeapp,kafka,wikipedia,whiskey -sessions 8 -instr 200000
 //	llbpload -predictor tsl-64k -batch 8192 -skip-local
+//	llbpload -resume -resume-wait 3s
+//
+// With -resume (the daemon must run with -snapshot-dir and a short -ttl),
+// each session pauses mid-stream until it crosses the idle TTL, letting
+// the janitor evict it to disk, then keeps streaming: the daemon restores
+// the predictor transparently and the MPKI cross-check still holds
+// exactly, proving evict-to-disk round-trips lose no learned state.
 package main
 
 import (
@@ -32,19 +39,22 @@ type sessionResult struct {
 	workload string
 	branches uint64
 	server   serve.SessionStats
+	restored bool // the server revived this session from a checkpoint
 	err      error
 }
 
 func main() {
 	var (
-		addr      = flag.String("addr", "http://localhost:8713", "llbpd base URL")
-		workloads = flag.String("workloads", "all", "comma-separated workloads, or 'all' (14 presets)")
-		sessions  = flag.Int("sessions", 8, "concurrent sessions (assigned workloads round-robin)")
-		predictor = flag.String("predictor", "llbp-x", "predictor for every session")
-		instr     = flag.Uint64("instr", 500_000, "instructions streamed per session")
-		batchSize = flag.Int("batch", 4096, "branches per batch")
-		skipLocal = flag.Bool("skip-local", false, "skip the local sim.Run MPKI cross-check")
-		tolerance = flag.Float64("tolerance", 0.01, "max |server-local|/local MPKI disagreement")
+		addr       = flag.String("addr", "http://localhost:8713", "llbpd base URL")
+		workloads  = flag.String("workloads", "all", "comma-separated workloads, or 'all' (14 presets)")
+		sessions   = flag.Int("sessions", 8, "concurrent sessions (assigned workloads round-robin)")
+		predictor  = flag.String("predictor", "llbp-x", "predictor for every session")
+		instr      = flag.Uint64("instr", 500_000, "instructions streamed per session")
+		batchSize  = flag.Int("batch", 4096, "branches per batch")
+		skipLocal  = flag.Bool("skip-local", false, "skip the local sim.Run MPKI cross-check")
+		tolerance  = flag.Float64("tolerance", 0.01, "max |server-local|/local MPKI disagreement")
+		resume     = flag.Bool("resume", false, "pause each session past the server's idle TTL mid-stream to exercise evict-to-disk + restore")
+		resumeWait = flag.Duration("resume-wait", 3*time.Second, "how long a -resume pause lasts (set > the daemon's -ttl)")
 	)
 	flag.Parse()
 	if *sessions < 1 || *batchSize < 1 || *instr == 0 {
@@ -79,7 +89,11 @@ func main() {
 			defer wg.Done()
 			wl := names[i%len(names)]
 			id := fmt.Sprintf("load-%s-%d", wl, i)
-			results[i] = streamSession(ctx, client, id, wl, *predictor, *instr, *batchSize)
+			pauseAt := uint64(0)
+			if *resume {
+				pauseAt = *instr / 2
+			}
+			results[i] = streamSession(ctx, client, id, wl, *predictor, *instr, *batchSize, pauseAt, *resumeWait)
 		}(i)
 	}
 	wg.Wait()
@@ -133,6 +147,20 @@ func main() {
 			"batch latency p50=%.0fus p99=%.0fus, sessions live=%d evicted=%d\n",
 			snap.Batches, snap.Branches, snap.BranchesPerSec,
 			snap.LatencyP50Us, snap.LatencyP99Us, snap.SessionsLive, snap.SessionsEvicted)
+		if *resume {
+			fmt.Printf("server: snapshots saved=%d restored=%d write-errors=%d\n",
+				snap.SnapshotSaves, snap.SnapshotRestores, snap.SnapshotSaveErrors)
+		}
+	}
+	restored := 0
+	for _, r := range results {
+		if r.err == nil && r.restored {
+			restored++
+		}
+	}
+	if *resume {
+		fmt.Printf("llbpload: %d/%d sessions restored from checkpoint after the pause\n",
+			restored, *sessions-failed)
 	}
 
 	switch {
@@ -140,6 +168,8 @@ func main() {
 		fatal(fmt.Errorf("%d sessions failed", failed))
 	case mismatches > 0:
 		fatal(fmt.Errorf("%d sessions disagree with local MPKI beyond %.2f%%", mismatches, 100**tolerance))
+	case *resume && restored == 0:
+		fatal(fmt.Errorf("-resume: no session was restored from a checkpoint — run llbpd with -snapshot-dir and a -ttl shorter than %v", *resumeWait))
 	default:
 		if !*skipLocal {
 			fmt.Println("llbpload: all sessions agree with local simulation")
@@ -149,7 +179,10 @@ func main() {
 
 // streamSession streams one workload's branch stream to one server
 // session in batches and closes the session, returning its final stats.
-func streamSession(ctx context.Context, client *serve.Client, id, workloadName, predictor string, instrBudget uint64, batchSize int) sessionResult {
+// A non-zero pauseAt sleeps resumeWait once after crossing that many
+// instructions — long enough, with a short server TTL, for the janitor to
+// checkpoint the session to disk so the next batch exercises restore.
+func streamSession(ctx context.Context, client *serve.Client, id, workloadName, predictor string, instrBudget uint64, batchSize int, pauseAt uint64, resumeWait time.Duration) sessionResult {
 	res := sessionResult{id: id, workload: workloadName}
 	src, err := workloadSource(workloadName)
 	if err != nil {
@@ -166,11 +199,15 @@ func streamSession(ctx context.Context, client *serve.Client, id, workloadName, 
 		if err != nil {
 			return err
 		}
+		if resp.Restored {
+			res.restored = true
+		}
 		res.server = resp.Stats
 		res.branches += uint64(len(batch))
 		batch = batch[:0]
 		return nil
 	}
+	paused := false
 	// Mirror sim.Run's stop condition exactly: pull while instr < budget,
 	// include the branch that crosses it.
 	for instr < instrBudget {
@@ -184,6 +221,15 @@ func streamSession(ctx context.Context, client *serve.Client, id, workloadName, 
 			if res.err = flush(); res.err != nil {
 				return res
 			}
+		}
+		if pauseAt > 0 && !paused && instr >= pauseAt {
+			// Flush what we have so the server state covers the stream's
+			// first half, then go idle past the TTL.
+			if res.err = flush(); res.err != nil {
+				return res
+			}
+			paused = true
+			time.Sleep(resumeWait)
 		}
 	}
 	if res.err = flush(); res.err != nil {

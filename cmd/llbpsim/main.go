@@ -7,6 +7,8 @@
 //	llbpsim -workload nodeapp -predictor llbp-x
 //	llbpsim -trace run.trc -predictor tsl-64k -warmup 1000000 -measure 2000000
 //	llbpsim -champsim server.champsim.gz -predictor llbp
+//	llbpsim -workload nodeapp -predictor llbp-x -save-state warm.snap
+//	llbpsim -workload nodeapp -load-state warm.snap
 //	llbpsim -list
 //
 // Predictors: tsl-8k tsl-16k tsl-32k tsl-64k tsl-128k tsl-512k tsl-inf
@@ -34,6 +36,8 @@ func main() {
 		seed         = flag.Uint64("seed", 0, "override the workload seed (0 = preset)")
 		showStats    = flag.Bool("stats", false, "print predictor-internal counters")
 		list         = flag.Bool("list", false, "list workloads and predictors, then exit")
+		saveState    = flag.String("save-state", "", "checkpoint the predictor's learned state to this file after the run")
+		loadState    = flag.String("load-state", "", "warm-start the predictor from a checkpoint file (overrides -predictor)")
 	)
 	flag.Parse()
 
@@ -47,13 +51,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	p, err := llbpx.NewPredictorByName(*predictor)
-	if err != nil {
-		fatal(err)
+	predictorName := *predictor
+	var p llbpx.Predictor
+	if *loadState != "" {
+		// A snapshot is a cache, never authoritative: any load failure
+		// (missing file, corrupt bytes, incompatible version) warns and
+		// falls back to a cold predictor instead of aborting the run.
+		lp, name, lerr := llbpx.LoadPredictorFile(*loadState)
+		if lerr != nil {
+			fmt.Fprintf(os.Stderr, "llbpsim: cannot restore %s (%v); starting cold\n", *loadState, lerr)
+		} else {
+			p, predictorName = lp, name
+			fmt.Printf("warm-started   %s from %s\n", name, *loadState)
+		}
+	}
+	if p == nil {
+		var perr error
+		p, perr = llbpx.NewPredictorByName(predictorName)
+		if perr != nil {
+			fatal(perr)
+		}
 	}
 	res, err := llbpx.Simulate(p, src, llbpx.SimOptions{WarmupInstr: *warmup, MeasureInstr: *measure})
 	if err != nil {
 		fatal(err)
+	}
+	if *saveState != "" {
+		if serr := llbpx.SavePredictorFile(*saveState, predictorName, p); serr != nil {
+			fatal(serr)
+		}
+		fmt.Printf("checkpointed   %s -> %s\n", predictorName, *saveState)
 	}
 
 	m := res.Measured

@@ -76,6 +76,10 @@ func NewRand(seed uint64) *Rand {
 // Seed resets the generator state.
 func (r *Rand) Seed(seed uint64) { r.state = seed }
 
+// State returns the current generator state, so deterministic components
+// can checkpoint and later restore (via Seed) their random sequence.
+func (r *Rand) State() uint64 { return r.state }
+
 // Uint64 returns the next 64-bit value.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

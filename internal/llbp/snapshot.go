@@ -1,0 +1,362 @@
+package llbp
+
+import (
+	"llbpx/internal/snapshot"
+	"llbpx/internal/tage"
+)
+
+// Decode-time allocation caps for unbounded (limit-mode) structures.
+const (
+	maxInfContexts   = 1 << 24
+	maxInfPatterns   = 1 << 24
+	maxTrackerCtx    = 1 << 24
+	maxTrackerPerCtx = 1 << 22
+)
+
+// SaveState writes the rolling context register.
+func (r *RCR) SaveState(w *snapshot.Writer) {
+	w.Marker("llbp.rcr")
+	for _, v := range r.ubs {
+		w.U64(v)
+	}
+	w.Int(r.pos)
+}
+
+// LoadState restores the rolling context register.
+func (r *RCR) LoadState(sr *snapshot.Reader) {
+	sr.Marker("llbp.rcr")
+	for i := range r.ubs {
+		r.ubs[i] = sr.U64()
+	}
+	r.pos = int(sr.I64In(0, MaxRCRDepth-1))
+}
+
+func (s *PatternSet) saveState(w *snapshot.Writer) {
+	w.U64(s.CID)
+	w.Bool(s.Dirty)
+	if s.overflow != nil {
+		w.Bool(true)
+		w.Count(len(s.overflow))
+		for _, p := range s.overflow {
+			w.U32(p.Tag)
+			w.I64(int64(p.LenIdx))
+			w.I64(int64(p.Ctr))
+		}
+		return
+	}
+	w.Bool(false)
+	w.Count(len(s.slots))
+	for _, p := range s.slots {
+		w.U32(p.Tag)
+		w.I64(int64(p.LenIdx))
+		w.I64(int64(p.Ctr))
+	}
+}
+
+// loadPatternSet decodes one pattern set shaped by cfg, validating tag
+// widths, length indices, and counter ranges.
+func loadPatternSet(r *snapshot.Reader, cfg *Config) *PatternSet {
+	cid := r.U64()
+	dirty := r.Bool()
+	unbounded := r.Bool()
+	if r.Err() != nil {
+		return nil
+	}
+	if unbounded != cfg.InfinitePatterns {
+		r.Fail("pattern set storage mode mismatch")
+		return nil
+	}
+	s := newPatternSet(cid, cfg)
+	s.Dirty = dirty
+	tagMax := uint64(1)<<cfg.TagBits - 1
+	if unbounded {
+		n := r.Count(maxInfPatterns)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			p := &Pattern{
+				Tag:    uint32(r.U64Max(tagMax)),
+				LenIdx: int8(r.I64In(0, tage.NumTables-1)),
+				Ctr:    int8(r.I64In(ctrMin, ctrMax)),
+			}
+			key := patternKey{p.Tag, p.LenIdx}
+			if _, dup := s.overflow[key]; dup {
+				r.Fail("duplicate pattern in set %#x", cid)
+				return nil
+			}
+			s.overflow[key] = p
+		}
+		return s
+	}
+	if n := r.Count(len(s.slots)); r.Err() == nil && n != len(s.slots) {
+		r.Fail("pattern set has %d slots, want %d", n, len(s.slots))
+	}
+	for i := range s.slots {
+		p := &s.slots[i]
+		p.Tag = uint32(r.U64Max(tagMax))
+		p.LenIdx = int8(r.I64In(-1, tage.NumTables-1))
+		p.Ctr = int8(r.I64In(ctrMin, ctrMax))
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return s
+}
+
+// SaveState writes every resident pattern set. Finite rows are written in
+// slice order because the order is replacement state: victim scans walk
+// the row front to back.
+func (d *ContextDir) SaveState(w *snapshot.Writer) {
+	w.Marker("llbp.cd")
+	w.U64(d.evicted)
+	if d.inf != nil {
+		w.Count(len(d.inf))
+		for _, s := range d.inf {
+			s.saveState(w)
+		}
+		return
+	}
+	for _, row := range d.sets {
+		w.Count(len(row))
+		for _, s := range row {
+			s.saveState(w)
+		}
+	}
+}
+
+// LoadState restores the directory into an empty receiver of the same
+// geometry; each finite set must land in the row its CID indexes.
+func (d *ContextDir) LoadState(r *snapshot.Reader) {
+	r.Marker("llbp.cd")
+	d.evicted = r.U64()
+	if d.inf != nil {
+		n := r.Count(maxInfContexts)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			s := loadPatternSet(r, d.cfg)
+			if s == nil {
+				return
+			}
+			if _, dup := d.inf[s.CID]; dup {
+				r.Fail("duplicate context %#x", s.CID)
+				return
+			}
+			d.inf[s.CID] = s
+		}
+		return
+	}
+	for rowIdx := range d.sets {
+		n := r.Count(d.assoc)
+		row := make([]*PatternSet, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			s := loadPatternSet(r, d.cfg)
+			if s == nil {
+				return
+			}
+			if s.CID&d.mask != uint64(rowIdx) {
+				r.Fail("context %#x stored in wrong row %d", s.CID, rowIdx)
+				return
+			}
+			row = append(row, s)
+		}
+		if r.Err() != nil {
+			return
+		}
+		d.sets[rowIdx] = row
+	}
+}
+
+// SaveState writes the buffer's prefetch statistics and every resident
+// entry's timing metadata. Entries reference pattern sets by CID only —
+// the backing set always also lives in the context directory, so
+// LoadState re-links through it.
+func (b *PatternBuffer) SaveState(w *snapshot.Writer) {
+	w.Marker("llbp.pb")
+	st := &b.Stats
+	w.U64(st.Issued)
+	w.U64(st.OnTime)
+	w.U64(st.Late)
+	w.U64(st.Unused)
+	w.U64(st.StoreRd)
+	w.U64(st.StoreWr)
+	w.U64(st.FPIssued)
+	w.U64(st.FPUsed)
+	w.Count(len(b.entries))
+	for cid, e := range b.entries {
+		w.U64(cid)
+		w.I64(e.AvailAt)
+		w.I64(e.FetchedAt)
+		w.I64(e.LastUse)
+		w.Bool(e.Used)
+		w.Bool(e.WasLate)
+		w.Bool(e.FalsePath)
+		w.Bool(e.fromStore)
+	}
+}
+
+// LoadState restores the buffer into an empty receiver. resolve maps a
+// CID back to its directory-resident pattern set; an unresolvable CID is
+// corruption (a PB entry must alias the directory's set object, never own
+// a private copy).
+func (b *PatternBuffer) LoadState(r *snapshot.Reader, resolve func(uint64) *PatternSet) {
+	r.Marker("llbp.pb")
+	st := &b.Stats
+	st.Issued = r.U64()
+	st.OnTime = r.U64()
+	st.Late = r.U64()
+	st.Unused = r.U64()
+	st.StoreRd = r.U64()
+	st.StoreWr = r.U64()
+	st.FPIssued = r.U64()
+	st.FPUsed = r.U64()
+	n := r.Count(b.capacity)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		cid := r.U64()
+		e := &PBEntry{
+			AvailAt:   r.I64(),
+			FetchedAt: r.I64(),
+			LastUse:   r.I64(),
+			Used:      r.Bool(),
+			WasLate:   r.Bool(),
+			FalsePath: r.Bool(),
+			fromStore: r.Bool(),
+		}
+		if r.Err() != nil {
+			return
+		}
+		if _, dup := b.entries[cid]; dup {
+			r.Fail("duplicate pattern buffer entry %#x", cid)
+			return
+		}
+		e.Set = resolve(cid)
+		if e.Set == nil {
+			r.Fail("pattern buffer entry %#x has no backing pattern set", cid)
+			return
+		}
+		b.entries[cid] = e
+	}
+}
+
+// SaveState writes the per-context useful-pattern accounting.
+func (t *UsefulTracker) SaveState(w *snapshot.Writer) {
+	w.Marker("llbp.tracker")
+	w.Count(len(t.perContext))
+	for cid, m := range t.perContext {
+		w.U64(cid)
+		w.Count(len(m))
+		for k, n := range m {
+			w.U32(k.tag)
+			w.I64(int64(k.lenIdx))
+			w.U64(n)
+		}
+	}
+}
+
+// LoadState restores the accounting into an empty tracker.
+func (t *UsefulTracker) LoadState(r *snapshot.Reader) {
+	r.Marker("llbp.tracker")
+	n := r.Count(maxTrackerCtx)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		cid := r.U64()
+		k := r.Count(maxTrackerPerCtx)
+		m := make(map[patternKey]uint64, k)
+		for j := 0; j < k && r.Err() == nil; j++ {
+			key := patternKey{
+				tag:    uint32(r.U64Max(1<<32 - 1)),
+				lenIdx: int8(r.I64In(0, tage.NumTables-1)),
+			}
+			m[key] = r.U64()
+		}
+		if _, dup := t.perContext[cid]; dup {
+			r.Fail("duplicate tracker context %#x", cid)
+			return
+		}
+		t.perContext[cid] = m
+	}
+}
+
+// SaveState implements snapshot.State for the full LLBP predictor:
+// baseline TSL, tag bank, RCR, context directory, pattern buffer, context
+// IDs, measurement counters, and adaptation state.
+func (p *Predictor) SaveState(w *snapshot.Writer) {
+	w.Marker("llbp.predictor")
+	w.String(p.cfg.Name)
+	p.tsl.SaveState(w)
+	p.bank.SaveState(w)
+	p.rcr.SaveState(w)
+	p.cd.SaveState(w)
+	p.pb.SaveState(w)
+	w.I64(p.tick)
+	w.U64(p.ccid)
+	w.U64(p.pcid)
+	w.U64(p.prevPCID)
+	w.Marker("llbp.stats")
+	w.U64(p.st.matches)
+	w.U64(p.st.overrides)
+	w.U64(p.st.useful)
+	w.U64(p.st.harmful)
+	w.U64(p.st.allocs)
+	for _, n := range p.st.usefulByLen {
+		w.U64(n)
+	}
+	w.U64(p.anatomy.BaseMisses)
+	w.U64(p.anatomy.UsefulOverride)
+	w.U64(p.anatomy.WrongOverride)
+	w.U64(p.anatomy.SilencedRight)
+	w.U64(p.anatomy.SilencedWrong)
+	w.U64(p.anatomy.NoMatch)
+	w.U64(p.anatomy.NoSet)
+	w.Int(p.trustWeak)
+	w.Int(p.chooser)
+	w.U64(p.probeClock)
+	w.Bool(p.tracker != nil)
+	if p.tracker != nil {
+		p.tracker.SaveState(w)
+	}
+}
+
+// LoadState implements snapshot.State; the receiver must be a cold
+// predictor of the same configuration.
+func (p *Predictor) LoadState(r *snapshot.Reader) {
+	r.Marker("llbp.predictor")
+	if name := r.String(256); r.Err() == nil && name != p.cfg.Name {
+		r.Fail("snapshot is for configuration %q, not %q", name, p.cfg.Name)
+	}
+	if r.Err() != nil {
+		return
+	}
+	p.tsl.LoadState(r)
+	p.bank.LoadState(r)
+	p.rcr.LoadState(r)
+	p.cd.LoadState(r)
+	p.pb.LoadState(r, p.cd.Lookup)
+	p.tick = r.I64In(0, 1<<62)
+	p.ccid = r.U64()
+	p.pcid = r.U64()
+	p.prevPCID = r.U64()
+	r.Marker("llbp.stats")
+	p.st.matches = r.U64()
+	p.st.overrides = r.U64()
+	p.st.useful = r.U64()
+	p.st.harmful = r.U64()
+	p.st.allocs = r.U64()
+	for i := range p.st.usefulByLen {
+		p.st.usefulByLen[i] = r.U64()
+	}
+	p.anatomy.BaseMisses = r.U64()
+	p.anatomy.UsefulOverride = r.U64()
+	p.anatomy.WrongOverride = r.U64()
+	p.anatomy.SilencedRight = r.U64()
+	p.anatomy.SilencedWrong = r.U64()
+	p.anatomy.NoMatch = r.U64()
+	p.anatomy.NoSet = r.U64()
+	p.trustWeak = int(r.I64In(-8, 7))
+	p.chooser = int(r.I64In(chooserMin, chooserMax))
+	p.probeClock = r.U64()
+	if hasTracker := r.Bool(); r.Err() == nil {
+		if hasTracker != (p.tracker != nil) {
+			r.Fail("useful tracker presence mismatch")
+			return
+		}
+		if p.tracker != nil {
+			p.tracker.LoadState(r)
+		}
+	}
+}

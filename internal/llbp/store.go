@@ -171,17 +171,29 @@ func (s *PatternSet) Allocate(tag uint32, lenIdx int, taken bool, bucket, bucket
 		lo = bucket * per
 		hi = lo + per
 	}
-	victim := lo
-	best := 1 << 30
+	victim, best, free := -1, 1<<30, -1
 	for i := lo; i < hi; i++ {
 		p := &s.slots[i]
+		// An existing (tag, lenIdx) pattern is re-initialized in place; a
+		// second slot for the same key would shadow this one on Lookup.
+		if p.Valid() && int(p.LenIdx) == lenIdx && p.Tag == tag {
+			p.WeakInit(taken)
+			return
+		}
 		if !p.Valid() {
-			victim = i
-			break
+			if free < 0 {
+				free = i
+			}
+			continue
 		}
 		if c := p.Confidence(); c < best {
 			best, victim = c, i
 		}
+	}
+	if free >= 0 {
+		victim = free
+	} else if victim < 0 {
+		victim = lo
 	}
 	p := &s.slots[victim]
 	p.Tag = tag
@@ -366,8 +378,12 @@ func (b *PatternBuffer) evictLRU(now int64) {
 	var victimCID uint64
 	var victim *PBEntry
 	first := true
+	// The CID tie-break keeps victim selection independent of map
+	// iteration order: same-tick fills (e.g. paired false-path prefetches)
+	// must evict identically in a restored and a never-snapshotted buffer.
 	for cid, e := range b.entries {
-		if first || e.LastUse < victim.LastUse {
+		if first || e.LastUse < victim.LastUse ||
+			(e.LastUse == victim.LastUse && cid < victimCID) {
 			victimCID, victim, first = cid, e, false
 		}
 	}

@@ -35,6 +35,9 @@ func (s *Server) EvictIdle() int {
 	if n := len(evicted); n > 0 {
 		s.metrics.sessionsEvicted.Add(uint64(n))
 	}
+	// With a snapshot directory, eviction is checkpoint-to-disk: the next
+	// batch for the same session ID restores the predictor transparently.
+	s.checkpointSessions(evicted)
 	return len(evicted)
 }
 
@@ -60,6 +63,10 @@ func (s *Server) Drain() []SessionFinal {
 	s.inflight.Wait()
 
 	sessions := s.sessions.all()
+	// All batches have completed and no new ones are accepted, so every
+	// session is quiescent: checkpoint them so a restarted daemon with the
+	// same snapshot directory boots warm.
+	s.checkpointSessions(sessions)
 	finals := make([]SessionFinal, 0, len(sessions))
 	for _, sess := range sessions {
 		finals = append(finals, sess.final())

@@ -54,9 +54,12 @@ type PredictRequest struct {
 // PredictResponse is the reply: predictions align 1:1 with the request's
 // branches, and Stats is the session's running total after the batch.
 type PredictResponse struct {
-	Session     string             `json:"session"`
-	Predictor   string             `json:"predictor"`
-	Created     bool               `json:"created,omitempty"`
+	Session   string `json:"session"`
+	Predictor string `json:"predictor"`
+	Created   bool   `json:"created,omitempty"`
+	// Restored reports that this batch revived the session from an
+	// on-disk checkpoint (set only alongside Created).
+	Restored    bool               `json:"restored,omitempty"`
 	Predictions []BranchPrediction `json:"predictions"`
 	Stats       SessionStats       `json:"stats"`
 }
@@ -138,6 +141,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		predictorName = s.cfg.DefaultPredictor
 	}
 	sess, created, err := s.sessions.getOrCreate(id, func() (*Session, error) {
+		// A checkpointed session resumes warm; any restore failure
+		// (no file, corrupt bytes, predictor mismatch) cold-starts.
+		if rs, ok := s.restoreSession(id, req.Predictor); ok {
+			return rs, nil
+		}
 		return newSession(id, predictorName)
 	})
 	if err != nil {
@@ -145,7 +153,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if created {
-		s.metrics.sessionsCreated.Add(1)
+		if sess.restored {
+			s.metrics.snapshotRestores.Add(1)
+		} else {
+			s.metrics.sessionsCreated.Add(1)
+		}
 	} else if req.Predictor != "" && req.Predictor != sess.PredictorName {
 		writeError(w, http.StatusConflict,
 			"session %q runs predictor %q, not %q", id, sess.PredictorName, req.Predictor)
@@ -165,6 +177,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Session:     id,
 		Predictor:   sess.PredictorName,
 		Created:     created,
+		Restored:    created && sess.restored,
 		Predictions: preds,
 		Stats:       snap,
 	})
@@ -187,6 +200,8 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no session %q", id)
 		return
 	}
+	// DELETE is terminal: a stale checkpoint must not resurrect the ID.
+	s.removeSnapshot(id)
 	s.metrics.sessionsClosed.Add(1)
 	writeJSON(w, http.StatusOK, sess.final())
 }

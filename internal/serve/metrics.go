@@ -30,6 +30,10 @@ type metrics struct {
 	branches        atomic.Uint64
 	rejected        atomic.Uint64 // batches refused while draining
 
+	snapshotSaves      atomic.Uint64 // sessions checkpointed to disk
+	snapshotRestores   atomic.Uint64 // sessions rebuilt from a checkpoint
+	snapshotSaveErrors atomic.Uint64 // failed checkpoint writes
+
 	latency [latencyBuckets]atomic.Uint64
 
 	mu      sync.Mutex
@@ -119,11 +123,17 @@ type StatsSnapshot struct {
 	LatencyP50Us    float64                   `json:"batch_latency_p50_us"`
 	LatencyP99Us    float64                   `json:"batch_latency_p99_us"`
 	Predictors      map[string]PredictorStats `json:"predictors"`
+
+	SnapshotSaves      uint64 `json:"snapshot_saves"`
+	SnapshotRestores   uint64 `json:"snapshot_restores"`
+	SnapshotSaveErrors uint64 `json:"snapshot_save_errors"`
+	// SessionsLiveByPredictor counts live sessions per predictor name.
+	SessionsLiveByPredictor map[string]int `json:"sessions_live_by_predictor"`
 }
 
-// snapshot assembles the full snapshot; sessionsLive is supplied by the
-// server (it lives in the shard map, not here).
-func (m *metrics) snapshot(sessionsLive int) StatsSnapshot {
+// snapshot assembles the full snapshot; the live-session counts are
+// supplied by the server (they live in the shard map, not here).
+func (m *metrics) snapshot(sessionsLive int, byPred map[string]int) StatsSnapshot {
 	up := time.Since(m.start).Seconds()
 	branches := m.branches.Load()
 	snap := StatsSnapshot{
@@ -138,6 +148,11 @@ func (m *metrics) snapshot(sessionsLive int) StatsSnapshot {
 		LatencyP50Us:    m.latencyQuantile(0.50),
 		LatencyP99Us:    m.latencyQuantile(0.99),
 		Predictors:      make(map[string]PredictorStats),
+
+		SnapshotSaves:           m.snapshotSaves.Load(),
+		SnapshotRestores:        m.snapshotRestores.Load(),
+		SnapshotSaveErrors:      m.snapshotSaveErrors.Load(),
+		SessionsLiveByPredictor: byPred,
 	}
 	if up > 0 {
 		snap.BranchesPerSec = float64(branches) / up
@@ -170,6 +185,9 @@ func (snap StatsSnapshot) writeProm(w io.Writer) {
 	p("branches_per_second", snap.BranchesPerSec)
 	p("batch_latency_p50_us", snap.LatencyP50Us)
 	p("batch_latency_p99_us", snap.LatencyP99Us)
+	p("snapshot_saves_total", float64(snap.SnapshotSaves))
+	p("snapshot_restores_total", float64(snap.SnapshotRestores))
+	p("snapshot_save_errors_total", float64(snap.SnapshotSaveErrors))
 	names := make([]string, 0, len(snap.Predictors))
 	for name := range snap.Predictors {
 		names = append(names, name)
@@ -180,5 +198,14 @@ func (snap StatsSnapshot) writeProm(w io.Writer) {
 		fmt.Fprintf(w, "llbpd_predictor_mpki{predictor=%q} %g\n", name, ps.MPKI)
 		fmt.Fprintf(w, "llbpd_predictor_branches_total{predictor=%q} %d\n", name, ps.CondBranches)
 		fmt.Fprintf(w, "llbpd_predictor_mispredicts_total{predictor=%q} %d\n", name, ps.Mispredicts)
+	}
+	liveNames := make([]string, 0, len(snap.SessionsLiveByPredictor))
+	for name := range snap.SessionsLiveByPredictor {
+		liveNames = append(liveNames, name)
+	}
+	sort.Strings(liveNames)
+	for _, name := range liveNames {
+		fmt.Fprintf(w, "llbpd_predictor_sessions_live{predictor=%q} %d\n",
+			name, snap.SessionsLiveByPredictor[name])
 	}
 }

@@ -19,6 +19,7 @@ package serve
 
 import (
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -41,6 +42,12 @@ type Config struct {
 	// DefaultPredictor is used when a session's first batch names none
 	// (default "llbp-x").
 	DefaultPredictor string
+	// SnapshotDir enables predictor-state checkpointing: the janitor
+	// evicts idle sessions to disk instead of discarding them, the next
+	// batch for the same session ID restores transparently, and Drain
+	// checkpoints every remaining session so a restarted daemon boots
+	// warm. Empty disables checkpointing (PR 1 behavior).
+	SnapshotDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +97,10 @@ type Server struct {
 // New builds a Server and starts its eviction janitor.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.SnapshotDir != "" {
+		// Failed writes surface as snapshot_save_errors_total, not here.
+		_ = os.MkdirAll(cfg.SnapshotDir, 0o755)
+	}
 	s := &Server{
 		cfg:         cfg,
 		sessions:    newShardMap(cfg.Shards),
@@ -107,7 +118,10 @@ func New(cfg Config) *Server {
 func (s *Server) Config() Config { return s.cfg }
 
 // Stats returns the current server-wide statistics snapshot.
-func (s *Server) Stats() StatsSnapshot { return s.metrics.snapshot(s.sessions.len()) }
+func (s *Server) Stats() StatsSnapshot {
+	byPred, live := s.sessions.countByPredictor()
+	return s.metrics.snapshot(live, byPred)
+}
 
 // Sessions returns the number of live sessions.
 func (s *Server) Sessions() int { return s.sessions.len() }

@@ -27,6 +27,10 @@ type Session struct {
 	pred    core.Predictor
 	stats   stats.BranchStats
 	batches uint64
+
+	// restored marks a session rebuilt from an on-disk snapshot rather
+	// than created cold (reported once in the creating batch's response).
+	restored bool
 }
 
 // newSession builds a session with a fresh predictor from the registry.

@@ -85,6 +85,23 @@ func (sm *shardMap) len() int {
 	return n
 }
 
+// countByPredictor returns live-session counts keyed by predictor name,
+// plus the total (one pass, so the two are a consistent cut per shard).
+func (sm *shardMap) countByPredictor() (map[string]int, int) {
+	byPred := make(map[string]int)
+	total := 0
+	for i := range sm.shards {
+		sh := &sm.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.m {
+			byPred[s.PredictorName]++
+			total++
+		}
+		sh.mu.RUnlock()
+	}
+	return byPred, total
+}
+
 // all returns every live session, sorted by ID for stable output.
 func (sm *shardMap) all() []*Session {
 	var out []*Session

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGetOrCreateVsEvictRace hammers one session ID with concurrent
+// get-or-create while the janitor path evicts it with a permissive cutoff.
+// Under -race this is the regression test for the shard-map locking
+// discipline: no lost sessions, no duplicate live sessions, no deadlock.
+func TestGetOrCreateVsEvictRace(t *testing.T) {
+	sm := newShardMap(4)
+	const id = "contested"
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var created atomic.Uint64
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s, was, err := sm.getOrCreate(id, func() (*Session, error) {
+					return newSession(id, "tsl-8k")
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if s == nil || s.ID != id {
+					t.Errorf("getOrCreate returned %+v", s)
+					return
+				}
+				if was {
+					created.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Future cutoff: everything idle, evict whatever isn't locked.
+			sm.evictIdle(time.Now().Add(time.Hour).UnixNano())
+		}
+	}()
+
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if created.Load() == 0 {
+		t.Fatal("create path never ran")
+	}
+	if n := sm.len(); n > 1 {
+		t.Fatalf("%d live sessions for one ID", n)
+	}
+}
+
+// TestEvictSkipsBusySession: a session whose mutex is held (batch in
+// flight) is never evicted, however stale its timestamp; it goes as soon
+// as the lock is free.
+func TestEvictSkipsBusySession(t *testing.T) {
+	sm := newShardMap(2)
+	s, _, err := sm.getOrCreate("busy", func() (*Session, error) {
+		return newSession("busy", "tsl-8k")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.lastUsed.Store(time.Now().Add(-time.Hour).UnixNano())
+
+	s.mu.Lock()
+	if ev := sm.evictIdle(time.Now().UnixNano()); len(ev) != 0 {
+		t.Fatalf("evicted %d sessions while busy", len(ev))
+	}
+	if sm.get("busy") == nil {
+		t.Fatal("busy session vanished")
+	}
+	s.mu.Unlock()
+
+	ev := sm.evictIdle(time.Now().UnixNano())
+	if len(ev) != 1 || ev[0] != s {
+		t.Fatalf("idle eviction after unlock returned %v", ev)
+	}
+	if sm.get("busy") != nil {
+		t.Fatal("session still reachable after eviction")
+	}
+}
+
+// TestCountByPredictor counts live sessions per predictor name.
+func TestCountByPredictor(t *testing.T) {
+	sm := newShardMap(4)
+	for _, spec := range []struct{ id, pred string }{
+		{"a", "tsl-8k"}, {"b", "tsl-8k"}, {"c", "llbp-x"},
+	} {
+		if _, _, err := sm.getOrCreate(spec.id, func() (*Session, error) {
+			return newSession(spec.id, spec.pred)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	byPred, total := sm.countByPredictor()
+	if total != 3 || byPred["tsl-8k"] != 2 || byPred["llbp-x"] != 1 {
+		t.Fatalf("countByPredictor = %v, %d", byPred, total)
+	}
+}

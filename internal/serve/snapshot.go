@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"llbpx/internal/snapshot"
+	"llbpx/internal/stats"
+)
+
+// sessionState adapts a Session to snapshot.State. The payload is the
+// session's identity and accumulated statistics followed by the
+// predictor's complete learned state, so a restored session resumes its
+// stream as if it never left memory.
+type sessionState struct{ sess *Session }
+
+func (ss sessionState) SaveState(w *snapshot.Writer) {
+	s := ss.sess
+	w.Marker("serve.session")
+	w.String(s.ID)
+	st := &s.stats
+	w.U64(st.Instructions)
+	w.U64(st.CondBranches)
+	w.U64(st.Mispredicts)
+	w.U64(st.UncondCount)
+	w.U64(st.SecondLevelOK)
+	w.U64(st.Overrides)
+	w.U64(s.batches)
+	s.pred.(snapshot.State).SaveState(w)
+}
+
+func (ss sessionState) LoadState(r *snapshot.Reader) {
+	s := ss.sess
+	r.Marker("serve.session")
+	id := r.String(4096)
+	if r.Err() != nil {
+		return
+	}
+	if id != s.ID {
+		r.Fail("snapshot belongs to session %q, not %q", id, s.ID)
+		return
+	}
+	s.stats = stats.BranchStats{
+		Instructions:  r.U64(),
+		CondBranches:  r.U64(),
+		Mispredicts:   r.U64(),
+		UncondCount:   r.U64(),
+		SecondLevelOK: r.U64(),
+		Overrides:     r.U64(),
+	}
+	s.batches = r.U64()
+	s.pred.(snapshot.State).LoadState(r)
+}
+
+// snapPath is the checkpoint file for a session ID (path-escaped so
+// arbitrary client IDs stay inside the snapshot directory).
+func (s *Server) snapPath(id string) string {
+	return filepath.Join(s.cfg.SnapshotDir, url.PathEscape(id)+".snap")
+}
+
+// saveSession checkpoints one session to the snapshot directory. The
+// session lock is held across the write so the state is a consistent
+// between-batches cut. Callers must only pass sessions no longer
+// reachable from the shard map, or quiesced ones (drain).
+func (s *Server) saveSession(sess *Session) error {
+	if _, ok := sess.pred.(snapshot.State); !ok {
+		return fmt.Errorf("serve: predictor %q does not support snapshots", sess.PredictorName)
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return snapshot.WriteFile(s.snapPath(sess.ID), sess.PredictorName, sessionState{sess})
+}
+
+// checkpointSessions saves each session, counting successes and failures;
+// it is a no-op without a snapshot directory.
+func (s *Server) checkpointSessions(sessions []*Session) {
+	if s.cfg.SnapshotDir == "" {
+		return
+	}
+	for _, sess := range sessions {
+		if err := s.saveSession(sess); err != nil {
+			s.metrics.snapshotSaveErrors.Add(1)
+		} else {
+			s.metrics.snapshotSaves.Add(1)
+		}
+	}
+}
+
+// restoreSession rebuilds a session from its on-disk checkpoint. want is
+// the client's explicitly requested predictor name ("" accepts whatever
+// the snapshot holds). Any failure — no file, corrupt bytes, version or
+// predictor mismatch — returns ok=false and the caller cold-starts: a
+// snapshot is a cache, never authoritative, so there is no error path
+// back to the client. A consumed snapshot file is deleted (the live
+// session supersedes it).
+func (s *Server) restoreSession(id, want string) (*Session, bool) {
+	if s.cfg.SnapshotDir == "" {
+		return nil, false
+	}
+	path := s.snapPath(id)
+	var sess *Session
+	_, _, err := snapshot.ReadFile(path, func(name string) (snapshot.State, error) {
+		if want != "" && name != want {
+			return nil, fmt.Errorf("snapshot holds predictor %q, client wants %q", name, want)
+		}
+		ns, nerr := newSession(id, name)
+		if nerr != nil {
+			return nil, nerr
+		}
+		if _, ok := ns.pred.(snapshot.State); !ok {
+			return nil, fmt.Errorf("predictor %q does not support snapshots", name)
+		}
+		sess = ns
+		return sessionState{ns}, nil
+	})
+	if err != nil {
+		return nil, false
+	}
+	os.Remove(path)
+	sess.restored = true
+	sess.touch()
+	return sess, true
+}
+
+// removeSnapshot deletes a session's checkpoint file, if any.
+func (s *Server) removeSnapshot(id string) {
+	if s.cfg.SnapshotDir != "" {
+		os.Remove(s.snapPath(id))
+	}
+}

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"llbpx/internal/core"
+	"llbpx/internal/sim"
+)
+
+// snapTestConfig gives the janitor no chance to fire on its own (EvictEvery
+// is an hour) so tests trigger eviction deterministically via EvictIdle
+// after sleeping past the short TTL.
+func snapTestConfig(dir string) Config {
+	return Config{SnapshotDir: dir, SessionTTL: 30 * time.Millisecond, EvictEvery: time.Hour}
+}
+
+// TestEvictToDiskRestoresTransparently is the serving layer's golden bar:
+// stream half a workload, let the TTL janitor checkpoint the session to
+// disk, stream the second half under the same session ID, and the final
+// statistics must equal a local sim.Run over the unbroken stream — the
+// eviction round-trip is invisible to the client.
+func TestEvictToDiskRestoresTransparently(t *testing.T) {
+	const instrBudget = 60_000
+	branches := workloadBranches(t, "nodeapp", instrBudget)
+	half := len(branches) / 2
+
+	p, err := NewPredictor("tsl-8k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sim.Run(p, core.NewSliceSource(branches), sim.Options{MeasureInstr: instrBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	srv, client := testServer(t, snapTestConfig(dir))
+	sendInBatches(t, client, "roundtrip", "tsl-8k", branches[:half], 1024)
+
+	time.Sleep(50 * time.Millisecond)
+	if n := srv.EvictIdle(); n != 1 {
+		t.Fatalf("evicted %d sessions, want 1", n)
+	}
+	snapFile := filepath.Join(dir, "roundtrip.snap")
+	if _, err := os.Stat(snapFile); err != nil {
+		t.Fatalf("no checkpoint after eviction: %v", err)
+	}
+	if srv.Sessions() != 0 {
+		t.Fatalf("%d sessions still live after eviction", srv.Sessions())
+	}
+
+	got := sendInBatches(t, client, "roundtrip", "tsl-8k", branches[half:], 1024)
+	if _, err := os.Stat(snapFile); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not consumed on restore (stat err %v)", err)
+	}
+
+	want := local.Measured
+	if got.Instructions != want.Instructions || got.CondBranches != want.CondBranches ||
+		got.Mispredicts != want.Mispredicts || got.UncondCount != want.UncondCount ||
+		got.SecondLevelOK != want.SecondLevelOK || got.MPKI != local.MPKI() {
+		t.Fatalf("restored session diverges from unbroken local sim:\nserver %+v\nlocal  %+v", got, want)
+	}
+
+	snap := srv.Stats()
+	if snap.SnapshotSaves != 1 || snap.SnapshotRestores != 1 || snap.SnapshotSaveErrors != 0 {
+		t.Fatalf("snapshot counters saves=%d restores=%d errors=%d, want 1/1/0",
+			snap.SnapshotSaves, snap.SnapshotRestores, snap.SnapshotSaveErrors)
+	}
+	if snap.SessionsLiveByPredictor["tsl-8k"] != 1 {
+		t.Fatalf("live-by-predictor %v, want tsl-8k:1", snap.SessionsLiveByPredictor)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, line := range []string{
+		"llbpd_snapshot_saves_total 1",
+		"llbpd_snapshot_restores_total 1",
+		`llbpd_predictor_sessions_live{predictor="tsl-8k"} 1`,
+	} {
+		if !strings.Contains(body, line) {
+			t.Errorf("/metrics missing %q", line)
+		}
+	}
+}
+
+// TestRestoredFlagOnFirstBatch: the batch that revives a session reports
+// restored=true exactly once.
+func TestRestoredFlagOnFirstBatch(t *testing.T) {
+	branches := workloadBranches(t, "kafka", 20_000)
+	srv, client := testServer(t, snapTestConfig(t.TempDir()))
+	ctx := context.Background()
+
+	resp, err := client.Predict(ctx, "flagged", "tsl-8k", branches[:500])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Created || resp.Restored {
+		t.Fatalf("first batch: created=%v restored=%v, want true/false", resp.Created, resp.Restored)
+	}
+	time.Sleep(50 * time.Millisecond)
+	srv.EvictIdle()
+	resp, err = client.Predict(ctx, "flagged", "tsl-8k", branches[500:1000])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Created || !resp.Restored {
+		t.Fatalf("reviving batch: created=%v restored=%v, want true/true", resp.Created, resp.Restored)
+	}
+	resp, err = client.Predict(ctx, "flagged", "tsl-8k", branches[1000:1500])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Created || resp.Restored {
+		t.Fatalf("steady batch: created=%v restored=%v, want false/false", resp.Created, resp.Restored)
+	}
+}
+
+// TestCorruptSnapshotFallsBackCold: garbage on disk must yield a working
+// cold session — no client-visible error, no restore counted, no loop.
+func TestCorruptSnapshotFallsBackCold(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.snap"), []byte("LLBPSNAPgarbage-not-a-predictor"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, client := testServer(t, snapTestConfig(dir))
+	branches := workloadBranches(t, "tpcc", 10_000)
+	resp, err := client.Predict(context.Background(), "corrupt", "tsl-8k", branches[:800])
+	if err != nil {
+		t.Fatalf("predict against corrupt snapshot: %v", err)
+	}
+	if !resp.Created || resp.Restored {
+		t.Fatalf("created=%v restored=%v, want cold create", resp.Created, resp.Restored)
+	}
+	snap := srv.Stats()
+	if snap.SnapshotRestores != 0 {
+		t.Fatalf("restores = %d, want 0", snap.SnapshotRestores)
+	}
+}
+
+// TestDeleteRemovesSnapshot: DELETE is terminal even for a checkpointed
+// session ID — a later batch under the same ID starts cold.
+func TestDeleteRemovesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	srv, client := testServer(t, snapTestConfig(dir))
+	ctx := context.Background()
+	branches := workloadBranches(t, "nodeapp", 10_000)
+
+	if _, err := client.Predict(ctx, "doomed", "tsl-8k", branches[:500]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	srv.EvictIdle()
+	// Revive from disk, then close for good.
+	if _, err := client.Predict(ctx, "doomed", "tsl-8k", branches[500:1000]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.CloseSession(ctx, "doomed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "doomed.snap")); !os.IsNotExist(err) {
+		t.Fatalf("snapshot survived DELETE (stat err %v)", err)
+	}
+	resp, err := client.Predict(ctx, "doomed", "tsl-8k", branches[1000:1500])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Created || resp.Restored {
+		t.Fatalf("post-DELETE batch: created=%v restored=%v, want cold create", resp.Created, resp.Restored)
+	}
+}
+
+// TestDrainCheckpointsSessions: drain writes every live session to disk,
+// and a new server over the same directory boots those sessions warm with
+// their statistics intact.
+func TestDrainCheckpointsSessions(t *testing.T) {
+	dir := t.TempDir()
+	branches := workloadBranches(t, "wikipedia", 30_000)
+
+	srv1 := New(Config{SnapshotDir: dir, SessionTTL: time.Hour})
+	hs1 := httptest.NewServer(srv1)
+	c1 := NewClient(hs1.URL, hs1.Client())
+	before := sendInBatches(t, c1, "durable", "tsl-8k", branches[:len(branches)/2], 1024)
+	srv1.Drain()
+	hs1.Close()
+	if snap := srv1.Stats(); snap.SnapshotSaves != 1 {
+		t.Fatalf("drain saved %d snapshots, want 1", snap.SnapshotSaves)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "durable.snap")); err != nil {
+		t.Fatalf("no checkpoint after drain: %v", err)
+	}
+
+	srv2, client2 := testServer(t, Config{SnapshotDir: dir, SessionTTL: time.Hour})
+	after := sendInBatches(t, client2, "durable", "tsl-8k", branches[len(branches)/2:], 1024)
+	if after.Instructions <= before.Instructions || after.Batches <= before.Batches {
+		t.Fatalf("restored session did not continue: before %+v after %+v", before, after)
+	}
+	if snap := srv2.Stats(); snap.SnapshotRestores != 1 {
+		t.Fatalf("restores = %d, want 1", snap.SnapshotRestores)
+	}
+}
+
+// TestRestoreRejectsPredictorMismatch: an explicit predictor name that
+// conflicts with the checkpointed one cold-starts the requested predictor
+// instead of silently resuming the wrong configuration.
+func TestRestoreRejectsPredictorMismatch(t *testing.T) {
+	dir := t.TempDir()
+	srv, client := testServer(t, snapTestConfig(dir))
+	ctx := context.Background()
+	branches := workloadBranches(t, "nodeapp", 10_000)
+
+	if _, err := client.Predict(ctx, "switcher", "tsl-8k", branches[:500]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	srv.EvictIdle()
+	resp, err := client.Predict(ctx, "switcher", "tsl-16k", branches[500:1000])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Created || resp.Restored || resp.Predictor != "tsl-16k" {
+		t.Fatalf("mismatched restore: created=%v restored=%v predictor=%q, want cold tsl-16k",
+			resp.Created, resp.Restored, resp.Predictor)
+	}
+}
+
+// TestSnapshotDisabledByDefault: without SnapshotDir, eviction discards
+// state exactly as before the checkpointing subsystem existed.
+func TestSnapshotDisabledByDefault(t *testing.T) {
+	srv, client := testServer(t, Config{SessionTTL: 30 * time.Millisecond, EvictEvery: time.Hour})
+	ctx := context.Background()
+	branches := workloadBranches(t, "nodeapp", 10_000)
+	if _, err := client.Predict(ctx, "plain", "tsl-8k", branches[:500]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	srv.EvictIdle()
+	resp, err := client.Predict(ctx, "plain", "tsl-8k", branches[500:1000])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Created || resp.Restored {
+		t.Fatalf("created=%v restored=%v, want plain cold re-create", resp.Created, resp.Restored)
+	}
+	if snap := srv.Stats(); snap.SnapshotSaves != 0 || snap.SnapshotRestores != 0 {
+		t.Fatalf("snapshot counters moved without SnapshotDir: %+v", snap)
+	}
+}
+
+// TestSessionIDsAreEscapedOnDisk: hostile session IDs must not escape the
+// snapshot directory.
+func TestSessionIDsAreEscapedOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	srv, client := testServer(t, snapTestConfig(dir))
+	ctx := context.Background()
+	branches := workloadBranches(t, "nodeapp", 5_000)
+	id := "..%2f..%2fetc%2fowned"
+	if _, err := client.Predict(ctx, id, "tsl-8k", branches[:300]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	srv.EvictIdle()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected exactly one snapshot inside %s, found %d", dir, len(entries))
+	}
+}

@@ -1,0 +1,216 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"llbpx/internal/hashutil"
+)
+
+// castagnoli is the CRC-32C polynomial table guarding every snapshot.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer encodes predictor state into a byte stream: unsigned and zigzag
+// varints, length-prefixed byte strings, and component markers, with a
+// running CRC-32C over everything written. Errors are sticky — encoding
+// methods become no-ops after the first failure and Err returns it — so
+// SaveState implementations can encode straight through without per-call
+// error handling.
+type Writer struct {
+	w   io.Writer
+	crc uint32
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+// NewWriter returns a Writer encoding to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+func (w *Writer) write(b []byte) {
+	if w.err != nil {
+		return
+	}
+	w.crc = crc32.Update(w.crc, castagnoli, b)
+	_, w.err = w.w.Write(b)
+}
+
+// U64 encodes an unsigned varint.
+func (w *Writer) U64(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+// I64 encodes a zigzag signed varint.
+func (w *Writer) I64(v int64) {
+	n := binary.PutVarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+// U32 encodes a 32-bit unsigned value.
+func (w *Writer) U32(v uint32) { w.U64(uint64(v)) }
+
+// Int encodes a signed int.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bool encodes a boolean.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U64(1)
+	} else {
+		w.U64(0)
+	}
+}
+
+// Count encodes a non-negative element count as an unsigned varint — the
+// counterpart of Reader.Count (Int/I64 use zigzag and do NOT pair with it).
+func (w *Writer) Count(n int) { w.U64(uint64(n)) }
+
+// Bytes encodes a length-prefixed byte string.
+func (w *Writer) Bytes(b []byte) {
+	w.U64(uint64(len(b)))
+	w.write(b)
+}
+
+// String encodes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U64(uint64(len(s)))
+	w.write([]byte(s))
+}
+
+// Marker frames the start of a named component: a 32-bit hash of the name
+// the Reader re-checks, so a desynchronized decode fails at the component
+// boundary with a useful message instead of misinterpreting later fields.
+func (w *Writer) Marker(name string) { w.U32(markerID(name)) }
+
+// Err returns the first error encountered, if any.
+func (w *Writer) Err() error { return w.err }
+
+// CRC returns the running CRC-32C over everything written so far.
+func (w *Writer) CRC() uint32 { return w.crc }
+
+func markerID(name string) uint32 { return uint32(hashutil.FNV1a(name)) }
+
+// Reader is Writer's decoding counterpart, with the same sticky-error
+// discipline plus explicit bounds: counts and byte strings are read
+// through caps so corrupted length fields fail fast instead of allocating
+// unbounded memory. All decode failures wrap ErrCorrupt.
+type Reader struct {
+	r   io.Reader
+	crc uint32
+	err error
+	one [1]byte
+}
+
+// NewReader returns a Reader decoding from r. Wrap r in a bufio.Reader for
+// byte-at-a-time efficiency if it is not already buffered.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadByte implements io.ByteReader over the CRC-guarded stream.
+func (r *Reader) ReadByte() (byte, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	if _, err := io.ReadFull(r.r, r.one[:]); err != nil {
+		r.Fail("unexpected end of data")
+		return 0, r.err
+	}
+	r.crc = crc32.Update(r.crc, castagnoli, r.one[:])
+	return r.one[0], nil
+}
+
+// U64 decodes an unsigned varint.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r)
+	if err != nil && r.err == nil {
+		r.Fail("bad varint")
+	}
+	return v
+}
+
+// I64 decodes a zigzag signed varint.
+func (r *Reader) I64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r)
+	if err != nil && r.err == nil {
+		r.Fail("bad varint")
+	}
+	return v
+}
+
+// I64In decodes a signed varint and fails unless it lies in [lo, hi].
+func (r *Reader) I64In(lo, hi int64) int64 {
+	v := r.I64()
+	if r.err == nil && (v < lo || v > hi) {
+		r.Fail("value %d outside [%d, %d]", v, lo, hi)
+	}
+	return v
+}
+
+// U64Max decodes an unsigned varint and fails if it exceeds max.
+func (r *Reader) U64Max(max uint64) uint64 {
+	v := r.U64()
+	if r.err == nil && v > max {
+		r.Fail("value %d exceeds limit %d", v, max)
+	}
+	return v
+}
+
+// U32 decodes a 32-bit unsigned value.
+func (r *Reader) U32() uint32 { return uint32(r.U64Max(math.MaxUint32)) }
+
+// Int decodes a signed int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Bool decodes a boolean (anything but 0 or 1 is corrupt).
+func (r *Reader) Bool() bool { return r.U64Max(1) == 1 }
+
+// Count decodes an element count capped at max, guarding allocations.
+func (r *Reader) Count(max int) int { return int(r.U64Max(uint64(max))) }
+
+// Bytes decodes a length-prefixed byte string of at most max bytes.
+func (r *Reader) Bytes(max int) []byte {
+	n := r.Count(max)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.Fail("unexpected end of data")
+		return nil
+	}
+	r.crc = crc32.Update(r.crc, castagnoli, b)
+	return b
+}
+
+// String decodes a length-prefixed string of at most max bytes.
+func (r *Reader) String(max int) string { return string(r.Bytes(max)) }
+
+// Marker checks a component frame written by Writer.Marker.
+func (r *Reader) Marker(name string) {
+	got := r.U32()
+	if r.err == nil && got != markerID(name) {
+		r.Fail("component framing mismatch at %q", name)
+	}
+}
+
+// Fail records a decode failure (wrapping ErrCorrupt); the first failure
+// wins and all subsequent reads are no-ops.
+func (r *Reader) Fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// CRC returns the running CRC-32C over everything read so far.
+func (r *Reader) CRC() uint32 { return r.crc }

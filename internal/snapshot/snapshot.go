@@ -1,0 +1,165 @@
+// Package snapshot implements versioned, CRC-guarded checkpointing of
+// predictor state. A snapshot is a cache of learned state, never an
+// authoritative store: every consumer treats any decode failure — bad
+// magic, unknown version, framing mismatch, checksum error — as "no
+// snapshot" and falls back to a cold predictor.
+//
+// Layout of a snapshot stream:
+//
+//	magic    8 raw bytes "LLBPSNAP"
+//	version  uvarint (CRC-covered from here on)
+//	name     length-prefixed predictor registry name
+//	payload  per-component frames written by the predictor's SaveState
+//	crc      4-byte little-endian CRC-32C of everything after the magic
+//
+// Within the payload each component opens with a Marker (a 32-bit hash of
+// its name) so a desynchronized decode fails at a labelled boundary
+// instead of misreading later fields.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrCorrupt is wrapped by every decode failure, letting callers
+// distinguish "unusable snapshot, start cold" from I/O errors such as a
+// missing file.
+var ErrCorrupt = errors.New("snapshot: corrupt or incompatible")
+
+const (
+	magic = "LLBPSNAP"
+	// Version is the current format version. The loader accepts only this
+	// version: snapshots are a warm-start cache, so the forward-compat
+	// policy is simply "mismatch means cold start", never migration.
+	Version = 1
+	// maxNameLen bounds the predictor-name field during decode.
+	maxNameLen = 256
+)
+
+// State is implemented by everything that can round-trip through a
+// snapshot. SaveState writes the complete learned state; LoadState reads
+// it back into a freshly constructed instance of the same configuration.
+// Both use the codec's sticky-error discipline: implementations encode or
+// decode straight through and the caller checks Err once at the end.
+// LoadState must validate every invariant it relies on (via Reader.Fail)
+// because the CRC is only verified after the payload is consumed.
+type State interface {
+	SaveState(w *Writer)
+	LoadState(r *Reader)
+}
+
+// Save writes a complete snapshot of s, identified by the registry name,
+// to w.
+func Save(w io.Writer, name string, s State) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, magic); err != nil {
+		return err
+	}
+	sw := NewWriter(bw)
+	sw.U64(Version)
+	sw.String(name)
+	s.SaveState(sw)
+	if err := sw.Err(); err != nil {
+		return err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], sw.CRC())
+	if _, err := bw.Write(trailer[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads one snapshot from r. construct receives the predictor name
+// stored in the header and must return a cold State of that configuration
+// (or an error, e.g. for an unknown name); the payload is then decoded
+// into it. The State is returned only if the full payload decoded and the
+// trailing CRC matched — on any failure the partially loaded instance is
+// discarded, so a corrupt snapshot can never yield a silently-wrong
+// predictor.
+func Load(r io.Reader, construct func(name string) (State, error)) (State, string, error) {
+	br := bufio.NewReader(r)
+	var m [len(magic)]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil || string(m[:]) != magic {
+		return nil, "", fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	sr := NewReader(br)
+	if v := sr.U64(); sr.Err() == nil && v != Version {
+		return nil, "", fmt.Errorf("%w: version %d, want %d", ErrCorrupt, v, Version)
+	}
+	name := sr.String(maxNameLen)
+	if err := sr.Err(); err != nil {
+		return nil, "", err
+	}
+	s, err := construct(name)
+	if err != nil {
+		return nil, name, err
+	}
+	s.LoadState(sr)
+	if err := sr.Err(); err != nil {
+		return nil, name, err
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return nil, name, fmt.Errorf("%w: missing checksum", ErrCorrupt)
+	}
+	if got := binary.LittleEndian.Uint32(trailer[:]); got != sr.CRC() {
+		return nil, name, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return s, name, nil
+}
+
+// WriteFile saves a snapshot crash-consistently: the bytes land in a temp
+// file in the destination directory, are fsynced, and are renamed over
+// path, so a crash at any point leaves either the old snapshot or the new
+// one — never a torn file.
+func WriteFile(path, name string, s State) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = Save(tmp, name, s); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	// Best-effort directory sync so the rename itself is durable.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// ReadFile loads a snapshot from path via Load. A missing file surfaces
+// as an os error (not ErrCorrupt), so callers can stay quiet about the
+// common cold-start case.
+func ReadFile(path string, construct func(name string) (State, error)) (State, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	return Load(f, construct)
+}

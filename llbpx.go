@@ -18,7 +18,9 @@
 package llbpx
 
 import (
+	"fmt"
 	"io"
+	"os"
 
 	"llbpx/internal/btb"
 	"llbpx/internal/core"
@@ -28,6 +30,7 @@ import (
 	"llbpx/internal/pipeline"
 	"llbpx/internal/serve"
 	"llbpx/internal/sim"
+	"llbpx/internal/snapshot"
 	"llbpx/internal/stats"
 	"llbpx/internal/tage"
 	"llbpx/internal/trace"
@@ -148,6 +151,69 @@ func NewPredictorByName(name string) (Predictor, error) { return serve.NewPredic
 
 // PredictorNames lists the registry's predictor configuration names.
 func PredictorNames() []string { return serve.PredictorNames() }
+
+// Checkpointing -------------------------------------------------------------
+
+// SavePredictorState serializes a predictor's complete learned state —
+// tables, histories, replacement metadata, statistics — to w in the
+// versioned, CRC-guarded snapshot format. name must be the registry name
+// the predictor was built from; it is embedded so LoadPredictorState can
+// reconstruct the right configuration.
+func SavePredictorState(w io.Writer, name string, p Predictor) error {
+	st, ok := p.(snapshot.State)
+	if !ok {
+		return fmt.Errorf("llbpx: predictor %T does not support snapshots", p)
+	}
+	return snapshot.Save(w, name, st)
+}
+
+// LoadPredictorState reconstructs a predictor from a snapshot written by
+// SavePredictorState. The restored instance produces bit-identical
+// predictions and statistics to the one that was saved. Corrupt or
+// version-incompatible bytes return an error wrapping snapshot.ErrCorrupt;
+// callers should treat that as "start cold", never as fatal.
+func LoadPredictorState(r io.Reader) (Predictor, string, error) {
+	st, name, err := snapshot.Load(r, func(name string) (snapshot.State, error) {
+		p, err := serve.NewPredictor(name)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := p.(snapshot.State)
+		if !ok {
+			return nil, fmt.Errorf("predictor %q does not support snapshots", name)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return st.(Predictor), name, nil
+}
+
+// SavePredictorFile checkpoints a predictor to path crash-consistently
+// (temp file + fsync + rename).
+func SavePredictorFile(path, name string, p Predictor) error {
+	st, ok := p.(snapshot.State)
+	if !ok {
+		return fmt.Errorf("llbpx: predictor %T does not support snapshots", p)
+	}
+	return snapshot.WriteFile(path, name, st)
+}
+
+// LoadPredictorFile restores a predictor from a snapshot file.
+func LoadPredictorFile(path string) (Predictor, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	return LoadPredictorState(f)
+}
+
+// ErrSnapshotCorrupt is the sentinel wrapped by every snapshot decode
+// failure (bad magic, unknown version, CRC mismatch, truncation,
+// out-of-range state).
+var ErrSnapshotCorrupt = snapshot.ErrCorrupt
 
 // HistoryLengths exposes the 21 TAGE global-history lengths.
 func HistoryLengths() []int {
