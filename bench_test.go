@@ -204,6 +204,115 @@ type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
+// Hot path --------------------------------------------------------------------
+
+// hotPathPredictors and hotPathWorkloads span the steady-state
+// predict/update matrix BENCH_hotpath.json records.
+var (
+	hotPathPredictors = []string{"tsl-64k", "llbp", "llbp-x"}
+	hotPathWorkloads  = []string{"nodeapp", "whiskey", "tpcc"}
+)
+
+// hotPathStream materializes ~warm+window instructions of a workload.
+func hotPathStream(b *testing.B, wl string, warmInstr, windowInstr uint64) (warm, window []llbpx.Branch) {
+	b.Helper()
+	prof, err := llbpx.WorkloadByName(wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := llbpx.NewGenerator(prog)
+	take := func(budget uint64) []llbpx.Branch {
+		var out []llbpx.Branch
+		for instr := uint64(0); instr < budget; {
+			br, ok := gen.Next()
+			if !ok {
+				break
+			}
+			instr += br.Instructions()
+			out = append(out, br)
+		}
+		return out
+	}
+	return take(warmInstr), take(windowInstr)
+}
+
+// BenchmarkHotPath measures steady-state per-branch predict/update cost:
+// the predictor is warmed over ~400k instructions, then a fixed ~100k
+// instruction window is replayed, so table/context state saturates and the
+// loop exercises exactly the serving-time hot path. ns/op is ns per branch;
+// run with -benchmem to see allocs per branch (0 in steady state). Set
+// LLBPX_BENCH_JSON to merge each cell's numbers into a JSON file (the
+// BENCH_hotpath.json recorder).
+func BenchmarkHotPath(b *testing.B) {
+	for _, predName := range hotPathPredictors {
+		for _, wlName := range hotPathWorkloads {
+			b.Run(predName+"/"+wlName, func(b *testing.B) {
+				warm, window := hotPathStream(b, wlName, 400_000, 100_000)
+				p, err := llbpx.NewPredictorByName(predName)
+				if err != nil {
+					b.Fatal(err)
+				}
+				drive := func(branches []llbpx.Branch) {
+					for _, br := range branches {
+						if br.Kind.Conditional() {
+							p.Update(br, p.Predict(br.PC))
+						} else {
+							p.TrackUnconditional(br)
+						}
+					}
+				}
+				drive(warm)
+				drive(window) // one replay pre-timer: steady-state allocations settle
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					br := window[i%len(window)]
+					if br.Kind.Conditional() {
+						p.Update(br, p.Predict(br.PC))
+					} else {
+						p.TrackUnconditional(br)
+					}
+				}
+				b.StopTimer()
+				recordHotPathCell(b, predName, wlName)
+			})
+		}
+	}
+}
+
+// recordHotPathCell merges one benchmark cell into the JSON file named by
+// LLBPX_BENCH_JSON (no-op otherwise). Merging lets a single `go test
+// -bench HotPath` run build up the full matrix incrementally.
+func recordHotPathCell(b *testing.B, predName, wlName string) {
+	b.Helper()
+	path := os.Getenv("LLBPX_BENCH_JSON")
+	if path == "" || b.N < 1000 {
+		return // ignore warmup/short calibration rounds
+	}
+	cells := map[string]map[string]float64{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &cells); err != nil {
+			b.Fatalf("corrupt %s: %v", path, err)
+		}
+	}
+	nsPerBranch := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	cells[predName+"/"+wlName] = map[string]float64{
+		"ns_per_branch": nsPerBranch,
+		"branches":      float64(b.N),
+	}
+	data, err := json.MarshalIndent(cells, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // Warm start ---------------------------------------------------------------
 
 // warmStartMPKI drives p over branches and returns MPKI over the measured

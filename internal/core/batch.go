@@ -1,0 +1,40 @@
+package core
+
+// BatchPredictor is implemented by predictors that can process a run of
+// branches in one call. RunBatch must be observably identical to the
+// canonical per-branch loop — for each branch in order:
+//
+//   - conditional: preds[i] = Predict(b.PC), then Update(b, preds[i]);
+//   - unconditional: TrackUnconditional(b), and preds[i] is set to
+//     Prediction{Taken: true} (unconditional branches are always taken and
+//     carry no provider metadata).
+//
+// The point of the interface is performance, not semantics: a concrete
+// implementation runs the loop with direct method calls, so per-branch
+// work is not paid through five dynamic dispatches, and the compiler sees
+// the whole loop body.
+type BatchPredictor interface {
+	RunBatch(batch []Branch, preds []Prediction)
+}
+
+// RunBatch drives p over batch in retire order, filling preds (which must
+// have at least len(batch) elements) with the per-branch predictions. It
+// uses the predictor's own batched implementation when it has one and
+// falls back to the canonical per-branch loop otherwise, so callers can
+// batch unconditionally.
+func RunBatch(p Predictor, batch []Branch, preds []Prediction) {
+	if bp, ok := p.(BatchPredictor); ok {
+		bp.RunBatch(batch, preds)
+		return
+	}
+	for i, b := range batch {
+		if b.Kind.Conditional() {
+			pred := p.Predict(b.PC)
+			preds[i] = pred
+			p.Update(b, pred)
+		} else {
+			p.TrackUnconditional(b)
+			preds[i] = Prediction{Taken: true}
+		}
+	}
+}

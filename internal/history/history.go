@@ -76,6 +76,7 @@ func (g *Global) Hash(n int, width uint) uint64 {
 // folded history). Predictor tables keep one Folded per (table, use) pair.
 type Folded struct {
 	comp     uint64
+	mask     uint64 // (1 << compLen) - 1, precomputed for the hot path
 	compLen  uint
 	origLen  int
 	outPoint uint
@@ -84,10 +85,18 @@ type Folded struct {
 // NewFolded returns a compression of origLen bits into compLen bits
 // (1 <= compLen <= 32).
 func NewFolded(origLen int, compLen uint) *Folded {
+	f := MakeFolded(origLen, compLen)
+	return &f
+}
+
+// MakeFolded is NewFolded by value, for predictors that keep their folded
+// registers inline in flat arrays instead of behind per-register pointers.
+func MakeFolded(origLen int, compLen uint) Folded {
 	if compLen < 1 || compLen > 32 {
 		panic("history: folded compression length out of range")
 	}
-	return &Folded{
+	return Folded{
+		mask:     1<<compLen - 1,
 		compLen:  compLen,
 		origLen:  origLen,
 		outPoint: uint(origLen) % compLen,
@@ -97,10 +106,18 @@ func NewFolded(origLen int, compLen uint) *Folded {
 // Update advances the compression after g.Push recorded the newest bit.
 // It must be called exactly once per pushed bit, after the push.
 func (f *Folded) Update(g *Global) {
-	f.comp = (f.comp << 1) | uint64(g.Bit(0))
-	f.comp ^= uint64(g.Bit(f.origLen)) << f.outPoint
-	f.comp ^= f.comp >> f.compLen
-	f.comp &= (1 << f.compLen) - 1
+	f.UpdateBits(uint64(g.Bit(0)), uint64(g.Bit(f.origLen)))
+}
+
+// UpdateBits is Update with the two history bits (the newest bit and the
+// bit aging out past origLen, each 0 or 1) supplied by the caller.
+// Predictors updating many folds that share an origLen use it to fetch
+// each bit from the global history once instead of once per fold.
+func (f *Folded) UpdateBits(newest, oldest uint64) {
+	c := (f.comp << 1) | newest
+	c ^= oldest << f.outPoint
+	c ^= c >> f.compLen
+	f.comp = c & f.mask
 }
 
 // Value returns the current compLen-bit compression.

@@ -23,13 +23,14 @@ type llbpStats struct {
 // core.Predictor; the simulator drives Predict/Update for conditional
 // branches and TrackUnconditional for calls, returns, and jumps.
 type Predictor struct {
-	cfg    Config
-	tsl    *tage.Predictor
-	bank   *tage.TagBank
-	rcr    RCR
-	cd     *ContextDir
-	pb     *PatternBuffer
-	active []int // admitted history indices, ascending
+	cfg      Config
+	tsl      *tage.Predictor
+	bank     *tage.TagBank
+	rcr      RCR
+	cidDelay CtxDelay // D-delayed ContextID(0, W) values, serving ccid
+	cd       *ContextDir
+	pb       *PatternBuffer
+	active   []int // admitted history indices, ascending
 
 	tick     int64
 	ccid     uint64 // current context ID (skips D recent UBs)
@@ -74,11 +75,12 @@ func New(cfg Config) (*Predictor, error) {
 		return nil, fmt.Errorf("llbp %q: baseline: %w", cfg.Name, err)
 	}
 	p := &Predictor{
-		cfg:    cfg,
-		tsl:    tsl,
-		bank:   tage.NewTagBank(cfg.TagBits),
-		active: cfg.activeHistIndices(),
-		pb:     NewPatternBuffer(cfg.PBEntries),
+		cfg:      cfg,
+		tsl:      tsl,
+		bank:     tage.NewTagBank(cfg.TagBits),
+		cidDelay: NewCtxDelay(cfg.D, cfg.W),
+		active:   cfg.activeHistIndices(),
+		pb:       NewPatternBuffer(cfg.PBEntries),
 	}
 	p.cd = NewContextDir(&p.cfg)
 	if cfg.CollectUseful {
@@ -161,7 +163,7 @@ func (p *Predictor) Predict(pc uint64) core.Prediction {
 		} else {
 			c.entry = entry
 			c.set = entry.Set
-			p.matchPatterns(c)
+			c.pat, c.patLen = c.set.BestMatch(&c.tags)
 		}
 	}
 
@@ -236,19 +238,6 @@ type predState struct {
 	eligible bool     // pattern long enough to override the baseline
 	provided bool     // second level supplied the base prediction
 	tags     [tage.NumTables]uint32
-}
-
-// matchPatterns finds the longest matching pattern of the current set.
-func (p *Predictor) matchPatterns(c *predState) {
-	c.set.Patterns(func(pat *Pattern) {
-		li := int(pat.LenIdx)
-		if pat.Tag != c.tags[li] {
-			return
-		}
-		if c.pat == nil || li > c.patLen {
-			c.pat, c.patLen = pat, li
-		}
-	})
 }
 
 // Update implements core.Predictor.
@@ -380,12 +369,27 @@ func (p *Predictor) TrackUnconditional(b core.Branch) {
 		return
 	}
 	p.rcr.Push(b.PC)
-	p.ccid = p.rcr.ContextID(p.cfg.D, p.cfg.W)
 	newPCID := p.rcr.ContextID(0, p.cfg.W)
+	p.ccid = p.cidDelay.Shift(newPCID)
 	if newPCID != p.pcid {
 		p.prevPCID = p.pcid
 		p.pcid = newPCID
 		p.prefetch(newPCID, false)
+	}
+}
+
+// RunBatch implements core.BatchPredictor: the canonical per-branch loop
+// with direct (devirtualized) calls on the concrete receiver.
+func (p *Predictor) RunBatch(batch []core.Branch, preds []core.Prediction) {
+	for i, b := range batch {
+		if b.Kind.Conditional() {
+			pred := p.Predict(b.PC)
+			preds[i] = pred
+			p.Update(b, pred)
+		} else {
+			p.TrackUnconditional(b)
+			preds[i] = core.Prediction{Taken: true}
+		}
 	}
 }
 

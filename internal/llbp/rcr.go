@@ -27,8 +27,64 @@ func (r *RCR) Push(pc uint64) {
 // single global context).
 func (r *RCR) ContextID(skip, w int) uint64 {
 	h := uint64(0x9e3779b97f4a7c15)
+	j := (r.pos + skip) % MaxRCRDepth
 	for i := 0; i < w; i++ {
-		h = hashutil.Combine(h, r.ubs[(r.pos+skip+i)%MaxRCRDepth])
+		h = hashutil.Combine(h, r.ubs[j])
+		if j++; j == MaxRCRDepth {
+			j = 0
+		}
 	}
 	return h
+}
+
+// CtxDelay replays ContextID(0, w) values with a fixed delay of d pushes.
+// Because ContextID(d, w) equals what ContextID(0, w) returned d pushes
+// earlier (the ring keeps d+w <= MaxRCRDepth entries live), a predictor
+// needing both the skipped and unskipped IDs hashes the window once per
+// push and reads the skipped ID from this line instead of rehashing.
+type CtxDelay struct {
+	ring []uint64
+	pos  int
+}
+
+// NewCtxDelay returns a delay line of depth d for window width w, primed
+// with the ID an untouched RCR yields — which is exactly what
+// ContextID(d, w) returns until the d+1-th push, since the skipped window
+// still holds only zero entries.
+func NewCtxDelay(d, w int) CtxDelay {
+	if d == 0 {
+		return CtxDelay{}
+	}
+	var zero RCR
+	z := zero.ContextID(0, w)
+	ring := make([]uint64, d)
+	for i := range ring {
+		ring[i] = z
+	}
+	return CtxDelay{ring: ring}
+}
+
+// Shift records cur (this push's ContextID(0, w)) and returns the value
+// from d pushes ago, i.e. ContextID(d, w) for the current register state.
+func (c *CtxDelay) Shift(cur uint64) uint64 {
+	if len(c.ring) == 0 {
+		return cur
+	}
+	out := c.ring[c.pos]
+	c.ring[c.pos] = cur
+	if c.pos++; c.pos == len(c.ring) {
+		c.pos = 0
+	}
+	return out
+}
+
+// Rebuild reconstructs the line from r after a snapshot restore. The k-th
+// future Shift runs after k+1 more pushes and must return the value from d
+// pushes before that read, i.e. from d-1-k pushes before the restored
+// state — which is ContextID(d-1-k, w) of the restored register.
+func (c *CtxDelay) Rebuild(r *RCR, d, w int) {
+	for k := range c.ring {
+		c.ring[k] = r.ContextID(d-1-k, w)
+	}
+	c.pos = 0
 }

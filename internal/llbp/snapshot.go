@@ -36,12 +36,13 @@ func (s *PatternSet) saveState(w *snapshot.Writer) {
 	w.Bool(s.Dirty)
 	if s.overflow != nil {
 		w.Bool(true)
-		w.Count(len(s.overflow))
-		for _, p := range s.overflow {
+		w.Count(s.overflow.Len())
+		s.overflow.Range(func(_ uint64, p *Pattern) bool {
 			w.U32(p.Tag)
 			w.I64(int64(p.LenIdx))
 			w.I64(int64(p.Ctr))
-		}
+			return true
+		})
 		return
 	}
 	w.Bool(false)
@@ -53,38 +54,37 @@ func (s *PatternSet) saveState(w *snapshot.Writer) {
 	}
 }
 
-// loadPatternSet decodes one pattern set shaped by cfg, validating tag
-// widths, length indices, and counter ranges.
-func loadPatternSet(r *snapshot.Reader, cfg *Config) *PatternSet {
-	cid := r.U64()
-	dirty := r.Bool()
+// loadPatternSetBody decodes the fields after the CID into s (already
+// reset for its new context), validating tag widths, length indices, and
+// counter ranges. It reports whether the decode succeeded.
+func loadPatternSetBody(r *snapshot.Reader, cfg *Config, s *PatternSet) bool {
+	s.Dirty = r.Bool()
 	unbounded := r.Bool()
 	if r.Err() != nil {
-		return nil
+		return false
 	}
 	if unbounded != cfg.InfinitePatterns {
 		r.Fail("pattern set storage mode mismatch")
-		return nil
+		return false
 	}
-	s := newPatternSet(cid, cfg)
-	s.Dirty = dirty
 	tagMax := uint64(1)<<cfg.TagBits - 1
 	if unbounded {
 		n := r.Count(maxInfPatterns)
 		for i := 0; i < n && r.Err() == nil; i++ {
-			p := &Pattern{
-				Tag:    uint32(r.U64Max(tagMax)),
-				LenIdx: int8(r.I64In(0, tage.NumTables-1)),
-				Ctr:    int8(r.I64In(ctrMin, ctrMax)),
+			tag := uint32(r.U64Max(tagMax))
+			lenIdx := int8(r.I64In(0, tage.NumTables-1))
+			ctr := int8(r.I64In(ctrMin, ctrMax))
+			if r.Err() != nil {
+				return false
 			}
-			key := patternKey{p.Tag, p.LenIdx}
-			if _, dup := s.overflow[key]; dup {
-				r.Fail("duplicate pattern in set %#x", cid)
-				return nil
+			p, inserted := s.overflow.Put(packPatternKey(tag, lenIdx))
+			if !inserted {
+				r.Fail("duplicate pattern in set %#x", s.CID)
+				return false
 			}
-			s.overflow[key] = p
+			*p = Pattern{Tag: tag, LenIdx: lenIdx, Ctr: ctr}
 		}
-		return s
+		return r.Err() == nil
 	}
 	if n := r.Count(len(s.slots)); r.Err() == nil && n != len(s.slots) {
 		r.Fail("pattern set has %d slots, want %d", n, len(s.slots))
@@ -95,10 +95,7 @@ func loadPatternSet(r *snapshot.Reader, cfg *Config) *PatternSet {
 		p.LenIdx = int8(r.I64In(-1, tage.NumTables-1))
 		p.Ctr = int8(r.I64In(ctrMin, ctrMax))
 	}
-	if r.Err() != nil {
-		return nil
-	}
-	return s
+	return r.Err() == nil
 }
 
 // SaveState writes every resident pattern set. Finite rows are written in
@@ -107,17 +104,18 @@ func loadPatternSet(r *snapshot.Reader, cfg *Config) *PatternSet {
 func (d *ContextDir) SaveState(w *snapshot.Writer) {
 	w.Marker("llbp.cd")
 	w.U64(d.evicted)
-	if d.inf != nil {
-		w.Count(len(d.inf))
-		for _, s := range d.inf {
-			s.saveState(w)
+	if d.infMode {
+		w.Count(d.infCount)
+		for i := 0; i < d.infCount; i++ {
+			d.infAt(int32(i)).saveState(w)
 		}
 		return
 	}
-	for _, row := range d.sets {
-		w.Count(len(row))
-		for _, s := range row {
-			s.saveState(w)
+	for row := range d.rowLen {
+		n := int(d.rowLen[row])
+		w.Count(n)
+		for i := 0; i < n; i++ {
+			d.store[row*d.assoc+i].saveState(w)
 		}
 	}
 }
@@ -127,39 +125,42 @@ func (d *ContextDir) SaveState(w *snapshot.Writer) {
 func (d *ContextDir) LoadState(r *snapshot.Reader) {
 	r.Marker("llbp.cd")
 	d.evicted = r.U64()
-	if d.inf != nil {
+	if d.infMode {
 		n := r.Count(maxInfContexts)
 		for i := 0; i < n && r.Err() == nil; i++ {
-			s := loadPatternSet(r, d.cfg)
-			if s == nil {
+			cid := r.U64()
+			if r.Err() != nil {
 				return
 			}
-			if _, dup := d.inf[s.CID]; dup {
-				r.Fail("duplicate context %#x", s.CID)
+			s, existed := d.infInsert(cid)
+			if existed {
+				r.Fail("duplicate context %#x", cid)
 				return
 			}
-			d.inf[s.CID] = s
+			if !loadPatternSetBody(r, d.cfg, s) {
+				return
+			}
 		}
 		return
 	}
-	for rowIdx := range d.sets {
+	for rowIdx := range d.rowLen {
 		n := r.Count(d.assoc)
-		row := make([]*PatternSet, 0, n)
 		for i := 0; i < n && r.Err() == nil; i++ {
-			s := loadPatternSet(r, d.cfg)
-			if s == nil {
+			cid := r.U64()
+			if r.Err() != nil {
 				return
 			}
-			if s.CID&d.mask != uint64(rowIdx) {
-				r.Fail("context %#x stored in wrong row %d", s.CID, rowIdx)
+			if cid&d.mask != uint64(rowIdx) {
+				r.Fail("context %#x stored in wrong row %d", cid, rowIdx)
 				return
 			}
-			row = append(row, s)
+			s := &d.store[rowIdx*d.assoc+i]
+			s.reset(cid, d.cfg)
+			if !loadPatternSetBody(r, d.cfg, s) {
+				return
+			}
+			d.rowLen[rowIdx]++
 		}
-		if r.Err() != nil {
-			return
-		}
-		d.sets[rowIdx] = row
 	}
 }
 
@@ -178,8 +179,8 @@ func (b *PatternBuffer) SaveState(w *snapshot.Writer) {
 	w.U64(st.StoreWr)
 	w.U64(st.FPIssued)
 	w.U64(st.FPUsed)
-	w.Count(len(b.entries))
-	for cid, e := range b.entries {
+	w.Count(b.entries.Len())
+	b.entries.Range(func(cid uint64, e *PBEntry) bool {
 		w.U64(cid)
 		w.I64(e.AvailAt)
 		w.I64(e.FetchedAt)
@@ -188,7 +189,8 @@ func (b *PatternBuffer) SaveState(w *snapshot.Writer) {
 		w.Bool(e.WasLate)
 		w.Bool(e.FalsePath)
 		w.Bool(e.fromStore)
-	}
+		return true
+	})
 }
 
 // LoadState restores the buffer into an empty receiver. resolve maps a
@@ -209,43 +211,54 @@ func (b *PatternBuffer) LoadState(r *snapshot.Reader, resolve func(uint64) *Patt
 	n := r.Count(b.capacity)
 	for i := 0; i < n && r.Err() == nil; i++ {
 		cid := r.U64()
-		e := &PBEntry{
-			AvailAt:   r.I64(),
-			FetchedAt: r.I64(),
-			LastUse:   r.I64(),
-			Used:      r.Bool(),
-			WasLate:   r.Bool(),
-			FalsePath: r.Bool(),
-			fromStore: r.Bool(),
-		}
+		availAt := r.I64()
+		fetchedAt := r.I64()
+		lastUse := r.I64()
+		used := r.Bool()
+		wasLate := r.Bool()
+		falsePath := r.Bool()
+		fromStore := r.Bool()
 		if r.Err() != nil {
 			return
 		}
-		if _, dup := b.entries[cid]; dup {
-			r.Fail("duplicate pattern buffer entry %#x", cid)
-			return
-		}
-		e.Set = resolve(cid)
-		if e.Set == nil {
+		set := resolve(cid)
+		if set == nil {
 			r.Fail("pattern buffer entry %#x has no backing pattern set", cid)
 			return
 		}
-		b.entries[cid] = e
+		e, inserted := b.entries.Put(cid)
+		if !inserted {
+			r.Fail("duplicate pattern buffer entry %#x", cid)
+			return
+		}
+		*e = PBEntry{
+			Set:       set,
+			AvailAt:   availAt,
+			FetchedAt: fetchedAt,
+			LastUse:   lastUse,
+			Used:      used,
+			WasLate:   wasLate,
+			FalsePath: falsePath,
+			fromStore: fromStore,
+		}
 	}
 }
 
 // SaveState writes the per-context useful-pattern accounting.
 func (t *UsefulTracker) SaveState(w *snapshot.Writer) {
 	w.Marker("llbp.tracker")
-	w.Count(len(t.perContext))
-	for cid, m := range t.perContext {
-		w.U64(cid)
-		w.Count(len(m))
-		for k, n := range m {
-			w.U32(k.tag)
-			w.I64(int64(k.lenIdx))
-			w.U64(n)
-		}
+	w.Count(len(t.ctxs))
+	for i := range t.ctxs {
+		c := &t.ctxs[i]
+		w.U64(c.cid)
+		w.Count(c.pats.Len())
+		c.pats.Range(func(key uint64, n *uint64) bool {
+			tag, lenIdx := unpackPatternKey(key)
+			w.U32(tag)
+			w.I64(int64(lenIdx))
+			w.U64(*n)
+			return true
+		})
 	}
 }
 
@@ -255,20 +268,21 @@ func (t *UsefulTracker) LoadState(r *snapshot.Reader) {
 	n := r.Count(maxTrackerCtx)
 	for i := 0; i < n && r.Err() == nil; i++ {
 		cid := r.U64()
-		k := r.Count(maxTrackerPerCtx)
-		m := make(map[patternKey]uint64, k)
-		for j := 0; j < k && r.Err() == nil; j++ {
-			key := patternKey{
-				tag:    uint32(r.U64Max(1<<32 - 1)),
-				lenIdx: int8(r.I64In(0, tage.NumTables-1)),
-			}
-			m[key] = r.U64()
-		}
-		if _, dup := t.perContext[cid]; dup {
+		pi, inserted := t.ctxIdx.Put(cid)
+		if !inserted {
 			r.Fail("duplicate tracker context %#x", cid)
 			return
 		}
-		t.perContext[cid] = m
+		*pi = int32(len(t.ctxs))
+		t.ctxs = append(t.ctxs, usefulCtx{cid: cid})
+		c := &t.ctxs[len(t.ctxs)-1]
+		k := r.Count(maxTrackerPerCtx)
+		for j := 0; j < k && r.Err() == nil; j++ {
+			tag := uint32(r.U64Max(1<<32 - 1))
+			lenIdx := int8(r.I64In(0, tage.NumTables-1))
+			v, _ := c.pats.Put(packPatternKey(tag, lenIdx))
+			*v = r.U64()
+		}
 	}
 }
 
@@ -325,6 +339,7 @@ func (p *Predictor) LoadState(r *snapshot.Reader) {
 	p.tsl.LoadState(r)
 	p.bank.LoadState(r)
 	p.rcr.LoadState(r)
+	p.cidDelay.Rebuild(&p.rcr, p.cfg.D, p.cfg.W)
 	p.cd.LoadState(r)
 	p.pb.LoadState(r, p.cd.Lookup)
 	p.tick = r.I64In(0, 1<<62)

@@ -1,6 +1,7 @@
 package llbp
 
 import (
+	"llbpx/internal/oatable"
 	"llbpx/internal/tage"
 )
 
@@ -57,30 +58,36 @@ func (p *Pattern) WeakInit(taken bool) {
 	}
 }
 
+// packPatternKey packs a (tag, lenIdx) pattern identity into the uint64 key
+// space of the open-addressed tables.
+func packPatternKey(tag uint32, lenIdx int8) uint64 {
+	return uint64(tag)<<8 | uint64(uint8(lenIdx))
+}
+
+// unpackPatternKey inverts packPatternKey.
+func unpackPatternKey(key uint64) (tag uint32, lenIdx int8) {
+	return uint32(key >> 8), int8(uint8(key))
+}
+
 // PatternSet holds the patterns of one program context. With design
 // tweaks enabled the fixed slots are grouped into histogram buckets (four
 // slots per history-length range); without them the set is a flat
 // associative array, and in the +Inf Patterns limit mode it grows without
-// bound.
+// bound in an open-addressed table keyed by (tag, lenIdx).
 type PatternSet struct {
 	CID   uint64
 	slots []Pattern
-	// unbounded (limit mode) storage, keyed by (tag, lenIdx).
-	overflow map[patternKey]*Pattern
+	// unbounded (limit mode) storage, keyed by packPatternKey.
+	overflow *oatable.Map[Pattern]
 	// Dirty marks modifications since the set was fetched into the PB.
 	Dirty bool
-}
-
-type patternKey struct {
-	tag    uint32
-	lenIdx int8
 }
 
 // newPatternSet returns an empty set for cid shaped by cfg.
 func newPatternSet(cid uint64, cfg *Config) *PatternSet {
 	s := &PatternSet{CID: cid}
 	if cfg.InfinitePatterns {
-		s.overflow = make(map[patternKey]*Pattern)
+		s.overflow = oatable.NewMap[Pattern](cfg.PatternsPerSet)
 		return s
 	}
 	s.slots = make([]Pattern, cfg.PatternsPerSet)
@@ -93,7 +100,7 @@ func newPatternSet(cid uint64, cfg *Config) *PatternSet {
 // Lookup returns the valid pattern matching (tag, lenIdx), or nil.
 func (s *PatternSet) Lookup(tag uint32, lenIdx int) *Pattern {
 	if s.overflow != nil {
-		return s.overflow[patternKey{tag, int8(lenIdx)}]
+		return s.overflow.Get(packPatternKey(tag, int8(lenIdx)))
 	}
 	for i := range s.slots {
 		p := &s.slots[i]
@@ -109,11 +116,12 @@ func (s *PatternSet) Lookup(tag uint32, lenIdx int) *Pattern {
 func (s *PatternSet) ConfidentCount() int {
 	n := 0
 	if s.overflow != nil {
-		for _, p := range s.overflow {
+		s.overflow.Range(func(_ uint64, p *Pattern) bool {
 			if p.Confident() {
 				n++
 			}
-		}
+			return true
+		})
 		return n
 	}
 	for i := range s.slots {
@@ -127,7 +135,7 @@ func (s *PatternSet) ConfidentCount() int {
 // Size returns the number of valid patterns in the set.
 func (s *PatternSet) Size() int {
 	if s.overflow != nil {
-		return len(s.overflow)
+		return s.overflow.Len()
 	}
 	n := 0
 	for i := range s.slots {
@@ -141,9 +149,10 @@ func (s *PatternSet) Size() int {
 // Patterns calls fn for every valid pattern in the set.
 func (s *PatternSet) Patterns(fn func(*Pattern)) {
 	if s.overflow != nil {
-		for _, p := range s.overflow {
+		s.overflow.Range(func(_ uint64, p *Pattern) bool {
 			fn(p)
-		}
+			return true
+		})
 		return
 	}
 	for i := range s.slots {
@@ -153,6 +162,34 @@ func (s *PatternSet) Patterns(fn func(*Pattern)) {
 	}
 }
 
+// BestMatch returns the longest pattern whose tag matches tags at its own
+// history index, or (nil, -1). This is the hot-path form of the Patterns
+// closure walk: one explicit pass, no callback.
+func (s *PatternSet) BestMatch(tags *[tage.NumTables]uint32) (best *Pattern, bestLen int) {
+	bestLen = -1
+	if s.overflow != nil {
+		s.overflow.Range(func(_ uint64, p *Pattern) bool {
+			li := int(p.LenIdx)
+			if p.Tag == tags[li] && li > bestLen {
+				best, bestLen = p, li
+			}
+			return true
+		})
+		return best, bestLen
+	}
+	for i := range s.slots {
+		p := &s.slots[i]
+		if !p.Valid() {
+			continue
+		}
+		li := int(p.LenIdx)
+		if p.Tag == tags[li] && li > bestLen {
+			best, bestLen = p, li
+		}
+	}
+	return best, bestLen
+}
+
 // Allocate installs a new weak pattern for (tag, lenIdx), replacing the
 // least confident pattern in the target region: the slot range of the
 // pattern's bucket when bucketing is active, or any slot of the flat set.
@@ -160,9 +197,9 @@ func (s *PatternSet) Patterns(fn func(*Pattern)) {
 func (s *PatternSet) Allocate(tag uint32, lenIdx int, taken bool, bucket, buckets int) {
 	s.Dirty = true
 	if s.overflow != nil {
-		p := &Pattern{Tag: tag, LenIdx: int8(lenIdx)}
+		p, _ := s.overflow.Put(packPatternKey(tag, int8(lenIdx)))
+		*p = Pattern{Tag: tag, LenIdx: int8(lenIdx)}
 		p.WeakInit(taken)
-		s.overflow[patternKey{tag, int8(lenIdx)}] = p
 		return
 	}
 	lo, hi := 0, len(s.slots)
@@ -201,15 +238,56 @@ func (s *PatternSet) Allocate(tag uint32, lenIdx int, taken bool, bucket, bucket
 	p.WeakInit(taken)
 }
 
+// reset re-initializes a recycled set for a new context, keeping its
+// storage (the slot view into the directory's backing array, or the
+// overflow table's capacity).
+func (s *PatternSet) reset(cid uint64, cfg *Config) {
+	s.CID = cid
+	s.Dirty = false
+	if cfg.InfinitePatterns {
+		if s.overflow == nil {
+			s.overflow = oatable.NewMap[Pattern](cfg.PatternsPerSet)
+		} else {
+			s.overflow.Clear()
+		}
+		return
+	}
+	if s.slots == nil {
+		s.slots = make([]Pattern, cfg.PatternsPerSet)
+	}
+	for i := range s.slots {
+		s.slots[i] = Pattern{LenIdx: -1}
+	}
+}
+
+// infChunkSize is the slab granularity of unbounded-context storage. Chunks
+// are allocated whole and never move, so *PatternSet pointers handed to the
+// pattern buffer stay valid as the directory grows.
+const infChunkSize = 1024
+
 // ContextDir combines the paper's context directory (CD) and pattern
 // store (PS): a set-associative directory from context IDs to pattern
 // sets. Replacement keeps the sets with the most confident patterns (the
 // paper's policy), evicting the least-trained set of the index set.
+//
+// Finite geometries are one flat preallocated value array (row r occupies
+// store[r*assoc : r*assoc+rowLen[r]], in replacement order); eviction
+// recycles the victim's storage in place. Unbounded modes grow a chunked
+// slab indexed by an open-addressed cid table. Neither mode allocates on
+// the steady-state prediction path.
 type ContextDir struct {
-	sets    [][]*PatternSet // finite geometry
-	assoc   int
-	mask    uint64
-	inf     map[uint64]*PatternSet // InfiniteContexts mode
+	// Finite geometry.
+	store  []PatternSet
+	rowLen []int32
+	assoc  int
+	mask   uint64
+
+	// InfiniteContexts / NoContext mode.
+	infMode   bool
+	infChunks [][]PatternSet
+	infCount  int
+	infIdx    oatable.Map[int32]
+
 	cfg     *Config
 	evicted uint64 // count of discarded pattern sets
 }
@@ -218,7 +296,7 @@ type ContextDir struct {
 func NewContextDir(cfg *Config) *ContextDir {
 	d := &ContextDir{cfg: cfg}
 	if cfg.InfiniteContexts || cfg.NoContext {
-		d.inf = make(map[uint64]*PatternSet)
+		d.infMode = true
 		return d
 	}
 	numSets := 1
@@ -226,28 +304,64 @@ func NewContextDir(cfg *Config) *ContextDir {
 		numSets *= 2
 	}
 	d.assoc = cfg.NumContexts / numSets
-	d.sets = make([][]*PatternSet, numSets)
 	d.mask = uint64(numSets - 1)
+	d.store = make([]PatternSet, numSets*d.assoc)
+	d.rowLen = make([]int32, numSets)
+	if !cfg.InfinitePatterns {
+		// One shared backing array for every set's slots: the whole pattern
+		// store is two allocations, and set pointers/slot pointers are
+		// stable for the predictor's lifetime.
+		backing := make([]Pattern, len(d.store)*cfg.PatternsPerSet)
+		for i := range backing {
+			backing[i].LenIdx = -1
+		}
+		pps := cfg.PatternsPerSet
+		for i := range d.store {
+			d.store[i].slots = backing[i*pps : (i+1)*pps : (i+1)*pps]
+		}
+	}
 	return d
+}
+
+// infAt returns the slab slot at index idx.
+func (d *ContextDir) infAt(idx int32) *PatternSet {
+	return &d.infChunks[int(idx)/infChunkSize][int(idx)%infChunkSize]
+}
+
+// infInsert returns the set for cid, appending a slab slot when absent.
+func (d *ContextDir) infInsert(cid uint64) (s *PatternSet, existed bool) {
+	pi, inserted := d.infIdx.Put(cid)
+	if !inserted {
+		return d.infAt(*pi), true
+	}
+	if d.infCount%infChunkSize == 0 {
+		d.infChunks = append(d.infChunks, make([]PatternSet, infChunkSize))
+	}
+	idx := int32(d.infCount)
+	d.infCount++
+	*pi = idx
+	s = d.infAt(idx)
+	s.reset(cid, d.cfg)
+	return s, false
 }
 
 // Capacity returns the number of contexts the directory can track
 // (0 = unbounded).
 func (d *ContextDir) Capacity() int {
-	if d.inf != nil {
+	if d.infMode {
 		return 0
 	}
-	return len(d.sets) * d.assoc
+	return len(d.store)
 }
 
 // Live returns the number of resident pattern sets.
 func (d *ContextDir) Live() int {
-	if d.inf != nil {
-		return len(d.inf)
+	if d.infMode {
+		return d.infCount
 	}
 	n := 0
-	for _, s := range d.sets {
-		n += len(s)
+	for _, l := range d.rowLen {
+		n += int(l)
 	}
 	return n
 }
@@ -257,12 +371,16 @@ func (d *ContextDir) Evicted() uint64 { return d.evicted }
 
 // Lookup returns the pattern set for cid, or nil.
 func (d *ContextDir) Lookup(cid uint64) *PatternSet {
-	if d.inf != nil {
-		return d.inf[cid]
+	if d.infMode {
+		if pi := d.infIdx.Get(cid); pi != nil {
+			return d.infAt(*pi)
+		}
+		return nil
 	}
-	row := d.sets[cid&d.mask]
-	for _, s := range row {
-		if s.CID == cid {
+	row := cid & d.mask
+	base := int(row) * d.assoc
+	for i := 0; i < int(d.rowLen[row]); i++ {
+		if s := &d.store[base+i]; s.CID == cid {
 			return s
 		}
 	}
@@ -272,32 +390,36 @@ func (d *ContextDir) Lookup(cid uint64) *PatternSet {
 // Insert creates (or returns the existing) pattern set for cid, evicting
 // the least-confident set of the row when full. evictedCID reports the
 // context whose set was discarded (valid only when evicted is true), so
-// the caller can invalidate stale pattern-buffer entries.
+// the caller can invalidate stale pattern-buffer entries. The victim's
+// storage is recycled in place: the caller must drop stale PB entries
+// before the next prediction touches them.
 func (d *ContextDir) Insert(cid uint64) (s *PatternSet, evictedCID uint64, evicted bool) {
 	if s := d.Lookup(cid); s != nil {
 		return s, 0, false
 	}
-	s = newPatternSet(cid, d.cfg)
-	if d.inf != nil {
-		d.inf[cid] = s
+	if d.infMode {
+		s, _ := d.infInsert(cid)
 		return s, 0, false
 	}
-	rowIdx := cid & d.mask
-	row := d.sets[rowIdx]
-	if len(row) < d.assoc {
-		d.sets[rowIdx] = append(row, s)
+	row := cid & d.mask
+	base := int(row) * d.assoc
+	if n := int(d.rowLen[row]); n < d.assoc {
+		s = &d.store[base+n]
+		s.reset(cid, d.cfg)
+		d.rowLen[row]++
 		return s, 0, false
 	}
 	// Evict the set with the fewest confident patterns (paper's policy:
 	// favor sets with more high-confidence patterns).
 	victim, best := 0, 1<<30
-	for i, cand := range row {
-		if c := cand.ConfidentCount(); c < best {
+	for i := 0; i < d.assoc; i++ {
+		if c := d.store[base+i].ConfidentCount(); c < best {
 			best, victim = c, i
 		}
 	}
-	evictedCID = row[victim].CID
-	row[victim] = s
+	s = &d.store[base+victim]
+	evictedCID = s.CID
+	s.reset(cid, d.cfg)
 	d.evicted++
 	return s, evictedCID, true
 }
@@ -328,38 +450,40 @@ type PrefetchStats struct {
 }
 
 // PatternBuffer is the small in-core cache of pattern sets predictions are
-// served from. It tracks prefetch timeliness and PS<->PB traffic.
+// served from. It tracks prefetch timeliness and PS<->PB traffic. Entries
+// live inline in an open-addressed table sized once at construction;
+// steady-state fill/evict churn never allocates. Entry pointers are
+// invalidated by Fill, Drop, and eviction.
 type PatternBuffer struct {
-	entries  map[uint64]*PBEntry
+	entries  oatable.Map[PBEntry]
 	capacity int
 	Stats    PrefetchStats
 }
 
 // NewPatternBuffer returns an empty buffer holding up to capacity sets.
 func NewPatternBuffer(capacity int) *PatternBuffer {
-	return &PatternBuffer{
-		entries:  make(map[uint64]*PBEntry, capacity+1),
-		capacity: capacity,
-	}
+	b := &PatternBuffer{capacity: capacity}
+	b.entries.Reserve(capacity + 1)
+	return b
 }
 
 // Get returns the buffered entry for cid, or nil, without touching LRU
 // state.
-func (b *PatternBuffer) Get(cid uint64) *PBEntry { return b.entries[cid] }
+func (b *PatternBuffer) Get(cid uint64) *PBEntry { return b.entries.Get(cid) }
 
 // Fill inserts the pattern set for cid, arriving at availAt. fromStore
 // marks a genuine PS read (counted as bandwidth); falsePath marks a
 // modeled wrong-path fetch.
 func (b *PatternBuffer) Fill(cid uint64, set *PatternSet, now, availAt int64, fromStore, falsePath bool) *PBEntry {
-	if e := b.entries[cid]; e != nil {
+	if e := b.entries.Get(cid); e != nil {
 		e.LastUse = now
 		return e
 	}
-	if len(b.entries) >= b.capacity {
+	if b.entries.Len() >= b.capacity {
 		b.evictLRU(now)
 	}
-	e := &PBEntry{Set: set, AvailAt: availAt, FetchedAt: now, LastUse: now, FalsePath: falsePath, fromStore: fromStore}
-	b.entries[cid] = e
+	e, _ := b.entries.Put(cid)
+	*e = PBEntry{Set: set, AvailAt: availAt, FetchedAt: now, LastUse: now, FalsePath: falsePath, fromStore: fromStore}
 	if fromStore {
 		b.Stats.Issued++
 		b.Stats.StoreRd++
@@ -372,26 +496,27 @@ func (b *PatternBuffer) Fill(cid uint64, set *PatternSet, now, availAt int64, fr
 
 // Drop removes cid from the buffer without writeback accounting (used when
 // the directory invalidates a context).
-func (b *PatternBuffer) Drop(cid uint64) { delete(b.entries, cid) }
+func (b *PatternBuffer) Drop(cid uint64) { b.entries.Delete(cid) }
 
 func (b *PatternBuffer) evictLRU(now int64) {
 	var victimCID uint64
-	var victim *PBEntry
+	var victimLastUse int64
 	first := true
-	// The CID tie-break keeps victim selection independent of map
+	// The CID tie-break keeps victim selection independent of table
 	// iteration order: same-tick fills (e.g. paired false-path prefetches)
 	// must evict identically in a restored and a never-snapshotted buffer.
-	for cid, e := range b.entries {
-		if first || e.LastUse < victim.LastUse ||
-			(e.LastUse == victim.LastUse && cid < victimCID) {
-			victimCID, victim, first = cid, e, false
+	b.entries.Range(func(cid uint64, e *PBEntry) bool {
+		if first || e.LastUse < victimLastUse ||
+			(e.LastUse == victimLastUse && cid < victimCID) {
+			victimCID, victimLastUse, first = cid, e.LastUse, false
 		}
-	}
-	if victim == nil {
+		return true
+	})
+	if first {
 		return
 	}
-	b.retire(victim)
-	delete(b.entries, victimCID)
+	b.retire(b.entries.Get(victimCID))
+	b.entries.Delete(victimCID)
 }
 
 // retire folds an entry's lifetime into the stats and writes back dirty
@@ -418,15 +543,16 @@ func (b *PatternBuffer) retire(e *PBEntry) {
 
 // FlushStats retires every resident entry's accounting (end of run).
 func (b *PatternBuffer) FlushStats() {
-	for _, e := range b.entries {
+	b.entries.Range(func(_ uint64, e *PBEntry) bool {
 		b.retire(e)
 		// Avoid double counting if called twice.
 		e.fromStore = false
-	}
+		return true
+	})
 }
 
 // Len returns the number of resident pattern sets.
-func (b *PatternBuffer) Len() int { return len(b.entries) }
+func (b *PatternBuffer) Len() int { return b.entries.Len() }
 
 // BucketOf returns the bucket index of lenIdx within the active history
 // list (four history lengths per bucket in the default design).
@@ -460,15 +586,16 @@ func lenFromBits(bits int) int { return tage.HistoryIndex(bits) }
 
 // ForEach visits every resident pattern set (diagnostics and tests).
 func (d *ContextDir) ForEach(fn func(*PatternSet)) {
-	if d.inf != nil {
-		for _, s := range d.inf {
-			fn(s)
+	if d.infMode {
+		for i := 0; i < d.infCount; i++ {
+			fn(d.infAt(int32(i)))
 		}
 		return
 	}
-	for _, row := range d.sets {
-		for _, s := range row {
-			fn(s)
+	for row := range d.rowLen {
+		base := row * d.assoc
+		for i := 0; i < int(d.rowLen[row]); i++ {
+			fn(&d.store[base+i])
 		}
 	}
 }

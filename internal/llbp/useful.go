@@ -3,34 +3,44 @@ package llbp
 import (
 	"sort"
 
+	"llbpx/internal/oatable"
 	"llbpx/internal/tage"
 )
 
 // UsefulTracker records, per context, which patterns usefully overrode the
 // baseline (the accounting behind the paper's Figures 6-9). A pattern is
 // useful when its prediction was correct while the baseline TSL would have
-// mispredicted.
+// mispredicted. Contexts live in an append-only slice indexed by an
+// open-addressed cid table; per-context counts are keyed by packPatternKey.
 type UsefulTracker struct {
-	perContext map[uint64]map[patternKey]uint64
+	ctxIdx oatable.Map[int32]
+	ctxs   []usefulCtx
+}
+
+type usefulCtx struct {
+	cid  uint64
+	pats oatable.Map[uint64] // packPatternKey -> useful override events
 }
 
 func NewUsefulTracker() *UsefulTracker {
-	return &UsefulTracker{perContext: make(map[uint64]map[patternKey]uint64)}
+	return &UsefulTracker{}
 }
 
 // Record notes one useful override by pattern (tag, lenIdx) in context cid.
 func (t *UsefulTracker) Record(cid uint64, tag uint32, lenIdx int) {
-	m := t.perContext[cid]
-	if m == nil {
-		m = make(map[patternKey]uint64)
-		t.perContext[cid] = m
+	pi, inserted := t.ctxIdx.Put(cid)
+	if inserted {
+		*pi = int32(len(t.ctxs))
+		t.ctxs = append(t.ctxs, usefulCtx{cid: cid})
 	}
-	m[patternKey{tag, int8(lenIdx)}]++
+	c := &t.ctxs[*pi]
+	n, _ := c.pats.Put(packPatternKey(tag, int8(lenIdx)))
+	*n++
 }
 
 // Reset clears all recorded data.
 func (t *UsefulTracker) Reset() {
-	t.perContext = make(map[uint64]map[patternKey]uint64)
+	*t = UsefulTracker{}
 }
 
 // ContextUseful summarizes one context's useful patterns.
@@ -60,23 +70,25 @@ type UsefulStats struct {
 	EventsByLen [tage.NumTables]uint64
 }
 
-// Snapshot processes the raw per-context maps into the figure-ready form.
+// Snapshot processes the raw per-context tables into the figure-ready form.
 func (t *UsefulTracker) Snapshot() *UsefulStats {
 	s := &UsefulStats{}
-	unique := make(map[patternKey]struct{})
-	for cid, pats := range t.perContext {
-		cu := ContextUseful{CID: cid, Patterns: len(pats)}
+	var unique oatable.Map[struct{}]
+	for i := range t.ctxs {
+		c := &t.ctxs[i]
+		cu := ContextUseful{CID: c.cid, Patterns: c.pats.Len()}
 		var lenSum float64
-		for key, events := range pats {
-			lenSum += float64(tage.HistoryLengths[key.lenIdx])
-			cu.Events += events
-			s.TotalByLen[key.lenIdx]++
-			s.EventsByLen[key.lenIdx] += events
-			if _, seen := unique[key]; !seen {
-				unique[key] = struct{}{}
-				s.UniqueByLen[key.lenIdx]++
+		c.pats.Range(func(key uint64, events *uint64) bool {
+			_, lenIdx := unpackPatternKey(key)
+			lenSum += float64(tage.HistoryLengths[lenIdx])
+			cu.Events += *events
+			s.TotalByLen[lenIdx]++
+			s.EventsByLen[lenIdx] += *events
+			if _, firstSighting := unique.Put(key); firstSighting {
+				s.UniqueByLen[lenIdx]++
 			}
-		}
+			return true
+		})
 		if cu.Patterns > 0 {
 			cu.AvgHistLen = lenSum / float64(cu.Patterns)
 		}

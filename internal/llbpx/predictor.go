@@ -30,9 +30,12 @@ type Predictor struct {
 	tsl  *tage.Predictor
 	bank *tage.TagBank
 	rcr  llbp.RCR
-	cd   *llbp.ContextDir
-	pb   *llbp.PatternBuffer
-	ctt  *CTT
+	// D-delayed ContextID(0, w) lines serving the skip-D context IDs, one
+	// per window width.
+	shallowDelay, deepDelay llbp.CtxDelay
+	cd                      *llbp.ContextDir
+	pb                      *llbp.PatternBuffer
+	ctt                     *CTT
 
 	shallowLens []int
 	deepLens    []int
@@ -101,9 +104,11 @@ func New(cfg Config) (*Predictor, error) {
 		bank:        tage.NewTagBank(cfg.Base.TagBits),
 		pb:          llbp.NewPatternBuffer(cfg.Base.PBEntries),
 		ctt:         newCTT(cfg.CTTEntries, cfg.CTTAssoc, cfg.CTTTagBits, cfg.AvgHistSat),
-		shallowLens: cfg.shallowLens(),
-		deepLens:    cfg.deepLens(),
-		deepHistory: make(map[uint64]bool),
+		shallowLens:  cfg.shallowLens(),
+		deepLens:     cfg.deepLens(),
+		shallowDelay: llbp.NewCtxDelay(cfg.Base.D, cfg.WShallow),
+		deepDelay:    llbp.NewCtxDelay(cfg.Base.D, cfg.WDeep),
+		deepHistory:  make(map[uint64]bool),
 	}
 	p.cd = llbp.NewContextDir(&p.cfg.Base)
 	if cfg.Base.CollectUseful {
@@ -202,15 +207,7 @@ func (p *Predictor) Predict(pc uint64) core.Prediction {
 		} else {
 			c.entry = entry
 			c.set = entry.Set
-			c.set.Patterns(func(pat *llbp.Pattern) {
-				li := int(pat.LenIdx)
-				if pat.Tag != c.tags[li] {
-					return
-				}
-				if c.pat == nil || li > c.patLen {
-					c.pat, c.patLen = pat, li
-				}
-			})
+			c.pat, c.patLen = c.set.BestMatch(&c.tags)
 		}
 	}
 
@@ -408,18 +405,16 @@ func (p *Predictor) TrackUnconditional(b core.Branch) {
 	p.tick++
 
 	p.rcr.Push(b.PC)
-	cfg := &p.cfg
-	p.ccidShallow = p.rcr.ContextID(cfg.Base.D, cfg.WShallow)
-	p.ccidDeep = p.rcr.ContextID(cfg.Base.D, cfg.WDeep)
+	p.pcidShallow = p.rcr.ContextID(0, p.cfg.WShallow)
+	p.pcidDeep = p.rcr.ContextID(0, p.cfg.WDeep)
+	p.ccidShallow = p.shallowDelay.Shift(p.pcidShallow)
+	p.ccidDeep = p.deepDelay.Shift(p.pcidDeep)
 	p.ccidDeepSelected = p.isDeep(p.ccidShallow)
 	if p.ccidDeepSelected {
 		p.ccid = p.ccidDeep
 	} else {
 		p.ccid = p.ccidShallow
 	}
-
-	p.pcidShallow = p.rcr.ContextID(0, cfg.WShallow)
-	p.pcidDeep = p.rcr.ContextID(0, cfg.WDeep)
 	newPCID := p.pcidShallow
 	if p.isDeep(p.pcidShallow) {
 		newPCID = p.pcidDeep
@@ -430,6 +425,21 @@ func (p *Predictor) TrackUnconditional(b core.Branch) {
 		p.pcidRing[p.ringPos] = newPCID
 		p.ringPos = (p.ringPos + 1) % len(p.pcidRing)
 		p.prefetch(newPCID, false)
+	}
+}
+
+// RunBatch implements core.BatchPredictor: the canonical per-branch loop
+// with direct (devirtualized) calls on the concrete receiver.
+func (p *Predictor) RunBatch(batch []core.Branch, preds []core.Prediction) {
+	for i, b := range batch {
+		if b.Kind.Conditional() {
+			pred := p.Predict(b.PC)
+			preds[i] = pred
+			p.Update(b, pred)
+		} else {
+			p.TrackUnconditional(b)
+			preds[i] = core.Prediction{Taken: true}
+		}
 	}
 }
 

@@ -112,6 +112,8 @@ func (p *Predictor) LoadState(r *snapshot.Reader) {
 	p.tsl.LoadState(r)
 	p.bank.LoadState(r)
 	p.rcr.LoadState(r)
+	p.shallowDelay.Rebuild(&p.rcr, p.cfg.Base.D, p.cfg.WShallow)
+	p.deepDelay.Rebuild(&p.rcr, p.cfg.Base.D, p.cfg.WDeep)
 	p.cd.LoadState(r)
 	p.pb.LoadState(r, p.cd.Lookup)
 	p.ctt.loadState(r)

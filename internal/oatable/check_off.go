@@ -1,0 +1,12 @@
+//go:build !slowcheck
+
+package oatable
+
+// slowcheckEnabled gates the shadow-map cross-checks; in normal builds the
+// compiler eliminates every check site.
+const slowcheckEnabled = false
+
+func (m *Map[V]) checkGet(uint64, bool)    {}
+func (m *Map[V]) checkPut(uint64, bool)    {}
+func (m *Map[V]) checkDelete(uint64, bool) {}
+func (m *Map[V]) checkLen()                {}

@@ -1,0 +1,50 @@
+//go:build slowcheck
+
+package oatable
+
+import "fmt"
+
+// slowcheckEnabled turns every Map operation into a differential test
+// against a plain Go map shadowing the key set. Build with `-tags
+// slowcheck` to run any workload — the full test suite, a simulation, the
+// serving daemon — with the open-addressed tables continuously
+// cross-checked against the reference semantics they replaced.
+const slowcheckEnabled = true
+
+func (m *Map[V]) checkGet(key uint64, found bool) {
+	_, want := m.shadow[key]
+	if want != found {
+		panic(fmt.Sprintf("oatable: Get(%#x) found=%v, shadow map says %v (len %d/%d)",
+			key, found, want, m.live, len(m.shadow)))
+	}
+}
+
+func (m *Map[V]) checkPut(key uint64, inserted bool) {
+	_, had := m.shadow[key]
+	if had == inserted {
+		panic(fmt.Sprintf("oatable: Put(%#x) inserted=%v, but shadow map presence was %v",
+			key, inserted, had))
+	}
+	if m.shadow == nil {
+		m.shadow = make(map[uint64]struct{})
+	}
+	m.shadow[key] = struct{}{}
+	m.checkLen()
+}
+
+func (m *Map[V]) checkDelete(key uint64, found bool) {
+	_, had := m.shadow[key]
+	if had != found {
+		panic(fmt.Sprintf("oatable: Delete(%#x) found=%v, shadow map says %v", key, found, had))
+	}
+	delete(m.shadow, key)
+}
+
+func (m *Map[V]) checkLen() {
+	want := len(m.shadow)
+	// checkPut runs after live++ on insert and shadow insert, so the two
+	// must agree at every check point.
+	if m.live != want {
+		panic(fmt.Sprintf("oatable: live=%d diverged from shadow len=%d", m.live, want))
+	}
+}

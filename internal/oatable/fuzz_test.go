@@ -1,0 +1,82 @@
+package oatable
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzMapVsReference drives an op-coded byte stream through a Map and a
+// plain Go map in lockstep — the same differential pattern as
+// FuzzSnapshotDecode: the fuzzer explores operation interleavings
+// (including tombstone churn and growth boundaries) and any divergence in
+// presence, value, or length fails immediately.
+func FuzzMapVsReference(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0})
+	seed := make([]byte, 0, 27*9)
+	for i := byte(0); i < 27; i++ { // insert/delete interleave across one growth
+		seed = append(seed, i%3, i, 0, 0, 0, 0, 0, 0, 0)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Map[uint64]
+		ref := map[uint64]uint64{}
+		var nextVal uint64
+		for len(data) >= 9 {
+			op := data[0] % 4
+			// Fold the key into a small space so collisions, re-puts, and
+			// deletes of present keys actually happen.
+			key := binary.LittleEndian.Uint64(data[1:9]) % 97
+			data = data[9:]
+			switch op {
+			case 0: // put
+				nextVal++
+				v, inserted := m.Put(key)
+				_, had := ref[key]
+				if inserted == had {
+					t.Fatalf("Put(%d) inserted=%v, reference presence %v", key, inserted, had)
+				}
+				if !inserted && *v != ref[key] {
+					t.Fatalf("Put(%d) existing value %d, reference %d", key, *v, ref[key])
+				}
+				*v = nextVal
+				ref[key] = nextVal
+			case 1: // delete
+				got := m.Delete(key)
+				_, had := ref[key]
+				if got != had {
+					t.Fatalf("Delete(%d) = %v, reference presence %v", key, got, had)
+				}
+				delete(ref, key)
+			case 2: // get
+				v := m.Get(key)
+				want, had := ref[key]
+				if (v != nil) != had {
+					t.Fatalf("Get(%d) present=%v, reference %v", key, v != nil, had)
+				}
+				if v != nil && *v != want {
+					t.Fatalf("Get(%d) = %d, reference %d", key, *v, want)
+				}
+			case 3: // clear
+				m.Clear()
+				ref = map[uint64]uint64{}
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("final Len %d, reference %d", m.Len(), len(ref))
+		}
+		seen := 0
+		m.Range(func(k uint64, v *uint64) bool {
+			seen++
+			want, ok := ref[k]
+			if !ok || *v != want {
+				t.Fatalf("Range saw (%d,%d), reference (%d,%v)", k, *v, want, ok)
+			}
+			return true
+		})
+		if seen != len(ref) {
+			t.Fatalf("Range visited %d, reference %d", seen, len(ref))
+		}
+	})
+}

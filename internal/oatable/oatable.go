@@ -1,0 +1,217 @@
+// Package oatable provides the open-addressed, value-typed hash table the
+// prediction hot path is built on. Entries are stored inline in flat
+// arrays (no per-entry heap objects, no pointer chasing), keys are uint64,
+// and deletion uses backward-shift compaction instead of tombstones, so
+// steady-state insert/delete cycles — the pattern-buffer fill/evict loop —
+// never trigger a rehash and never allocate once the table has reached its
+// working size.
+//
+// Under `-tags slowcheck` every operation is cross-checked against a plain
+// Go map shadowing the table's key set; a divergence panics immediately.
+// The shadow is the differential reference the hot-path rewrite was
+// validated against and costs nothing in normal builds.
+package oatable
+
+import "llbpx/internal/hashutil"
+
+// Slot control states.
+const (
+	ctrlEmpty uint8 = iota
+	ctrlUsed
+)
+
+// Map is an open-addressed uint64-keyed table with inline values, linear
+// probing, and backward-shift deletion. The zero value is an empty,
+// ready-to-use table. Pointers returned by Get/Put are invalidated by the
+// next Put or Delete (growth and back-shifting move entries); they are safe
+// to hold only between table mutations. Not safe for concurrent use.
+type Map[V any] struct {
+	ctrl []uint8
+	keys []uint64
+	vals []V
+	live int
+
+	// shadow mirrors the key set under -tags slowcheck (nil otherwise).
+	shadow map[uint64]struct{}
+}
+
+// NewMap returns a table pre-sized to hold at least hint entries without
+// growing.
+func NewMap[V any](hint int) *Map[V] {
+	m := &Map[V]{}
+	m.Reserve(hint)
+	return m
+}
+
+// Load factor: grow when live entries would exceed 7/8 of capacity.
+const (
+	maxLoadNum = 7
+	maxLoadDen = 8
+)
+
+// capFor returns the smallest power-of-two capacity that keeps the table
+// below max load with n live entries.
+func capFor(n int) int {
+	c := 8
+	for c*maxLoadNum/maxLoadDen <= n {
+		c <<= 1
+	}
+	return c
+}
+
+// Reserve grows the table so that at least n entries fit without a rehash.
+func (m *Map[V]) Reserve(n int) {
+	if need := capFor(n); need > len(m.ctrl) {
+		m.rehash(need)
+	}
+}
+
+// Len returns the number of entries.
+func (m *Map[V]) Len() int {
+	if slowcheckEnabled {
+		m.checkLen()
+	}
+	return m.live
+}
+
+// slotOf returns the slot index holding key, or -1.
+func (m *Map[V]) slotOf(key uint64) int {
+	if len(m.ctrl) == 0 {
+		return -1
+	}
+	mask := len(m.ctrl) - 1
+	i := int(hashutil.Mix64(key)) & mask
+	for {
+		if m.ctrl[i] == ctrlEmpty {
+			return -1
+		}
+		if m.keys[i] == key {
+			return i
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Get returns a pointer to key's value, or nil.
+func (m *Map[V]) Get(key uint64) *V {
+	i := m.slotOf(key)
+	if slowcheckEnabled {
+		m.checkGet(key, i >= 0)
+	}
+	if i < 0 {
+		return nil
+	}
+	return &m.vals[i]
+}
+
+// Put returns a pointer to key's value, inserting a zero value (and
+// reporting inserted=true) when absent. The pointer is valid until the
+// next Put or Delete.
+func (m *Map[V]) Put(key uint64) (v *V, inserted bool) {
+	if len(m.ctrl) == 0 || (m.live+1)*maxLoadDen > len(m.ctrl)*maxLoadNum {
+		m.rehash(capFor(m.live + 1))
+	}
+	mask := len(m.ctrl) - 1
+	i := int(hashutil.Mix64(key)) & mask
+	for m.ctrl[i] == ctrlUsed {
+		if m.keys[i] == key {
+			if slowcheckEnabled {
+				m.checkPut(key, false)
+			}
+			return &m.vals[i], false
+		}
+		i = (i + 1) & mask
+	}
+	m.ctrl[i] = ctrlUsed
+	m.keys[i] = key
+	var zero V
+	m.vals[i] = zero
+	m.live++
+	if slowcheckEnabled {
+		m.checkPut(key, true)
+	}
+	return &m.vals[i], true
+}
+
+// Delete removes key, reporting whether it was present. Deletion
+// back-shifts the following probe cluster so the table stays
+// tombstone-free: lookups never slow down and no cleanup rehash is ever
+// needed.
+func (m *Map[V]) Delete(key uint64) bool {
+	i := m.slotOf(key)
+	if slowcheckEnabled {
+		m.checkDelete(key, i >= 0)
+	}
+	if i < 0 {
+		return false
+	}
+	mask := len(m.ctrl) - 1
+	j := i
+	for {
+		j = (j + 1) & mask
+		if m.ctrl[j] == ctrlEmpty {
+			break
+		}
+		// Entry at j may fill the hole at i only if its ideal slot does not
+		// lie in (i, j] — otherwise moving it would break its probe chain.
+		ideal := int(hashutil.Mix64(m.keys[j])) & mask
+		if (j-ideal)&mask >= (j-i)&mask {
+			m.keys[i] = m.keys[j]
+			m.vals[i] = m.vals[j]
+			i = j
+		}
+	}
+	m.ctrl[i] = ctrlEmpty
+	var zero V
+	m.vals[i] = zero
+	m.live--
+	return true
+}
+
+// Range calls fn for every entry in storage order until fn returns false.
+// fn may mutate *V in place; it must not Put or Delete.
+func (m *Map[V]) Range(fn func(key uint64, v *V) bool) {
+	for i := range m.ctrl {
+		if m.ctrl[i] == ctrlUsed {
+			if !fn(m.keys[i], &m.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Clear removes every entry, keeping the allocated capacity.
+func (m *Map[V]) Clear() {
+	var zero V
+	for i := range m.ctrl {
+		if m.ctrl[i] == ctrlUsed {
+			m.vals[i] = zero
+		}
+		m.ctrl[i] = ctrlEmpty
+	}
+	m.live = 0
+	if slowcheckEnabled {
+		m.shadow = nil
+	}
+}
+
+// rehash rebuilds the table at capacity newCap (a power of two).
+func (m *Map[V]) rehash(newCap int) {
+	oldCtrl, oldKeys, oldVals := m.ctrl, m.keys, m.vals
+	m.ctrl = make([]uint8, newCap)
+	m.keys = make([]uint64, newCap)
+	m.vals = make([]V, newCap)
+	mask := newCap - 1
+	for i := range oldCtrl {
+		if oldCtrl[i] != ctrlUsed {
+			continue
+		}
+		j := int(hashutil.Mix64(oldKeys[i])) & mask
+		for m.ctrl[j] == ctrlUsed {
+			j = (j + 1) & mask
+		}
+		m.ctrl[j] = ctrlUsed
+		m.keys[j] = oldKeys[i]
+		m.vals[j] = oldVals[i]
+	}
+}

@@ -1,0 +1,174 @@
+package oatable
+
+import "testing"
+
+func TestPutGetDelete(t *testing.T) {
+	var m Map[int]
+	if m.Len() != 0 || m.Get(42) != nil {
+		t.Fatal("zero value not empty")
+	}
+	v, ins := m.Put(42)
+	if !ins {
+		t.Fatal("first Put not an insert")
+	}
+	*v = 7
+	if got := m.Get(42); got == nil || *got != 7 {
+		t.Fatalf("Get(42) = %v, want 7", got)
+	}
+	if v, ins := m.Put(42); ins || *v != 7 {
+		t.Fatalf("re-Put(42) inserted=%v val=%d, want existing 7", ins, *v)
+	}
+	if !m.Delete(42) || m.Delete(42) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if m.Get(42) != nil || m.Len() != 0 {
+		t.Fatal("entry survived Delete")
+	}
+}
+
+func TestZeroKey(t *testing.T) {
+	var m Map[string]
+	v, _ := m.Put(0)
+	*v = "zero"
+	if got := m.Get(0); got == nil || *got != "zero" {
+		t.Fatal("zero key unsupported")
+	}
+	if !m.Delete(0) {
+		t.Fatal("zero key not deletable")
+	}
+}
+
+// TestTombstoneReuse drives insert/delete cycles far beyond the capacity a
+// tombstone-leaking table would need, asserting the table does not grow.
+func TestTombstoneReuse(t *testing.T) {
+	m := NewMap[uint64](16)
+	cap0 := len(m.ctrl)
+	for i := uint64(0); i < 10_000; i++ {
+		v, ins := m.Put(i)
+		if !ins {
+			t.Fatalf("key %d: expected insert", i)
+		}
+		*v = i * 3
+		if i >= 8 {
+			if !m.Delete(i - 8) {
+				t.Fatalf("key %d: delete failed", i-8)
+			}
+		}
+		if m.Len() > 9 {
+			t.Fatalf("len %d after %d ops", m.Len(), i)
+		}
+	}
+	if len(m.ctrl) > 2*cap0 {
+		t.Fatalf("table grew from %d to %d under bounded live load (tombstone leak)", cap0, len(m.ctrl))
+	}
+	// The 8 resident entries survived with their values.
+	for i := uint64(9992); i < 10_000; i++ {
+		if v := m.Get(i); v == nil || *v != i*3 {
+			t.Fatalf("resident key %d lost (got %v)", i, v)
+		}
+	}
+}
+
+// TestGrowthBoundary inserts exactly across each power-of-two load
+// threshold and verifies every entry survives the rehash.
+func TestGrowthBoundary(t *testing.T) {
+	var m Map[uint64]
+	for i := uint64(1); i <= 4096; i++ {
+		v, _ := m.Put(i * 0x9e3779b9)
+		*v = i
+		if i == 7 || i == 14 || i == 28 || i == 56 || i == 448 || i == 3584 {
+			for j := uint64(1); j <= i; j++ {
+				if v := m.Get(j * 0x9e3779b9); v == nil || *v != j {
+					t.Fatalf("after %d inserts, key %d lost", i, j)
+				}
+			}
+		}
+	}
+	if m.Len() != 4096 {
+		t.Fatalf("len = %d, want 4096", m.Len())
+	}
+}
+
+func TestRangeVisitsAll(t *testing.T) {
+	var m Map[int]
+	want := map[uint64]int{}
+	for i := uint64(0); i < 100; i++ {
+		v, _ := m.Put(i)
+		*v = int(i) + 1
+		want[i] = int(i) + 1
+	}
+	m.Delete(13)
+	delete(want, 13)
+	got := map[uint64]int{}
+	m.Range(func(k uint64, v *int) bool {
+		got[k] = *v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range saw %d=%d, want %d", k, got[k], v)
+		}
+	}
+	// Early termination stops the walk.
+	n := 0
+	m.Range(func(uint64, *int) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early-exit Range visited %d", n)
+	}
+}
+
+func TestClear(t *testing.T) {
+	var m Map[int]
+	for i := uint64(0); i < 50; i++ {
+		m.Put(i)
+	}
+	cap0 := len(m.ctrl)
+	m.Clear()
+	if m.Len() != 0 || len(m.ctrl) != cap0 {
+		t.Fatalf("Clear: len=%d cap=%d, want 0/%d", m.Len(), len(m.ctrl), cap0)
+	}
+	for i := uint64(0); i < 50; i++ {
+		if m.Get(i) != nil {
+			t.Fatalf("key %d survived Clear", i)
+		}
+	}
+	if _, ins := m.Put(3); !ins {
+		t.Fatal("Put after Clear not an insert")
+	}
+}
+
+func TestReserveAvoidsGrowth(t *testing.T) {
+	m := NewMap[int](1000)
+	cap0 := len(m.ctrl)
+	for i := uint64(0); i < 1000; i++ {
+		m.Put(i)
+	}
+	if len(m.ctrl) != cap0 {
+		t.Fatalf("table grew from %d to %d despite Reserve(1000)", cap0, len(m.ctrl))
+	}
+}
+
+// TestAllocFreeSteadyState asserts the fill/evict cycle the pattern buffer
+// performs allocates nothing once the table reached working size.
+func TestAllocFreeSteadyState(t *testing.T) {
+	if slowcheckEnabled {
+		t.Skip("shadow map allocates by design under -tags slowcheck")
+	}
+	m := NewMap[[4]uint64](64)
+	for i := uint64(0); i < 128; i++ { // reach steady state
+		m.Put(i)
+		m.Delete(i)
+	}
+	i := uint64(1000)
+	allocs := testing.AllocsPerRun(10_000, func() {
+		m.Put(i)
+		m.Delete(i - 1)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Put/Delete allocates %.1f per op", allocs)
+	}
+}

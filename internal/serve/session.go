@@ -27,6 +27,9 @@ type Session struct {
 	pred    core.Predictor
 	stats   stats.BranchStats
 	batches uint64
+	// predBuf is the session's reusable prediction scratch buffer for
+	// core.RunBatch, guarded by mu like the predictor itself.
+	predBuf []core.Prediction
 
 	// restored marks a session rebuilt from an on-disk snapshot rather
 	// than created cold (reported once in the creating batch's response).
@@ -51,8 +54,8 @@ func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
 func (s *Session) idleSince(cutoff int64) bool { return s.lastUsed.Load() < cutoff }
 
 // executeBatch drives the predictor over one batch of branches in retire
-// order, mirroring sim.Run's loop exactly so that a session's MPKI matches
-// a local simulation of the same stream. It returns the per-branch
+// order through core.RunBatch, with the same accounting as sim.Run so that
+// a session's MPKI matches a local simulation of the same stream. It returns the per-branch
 // predictions, the batch's own stats delta (used for server-wide
 // per-predictor aggregation), and the session's post-batch snapshot taken
 // under the same lock.
@@ -61,11 +64,16 @@ func (s *Session) executeBatch(batch []core.Branch) ([]BranchPrediction, stats.B
 	var delta stats.BranchStats
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if cap(s.predBuf) < len(batch) {
+		s.predBuf = make([]core.Prediction, len(batch))
+	}
+	preds := s.predBuf[:len(batch)]
+	core.RunBatch(s.pred, batch, preds)
 	for i, b := range batch {
 		delta.Instructions += b.Instructions()
 		if b.Kind.Conditional() {
 			delta.CondBranches++
-			pred := s.pred.Predict(b.PC)
+			pred := preds[i]
 			correct := pred.Taken == b.Taken
 			if !correct {
 				delta.Mispredicts++
@@ -75,7 +83,6 @@ func (s *Session) executeBatch(batch []core.Branch) ([]BranchPrediction, stats.B
 			if pred.Taken != pred.FastTaken {
 				delta.Overrides++
 			}
-			s.pred.Update(b, pred)
 			out[i] = BranchPrediction{
 				Cond:        true,
 				Taken:       pred.Taken,
@@ -84,7 +91,6 @@ func (s *Session) executeBatch(batch []core.Branch) ([]BranchPrediction, stats.B
 			}
 		} else {
 			delta.UncondCount++
-			s.pred.TrackUnconditional(b)
 			// Unconditional branches are always taken and never predicted
 			// for direction.
 			out[i] = BranchPrediction{Taken: true, Correct: true}

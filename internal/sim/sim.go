@@ -60,10 +60,21 @@ type Result struct {
 // MPKI returns the measured mispredictions per kilo-instruction.
 func (r Result) MPKI() float64 { return r.Measured.MPKI() }
 
+// simBatch is the number of branches buffered per core.RunBatch call. Big
+// enough to amortize dispatch and loop overhead, small enough that the
+// batch and prediction buffers stay cache-resident.
+const simBatch = 512
+
 // Run simulates p over src with the given options. The source should yield
 // at least WarmupInstr+MeasureInstr instructions; infinite sources (the
 // synthetic workloads) always do. A finite trace that ends early yields a
 // shorter measurement, recorded via Result.Truncated.
+//
+// Branches are driven through core.RunBatch in chunks; the accounting is
+// bit-identical to a per-branch loop. The only ordering constraint batching
+// must respect is the warmup boundary: ResetStats has to run after the
+// branch that crosses WarmupInstr and before the next one, so the chunk
+// containing the boundary is split there.
 func Run(p core.Predictor, src core.Source, opt Options) (Result, error) {
 	if err := opt.Validate(); err != nil {
 		return Result{}, err
@@ -76,39 +87,70 @@ func Run(p core.Predictor, src core.Source, opt Options) (Result, error) {
 	}
 	limit := opt.WarmupInstr + opt.MeasureInstr
 
-	for instr < limit {
-		b, ok := src.Next()
-		if !ok {
-			res.Truncated = true
-			break
-		}
-		instr += b.Instructions()
-		phase := &res.Warmup
-		if measuring {
-			phase = &res.Measured
-		}
-		phase.Instructions += b.Instructions()
-
-		if b.Kind.Conditional() {
-			phase.CondBranches++
-			pred := p.Predict(b.PC)
-			if pred.Taken != b.Taken {
-				phase.Mispredicts++
-			} else if pred.FromSecondLevel {
-				phase.SecondLevelOK++
+	var batch [simBatch]core.Branch
+	var preds [simBatch]core.Prediction
+	for instr < limit && !res.Truncated {
+		// Fill the batch, fetching exactly the branches the per-branch loop
+		// would have: one more whenever the running total is below limit.
+		n := 0
+		planned := instr
+		for n < simBatch && planned < limit {
+			b, ok := src.Next()
+			if !ok {
+				res.Truncated = true
+				break
 			}
-			if pred.Taken != pred.FastTaken {
-				phase.Overrides++
-			}
-			p.Update(b, pred)
-		} else {
-			phase.UncondCount++
-			p.TrackUnconditional(b)
+			batch[n] = b
+			planned += b.Instructions()
+			n++
 		}
 
-		if !measuring && instr >= opt.WarmupInstr {
-			measuring = true
-			resetStats(p)
+		for off := 0; off < n; {
+			// The sub-batch ends at the warmup boundary (inclusive of the
+			// crossing branch, which still counts toward Warmup) or at the
+			// end of the buffered batch.
+			cut := n
+			if !measuring {
+				acc := instr
+				for j := off; j < n; j++ {
+					acc += batch[j].Instructions()
+					if acc >= opt.WarmupInstr {
+						cut = j + 1
+						break
+					}
+				}
+			}
+			seg := batch[off:cut]
+			segPreds := preds[off:cut]
+			core.RunBatch(p, seg, segPreds)
+
+			phase := &res.Warmup
+			if measuring {
+				phase = &res.Measured
+			}
+			for j, b := range seg {
+				instr += b.Instructions()
+				phase.Instructions += b.Instructions()
+				if b.Kind.Conditional() {
+					phase.CondBranches++
+					pred := segPreds[j]
+					if pred.Taken != b.Taken {
+						phase.Mispredicts++
+					} else if pred.FromSecondLevel {
+						phase.SecondLevelOK++
+					}
+					if pred.Taken != pred.FastTaken {
+						phase.Overrides++
+					}
+				} else {
+					phase.UncondCount++
+				}
+			}
+			if !measuring && instr >= opt.WarmupInstr {
+				measuring = true
+				resetStats(p)
+			}
+			off = cut
 		}
 	}
 	if sp, ok := p.(core.StatsProvider); ok {

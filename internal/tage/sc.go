@@ -16,7 +16,7 @@ type corrector struct {
 
 	gehlLens []int
 	gehl     [][]int8
-	gehlFold []*history.Folded
+	gehlFold []history.Folded
 
 	// Optional local component: per-branch direction histories feeding
 	// two local GEHL tables.
@@ -48,7 +48,7 @@ func newCorrector() *corrector {
 	}
 	for _, l := range lens {
 		c.gehl = append(c.gehl, make([]int8, 1<<scGehlLog))
-		c.gehlFold = append(c.gehlFold, history.NewFolded(l, scGehlLog))
+		c.gehlFold = append(c.gehlFold, history.MakeFolded(l, scGehlLog))
 	}
 	return c
 }
@@ -160,8 +160,9 @@ func (c *corrector) train(pc uint64, predIn bool, conf int, taken bool) {
 // pushHistory advances the corrector's folded histories; called once per
 // retired branch after the global history push.
 func (c *corrector) pushHistory(g *history.Global) {
-	for _, f := range c.gehlFold {
-		f.Update(g)
+	newest := uint64(g.Bit(0))
+	for i := range c.gehlFold {
+		c.gehlFold[i].UpdateBits(newest, uint64(g.Bit(c.gehlFold[i].OrigLen())))
 	}
 }
 

@@ -30,12 +30,13 @@ func (p *Predictor) SaveState(w *snapshot.Writer) {
 		for i := 0; i < NumTables; i++ {
 			p.infTag1[i].SaveState(w)
 			p.infTag2[i].SaveState(w)
-			w.Count(len(p.inf[i]))
-			for key, e := range p.inf[i] {
+			w.Count(p.inf[i].Len())
+			p.inf[i].Range(func(key uint64, e *entry) bool {
 				w.U64(key)
 				w.I64(int64(e.ctr))
 				w.U64(uint64(e.u))
-			}
+				return true
+			})
 		}
 	} else {
 		w.Marker("tage.tables")
@@ -94,20 +95,24 @@ func (p *Predictor) LoadState(r *snapshot.Reader) {
 			p.infTag1[i].LoadState(r)
 			p.infTag2[i].LoadState(r)
 			n := r.Count(maxInfEntries)
-			m := make(map[uint64]*entry, n)
+			if r.Err() != nil {
+				return
+			}
+			p.inf[i].Reserve(n)
 			for j := 0; j < n && r.Err() == nil; j++ {
 				key := r.U64()
-				e := &entry{
-					ctr: int8(r.I64In(ctrMin, ctrMax)),
-					u:   uint8(r.U64Max(3)),
+				ctr := int8(r.I64In(ctrMin, ctrMax))
+				u := uint8(r.U64Max(3))
+				if r.Err() != nil {
+					return
 				}
-				if _, dup := m[key]; dup {
+				e, inserted := p.inf[i].Put(key)
+				if !inserted {
 					r.Fail("duplicate infinite-table key")
 					return
 				}
-				m[key] = e
+				e.ctr, e.u = ctr, u
 			}
-			p.inf[i] = m
 		}
 	} else {
 		r.Marker("tage.tables")

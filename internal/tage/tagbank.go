@@ -12,8 +12,8 @@ import (
 // predictor performs, in the same order.
 type TagBank struct {
 	width uint
-	f1    []*history.Folded
-	f2    []*history.Folded
+	f1    [NumTables]history.Folded
+	f2    [NumTables]history.Folded
 }
 
 // NewTagBank returns a bank producing width-bit tags (5 <= width <= 31)
@@ -23,9 +23,9 @@ func NewTagBank(width uint) *TagBank {
 		panic("tage: TagBank width out of range [5,31]")
 	}
 	b := &TagBank{width: width}
-	for _, l := range HistoryLengths {
-		b.f1 = append(b.f1, history.NewFolded(l, width))
-		b.f2 = append(b.f2, history.NewFolded(l, width-1))
+	for i, l := range HistoryLengths {
+		b.f1[i] = history.MakeFolded(l, width)
+		b.f2[i] = history.MakeFolded(l, width-1)
 	}
 	return b
 }
@@ -36,9 +36,11 @@ func (b *TagBank) Width() uint { return b.width }
 // Update advances the folds after g received a new bit; call exactly once
 // per retired branch, after the primary predictor's history push.
 func (b *TagBank) Update(g *history.Global) {
-	for i := range b.f1 {
-		b.f1[i].Update(g)
-		b.f2[i].Update(g)
+	newest := uint64(g.Bit(0))
+	for i, l := range HistoryLengths {
+		oldest := uint64(g.Bit(l))
+		b.f1[i].UpdateBits(newest, oldest)
+		b.f2[i].UpdateBits(newest, oldest)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"llbpx/internal/core"
 	"llbpx/internal/hashutil"
 	"llbpx/internal/history"
+	"llbpx/internal/oatable"
 )
 
 // entry is one tagged-table pattern: a partial tag, a signed direction
@@ -53,20 +54,35 @@ type Detail struct {
 // standalone use and exposes Lookup/CommitDetail/TrackUnconditional plus
 // history access for the hierarchical predictors layered on top of it.
 // Not safe for concurrent use.
+// hashConst holds the per-table constants of the index/tag hash, computed
+// once at construction so computeHashes does no per-branch config checks.
+type hashConst struct {
+	logE     uint
+	idxMask  uint64
+	shift    uint
+	tagMask  uint64
+	pathMask uint64
+	offset   uint64
+}
+
 type Predictor struct {
 	cfg Config
 
 	ghist *history.Global
 	path  *history.Path
 
-	idxFold  []*history.Folded
-	tagFold1 []*history.Folded
-	tagFold2 []*history.Folded
+	// Folded registers live inline: one cache-friendly array per use
+	// instead of NumTables heap objects each.
+	idxFold  [NumTables]history.Folded
+	tagFold1 [NumTables]history.Folded
+	tagFold2 [NumTables]history.Folded
 
-	tables  [][]entry           // finite mode
-	inf     []map[uint64]*entry // infinite mode, keyed alias-free
-	infTag1 []*history.Folded   // wide folds for infinite keys
-	infTag2 []*history.Folded
+	hc [NumTables]hashConst
+
+	tables  [][]entry            // finite mode
+	inf     []oatable.Map[entry] // infinite mode, keyed alias-free
+	infTag1 [NumTables]history.Folded
+	infTag2 [NumTables]history.Folded
 	bimodal []int8
 
 	useAlt int // use-alt-on-newly-allocated counter [-8,7]
@@ -76,9 +92,14 @@ type Predictor struct {
 	sc   *corrector
 	loop *loopPredictor
 
-	// Per-lookup scratch, valid between Lookup and CommitDetail.
-	idx [NumTables]uint32
-	tag [NumTables]uint32
+	// Per-lookup scratch, valid between Lookup and CommitDetail. The
+	// provider/alt entry pointers are cached so CommitDetail trains without
+	// re-hashing; like idx/tag they are rewritten by the next Lookup and
+	// excluded from snapshots.
+	idx       [NumTables]uint32
+	tag       [NumTables]uint32
+	provEntry *entry
+	altEntry  *entry
 
 	last Detail // cached for the core.Predictor fast path
 }
@@ -94,30 +115,35 @@ func New(cfg Config) (*Predictor, error) {
 		path:  history.NewPath(16),
 		rng:   hashutil.NewRand(0x7a5e5),
 	}
-	p.idxFold = make([]*history.Folded, NumTables)
-	p.tagFold1 = make([]*history.Folded, NumTables)
-	p.tagFold2 = make([]*history.Folded, NumTables)
 	for i, l := range HistoryLengths {
 		logE := cfg.LogEntries
 		if cfg.Infinite {
 			logE = 10 // inf mode still folds for key mixing
 		}
-		p.idxFold[i] = history.NewFolded(l, uint(logE))
+		p.idxFold[i] = history.MakeFolded(l, uint(logE))
 		tb := cfg.tagBits(i)
 		if cfg.Infinite {
 			tb = 12
 		}
-		p.tagFold1[i] = history.NewFolded(l, uint(tb))
-		p.tagFold2[i] = history.NewFolded(l, uint(tb-1))
+		p.tagFold1[i] = history.MakeFolded(l, uint(tb))
+		p.tagFold2[i] = history.MakeFolded(l, uint(tb-1))
+		p.hc[i] = hashConst{
+			logE:     uint(logE),
+			idxMask:  uint64(1)<<uint(logE) - 1,
+			shift:    uint(i%7) + 2,
+			tagMask:  uint64(1)<<uint(tb) - 1,
+			pathMask: ^uint64(0),
+			offset:   uint64(i) * 0x9e3779b9,
+		}
+		if l < 16 {
+			p.hc[i].pathMask = uint64(1)<<uint(l) - 1
+		}
 	}
 	if cfg.Infinite {
-		p.inf = make([]map[uint64]*entry, NumTables)
-		p.infTag1 = make([]*history.Folded, NumTables)
-		p.infTag2 = make([]*history.Folded, NumTables)
+		p.inf = make([]oatable.Map[entry], NumTables)
 		for i, l := range HistoryLengths {
-			p.inf[i] = make(map[uint64]*entry)
-			p.infTag1[i] = history.NewFolded(l, 24)
-			p.infTag2[i] = history.NewFolded(l, 23)
+			p.infTag1[i] = history.MakeFolded(l, 24)
+			p.infTag2[i] = history.MakeFolded(l, 23)
 		}
 	} else {
 		p.tables = make([][]entry, NumTables)
@@ -192,24 +218,12 @@ func (p *Predictor) computeHashes(pc uint64) {
 	mixed := hashutil.PCMix(pc)
 	pathBits := p.path.Value()
 	for i := 0; i < NumTables; i++ {
-		logE := uint(p.cfg.LogEntries)
-		if p.cfg.Infinite {
-			logE = 10
-		}
-		mask := uint64(1)<<logE - 1
-		ph := pathBits
-		if HistoryLengths[i] < 16 {
-			ph &= uint64(1)<<uint(HistoryLengths[i]) - 1
-		}
-		idx := mixed ^ (mixed >> (uint(i%7) + 2)) ^ p.idxFold[i].Value() ^ ph ^ uint64(i)*0x9e3779b9
-		p.idx[i] = uint32(hashutil.Fold(idx, logE) & mask)
+		h := &p.hc[i]
+		idx := mixed ^ (mixed >> h.shift) ^ p.idxFold[i].Value() ^ (pathBits & h.pathMask) ^ h.offset
+		p.idx[i] = uint32(hashutil.Fold(idx, h.logE) & h.idxMask)
 
-		tb := uint(p.cfg.tagBits(i))
-		if p.cfg.Infinite {
-			tb = 12
-		}
 		t := mixed ^ p.tagFold1[i].Value() ^ (p.tagFold2[i].Value() << 1)
-		p.tag[i] = uint32(t & (uint64(1)<<tb - 1))
+		p.tag[i] = uint32(t & h.tagMask)
 	}
 }
 
@@ -223,10 +237,7 @@ func (p *Predictor) infKey(pc uint64, i int) uint64 {
 // lookupEntry returns the matching entry of table i, or nil.
 func (p *Predictor) lookupEntry(pc uint64, i int) *entry {
 	if p.cfg.Infinite {
-		if e, ok := p.inf[i][p.infKey(pc, i)]; ok {
-			return e
-		}
-		return nil
+		return p.inf[i].Get(p.infKey(pc, i))
 	}
 	e := &p.tables[i][p.idx[i]]
 	if e.tag == p.tag[i] {
@@ -258,6 +269,7 @@ func (p *Predictor) Lookup(pc uint64) Detail {
 			break
 		}
 	}
+	p.provEntry, p.altEntry = provEntry, altEntry
 
 	d.BimTaken = p.bimodal[p.bimIndex(pc)] >= 0
 	d.AltTaken = d.BimTaken
@@ -344,10 +356,12 @@ func (p *Predictor) CommitDetail(b core.Branch, d Detail, scInputTaken bool, scA
 		p.sc.pushLocal(pc, taken)
 	}
 
-	// use-alt-on-newly-allocated bookkeeping.
+	// use-alt-on-newly-allocated bookkeeping. The provider/alt entries were
+	// resolved by the Lookup that produced d; the scratch hashes are
+	// unchanged since, so the cached pointers are the entries a re-lookup
+	// would find.
 	if d.Provider >= 0 && d.weakProvider {
-		provEntry := p.lookupEntry(pc, d.Provider)
-		if provEntry != nil {
+		if provEntry := p.provEntry; provEntry != nil {
 			provTaken := ctrTaken(provEntry.ctr)
 			if provTaken != d.AltTaken {
 				if d.AltTaken == taken {
@@ -363,8 +377,7 @@ func (p *Predictor) CommitDetail(b core.Branch, d Detail, scInputTaken bool, scA
 
 	// Provider (and, for weak providers, alternate) counter updates.
 	if d.Provider >= 0 {
-		e := p.lookupEntry(pc, d.Provider)
-		if e != nil {
+		if e := p.provEntry; e != nil {
 			provTaken := ctrTaken(e.ctr)
 			// Usefulness: provider correct where alternate differs.
 			if provTaken != d.AltTaken {
@@ -379,7 +392,7 @@ func (p *Predictor) CommitDetail(b core.Branch, d Detail, scInputTaken bool, scA
 			p.ctrUpdate(&e.ctr, taken)
 			if d.weakProvider {
 				if d.altProvider >= 0 {
-					if ae := p.lookupEntry(pc, d.altProvider); ae != nil {
+					if ae := p.altEntry; ae != nil {
 						p.ctrUpdate(&ae.ctr, taken)
 					}
 				} else {
@@ -442,9 +455,8 @@ func (p *Predictor) allocate(pc uint64, taken bool, provider int) {
 		// Alias-free mode: always room.
 		allocated := 0
 		for i := start; i < NumTables && allocated < 2; i++ {
-			key := p.infKey(pc, i)
-			if _, ok := p.inf[i][key]; !ok {
-				p.inf[i][key] = &entry{ctr: weak}
+			if e, inserted := p.inf[i].Put(p.infKey(pc, i)); inserted {
+				e.ctr = weak
 				allocated++
 				i++ // leave a gap between allocations
 			}
@@ -470,15 +482,24 @@ func (p *Predictor) allocate(pc uint64, taken bool, provider int) {
 func (p *Predictor) pushHistory(b core.Branch) {
 	p.ghist.Push(core.HistoryBit(b))
 	p.path.Push(b.PC)
-	for i := 0; i < NumTables; i++ {
-		p.idxFold[i].Update(p.ghist)
-		p.tagFold1[i].Update(p.ghist)
-		p.tagFold2[i].Update(p.ghist)
-	}
+	// All folds of table i compress the same HistoryLengths[i] bits, so the
+	// two history bits each update needs are fetched once per table.
+	newest := uint64(p.ghist.Bit(0))
 	if p.cfg.Infinite {
 		for i := 0; i < NumTables; i++ {
-			p.infTag1[i].Update(p.ghist)
-			p.infTag2[i].Update(p.ghist)
+			oldest := uint64(p.ghist.Bit(HistoryLengths[i]))
+			p.idxFold[i].UpdateBits(newest, oldest)
+			p.tagFold1[i].UpdateBits(newest, oldest)
+			p.tagFold2[i].UpdateBits(newest, oldest)
+			p.infTag1[i].UpdateBits(newest, oldest)
+			p.infTag2[i].UpdateBits(newest, oldest)
+		}
+	} else {
+		for i := 0; i < NumTables; i++ {
+			oldest := uint64(p.ghist.Bit(HistoryLengths[i]))
+			p.idxFold[i].UpdateBits(newest, oldest)
+			p.tagFold1[i].UpdateBits(newest, oldest)
+			p.tagFold2[i].UpdateBits(newest, oldest)
 		}
 	}
 	if p.sc != nil {
@@ -503,6 +524,21 @@ func (p *Predictor) Predict(pc uint64) core.Prediction {
 	}
 }
 
+// RunBatch implements core.BatchPredictor: the canonical per-branch loop
+// with direct (devirtualized) calls on the concrete receiver.
+func (p *Predictor) RunBatch(batch []core.Branch, preds []core.Prediction) {
+	for i, b := range batch {
+		if b.Kind.Conditional() {
+			pred := p.Predict(b.PC)
+			preds[i] = pred
+			p.Update(b, pred)
+		} else {
+			p.TrackUnconditional(b)
+			preds[i] = core.Prediction{Taken: true}
+		}
+	}
+}
+
 // Update implements core.Predictor.
 func (p *Predictor) Update(b core.Branch, _ core.Prediction) {
 	p.CommitDetail(b, p.last, p.last.TageTaken, p.sc != nil && !p.last.LoopValid)
@@ -513,8 +549,8 @@ func (p *Predictor) Update(b core.Branch, _ core.Prediction) {
 func (p *Predictor) PatternCount() int {
 	n := 0
 	if p.cfg.Infinite {
-		for _, m := range p.inf {
-			n += len(m)
+		for i := range p.inf {
+			n += p.inf[i].Len()
 		}
 		return n
 	}

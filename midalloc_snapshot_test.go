@@ -1,0 +1,102 @@
+package llbpx_test
+
+// Snapshot round-trip at a deliberately awkward instant: immediately after
+// an Update that allocated second-level patterns. At that point the new
+// flat storage layout is in its least regular state — the touched pattern
+// set sits mid-row in the context directory, its slot array is partially
+// filled (possibly with a freshly recycled set whose old patterns were just
+// invalidated), and the pattern buffer holds a pointer to it. A predictor
+// checkpointed there and restored into a fresh instance must continue
+// bit-identically. This is the regression bar for the
+// duplicate-slot/stale-pointer bug class that value-typed open-addressed
+// storage can introduce.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"llbpx"
+)
+
+func TestSnapshotMidPatternAllocation(t *testing.T) {
+	for _, predName := range []string{"llbp", "llbp-x"} {
+		t.Run(predName, func(t *testing.T) {
+			t.Parallel()
+			st := rtStreams()["nodeapp"]
+			stream := append(append([]llbpx.Branch{}, st.warm...), st.compare...)
+
+			// Drive a probe predictor branch by branch, watching the
+			// second-level allocation counter; collect the indices right
+			// after which an allocation burst completed.
+			probe, err := llbpx.NewPredictorByName(predName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			allocKey := predName + ".allocs"
+			if predName == "llbp-x" {
+				allocKey = "llbpx.allocs"
+			}
+			var cutPoints []int
+			prevAllocs := 0.0
+			for i, b := range stream {
+				if b.Kind.Conditional() {
+					probe.Update(b, probe.Predict(b.PC))
+					if a := rtStats(probe)[allocKey]; a > prevAllocs {
+						prevAllocs = a
+						cutPoints = append(cutPoints, i)
+					}
+				} else {
+					probe.TrackUnconditional(b)
+				}
+				// A handful of allocation sites spread across the stream is
+				// plenty; scanning further just costs time.
+				if len(cutPoints) >= 64 {
+					break
+				}
+			}
+			if len(cutPoints) == 0 {
+				t.Fatalf("stream produced no second-level allocations; %s counter never moved", allocKey)
+			}
+			// Test the first, a middle, and the last discovered instant: the
+			// first catches a nearly-empty directory mid-fill, the later ones
+			// catch recycled sets and partially occupied rows.
+			picks := []int{cutPoints[0], cutPoints[len(cutPoints)/2], cutPoints[len(cutPoints)-1]}
+
+			for _, cut := range picks {
+				ref, err := llbpx.NewPredictorByName(predName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cand, err := llbpx.NewPredictorByName(predName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rtDrive(ref, stream[:cut+1], nil)
+				rtDrive(cand, stream[:cut+1], nil)
+
+				var buf bytes.Buffer
+				if err := llbpx.SavePredictorState(&buf, predName, cand); err != nil {
+					t.Fatalf("save at branch %d: %v", cut, err)
+				}
+				restored, _, err := llbpx.LoadPredictorState(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("restore at branch %d: %v", cut, err)
+				}
+
+				tail := stream[cut+1:]
+				wantPreds := rtDrive(ref, tail, make([]llbpx.Prediction, 0, len(tail)))
+				gotPreds := rtDrive(restored, tail, make([]llbpx.Prediction, 0, len(tail)))
+				for i := range wantPreds {
+					if gotPreds[i] != wantPreds[i] {
+						t.Fatalf("snapshot at branch %d (right after allocation): first divergence at tail conditional %d: restored %+v, reference %+v",
+							cut, i, gotPreds[i], wantPreds[i])
+					}
+				}
+				if want, got := rtStats(ref), rtStats(restored); !reflect.DeepEqual(want, got) {
+					t.Errorf("snapshot at branch %d: internal counters diverged:\nreference %v\nrestored  %v", cut, want, got)
+				}
+			}
+		})
+	}
+}

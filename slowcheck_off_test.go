@@ -1,0 +1,8 @@
+//go:build !slowcheck
+
+package llbpx_test
+
+// slowcheckEnabled mirrors internal/oatable's build-tag switch for tests
+// whose expectations (e.g. zero allocations) only hold without the
+// shadow-map cross-checking instrumentation.
+const slowcheckEnabled = false

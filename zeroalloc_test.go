@@ -1,0 +1,82 @@
+package llbpx_test
+
+// Steady-state allocation bar for the prediction hot path: once a hot-path
+// predictor has warmed up and replayed its window once (so every table,
+// pattern-buffer slot, and scratch buffer has reached working size),
+// further replay must perform zero heap allocations. This is the
+// testing.AllocsPerRun twin of BenchmarkHotPath's allocs-per-branch column
+// — the benchmark rounds per-op counts down, this test fails on a single
+// allocation anywhere in a window.
+
+import (
+	"testing"
+
+	"llbpx"
+)
+
+// zaStream materializes warmInstr+windowInstr instructions of a workload.
+func zaStream(t *testing.T, wl string, warmInstr, windowInstr uint64) (warm, window []llbpx.Branch) {
+	t.Helper()
+	prof, err := llbpx.WorkloadByName(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := llbpx.BuildProgram(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := llbpx.NewGenerator(prog)
+	take := func(budget uint64) []llbpx.Branch {
+		var out []llbpx.Branch
+		for instr := uint64(0); instr < budget; {
+			br, ok := gen.Next()
+			if !ok {
+				break
+			}
+			instr += br.Instructions()
+			out = append(out, br)
+		}
+		return out
+	}
+	return take(warmInstr), take(windowInstr)
+}
+
+func TestHotPathZeroAlloc(t *testing.T) {
+	if slowcheckEnabled {
+		t.Skip("slowcheck shadow maps allocate by design")
+	}
+	workloads := []string{"nodeapp", "whiskey", "tpcc"}
+	if testing.Short() {
+		workloads = workloads[:1]
+	}
+	for _, predName := range []string{"tsl-64k", "llbp", "llbp-x"} {
+		for _, wlName := range workloads {
+			t.Run(predName+"/"+wlName, func(t *testing.T) {
+				t.Parallel()
+				warm, window := zaStream(t, wlName, 400_000, 100_000)
+				p, err := llbpx.NewPredictorByName(predName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				drive := func(branches []llbpx.Branch) {
+					for _, br := range branches {
+						if br.Kind.Conditional() {
+							p.Update(br, p.Predict(br.PC))
+						} else {
+							p.TrackUnconditional(br)
+						}
+					}
+				}
+				drive(warm)
+				// Two settling replays: the first lets remaining cold
+				// structures (prefetch buffers, scratch) reach working size,
+				// the second confirms the window's churn pattern is stable.
+				drive(window)
+				drive(window)
+				if avg := testing.AllocsPerRun(5, func() { drive(window) }); avg != 0 {
+					t.Errorf("steady-state window replay allocated %.2f times per run, want 0", avg)
+				}
+			})
+		}
+	}
+}
