@@ -313,6 +313,45 @@ func recordHotPathCell(b *testing.B, predName, wlName string) {
 	}
 }
 
+// Observability overhead ----------------------------------------------------
+
+// BenchmarkObsOverhead measures what the simulator's observer hook costs
+// on the hot path: "disabled" runs with Observer nil (the production
+// default — one pointer test per branch), "idle" with a registered no-op
+// observer (the attached-but-quiet worst case for instrumented runs).
+// ns/op is ns per simulated instruction; run with -benchmem — both
+// configurations must report 0 allocs/op, which CI enforces via
+// TestObserverDisabledPathAllocFree.
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, obs llbpx.SimObserver) {
+		b.Helper()
+		prof, err := llbpx.WorkloadByName("nodeapp")
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := llbpx.BuildProgram(prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen := llbpx.NewGenerator(prog)
+		p, err := llbpx.NewPredictorByName("tsl-64k")
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm tables and scratch so the timed run is steady-state.
+		if _, err := llbpx.Simulate(p, gen, llbpx.SimOptions{MeasureInstr: 400_000, Observer: obs}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if _, err := llbpx.Simulate(p, gen, llbpx.SimOptions{MeasureInstr: uint64(b.N), Observer: obs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("idle", func(b *testing.B) { run(b, &idleObserver{}) })
+}
+
 // Warm start ---------------------------------------------------------------
 
 // warmStartMPKI drives p over branches and returns MPKI over the measured

@@ -25,6 +25,12 @@
 //	DELETE /v1/sessions/{id}           close session, return final stats
 //	GET    /v1/stats                   server-wide stats (JSON)
 //	GET    /metrics                    Prometheus text format
+//	GET    /debug/pprof/               profiling endpoints (with -pprof)
+//
+// Errors use a stable JSON envelope {"error":{"code":"...","message":"..."}}
+// with machine-readable codes (bad_request, unknown_predictor,
+// session_not_found, predictor_conflict, batch_too_large, draining,
+// internal).
 //
 // Drive it with cmd/llbpload.
 package main
@@ -52,6 +58,7 @@ func main() {
 		ttl       = flag.Duration("ttl", 5*time.Minute, "evict sessions idle longer than this (<0 disables)")
 		predictor = flag.String("predictor", "llbp-x", "default predictor for new sessions")
 		snapDir   = flag.String("snapshot-dir", "", "checkpoint evicted/drained sessions here and restore them on demand (empty disables)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service address")
 	)
 	flag.Parse()
 
@@ -62,6 +69,7 @@ func main() {
 		SessionTTL:       *ttl,
 		DefaultPredictor: *predictor,
 		SnapshotDir:      *snapDir,
+		EnablePprof:      *pprofOn,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 

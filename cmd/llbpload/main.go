@@ -21,12 +21,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"llbpx"
@@ -75,7 +78,11 @@ func main() {
 		Transport: &http.Transport{MaxIdleConnsPerHost: *sessions},
 		Timeout:   2 * time.Minute,
 	})
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancels every in-flight request, pause, and local
+	// verification run; sessions report context.Canceled and the run exits
+	// through the normal failure path instead of dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	// Load phase: K sessions stream concurrently.
 	fmt.Printf("llbpload: %d sessions x %d instr over %d workloads against %s (predictor %s)\n",
@@ -103,7 +110,14 @@ func main() {
 	failed := 0
 	for _, r := range results {
 		if r.err != nil {
-			fmt.Fprintf(os.Stderr, "llbpload: session %s: %v\n", r.id, r.err)
+			// Surface the server's stable error code when the failure came
+			// back in the API envelope.
+			var apiErr *serve.APIError
+			if errors.As(r.err, &apiErr) {
+				fmt.Fprintf(os.Stderr, "llbpload: session %s: [%s] %v\n", r.id, apiErr.Code, r.err)
+			} else {
+				fmt.Fprintf(os.Stderr, "llbpload: session %s: %v\n", r.id, r.err)
+			}
 			failed++
 			continue
 		}
@@ -118,7 +132,7 @@ func main() {
 	// Verification phase: local replay of each workload's stream.
 	local := map[string]float64{}
 	if !*skipLocal {
-		local = localMPKI(names, *predictor, *instr)
+		local = localMPKI(ctx, names, *predictor, *instr)
 	}
 	tbl := llbpx.Table{Title: "server vs local MPKI", Headers: []string{"session", "workload", "branches", "server-MPKI", "local-MPKI", "delta%"}}
 	mismatches := 0
@@ -224,12 +238,18 @@ func streamSession(ctx context.Context, client *serve.Client, id, workloadName, 
 		}
 		if pauseAt > 0 && !paused && instr >= pauseAt {
 			// Flush what we have so the server state covers the stream's
-			// first half, then go idle past the TTL.
+			// first half, then go idle past the TTL. The pause aborts
+			// immediately on cancellation instead of sleeping through it.
 			if res.err = flush(); res.err != nil {
 				return res
 			}
 			paused = true
-			time.Sleep(resumeWait)
+			select {
+			case <-time.After(resumeWait):
+			case <-ctx.Done():
+				res.err = ctx.Err()
+				return res
+			}
 		}
 	}
 	if res.err = flush(); res.err != nil {
@@ -242,9 +262,10 @@ func streamSession(ctx context.Context, client *serve.Client, id, workloadName, 
 }
 
 // localMPKI replays each workload's identical stream through a local
-// sim.Run (warmup 0, matching the server session's from-scratch stats)
-// and returns MPKI per workload.
-func localMPKI(names []string, predictor string, instrBudget uint64) map[string]float64 {
+// simulation (warmup 0, matching the server session's from-scratch stats)
+// and returns MPKI per workload. Cancellation abandons the remaining
+// verification runs.
+func localMPKI(ctx context.Context, names []string, predictor string, instrBudget uint64) map[string]float64 {
 	out := make(map[string]float64, len(names))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -260,7 +281,7 @@ func localMPKI(names []string, predictor string, instrBudget uint64) map[string]
 			if err != nil {
 				return
 			}
-			res, err := llbpx.Simulate(p, src, llbpx.SimOptions{MeasureInstr: instrBudget})
+			res, err := llbpx.SimulateContext(ctx, p, src, llbpx.SimOptions{MeasureInstr: instrBudget})
 			if err != nil {
 				return
 			}

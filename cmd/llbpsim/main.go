@@ -9,18 +9,28 @@
 //	llbpsim -champsim server.champsim.gz -predictor llbp
 //	llbpsim -workload nodeapp -predictor llbp-x -save-state warm.snap
 //	llbpsim -workload nodeapp -load-state warm.snap
+//	llbpsim -workload kafka -predictor tsl-64k -attr -attr-top 10
 //	llbpsim -list
 //
 // Predictors: tsl-8k tsl-16k tsl-32k tsl-64k tsl-128k tsl-512k tsl-inf
-// llbp llbp-0lat llbp-x.
+// llbp llbp-0lat llbp-x (plus anything registered via
+// llbpx.RegisterPredictor).
+//
+// -attr attaches a misprediction-attribution observer and prints the
+// paper-style H2P table: the top static branches by misprediction share,
+// with the provider-component breakdown of each branch's misses. SIGINT
+// cancels the run cleanly and reports the partial result.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
-	"strings"
+	"syscall"
 
 	"llbpx"
 )
@@ -38,12 +48,17 @@ func main() {
 		list         = flag.Bool("list", false, "list workloads and predictors, then exit")
 		saveState    = flag.String("save-state", "", "checkpoint the predictor's learned state to this file after the run")
 		loadState    = flag.String("load-state", "", "warm-start the predictor from a checkpoint file (overrides -predictor)")
+		attr         = flag.Bool("attr", false, "attribute mispredictions per static branch and print the top-K table")
+		attrTop      = flag.Int("attr-top", 20, "rows in the -attr table")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println("workloads: ", llbpx.WorkloadNames())
-		fmt.Println("predictors:", strings.Join(llbpx.PredictorNames(), " "))
+		fmt.Println("predictors:")
+		for _, info := range llbpx.Predictors() {
+			fmt.Printf("  %-12s %s\n", info.Name, info.Description)
+		}
 		return
 	}
 
@@ -72,9 +87,24 @@ func main() {
 			fatal(perr)
 		}
 	}
-	res, err := llbpx.Simulate(p, src, llbpx.SimOptions{WarmupInstr: *warmup, MeasureInstr: *measure})
-	if err != nil {
+	opt := llbpx.SimOptions{WarmupInstr: *warmup, MeasureInstr: *measure}
+	var attribution *llbpx.MispredictAttribution
+	if *attr {
+		attribution = llbpx.NewMispredictAttribution()
+		opt.Observer = attribution
+	}
+
+	// SIGINT/SIGTERM cancels the simulation at the next batch boundary; the
+	// partial result (and attribution) accumulated so far still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	res, err := llbpx.SimulateContext(ctx, p, src, opt)
+	interrupted := err != nil && errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		fatal(err)
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "llbpsim: interrupted — reporting partial results")
 	}
 	if *saveState != "" {
 		if serr := llbpx.SavePredictorFile(*saveState, predictorName, p); serr != nil {
@@ -104,6 +134,14 @@ func main() {
 		for _, k := range keys {
 			fmt.Printf("%-28s %14.0f\n", k, res.Extra[k])
 		}
+	}
+	if attribution != nil {
+		fmt.Printf("\nstatic branches %d (measured), mispredictions attributed %d\n",
+			attribution.StaticBranches(), attribution.Mispredicts())
+		fmt.Println(attribution.Table(*attrTop).String())
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }
 

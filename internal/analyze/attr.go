@@ -1,0 +1,194 @@
+// Package analyze turns raw simulation observations into the paper's
+// characterization artifacts. Its first resident is misprediction
+// attribution: the per-static-branch accounting behind the H2P (hard to
+// predict) discussion — a small set of static branches concentrates most
+// of the misprediction mass, and which predictor component was providing
+// on a miss tells you whether more history or more capacity would have
+// helped.
+//
+// Attribution implements sim.Observer structurally (it imports only
+// internal/core), so the simulator does not depend on this package.
+package analyze
+
+import (
+	"sort"
+	"strconv"
+
+	"llbpx/internal/core"
+	"llbpx/internal/stats"
+)
+
+// Provider classes a prediction is attributed to. The short/long split is
+// at 64 bits of global history: beyond that only the long-history TAGE
+// tables (and the second level, which exists to cache exactly those
+// contexts) can reach.
+const (
+	// ProviderBase is the bimodal fallback (ProviderLen == 0).
+	ProviderBase = iota
+	// ProviderShort is a first-level TAGE table with <= 64 bits of history.
+	ProviderShort
+	// ProviderLong is a first-level TAGE table with > 64 bits of history.
+	ProviderLong
+	// ProviderSecondLevel is the LLBP/LLBP-X pattern buffer.
+	ProviderSecondLevel
+	numProviders
+)
+
+// shortHistoryBits is the short/long provider boundary, in history bits.
+const shortHistoryBits = 64
+
+// providerNames label the classes in table output.
+var providerNames = [numProviders]string{"base", "short", "long", "L2"}
+
+// providerClass classifies one prediction's provenance.
+func providerClass(pred core.Prediction) int {
+	switch {
+	case pred.FromSecondLevel:
+		return ProviderSecondLevel
+	case pred.ProviderLen == 0:
+		return ProviderBase
+	case pred.ProviderLen <= shortHistoryBits:
+		return ProviderShort
+	default:
+		return ProviderLong
+	}
+}
+
+// BranchProfile is the accumulated record of one static branch (one PC).
+type BranchProfile struct {
+	// PC is the static branch address.
+	PC uint64
+	// Execs counts measured executions; Mispredicts the measured misses.
+	Execs       uint64
+	Mispredicts uint64
+	// ByProvider counts mispredictions by the class of the component that
+	// was providing the (wrong) prediction, indexed by Provider* constants.
+	ByProvider [numProviders]uint64
+	// providerLenSum accumulates ProviderLen over mispredictions, for
+	// MeanMissHistory.
+	providerLenSum uint64
+}
+
+// MissRate is the branch's own misprediction rate.
+func (b *BranchProfile) MissRate() float64 {
+	if b.Execs == 0 {
+		return 0
+	}
+	return float64(b.Mispredicts) / float64(b.Execs)
+}
+
+// MeanMissHistory is the mean provider history length (bits) over this
+// branch's mispredictions — high values mean even the longest reachable
+// history was not enough; zero means the bimodal fallback was providing.
+func (b *BranchProfile) MeanMissHistory() float64 {
+	if b.Mispredicts == 0 {
+		return 0
+	}
+	return float64(b.providerLenSum) / float64(b.Mispredicts)
+}
+
+// Attribution accumulates per-static-branch misprediction attribution from
+// simulator observations. Only measured-phase branches count (warmup
+// executions train the predictor but are not the predictor's fault). Not
+// safe for concurrent use — one Attribution per simulation, like the
+// predictor itself.
+type Attribution struct {
+	branches map[uint64]*BranchProfile
+	execs    uint64
+	miss     uint64
+}
+
+// NewAttribution returns an empty attribution observer.
+func NewAttribution() *Attribution {
+	return &Attribution{branches: make(map[uint64]*BranchProfile)}
+}
+
+// ObserveBranch implements the sim.Observer contract.
+func (a *Attribution) ObserveBranch(b core.Branch, pred core.Prediction, measuring bool) {
+	if !measuring {
+		return
+	}
+	a.execs++
+	cell := a.branches[b.PC]
+	if cell == nil {
+		cell = &BranchProfile{PC: b.PC}
+		a.branches[b.PC] = cell
+	}
+	cell.Execs++
+	if pred.Taken != b.Taken {
+		a.miss++
+		cell.Mispredicts++
+		cell.ByProvider[providerClass(pred)]++
+		cell.providerLenSum += uint64(pred.ProviderLen)
+	}
+}
+
+// Branches returns the number of measured conditional-branch executions.
+func (a *Attribution) Branches() uint64 { return a.execs }
+
+// Mispredicts returns the measured misprediction total.
+func (a *Attribution) Mispredicts() uint64 { return a.miss }
+
+// StaticBranches returns how many distinct PCs executed while measuring.
+func (a *Attribution) StaticBranches() int { return len(a.branches) }
+
+// TopK returns the k static branches with the most mispredictions, sorted
+// by misprediction count descending (PC ascending breaks ties, so output
+// is deterministic). k <= 0 or k > population returns all branches.
+func (a *Attribution) TopK(k int) []*BranchProfile {
+	out := make([]*BranchProfile, 0, len(a.branches))
+	for _, cell := range a.branches {
+		out = append(out, cell)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mispredicts != out[j].Mispredicts {
+			return out[i].Mispredicts > out[j].Mispredicts
+		}
+		return out[i].PC < out[j].PC
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Table renders the paper-style H2P table for the top k branches: each
+// row is one static branch with its execution count, misprediction count
+// and rate, its share of all mispredictions, the running cumulative share
+// (the "few branches carry most of the misses" curve), the provider-class
+// split of its misses, and the mean provider history length on a miss.
+func (a *Attribution) Table(k int) *stats.Table {
+	t := stats.NewTable("Top static branches by misprediction share",
+		"rank", "pc", "execs", "miss", "miss%", "share%", "cum%",
+		"base", "short", "long", "L2", "hist")
+	var cum float64
+	for i, b := range a.TopK(k) {
+		share := 0.0
+		if a.miss > 0 {
+			share = 100 * float64(b.Mispredicts) / float64(a.miss)
+		}
+		cum += share
+		row := []any{
+			i + 1,
+			"0x" + strconv.FormatUint(b.PC, 16),
+			b.Execs,
+			b.Mispredicts,
+			100 * b.MissRate(),
+			share,
+			cum,
+		}
+		for p := 0; p < numProviders; p++ {
+			row = append(row, b.ByProvider[p])
+		}
+		row = append(row, b.MeanMissHistory())
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// ProviderNames returns the provider-class labels in Provider* order.
+func ProviderNames() []string {
+	out := make([]string, numProviders)
+	copy(out, providerNames[:])
+	return out
+}

@@ -1,0 +1,146 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"llbpx/internal/core"
+	"llbpx/internal/sim"
+)
+
+// Attribution must satisfy the simulator's observer contract.
+var _ sim.Observer = (*Attribution)(nil)
+
+func obsMiss(a *Attribution, pc uint64, pred core.Prediction, measuring bool) {
+	// taken=true with pred.Taken=false is always a miss.
+	pred.Taken = false
+	a.ObserveBranch(core.Branch{PC: pc, Kind: core.CondDirect, Taken: true}, pred, measuring)
+}
+
+func obsHit(a *Attribution, pc uint64, measuring bool) {
+	a.ObserveBranch(core.Branch{PC: pc, Kind: core.CondDirect, Taken: true},
+		core.Prediction{Taken: true}, measuring)
+}
+
+func TestProviderClass(t *testing.T) {
+	cases := []struct {
+		pred core.Prediction
+		want int
+	}{
+		{core.Prediction{}, ProviderBase},
+		{core.Prediction{ProviderLen: 8}, ProviderShort},
+		{core.Prediction{ProviderLen: 64}, ProviderShort},
+		{core.Prediction{ProviderLen: 65}, ProviderLong},
+		{core.Prediction{ProviderLen: 300}, ProviderLong},
+		{core.Prediction{ProviderLen: 300, FromSecondLevel: true}, ProviderSecondLevel},
+		{core.Prediction{FromSecondLevel: true}, ProviderSecondLevel},
+	}
+	for i, c := range cases {
+		if got := providerClass(c.pred); got != c.want {
+			t.Fatalf("case %d: providerClass(%+v) = %d, want %d", i, c.pred, got, c.want)
+		}
+	}
+}
+
+func TestAttributionAccounting(t *testing.T) {
+	a := NewAttribution()
+	// Warmup activity must be invisible.
+	obsMiss(a, 0x10, core.Prediction{}, false)
+	obsHit(a, 0x10, false)
+	if a.Branches() != 0 || a.Mispredicts() != 0 || a.StaticBranches() != 0 {
+		t.Fatalf("warmup leaked into attribution: %d/%d/%d", a.Branches(), a.Mispredicts(), a.StaticBranches())
+	}
+
+	// PC 0x10: 3 execs, 2 misses (one base, one long). PC 0x20: 2 execs,
+	// 1 miss (second level). PC 0x30: 1 exec, no miss.
+	obsMiss(a, 0x10, core.Prediction{}, true)
+	obsMiss(a, 0x10, core.Prediction{ProviderLen: 128}, true)
+	obsHit(a, 0x10, true)
+	obsMiss(a, 0x20, core.Prediction{ProviderLen: 256, FromSecondLevel: true}, true)
+	obsHit(a, 0x20, true)
+	obsHit(a, 0x30, true)
+
+	if a.Branches() != 6 || a.Mispredicts() != 3 || a.StaticBranches() != 3 {
+		t.Fatalf("totals: execs=%d miss=%d static=%d", a.Branches(), a.Mispredicts(), a.StaticBranches())
+	}
+
+	top := a.TopK(2)
+	if len(top) != 2 || top[0].PC != 0x10 || top[1].PC != 0x20 {
+		t.Fatalf("TopK order: %+v", top)
+	}
+	b := top[0]
+	if b.Execs != 3 || b.Mispredicts != 2 {
+		t.Fatalf("pc 0x10: %+v", b)
+	}
+	if b.ByProvider[ProviderBase] != 1 || b.ByProvider[ProviderLong] != 1 {
+		t.Fatalf("pc 0x10 provider split: %v", b.ByProvider)
+	}
+	if got := b.MeanMissHistory(); got != 64 { // (0 + 128) / 2
+		t.Fatalf("MeanMissHistory = %v, want 64", got)
+	}
+	if got := b.MissRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("MissRate = %v", got)
+	}
+	if top[1].ByProvider[ProviderSecondLevel] != 1 {
+		t.Fatalf("pc 0x20 provider split: %v", top[1].ByProvider)
+	}
+
+	// TopK(0) and an oversized k return the full population.
+	if len(a.TopK(0)) != 3 || len(a.TopK(100)) != 3 {
+		t.Fatal("TopK bounds")
+	}
+
+	tbl := a.Table(2)
+	if tbl.NumRows() != 2 {
+		t.Fatalf("table rows = %d", tbl.NumRows())
+	}
+	out := tbl.String()
+	for _, want := range []string{"0x10", "0x20", "share%", "cum%", "L2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// tiltedSource emits one heavily-mispredicted PC among well-behaved ones,
+// so attribution through a real simulation must rank it first.
+type tiltedSource struct{ n int }
+
+func (s *tiltedSource) Next() (core.Branch, bool) {
+	s.n++
+	pc := uint64(0x100 + 16*(s.n%8))
+	taken := true
+	if s.n%8 == 0 {
+		// The hot PC is frequently not-taken, so the always-taken stub
+		// concentrates its misses here.
+		pc = 0xbad
+		taken = (s.n*2654435761)%3 == 0
+	}
+	return core.Branch{PC: pc, Kind: core.CondDirect, Taken: taken, InstrGap: 4}, true
+}
+
+type takenStub struct{}
+
+func (takenStub) Name() string                               { return "taken" }
+func (takenStub) Predict(pc uint64) core.Prediction          { return core.Prediction{Taken: true} }
+func (takenStub) Update(b core.Branch, pred core.Prediction) {}
+func (takenStub) TrackUnconditional(b core.Branch)           {}
+
+func TestAttributionThroughSimulator(t *testing.T) {
+	a := NewAttribution()
+	res, err := sim.Run(takenStub{}, &tiltedSource{},
+		sim.Options{WarmupInstr: 1000, MeasureInstr: 10_000, Observer: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Branches() != res.Measured.CondBranches {
+		t.Fatalf("observer execs %d != measured cond branches %d", a.Branches(), res.Measured.CondBranches)
+	}
+	if a.Mispredicts() != res.Measured.Mispredicts {
+		t.Fatalf("observer misses %d != measured mispredicts %d", a.Mispredicts(), res.Measured.Mispredicts)
+	}
+	top := a.TopK(1)
+	if len(top) != 1 || top[0].PC != 0xbad {
+		t.Fatalf("hot mispredictor not ranked first: %+v", top)
+	}
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// MaxHistogramBuckets bounds a histogram's bucket count (values above
+// 2^62 would overflow the bucket upper bound).
+const MaxHistogramBuckets = 63
+
+// Histogram counts uint64 samples in fixed power-of-two buckets: bucket 0
+// holds the value 0, and bucket i (i >= 1) holds values in
+// [2^(i-1), 2^i). With 28 buckets and microsecond samples the top bucket
+// covers ~134 s; with millisecond samples, ~1.5 days. The fixed layout
+// keeps recording to two atomic adds (no locks, no allocation) and makes
+// quantile extraction a single pass, at the cost of quantiles being
+// upper-bound approximations — exactly the trade the serving hot path
+// wants.
+//
+// All methods are safe for concurrent use. Reads (Count, Quantile, ...)
+// are not an atomic snapshot across buckets; under concurrent writes they
+// are approximate in the usual monitoring sense.
+type Histogram struct {
+	counts []atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// NewHistogram returns a histogram with the given number of buckets,
+// clamped to [2, MaxHistogramBuckets]. Values beyond the top bucket's
+// bound are counted in the top bucket.
+func NewHistogram(buckets int) *Histogram {
+	if buckets < 2 {
+		buckets = 2
+	}
+	if buckets > MaxHistogramBuckets {
+		buckets = MaxHistogramBuckets
+	}
+	return &Histogram{counts: make([]atomic.Uint64, buckets)}
+}
+
+// bucketOf maps a sample to its bucket index: the number of significant
+// bits in v, clamped to the top bucket.
+func (h *Histogram) bucketOf(v uint64) int {
+	b := 0
+	for v > 0 && b < len(h.counts)-1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.counts[h.bucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in microseconds (negative durations
+// count as 0).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.Observe(uint64(us))
+}
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// UpperBound returns the inclusive upper bound of bucket b (2^b; bucket 0
+// covers only the value 0, bound 1 by the le-convention).
+func (h *Histogram) UpperBound(b int) float64 { return float64(uint64(1) << b) }
+
+// Count returns the total number of samples.
+func (h *Histogram) Count() uint64 {
+	var t uint64
+	for i := range h.counts {
+		t += h.counts[i].Load()
+	}
+	return t
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Mean returns the mean sample value (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	c := h.Count()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(c)
+}
+
+// Quantile returns the approximate q-quantile: the upper bound of the
+// bucket holding the ceil(q*count)-th sample, or 0 with no samples. q is
+// clamped to [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			return h.UpperBound(i)
+		}
+	}
+	return h.UpperBound(len(counts) - 1)
+}
+
+// writeProm renders the histogram as a Prometheus histogram family:
+// cumulative _bucket{le="..."} samples up to the highest non-empty bucket,
+// an explicit le="+Inf" bucket, _sum, and _count.
+func (h *Histogram) writeProm(ew *ExpoWriter, name string) {
+	top := 0
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+		if counts[i] > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += counts[i]
+		ew.LabeledInt(name+"_bucket", fmtLe(h.UpperBound(i)), cum)
+	}
+	ew.LabeledInt(name+"_bucket", `le="+Inf"`, total)
+	ew.Value(name+"_sum", float64(h.Sum()))
+	ew.Value(name+"_count", float64(total))
+}
+
+func fmtLe(bound float64) string {
+	return `le="` + formatBound(bound) + `"`
+}
+
+// formatBound renders a power-of-two bound without exponent notation.
+func formatBound(v float64) string {
+	u := uint64(v)
+	buf := [20]byte{}
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+		if u == 0 {
+			break
+		}
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,215 @@
+// Package obs is the repository's lightweight observability core:
+// lock-free counters, gauges, and fixed-bucket histograms, collected in a
+// Registry that renders the Prometheus text exposition format. It replaces
+// the ad-hoc atomic counters the serving layer grew in PRs 1-2 with one
+// shared metrics vocabulary, and it is deliberately tiny — no dependency,
+// no sampling goroutines, no dynamic label sets — so recording a sample is
+// a single atomic add and the disabled path of every optional hook costs
+// zero allocations.
+//
+// Metric values are exposed two ways: typed accessors for JSON snapshots
+// (the /v1/stats path) and WritePrometheus for the /metrics text format.
+// Computed series that need caller state (live-session gauges,
+// per-predictor aggregates) are contributed through Collect hooks, which
+// render through the same writer so the exposition stays consistent.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric (events since start).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricKind tags a registered metric for the # TYPE exposition line.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered metric.
+type entry struct {
+	name string
+	kind metricKind
+
+	counter   *Counter
+	gauge     *Gauge
+	gaugeFunc func() float64
+	hist      *Histogram
+}
+
+// Registry owns a set of named metrics and renders them in Prometheus text
+// format. Registration happens at construction time (it takes a lock);
+// recording into the registered metrics is lock-free. Names are unique;
+// re-registering a name panics, since it is always a programming error.
+type Registry struct {
+	prefix string
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	collect []CollectFunc
+}
+
+// CollectFunc contributes computed series (gauges derived from caller
+// state, labeled families) to the exposition at render time.
+type CollectFunc func(w *ExpoWriter)
+
+// NewRegistry returns an empty registry. prefix is prepended to every
+// metric name in the exposition (e.g. "llbpd_").
+func NewRegistry(prefix string) *Registry {
+	return &Registry{prefix: prefix, entries: make(map[string]*entry)}
+}
+
+func (r *Registry) add(name string, e *entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	e.name = name
+	r.entries[name] = e
+}
+
+// Counter registers and returns a counter. By convention names end in
+// "_total".
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.add(name, &entry{kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := &Gauge{}
+	r.add(name, &entry{kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge computed at render time.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.add(name, &entry{kind: kindGauge, gaugeFunc: fn})
+}
+
+// Histogram registers and returns a histogram with the given number of
+// power-of-two buckets (see NewHistogram).
+func (r *Registry) Histogram(name string, buckets int) *Histogram {
+	h := NewHistogram(buckets)
+	r.add(name, &entry{kind: kindHistogram, hist: h})
+	return h
+}
+
+// OnCollect adds a hook that contributes computed series at render time,
+// after the registered metrics.
+func (r *Registry) OnCollect(fn CollectFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collect = append(r.collect, fn)
+}
+
+// WritePrometheus renders every registered metric (sorted by name) and
+// then every collect hook, in the Prometheus text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	hooks := append([]CollectFunc(nil), r.collect...)
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	ew := &ExpoWriter{w: w, prefix: r.prefix}
+	for _, name := range names {
+		r.mu.Lock()
+		e := r.entries[name]
+		r.mu.Unlock()
+		ew.Family(e.name, e.kind.String())
+		switch e.kind {
+		case kindCounter:
+			ew.Value(e.name, float64(e.counter.Value()))
+		case kindGauge:
+			if e.gaugeFunc != nil {
+				ew.Value(e.name, e.gaugeFunc())
+			} else {
+				ew.Value(e.name, float64(e.gauge.Value()))
+			}
+		case kindHistogram:
+			e.hist.writeProm(ew, e.name)
+		}
+	}
+	for _, fn := range hooks {
+		fn(ew)
+	}
+}
+
+// ExpoWriter emits Prometheus text-format lines with the registry's name
+// prefix applied. Collect hooks receive one to contribute computed series.
+type ExpoWriter struct {
+	w      io.Writer
+	prefix string
+}
+
+// Family emits the # TYPE declaration for a metric family. typ is
+// "counter", "gauge", or "histogram".
+func (ew *ExpoWriter) Family(name, typ string) {
+	fmt.Fprintf(ew.w, "# TYPE %s%s %s\n", ew.prefix, name, typ)
+}
+
+// Value emits one unlabeled sample.
+func (ew *ExpoWriter) Value(name string, v float64) {
+	fmt.Fprintf(ew.w, "%s%s %g\n", ew.prefix, name, v)
+}
+
+// Labeled emits one sample with a pre-formatted label body (the part
+// between the braces, e.g. `predictor="llbp-x"`).
+func (ew *ExpoWriter) Labeled(name, labels string, v float64) {
+	fmt.Fprintf(ew.w, "%s%s{%s} %g\n", ew.prefix, name, labels, v)
+}
+
+// LabeledInt is Labeled for integral samples (renders without exponent).
+func (ew *ExpoWriter) LabeledInt(name, labels string, v uint64) {
+	fmt.Fprintf(ew.w, "%s%s{%s} %d\n", ew.prefix, name, labels, v)
+}

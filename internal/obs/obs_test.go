@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry("t_")
+	c := r.Counter("events_total")
+	g := r.Gauge("level")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry("t_")
+	c := r.Counter("n_total")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry("t_")
+	r.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+func TestRegistryRendering(t *testing.T) {
+	r := NewRegistry("llbpd_")
+	c := r.Counter("batches_total")
+	c.Add(3)
+	r.GaugeFunc("uptime_seconds", func() float64 { return 1.5 })
+	h := r.Histogram("latency_us", 8)
+	h.Observe(3)
+	r.OnCollect(func(w *ExpoWriter) {
+		w.Family("predictor_mpki", "gauge")
+		w.Labeled("predictor_mpki", `predictor="llbp-x"`, 2.25)
+	})
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE llbpd_batches_total counter\n",
+		"llbpd_batches_total 3\n",
+		"# TYPE llbpd_uptime_seconds gauge\n",
+		"llbpd_uptime_seconds 1.5\n",
+		"# TYPE llbpd_latency_us histogram\n",
+		`llbpd_latency_us_bucket{le="4"} 1` + "\n",
+		`llbpd_latency_us_bucket{le="+Inf"} 1` + "\n",
+		"llbpd_latency_us_sum 3\n",
+		"llbpd_latency_us_count 1\n",
+		`llbpd_predictor_mpki{predictor="llbp-x"} 2.25` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Registered metrics render sorted by name.
+	if strings.Index(out, "llbpd_batches_total") > strings.Index(out, "llbpd_uptime_seconds") {
+		t.Errorf("metrics not sorted by name:\n%s", out)
+	}
+}
+
+func TestHistogramBucketOf(t *testing.T) {
+	h := NewHistogram(8)
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 40, 7}, // clamped to top bucket
+	}
+	for _, c := range cases {
+		if got := h.bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(28)
+	// 99 samples at ~16us (bucket 5, bound 32) and one at ~1ms (bucket 11).
+	for i := 0; i < 99; i++ {
+		h.Observe(16)
+	}
+	h.Observe(1000)
+	if got := h.Quantile(0.50); got != 32 {
+		t.Fatalf("p50 = %v, want 32", got)
+	}
+	if got := h.Quantile(0.99); got != 32 {
+		t.Fatalf("p99 = %v (99/100 samples in the 16us bucket), want 32", got)
+	}
+	if got := h.Quantile(0.999); got != 1024 {
+		t.Fatalf("p999 = %v, want 1024", got)
+	}
+	if got := h.Quantile(1); got != 1024 {
+		t.Fatalf("p100 = %v, want 1024", got)
+	}
+	if got := h.Quantile(0); got != 32 {
+		t.Fatalf("q=0 must return the first sample's bucket, got %v", got)
+	}
+}
+
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	h := NewHistogram(4)
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must read zero")
+	}
+	if NewHistogram(0).Buckets() != 2 {
+		t.Fatal("bucket count must clamp up to 2")
+	}
+	if NewHistogram(1000).Buckets() != MaxHistogramBuckets {
+		t.Fatalf("bucket count must clamp down to %d", MaxHistogramBuckets)
+	}
+	// Out-of-range q clamps.
+	h.Observe(1)
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("q must clamp to [0,1]")
+	}
+}
+
+func TestHistogramMeanSum(t *testing.T) {
+	h := NewHistogram(16)
+	for _, v := range []uint64{10, 20, 30} {
+		h.Observe(v)
+	}
+	if h.Sum() != 60 || h.Count() != 3 {
+		t.Fatalf("sum=%d count=%d", h.Sum(), h.Count())
+	}
+	if h.Mean() != 20 {
+		t.Fatalf("mean = %v, want 20", h.Mean())
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(28)
+	h.ObserveDuration(33 * time.Microsecond)
+	h.ObserveDuration(-5 * time.Microsecond) // clamps to 0
+	if h.Count() != 2 || h.Sum() != 33 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	if h.Quantile(0.01) != 1 { // the clamped 0 sample sits in bucket 0 (le 1)
+		t.Fatalf("q0.01 = %v", h.Quantile(0.01))
+	}
+}
+
+// TestHistogramPromInvariants checks the rendered histogram family is
+// well-formed: cumulative buckets are monotone and +Inf equals _count.
+func TestHistogramPromInvariants(t *testing.T) {
+	r := NewRegistry("x_")
+	h := r.Histogram("lat_us", 12)
+	for _, v := range []uint64{0, 1, 5, 5, 900, 3000} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	lines := strings.Split(b.String(), "\n")
+	var prev uint64
+	var infSeen bool
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "x_lat_us_bucket") {
+			continue
+		}
+		var n uint64
+		if _, err := fmtSscanValue(ln, &n); err != nil {
+			t.Fatalf("bad bucket line %q: %v", ln, err)
+		}
+		if n < prev {
+			t.Fatalf("cumulative bucket counts must be monotone: %q after %d", ln, prev)
+		}
+		prev = n
+		if strings.Contains(ln, `le="+Inf"`) {
+			infSeen = true
+			if n != h.Count() {
+				t.Fatalf("+Inf bucket %d != count %d", n, h.Count())
+			}
+		}
+	}
+	if !infSeen {
+		t.Fatal("no +Inf bucket rendered")
+	}
+}
+
+// TestObserveAllocFree pins the recording path's zero-allocation
+// guarantee — the property the serving hot path relies on.
+func TestObserveAllocFree(t *testing.T) {
+	r := NewRegistry("t_")
+	c := r.Counter("a_total")
+	h := r.Histogram("b_us", 28)
+	if avg := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(12345)
+	}); avg != 0 {
+		t.Fatalf("Observe/Inc allocated %.2f times per run, want 0", avg)
+	}
+}
+
+// fmtSscanValue parses the trailing integer of a text-format sample line.
+func fmtSscanValue(line string, out *uint64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	var v uint64
+	for _, ch := range line[i+1:] {
+		if ch < '0' || ch > '9' {
+			return 0, errNotInt
+		}
+		v = v*10 + uint64(ch-'0')
+	}
+	*out = v
+	return 1, nil
+}
+
+var errNotInt = errInt("non-integer sample")
+
+type errInt string
+
+func (e errInt) Error() string { return string(e) }

@@ -95,9 +95,13 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		// Decode the versioned error envelope into a typed *APIError so
+		// callers can errors.Is against the sentinel for its code (and
+		// errors.As for the code string itself).
 		var er errorReply
-		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&er) == nil && er.Error != "" {
-			return fmt.Errorf("serve client: %s %s: %s (%d)", method, path, er.Error, resp.StatusCode)
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&er) == nil && er.Error.Message != "" {
+			return fmt.Errorf("serve client: %s %s: %w", method, path,
+				&APIError{Code: er.Error.Code, Message: er.Error.Message, Status: resp.StatusCode})
 		}
 		return fmt.Errorf("serve client: %s %s: status %d", method, path, resp.StatusCode)
 	}

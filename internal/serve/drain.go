@@ -34,6 +34,9 @@ func (s *Server) EvictIdle() int {
 	evicted := s.sessions.evictIdle(cutoff)
 	if n := len(evicted); n > 0 {
 		s.metrics.sessionsEvicted.Add(uint64(n))
+		for _, sess := range evicted {
+			s.metrics.observeSessionEnd(sess)
+		}
 	}
 	// With a snapshot directory, eviction is checkpoint-to-disk: the next
 	// batch for the same session ID restores the predictor transparently.

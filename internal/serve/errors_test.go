@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"llbpx/internal/core"
+)
+
+// panicPredictor explodes on first use; registered once so the suite can
+// exercise the handler's panic-to-envelope recovery path.
+type panicPredictor struct{}
+
+func (panicPredictor) Name() string                               { return "panic-test" }
+func (panicPredictor) Predict(pc uint64) core.Prediction          { panic("deliberate test panic") }
+func (panicPredictor) Update(b core.Branch, pred core.Prediction) {}
+func (panicPredictor) TrackUnconditional(b core.Branch)           {}
+
+func init() {
+	if err := RegisterPredictor("panic-test", "test-only: panics on Predict",
+		func() (core.Predictor, error) { return panicPredictor{}, nil }); err != nil {
+		panic(err)
+	}
+}
+
+// TestErrorEnvelopeRoundTrip drives every error code through a real HTTP
+// round trip and checks three layers agree: the raw JSON envelope on the
+// wire, the typed *APIError the client decodes, and the errors.Is-able
+// sentinel for the code.
+func TestErrorEnvelopeRoundTrip(t *testing.T) {
+	srv, client := testServer(t, Config{MaxBatch: 4})
+	ctx := context.Background()
+	cond := []core.Branch{{PC: 1, Kind: core.CondDirect, Taken: true, InstrGap: 1}}
+
+	// Seed a session so predictor_conflict can fire.
+	if _, err := client.Predict(ctx, "env-1", "tsl-8k", cond); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		trigger  func() error
+		code     string
+		status   int
+		sentinel error
+	}{
+		{"unknown_predictor",
+			func() error { _, err := client.Predict(ctx, "env-2", "nope", cond); return err },
+			CodeUnknownPredictor, 400, ErrUnknownPredictor},
+		{"predictor_conflict",
+			func() error { _, err := client.Predict(ctx, "env-1", "llbp-x", cond); return err },
+			CodePredictorConflict, 409, ErrPredictorConflict},
+		{"batch_too_large",
+			func() error {
+				big := make([]core.Branch, 5)
+				for i := range big {
+					big[i] = core.Branch{PC: uint64(i), Kind: core.CondDirect, InstrGap: 1}
+				}
+				_, err := client.Predict(ctx, "env-3", "", big)
+				return err
+			},
+			CodeBatchTooLarge, 413, ErrBatchTooLarge},
+		{"bad_request",
+			func() error { _, err := client.Predict(ctx, "env-4", "", nil); return err },
+			CodeBadRequest, 400, ErrBadRequest},
+		{"session_not_found",
+			func() error { _, err := client.SessionStats(ctx, "never-existed"); return err },
+			CodeSessionNotFound, 404, ErrSessionNotFound},
+		{"internal",
+			func() error { _, err := client.Predict(ctx, "env-5", "panic-test", cond); return err },
+			CodeInternal, 500, ErrInternal},
+	}
+	for _, c := range cases {
+		err := c.trigger()
+		if err == nil {
+			t.Fatalf("%s: expected an error", c.name)
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("%s: %v does not unwrap to *APIError", c.name, err)
+		}
+		if apiErr.Code != c.code || apiErr.Status != c.status {
+			t.Fatalf("%s: got code=%q status=%d, want %q/%d (%v)",
+				c.name, apiErr.Code, apiErr.Status, c.code, c.status, err)
+		}
+		if !errors.Is(err, c.sentinel) {
+			t.Fatalf("%s: %v is not errors.Is(%v)", c.name, err, c.sentinel)
+		}
+		if apiErr.Message == "" {
+			t.Fatalf("%s: empty message", c.name)
+		}
+	}
+
+	// Draining fires only once the server refuses work.
+	srv.Drain()
+	err := func() error { _, err := client.Predict(ctx, "env-6", "", cond); return err }()
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeDraining || apiErr.Status != 503 {
+		t.Fatalf("draining: got %v", err)
+	}
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("draining: %v is not ErrDraining", err)
+	}
+}
+
+// TestErrorEnvelopeWireShape pins the raw JSON: {"error":{"code","message"}}.
+func TestErrorEnvelopeWireShape(t *testing.T) {
+	srv, _ := testServer(t, Config{})
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sessions/ghost", nil))
+	if rec.Code != 404 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var wire struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &wire); err != nil {
+		t.Fatalf("envelope does not parse: %v\n%s", err, rec.Body.String())
+	}
+	if wire.Error.Code != CodeSessionNotFound || !strings.Contains(wire.Error.Message, "ghost") {
+		t.Fatalf("envelope = %+v", wire)
+	}
+}
+
+// TestAPIErrorUnknownCode: codes this client build does not know still
+// surface as *APIError (no sentinel match, but Code is preserved), so
+// servers can add codes without breaking old clients.
+func TestAPIErrorUnknownCode(t *testing.T) {
+	e := &APIError{Code: "future_code", Message: "new failure mode", Status: 418}
+	if errors.Unwrap(e) != nil {
+		t.Fatal("unknown code must not unwrap to any sentinel")
+	}
+	if !strings.Contains(e.Error(), "future_code") || !strings.Contains(e.Error(), "418") {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}

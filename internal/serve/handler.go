@@ -2,8 +2,10 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"llbpx/internal/core"
@@ -64,15 +66,19 @@ type PredictResponse struct {
 	Stats       SessionStats       `json:"stats"`
 }
 
-// errorReply is the JSON body of every non-2xx response.
-type errorReply struct {
-	Error string `json:"error"`
-}
-
 // Routing ------------------------------------------------------------------
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. A handler panic is converted into a
+// 500 with the "internal" error code instead of tearing down the
+// connection, so clients always see the envelope.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, "internal error: %v", p)
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
 func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -81,6 +87,13 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -90,8 +103,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorReply{Error: fmt.Sprintf(format, args...)})
+// writeError emits the versioned error envelope: a stable machine-readable
+// code plus a free-form message.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorReply{Error: errorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
 // Handlers -----------------------------------------------------------------
@@ -105,15 +120,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req PredictRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad batch body: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad batch body: %v", err)
 		return
 	}
 	if len(req.Branches) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "empty batch")
 		return
 	}
 	if len(req.Branches) > s.cfg.MaxBatch {
-		writeError(w, http.StatusRequestEntityTooLarge,
+		writeError(w, http.StatusRequestEntityTooLarge, CodeBatchTooLarge,
 			"batch of %d branches exceeds limit %d", len(req.Branches), s.cfg.MaxBatch)
 		return
 	}
@@ -121,7 +136,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	for i, rec := range req.Branches {
 		b := rec.ToBranch()
 		if !b.Kind.Valid() {
-			writeError(w, http.StatusBadRequest, "branch %d: invalid kind %d", i, rec.Kind)
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "branch %d: invalid kind %d", i, rec.Kind)
 			return
 		}
 		batch[i] = b
@@ -130,8 +145,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// From here the batch counts as in-flight: drain waits for it and it
 	// is never dropped part-way.
 	if !s.beginBatch() {
-		s.metrics.rejected.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		s.metrics.rejected.Inc()
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
 		return
 	}
 	defer s.endBatch()
@@ -149,29 +164,36 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return newSession(id, predictorName)
 	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		code := CodeBadRequest
+		if errors.Is(err, ErrUnknownPredictor) {
+			code = CodeUnknownPredictor
+		}
+		writeError(w, http.StatusBadRequest, code, "%v", err)
 		return
 	}
 	if created {
 		if sess.restored {
-			s.metrics.snapshotRestores.Add(1)
+			s.metrics.snapshotRestores.Inc()
 		} else {
-			s.metrics.sessionsCreated.Add(1)
+			s.metrics.sessionsCreated.Inc()
 		}
 	} else if req.Predictor != "" && req.Predictor != sess.PredictorName {
-		writeError(w, http.StatusConflict,
+		writeError(w, http.StatusConflict, CodePredictorConflict,
 			"session %q runs predictor %q, not %q", id, sess.PredictorName, req.Predictor)
 		return
 	}
 
 	// Bounded worker pool: a slot gates the CPU-heavy predictor walk so a
 	// flood of batches queues here instead of oversubscribing the host.
+	// The pool's occupancy at admission is the queue-depth sample: how many
+	// workers were already busy when this batch arrived.
+	depth := len(s.pool)
 	s.pool <- struct{}{}
 	start := time.Now()
 	preds, delta, snap := sess.executeBatch(batch)
 	elapsed := time.Since(start)
 	<-s.pool
-	s.metrics.observeBatch(sess.PredictorName, delta, elapsed)
+	s.metrics.observeBatch(sess.PredictorName, s.sessions.index(id), delta, elapsed, depth)
 
 	writeJSON(w, http.StatusOK, PredictResponse{
 		Session:     id,
@@ -187,7 +209,7 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sess := s.sessions.get(id)
 	if sess == nil {
-		writeError(w, http.StatusNotFound, "no session %q", id)
+		writeError(w, http.StatusNotFound, CodeSessionNotFound, "no session %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, sess.final())
@@ -197,12 +219,13 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sess := s.sessions.remove(id)
 	if sess == nil {
-		writeError(w, http.StatusNotFound, "no session %q", id)
+		writeError(w, http.StatusNotFound, CodeSessionNotFound, "no session %q", id)
 		return
 	}
 	// DELETE is terminal: a stale checkpoint must not resurrect the ID.
 	s.removeSnapshot(id)
-	s.metrics.sessionsClosed.Add(1)
+	s.metrics.sessionsClosed.Inc()
+	s.metrics.observeSessionEnd(sess)
 	writeJSON(w, http.StatusOK, sess.final())
 }
 
@@ -212,5 +235,5 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.Stats().writeProm(w)
+	s.metrics.reg.WritePrometheus(w)
 }

@@ -2,54 +2,116 @@ package serve
 
 import (
 	"fmt"
-	"io"
-	"math"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"llbpx/internal/obs"
 	"llbpx/internal/stats"
 )
 
-// latencyBuckets is the number of power-of-two microsecond buckets in the
-// batch-latency histogram; bucket i counts batches with latency in
-// [2^(i-1), 2^i) µs, so the top bucket covers ~134 s.
-const latencyBuckets = 28
+// Histogram shapes. Latency histograms use power-of-two microsecond
+// buckets (28 buckets cover ~134 s); session lifetimes use millisecond
+// buckets (~1.5 days); queue depth uses value buckets sized for worker
+// counts.
+const (
+	latencyBuckets  = 28
+	lifetimeBuckets = 28
+	depthBuckets    = 12
+)
 
-// metrics is the server's lock-free observability surface. Counters are
-// atomics bumped on the request path; only the per-predictor aggregate
-// takes a (short, uncontended) mutex.
+// metrics is the server's observability surface, built on internal/obs:
+// lock-free counters and histograms registered once at construction, plus
+// computed series (uptime, live sessions, per-predictor aggregates,
+// per-shard latency quantiles) contributed at render time. Only the
+// per-predictor aggregate takes a (short, uncontended) mutex on the
+// request path.
 type metrics struct {
 	start time.Time
+	reg   *obs.Registry
 
-	sessionsCreated atomic.Uint64
-	sessionsEvicted atomic.Uint64
-	sessionsClosed  atomic.Uint64
-	batches         atomic.Uint64
-	branches        atomic.Uint64
-	rejected        atomic.Uint64 // batches refused while draining
+	sessionsCreated *obs.Counter
+	sessionsEvicted *obs.Counter
+	sessionsClosed  *obs.Counter
+	batches         *obs.Counter
+	branches        *obs.Counter
+	rejected        *obs.Counter // batches refused while draining
 
-	snapshotSaves      atomic.Uint64 // sessions checkpointed to disk
-	snapshotRestores   atomic.Uint64 // sessions rebuilt from a checkpoint
-	snapshotSaveErrors atomic.Uint64 // failed checkpoint writes
+	snapshotSaves      *obs.Counter // sessions checkpointed to disk
+	snapshotRestores   *obs.Counter // sessions rebuilt from a checkpoint
+	snapshotSaveErrors *obs.Counter // failed checkpoint writes
 
-	latency [latencyBuckets]atomic.Uint64
+	batchLatency    *obs.Histogram   // one sample per executed batch, µs
+	shardLatency    []*obs.Histogram // batch latency split by session shard, µs
+	queueDepth      *obs.Histogram   // busy worker-pool slots at batch admission
+	snapSaveDur     *obs.Histogram   // snapshot checkpoint write duration, µs
+	snapRestoreDur  *obs.Histogram   // snapshot restore duration, µs
+	sessionLifetime *obs.Histogram   // closed/evicted session in-memory lifetime, ms
 
 	mu      sync.Mutex
 	perPred map[string]*stats.BranchStats
 }
 
-func newMetrics() *metrics {
-	return &metrics{start: time.Now(), perPred: make(map[string]*stats.BranchStats)}
+// newMetrics builds the metric set. live supplies the instantaneous
+// per-predictor and total live-session counts (they live in the shard
+// map, not here) for both the JSON snapshot and the text exposition.
+func newMetrics(shards int, live func() (map[string]int, int)) *metrics {
+	reg := obs.NewRegistry("llbpd_")
+	m := &metrics{
+		start: time.Now(),
+		reg:   reg,
+
+		sessionsCreated: reg.Counter("sessions_created_total"),
+		sessionsEvicted: reg.Counter("sessions_evicted_total"),
+		sessionsClosed:  reg.Counter("sessions_closed_total"),
+		batches:         reg.Counter("batches_total"),
+		branches:        reg.Counter("branches_total"),
+		rejected:        reg.Counter("batches_rejected_total"),
+
+		snapshotSaves:      reg.Counter("snapshot_saves_total"),
+		snapshotRestores:   reg.Counter("snapshot_restores_total"),
+		snapshotSaveErrors: reg.Counter("snapshot_save_errors_total"),
+
+		batchLatency:    reg.Histogram("batch_latency_us", latencyBuckets),
+		queueDepth:      reg.Histogram("batch_queue_depth", depthBuckets),
+		snapSaveDur:     reg.Histogram("snapshot_save_duration_us", latencyBuckets),
+		snapRestoreDur:  reg.Histogram("snapshot_restore_duration_us", latencyBuckets),
+		sessionLifetime: reg.Histogram("session_lifetime_ms", lifetimeBuckets),
+
+		perPred: make(map[string]*stats.BranchStats),
+	}
+	m.shardLatency = make([]*obs.Histogram, shards)
+	for i := range m.shardLatency {
+		m.shardLatency[i] = obs.NewHistogram(latencyBuckets)
+	}
+
+	reg.GaugeFunc("uptime_seconds", func() float64 { return time.Since(m.start).Seconds() })
+	reg.GaugeFunc("branches_per_second", func() float64 {
+		if up := time.Since(m.start).Seconds(); up > 0 {
+			return float64(m.branches.Value()) / up
+		}
+		return 0
+	})
+	reg.GaugeFunc("batch_latency_p50_us", func() float64 { return m.batchLatency.Quantile(0.50) })
+	reg.GaugeFunc("batch_latency_p90_us", func() float64 { return m.batchLatency.Quantile(0.90) })
+	reg.GaugeFunc("batch_latency_p99_us", func() float64 { return m.batchLatency.Quantile(0.99) })
+	reg.GaugeFunc("batch_latency_p999_us", func() float64 { return m.batchLatency.Quantile(0.999) })
+
+	reg.OnCollect(func(w *obs.ExpoWriter) { m.collect(w, live) })
+	return m
 }
 
 // observeBatch records one executed batch: its stats delta, its predictor
-// attribution, and its service latency.
-func (m *metrics) observeBatch(predictor string, delta stats.BranchStats, d time.Duration) {
-	m.batches.Add(1)
+// attribution, its service latency (globally and per session shard), and
+// the worker-pool depth seen at admission.
+func (m *metrics) observeBatch(predictor string, shard int, delta stats.BranchStats, d time.Duration, depth int) {
+	m.batches.Inc()
 	m.branches.Add(delta.CondBranches + delta.UncondCount)
-	m.latency[latencyBucket(d)].Add(1)
+	m.batchLatency.ObserveDuration(d)
+	if shard >= 0 && shard < len(m.shardLatency) {
+		m.shardLatency[shard].ObserveDuration(d)
+	}
+	m.queueDepth.Observe(uint64(depth))
 	m.mu.Lock()
 	agg := m.perPred[predictor]
 	if agg == nil {
@@ -60,46 +122,79 @@ func (m *metrics) observeBatch(predictor string, delta stats.BranchStats, d time
 	m.mu.Unlock()
 }
 
-// latencyBucket maps a duration to its histogram bucket index.
-func latencyBucket(d time.Duration) int {
-	us := d.Microseconds()
-	b := 0
-	for us > 0 && b < latencyBuckets-1 {
-		us >>= 1
-		b++
+// observeSessionEnd records a closed or evicted session's in-memory
+// lifetime.
+func (m *metrics) observeSessionEnd(sess *Session) {
+	ms := time.Since(sess.created).Milliseconds()
+	if ms < 0 {
+		ms = 0
 	}
-	return b
+	m.sessionLifetime.Observe(uint64(ms))
 }
 
-// bucketUpperUs is the inclusive upper bound of bucket b in microseconds.
-func bucketUpperUs(b int) float64 { return float64(uint64(1) << b) }
+// collect contributes the computed series to the text exposition: live
+// session gauges, per-predictor aggregates, and per-shard batch-latency
+// quantiles.
+func (m *metrics) collect(w *obs.ExpoWriter, live func() (map[string]int, int)) {
+	byPred, total := live()
+	w.Family("sessions_live", "gauge")
+	w.Value("sessions_live", float64(total))
 
-// latencyQuantile returns the approximate q-quantile of batch latency in
-// microseconds (the upper bound of the bucket holding the q-th sample), or
-// 0 with no samples.
-func (m *metrics) latencyQuantile(q float64) float64 {
-	var counts [latencyBuckets]uint64
-	var total uint64
-	for i := range m.latency {
-		counts[i] = m.latency[i].Load()
-		total += counts[i]
+	m.mu.Lock()
+	type predAgg struct {
+		name string
+		agg  stats.BranchStats
 	}
-	if total == 0 {
-		return 0
+	preds := make([]predAgg, 0, len(m.perPred))
+	for name, agg := range m.perPred {
+		preds = append(preds, predAgg{name, *agg})
 	}
-	target := uint64(math.Ceil(q * float64(total)))
-	if target < 1 {
-		target = 1
-	}
-	var cum uint64
-	for i, c := range counts {
-		cum += c
-		if cum >= target {
-			return bucketUpperUs(i)
+	m.mu.Unlock()
+	sort.Slice(preds, func(i, j int) bool { return preds[i].name < preds[j].name })
+
+	if len(preds) > 0 {
+		w.Family("predictor_mpki", "gauge")
+		for _, p := range preds {
+			w.Labeled("predictor_mpki", predLabel(p.name), p.agg.MPKI())
+		}
+		w.Family("predictor_branches_total", "counter")
+		for _, p := range preds {
+			w.LabeledInt("predictor_branches_total", predLabel(p.name), p.agg.CondBranches)
+		}
+		w.Family("predictor_mispredicts_total", "counter")
+		for _, p := range preds {
+			w.LabeledInt("predictor_mispredicts_total", predLabel(p.name), p.agg.Mispredicts)
 		}
 	}
-	return bucketUpperUs(latencyBuckets - 1)
+
+	liveNames := make([]string, 0, len(byPred))
+	for name := range byPred {
+		liveNames = append(liveNames, name)
+	}
+	sort.Strings(liveNames)
+	if len(liveNames) > 0 {
+		w.Family("predictor_sessions_live", "gauge")
+		for _, name := range liveNames {
+			w.LabeledInt("predictor_sessions_live", predLabel(name), uint64(byPred[name]))
+		}
+	}
+
+	w.Family("shard_batch_latency_us", "gauge")
+	for i, h := range m.shardLatency {
+		if h.Count() == 0 {
+			continue
+		}
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.50}, {"0.99", 0.99}} {
+			w.Labeled("shard_batch_latency_us",
+				fmt.Sprintf(`shard="%d",quantile="%s"`, i, q.label), h.Quantile(q.q))
+		}
+	}
 }
+
+func predLabel(name string) string { return fmt.Sprintf("predictor=%q", name) }
 
 // PredictorStats is the wire form of a per-predictor aggregate.
 type PredictorStats struct {
@@ -121,12 +216,23 @@ type StatsSnapshot struct {
 	Rejected        uint64                    `json:"rejected"`
 	BranchesPerSec  float64                   `json:"branches_per_sec"`
 	LatencyP50Us    float64                   `json:"batch_latency_p50_us"`
+	LatencyP90Us    float64                   `json:"batch_latency_p90_us"`
 	LatencyP99Us    float64                   `json:"batch_latency_p99_us"`
+	LatencyP999Us   float64                   `json:"batch_latency_p999_us"`
+	QueueDepthP50   float64                   `json:"batch_queue_depth_p50"`
+	QueueDepthP99   float64                   `json:"batch_queue_depth_p99"`
 	Predictors      map[string]PredictorStats `json:"predictors"`
 
-	SnapshotSaves      uint64 `json:"snapshot_saves"`
-	SnapshotRestores   uint64 `json:"snapshot_restores"`
-	SnapshotSaveErrors uint64 `json:"snapshot_save_errors"`
+	SnapshotSaves        uint64  `json:"snapshot_saves"`
+	SnapshotRestores     uint64  `json:"snapshot_restores"`
+	SnapshotSaveErrors   uint64  `json:"snapshot_save_errors"`
+	SnapshotSaveP99Us    float64 `json:"snapshot_save_p99_us"`
+	SnapshotRestoreP99Us float64 `json:"snapshot_restore_p99_us"`
+
+	// SessionLifetimeP50Ms / P99Ms summarize closed and evicted sessions'
+	// in-memory lifetimes.
+	SessionLifetimeP50Ms float64 `json:"session_lifetime_p50_ms"`
+	SessionLifetimeP99Ms float64 `json:"session_lifetime_p99_ms"`
 	// SessionsLiveByPredictor counts live sessions per predictor name.
 	SessionsLiveByPredictor map[string]int `json:"sessions_live_by_predictor"`
 }
@@ -135,23 +241,32 @@ type StatsSnapshot struct {
 // supplied by the server (they live in the shard map, not here).
 func (m *metrics) snapshot(sessionsLive int, byPred map[string]int) StatsSnapshot {
 	up := time.Since(m.start).Seconds()
-	branches := m.branches.Load()
+	branches := m.branches.Value()
 	snap := StatsSnapshot{
 		UptimeSec:       up,
 		SessionsLive:    sessionsLive,
-		SessionsCreated: m.sessionsCreated.Load(),
-		SessionsEvicted: m.sessionsEvicted.Load(),
-		SessionsClosed:  m.sessionsClosed.Load(),
-		Batches:         m.batches.Load(),
+		SessionsCreated: m.sessionsCreated.Value(),
+		SessionsEvicted: m.sessionsEvicted.Value(),
+		SessionsClosed:  m.sessionsClosed.Value(),
+		Batches:         m.batches.Value(),
 		Branches:        branches,
-		Rejected:        m.rejected.Load(),
-		LatencyP50Us:    m.latencyQuantile(0.50),
-		LatencyP99Us:    m.latencyQuantile(0.99),
+		Rejected:        m.rejected.Value(),
+		LatencyP50Us:    m.batchLatency.Quantile(0.50),
+		LatencyP90Us:    m.batchLatency.Quantile(0.90),
+		LatencyP99Us:    m.batchLatency.Quantile(0.99),
+		LatencyP999Us:   m.batchLatency.Quantile(0.999),
+		QueueDepthP50:   m.queueDepth.Quantile(0.50),
+		QueueDepthP99:   m.queueDepth.Quantile(0.99),
 		Predictors:      make(map[string]PredictorStats),
 
-		SnapshotSaves:           m.snapshotSaves.Load(),
-		SnapshotRestores:        m.snapshotRestores.Load(),
-		SnapshotSaveErrors:      m.snapshotSaveErrors.Load(),
+		SnapshotSaves:        m.snapshotSaves.Value(),
+		SnapshotRestores:     m.snapshotRestores.Value(),
+		SnapshotSaveErrors:   m.snapshotSaveErrors.Value(),
+		SnapshotSaveP99Us:    m.snapSaveDur.Quantile(0.99),
+		SnapshotRestoreP99Us: m.snapRestoreDur.Quantile(0.99),
+
+		SessionLifetimeP50Ms:    m.sessionLifetime.Quantile(0.50),
+		SessionLifetimeP99Ms:    m.sessionLifetime.Quantile(0.99),
 		SessionsLiveByPredictor: byPred,
 	}
 	if up > 0 {
@@ -168,44 +283,4 @@ func (m *metrics) snapshot(sessionsLive int, byPred map[string]int) StatsSnapsho
 	}
 	m.mu.Unlock()
 	return snap
-}
-
-// writeProm renders the snapshot in Prometheus text exposition format for
-// GET /metrics.
-func (snap StatsSnapshot) writeProm(w io.Writer) {
-	p := func(name string, v float64) { fmt.Fprintf(w, "llbpd_%s %g\n", name, v) }
-	p("uptime_seconds", snap.UptimeSec)
-	p("sessions_live", float64(snap.SessionsLive))
-	p("sessions_created_total", float64(snap.SessionsCreated))
-	p("sessions_evicted_total", float64(snap.SessionsEvicted))
-	p("sessions_closed_total", float64(snap.SessionsClosed))
-	p("batches_total", float64(snap.Batches))
-	p("branches_total", float64(snap.Branches))
-	p("batches_rejected_total", float64(snap.Rejected))
-	p("branches_per_second", snap.BranchesPerSec)
-	p("batch_latency_p50_us", snap.LatencyP50Us)
-	p("batch_latency_p99_us", snap.LatencyP99Us)
-	p("snapshot_saves_total", float64(snap.SnapshotSaves))
-	p("snapshot_restores_total", float64(snap.SnapshotRestores))
-	p("snapshot_save_errors_total", float64(snap.SnapshotSaveErrors))
-	names := make([]string, 0, len(snap.Predictors))
-	for name := range snap.Predictors {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		ps := snap.Predictors[name]
-		fmt.Fprintf(w, "llbpd_predictor_mpki{predictor=%q} %g\n", name, ps.MPKI)
-		fmt.Fprintf(w, "llbpd_predictor_branches_total{predictor=%q} %d\n", name, ps.CondBranches)
-		fmt.Fprintf(w, "llbpd_predictor_mispredicts_total{predictor=%q} %d\n", name, ps.Mispredicts)
-	}
-	liveNames := make([]string, 0, len(snap.SessionsLiveByPredictor))
-	for name := range snap.SessionsLiveByPredictor {
-		liveNames = append(liveNames, name)
-	}
-	sort.Strings(liveNames)
-	for _, name := range liveNames {
-		fmt.Fprintf(w, "llbpd_predictor_sessions_live{predictor=%q} %d\n",
-			name, snap.SessionsLiveByPredictor[name])
-	}
 }

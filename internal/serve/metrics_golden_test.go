@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"bufio"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// goldenFamilies is the complete expected set of /metrics families and
+// their types. This is the exposition contract dashboards are built on:
+// adding a family is fine (add it here), but renaming or retyping one is
+// a breaking change this test is meant to flag.
+var goldenFamilies = map[string]string{
+	"llbpd_uptime_seconds":               "gauge",
+	"llbpd_sessions_live":                "gauge",
+	"llbpd_sessions_created_total":       "counter",
+	"llbpd_sessions_evicted_total":       "counter",
+	"llbpd_sessions_closed_total":        "counter",
+	"llbpd_batches_total":                "counter",
+	"llbpd_branches_total":               "counter",
+	"llbpd_batches_rejected_total":       "counter",
+	"llbpd_branches_per_second":          "gauge",
+	"llbpd_batch_latency_p50_us":         "gauge",
+	"llbpd_batch_latency_p90_us":         "gauge",
+	"llbpd_batch_latency_p99_us":         "gauge",
+	"llbpd_batch_latency_p999_us":        "gauge",
+	"llbpd_batch_latency_us":             "histogram",
+	"llbpd_batch_queue_depth":            "histogram",
+	"llbpd_session_lifetime_ms":          "histogram",
+	"llbpd_snapshot_save_duration_us":    "histogram",
+	"llbpd_snapshot_restore_duration_us": "histogram",
+	"llbpd_snapshot_saves_total":         "counter",
+	"llbpd_snapshot_restores_total":      "counter",
+	"llbpd_snapshot_save_errors_total":   "counter",
+	"llbpd_predictor_mpki":               "gauge",
+	"llbpd_predictor_branches_total":     "counter",
+	"llbpd_predictor_mispredicts_total":  "counter",
+	"llbpd_predictor_sessions_live":      "gauge",
+	"llbpd_shard_batch_latency_us":       "gauge",
+}
+
+// TestMetricsGoldenExposition locks the /metrics exposition format: the
+// exact family set with exact types, plus structural well-formedness of
+// every histogram (cumulative monotone buckets, +Inf == _count).
+func TestMetricsGoldenExposition(t *testing.T) {
+	srv, client := testServer(t, Config{})
+	branches := workloadBranches(t, "kafka", 20_000)
+	sendInBatches(t, client, "g1", "tsl-8k", branches, 512)
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+
+	// Collect "# TYPE <name> <type>" declarations.
+	got := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			t.Fatalf("malformed TYPE line: %q", line)
+		}
+		if _, dup := got[fields[2]]; dup {
+			t.Fatalf("family %q declared twice", fields[2])
+		}
+		got[fields[2]] = fields[3]
+	}
+	for name, typ := range goldenFamilies {
+		if got[name] != typ {
+			t.Errorf("family %q: type %q, want %q", name, got[name], typ)
+		}
+	}
+	for name, typ := range got {
+		if goldenFamilies[name] != typ {
+			t.Errorf("unexpected family %q (%s) — extend goldenFamilies if intentional", name, typ)
+		}
+	}
+
+	// Histogram well-formedness per family: cumulative buckets never
+	// decrease and the +Inf bucket equals _count.
+	for name, typ := range goldenFamilies {
+		if typ != "histogram" {
+			continue
+		}
+		var last, inf, count uint64
+		var sawInf, sawCount bool
+		sc := bufio.NewScanner(strings.NewReader(body))
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, name+"_bucket{le="):
+				v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+				if err != nil {
+					t.Fatalf("%s: bad bucket line %q: %v", name, line, err)
+				}
+				if v < last {
+					t.Fatalf("%s: cumulative bucket decreased (%d -> %d): %q", name, last, v, line)
+				}
+				last = v
+				if strings.Contains(line, `le="+Inf"`) {
+					inf, sawInf = v, true
+				}
+			case strings.HasPrefix(line, name+"_count "):
+				v, err := strconv.ParseUint(strings.TrimPrefix(line, name+"_count "), 10, 64)
+				if err != nil {
+					t.Fatalf("%s: bad count line %q: %v", name, line, err)
+				}
+				count, sawCount = v, true
+			}
+		}
+		if !sawInf || !sawCount {
+			t.Fatalf("%s: histogram missing +Inf bucket or _count", name)
+		}
+		if inf != count {
+			t.Fatalf("%s: +Inf bucket %d != count %d", name, inf, count)
+		}
+	}
+
+	// Traffic must actually have landed in the latency histogram.
+	if !strings.Contains(body, "llbpd_batch_latency_us_count") {
+		t.Fatal("latency histogram absent")
+	}
+	sc2 := bufio.NewScanner(strings.NewReader(body))
+	for sc2.Scan() {
+		line := sc2.Text()
+		if strings.HasPrefix(line, "llbpd_batch_latency_us_count ") {
+			if n, _ := strconv.ParseUint(strings.Fields(line)[1], 10, 64); n == 0 {
+				t.Fatal("latency histogram empty after traffic")
+			}
+		}
+	}
+}

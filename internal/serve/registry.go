@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"llbpx/internal/core"
 	"llbpx/internal/llbp"
@@ -10,36 +11,125 @@ import (
 	"llbpx/internal/tage"
 )
 
-// predictorMakers is the registry of named predictor configurations a
-// session can be created with. The names match cmd/llbpsim's vocabulary.
-var predictorMakers = map[string]func() (core.Predictor, error){
-	"tsl-8k":    func() (core.Predictor, error) { return tage.New(tage.Config8K()) },
-	"tsl-16k":   func() (core.Predictor, error) { return tage.New(tage.Config16K()) },
-	"tsl-32k":   func() (core.Predictor, error) { return tage.New(tage.Config32K()) },
-	"tsl-64k":   func() (core.Predictor, error) { return tage.New(tage.Config64K()) },
-	"tsl-128k":  func() (core.Predictor, error) { return tage.New(tage.Config128K()) },
-	"tsl-512k":  func() (core.Predictor, error) { return tage.New(tage.Config512K()) },
-	"tsl-inf":   func() (core.Predictor, error) { return tage.New(tage.ConfigInf()) },
-	"llbp":      func() (core.Predictor, error) { return llbp.New(llbp.Default()) },
-	"llbp-0lat": func() (core.Predictor, error) { return llbp.New(llbp.ZeroLatency()) },
-	"llbp-x":    func() (core.Predictor, error) { return llbpximpl.New(llbpximpl.Default()) },
+// PredictorFactory builds a fresh predictor instance for one registry
+// configuration.
+type PredictorFactory func() (core.Predictor, error)
+
+// PredictorInfo describes one registry entry.
+type PredictorInfo struct {
+	// Name is the registry key ("tsl-64k", "llbp-x", ...).
+	Name string
+	// Description is a one-line human-readable summary.
+	Description string
+}
+
+// predictorEntry is one row of the registry table.
+type predictorEntry struct {
+	desc    string
+	factory PredictorFactory
+}
+
+// The registry table: named predictor configurations a session (or a
+// snapshot load, or cmd/llbpsim) can be created with. Built-ins are
+// registered at init; experiments and external code extend it through
+// RegisterPredictor (exported at the root facade), so nothing else in the
+// repository hard-codes the configuration vocabulary.
+var (
+	regMu          sync.RWMutex
+	predictorTable = map[string]predictorEntry{}
+)
+
+func init() {
+	mustRegister := func(name, desc string, factory PredictorFactory) {
+		if err := RegisterPredictor(name, desc, factory); err != nil {
+			panic(err)
+		}
+	}
+	mustRegister("tsl-8k", "TAGE-SC-L, 8KB storage budget",
+		func() (core.Predictor, error) { return tage.New(tage.Config8K()) })
+	mustRegister("tsl-16k", "TAGE-SC-L, 16KB storage budget",
+		func() (core.Predictor, error) { return tage.New(tage.Config16K()) })
+	mustRegister("tsl-32k", "TAGE-SC-L, 32KB storage budget",
+		func() (core.Predictor, error) { return tage.New(tage.Config32K()) })
+	mustRegister("tsl-64k", "TAGE-SC-L, 64KB storage budget (paper baseline)",
+		func() (core.Predictor, error) { return tage.New(tage.Config64K()) })
+	mustRegister("tsl-128k", "TAGE-SC-L, 128KB storage budget",
+		func() (core.Predictor, error) { return tage.New(tage.Config128K()) })
+	mustRegister("tsl-512k", "TAGE-SC-L, 512KB storage budget",
+		func() (core.Predictor, error) { return tage.New(tage.Config512K()) })
+	mustRegister("tsl-inf", "TAGE-SC-L with unbounded tables (upper bound)",
+		func() (core.Predictor, error) { return tage.New(tage.ConfigInf()) })
+	mustRegister("llbp", "LLBP over TSL-64K (515KB backing store, W=8, D=4)",
+		func() (core.Predictor, error) { return llbp.New(llbp.Default()) })
+	mustRegister("llbp-0lat", "LLBP with zero-latency backing store",
+		func() (core.Predictor, error) { return llbp.New(llbp.ZeroLatency()) })
+	mustRegister("llbp-x", "LLBP-X: dynamic context depth + history range selection",
+		func() (core.Predictor, error) { return llbpximpl.New(llbpximpl.Default()) })
+}
+
+// RegisterPredictor adds a named predictor configuration to the registry.
+// The name becomes usable everywhere registry names are: session creation,
+// cmd/llbpsim -predictor, and snapshot loading (snapshots embed the name
+// and resolve through this same table). It returns an error — rather than
+// overwriting — when the name is empty, the factory is nil, or the name is
+// already taken, so built-ins cannot be shadowed.
+func RegisterPredictor(name, desc string, factory PredictorFactory) error {
+	if name == "" {
+		return fmt.Errorf("serve: predictor name must be non-empty")
+	}
+	if factory == nil {
+		return fmt.Errorf("serve: predictor %q needs a non-nil factory", name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := predictorTable[name]; dup {
+		return fmt.Errorf("serve: predictor %q already registered", name)
+	}
+	predictorTable[name] = predictorEntry{desc: desc, factory: factory}
+	return nil
 }
 
 // NewPredictor constructs a fresh predictor instance for a registry name.
+// An unknown name returns an error wrapping ErrUnknownPredictor.
 func NewPredictor(name string) (core.Predictor, error) {
-	mk, ok := predictorMakers[name]
+	regMu.RLock()
+	e, ok := predictorTable[name]
+	regMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("serve: unknown predictor %q (known: %v)", name, PredictorNames())
+		return nil, fmt.Errorf("serve: %w %q (known: %v)", ErrUnknownPredictor, name, PredictorNames())
 	}
-	return mk()
+	return e.factory()
 }
 
 // PredictorNames returns the registry names in sorted order.
 func PredictorNames() []string {
-	out := make([]string, 0, len(predictorMakers))
-	for name := range predictorMakers {
+	regMu.RLock()
+	out := make([]string, 0, len(predictorTable))
+	for name := range predictorTable {
 		out = append(out, name)
 	}
+	regMu.RUnlock()
 	sort.Strings(out)
+	return out
+}
+
+// DescribePredictor returns a registry entry's one-line description and
+// whether the name is registered.
+func DescribePredictor(name string) (string, bool) {
+	regMu.RLock()
+	e, ok := predictorTable[name]
+	regMu.RUnlock()
+	return e.desc, ok
+}
+
+// Predictors returns every registry entry, sorted by name.
+func Predictors() []PredictorInfo {
+	names := PredictorNames()
+	out := make([]PredictorInfo, 0, len(names))
+	regMu.RLock()
+	for _, name := range names {
+		out = append(out, PredictorInfo{Name: name, Description: predictorTable[name].desc})
+	}
+	regMu.RUnlock()
 	return out
 }

@@ -48,6 +48,10 @@ type Config struct {
 	// checkpoints every remaining session so a restarted daemon boots
 	// warm. Empty disables checkpointing (PR 1 behavior).
 	SnapshotDir string
+	// EnablePprof mounts net/http/pprof's profiling endpoints under
+	// /debug/pprof/ (llbpd's -pprof flag). Off by default: the endpoints
+	// expose internals and cost nothing only when unused.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -104,11 +108,11 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:         cfg,
 		sessions:    newShardMap(cfg.Shards),
-		metrics:     newMetrics(),
 		pool:        make(chan struct{}, cfg.Workers),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
+	s.metrics = newMetrics(cfg.Shards, s.sessions.countByPredictor)
 	s.mux = s.buildMux()
 	go s.janitor()
 	return s

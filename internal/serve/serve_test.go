@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"testing"
 
@@ -211,38 +212,36 @@ func TestMetricsMoveUnderTraffic(t *testing.T) {
 	}
 }
 
-func TestLatencyBuckets(t *testing.T) {
-	if latencyBucket(0) != 0 {
-		t.Fatal("zero latency must land in bucket 0")
-	}
-	m := newMetrics()
-	for i := 0; i < 99; i++ {
-		m.latency[4].Add(1) // 99 samples at ~16us
-	}
-	m.latency[10].Add(1) // 1 sample at ~1ms
-	if p50 := m.latencyQuantile(0.50); p50 != bucketUpperUs(4) {
-		t.Fatalf("p50 = %v", p50)
-	}
-	if p99 := m.latencyQuantile(0.99); p99 != bucketUpperUs(4) {
-		t.Fatalf("p99 = %v (99/100 samples are in bucket 4)", p99)
-	}
-	if p999 := m.latencyQuantile(0.9999); p999 != bucketUpperUs(10) {
-		t.Fatalf("p99.99 = %v", p999)
-	}
-}
-
 func TestPredictorRegistry(t *testing.T) {
 	names := PredictorNames()
-	if len(names) != 10 {
-		t.Fatalf("registry has %d names: %v", len(names), names)
+	// The ten builtin configurations must always be present; extensions
+	// registered by other tests or embedders may add more.
+	builtins := []string{
+		"tsl-8k", "tsl-16k", "tsl-32k", "tsl-64k", "tsl-128k", "tsl-512k",
+		"tsl-inf", "llbp", "llbp-0lat", "llbp-x",
 	}
-	for _, name := range names {
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, b := range builtins {
+		if !have[b] {
+			t.Fatalf("builtin %q missing from registry: %v", b, names)
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("PredictorNames not sorted: %v", names)
+	}
+	for _, name := range builtins {
 		p, err := NewPredictor(name)
 		if err != nil {
 			t.Fatalf("NewPredictor(%s): %v", name, err)
 		}
 		if p.Name() == "" {
 			t.Fatalf("%s built a nameless predictor", name)
+		}
+		if desc, ok := DescribePredictor(name); !ok || desc == "" {
+			t.Fatalf("DescribePredictor(%s) = %q, %v", name, desc, ok)
 		}
 	}
 	if _, err := NewPredictor("nope"); err == nil {

@@ -19,6 +19,10 @@ type Session struct {
 	// PredictorName is the registry name the session was created with.
 	PredictorName string
 
+	// created is when the session entered memory (cold start or snapshot
+	// restore); the lifetime histogram measures from here.
+	created time.Time
+
 	// lastUsed is the unix-nano timestamp of the last batch (or creation),
 	// read lock-free by the eviction janitor.
 	lastUsed atomic.Int64
@@ -42,7 +46,7 @@ func newSession(id, predictorName string) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Session{ID: id, PredictorName: predictorName, pred: p}
+	s := &Session{ID: id, PredictorName: predictorName, pred: p, created: time.Now()}
 	s.touch()
 	return s, nil
 }

@@ -31,7 +31,13 @@ func newShardMap(n int) *shardMap {
 }
 
 func (sm *shardMap) shard(id string) *mapShard {
-	return &sm.shards[hashutil.FNV1a(id)%uint64(len(sm.shards))]
+	return &sm.shards[sm.index(id)]
+}
+
+// index returns the shard number a session ID maps to (stable for the
+// map's lifetime; used to label per-shard metrics).
+func (sm *shardMap) index(id string) int {
+	return int(hashutil.FNV1a(id) % uint64(len(sm.shards)))
 }
 
 // get returns the session for id, or nil.

@@ -5,6 +5,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"time"
 
 	"llbpx/internal/snapshot"
 	"llbpx/internal/stats"
@@ -70,7 +71,12 @@ func (s *Server) saveSession(sess *Session) error {
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	return snapshot.WriteFile(s.snapPath(sess.ID), sess.PredictorName, sessionState{sess})
+	start := time.Now()
+	err := snapshot.WriteFile(s.snapPath(sess.ID), sess.PredictorName, sessionState{sess})
+	if err == nil {
+		s.metrics.snapSaveDur.ObserveDuration(time.Since(start))
+	}
+	return err
 }
 
 // checkpointSessions saves each session, counting successes and failures;
@@ -81,9 +87,9 @@ func (s *Server) checkpointSessions(sessions []*Session) {
 	}
 	for _, sess := range sessions {
 		if err := s.saveSession(sess); err != nil {
-			s.metrics.snapshotSaveErrors.Add(1)
+			s.metrics.snapshotSaveErrors.Inc()
 		} else {
-			s.metrics.snapshotSaves.Add(1)
+			s.metrics.snapshotSaves.Inc()
 		}
 	}
 }
@@ -101,6 +107,7 @@ func (s *Server) restoreSession(id, want string) (*Session, bool) {
 	}
 	path := s.snapPath(id)
 	var sess *Session
+	start := time.Now()
 	_, _, err := snapshot.ReadFile(path, func(name string) (snapshot.State, error) {
 		if want != "" && name != want {
 			return nil, fmt.Errorf("snapshot holds predictor %q, client wants %q", name, want)
@@ -118,6 +125,7 @@ func (s *Server) restoreSession(id, want string) (*Session, bool) {
 	if err != nil {
 		return nil, false
 	}
+	s.metrics.snapRestoreDur.ObserveDuration(time.Since(start))
 	os.Remove(path)
 	sess.restored = true
 	sess.touch()

@@ -6,11 +6,25 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"llbpx/internal/core"
 	"llbpx/internal/stats"
 )
+
+// Observer receives one callback per simulated conditional branch, after
+// the predictor has both predicted and trained on it. It is the
+// introspection hook behind misprediction attribution (internal/analyze):
+// the simulator's accounting never depends on it, and a nil observer costs
+// one pointer test per branch — the hot path stays allocation-free either
+// way. Implementations must not retain b or pred past the call.
+type Observer interface {
+	// ObserveBranch sees the branch, the full prediction (with
+	// provenance: provider history length, second-level origin, override
+	// state), and whether the simulation is in the measured phase.
+	ObserveBranch(b core.Branch, pred core.Prediction, measuring bool)
+}
 
 // Options bounds a simulation. Instruction counts follow the paper's
 // warmup-then-measure protocol; both are expressed in retired
@@ -22,6 +36,10 @@ type Options struct {
 	WarmupInstr uint64
 	// MeasureInstr is the measured instruction count.
 	MeasureInstr uint64
+	// Observer, when non-nil, is invoked for every conditional branch.
+	// It does not alter results; see the Observer docs for the hot-path
+	// contract.
+	Observer Observer
 }
 
 // DefaultOptions is a scaled-down version of the paper's 100M warmup +
@@ -76,6 +94,17 @@ const simBatch = 512
 // branch that crosses WarmupInstr and before the next one, so the chunk
 // containing the boundary is split there.
 func Run(p core.Predictor, src core.Source, opt Options) (Result, error) {
+	return RunContext(context.Background(), p, src, opt)
+}
+
+// RunContext is Run with cancellation. The context is checked once per
+// internal batch (every simBatch branches, ~simBatch*4 instructions), so
+// cancellation latency is bounded and the per-branch hot path carries no
+// extra cost. On cancellation the partial Result accumulated so far is
+// returned — Extra populated, statistics consistent up to the last
+// completed batch — together with ctx.Err(), so callers can report
+// progress from an interrupted run.
+func RunContext(ctx context.Context, p core.Predictor, src core.Source, opt Options) (Result, error) {
 	if err := opt.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -86,10 +115,17 @@ func Run(p core.Predictor, src core.Source, opt Options) (Result, error) {
 		resetStats(p)
 	}
 	limit := opt.WarmupInstr + opt.MeasureInstr
+	obs := opt.Observer
 
 	var batch [simBatch]core.Branch
 	var preds [simBatch]core.Prediction
 	for instr < limit && !res.Truncated {
+		if err := ctx.Err(); err != nil {
+			if sp, ok := p.(core.StatsProvider); ok {
+				res.Extra = sp.Stats()
+			}
+			return res, err
+		}
 		// Fill the batch, fetching exactly the branches the per-branch loop
 		// would have: one more whenever the running total is below limit.
 		n := 0
@@ -141,6 +177,9 @@ func Run(p core.Predictor, src core.Source, opt Options) (Result, error) {
 					}
 					if pred.Taken != pred.FastTaken {
 						phase.Overrides++
+					}
+					if obs != nil {
+						obs.ObserveBranch(b, pred, measuring)
 					}
 				} else {
 					phase.UncondCount++

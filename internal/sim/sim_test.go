@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"llbpx/internal/core"
@@ -126,5 +128,108 @@ func TestResultMPKI(t *testing.T) {
 	r.Measured.Mispredicts = 3
 	if r.MPKI() != 3 {
 		t.Fatalf("MPKI = %v", r.MPKI())
+	}
+}
+
+// sourceFunc adapts a closure to core.Source.
+type sourceFunc func() (core.Branch, bool)
+
+func (f sourceFunc) Next() (core.Branch, bool) { return f() }
+
+// tallyObserver tallies observer callbacks, mirroring the simulator's own
+// accounting so the test can check the two agree exactly.
+type tallyObserver struct {
+	warm, measured, miss uint64
+}
+
+func (o *tallyObserver) ObserveBranch(b core.Branch, pred core.Prediction, measuring bool) {
+	if !measuring {
+		o.warm++
+		return
+	}
+	o.measured++
+	if pred.Taken != b.Taken {
+		o.miss++
+	}
+}
+
+func TestObserverSeesEveryConditional(t *testing.T) {
+	bs := branches(400)
+	obs := &tallyObserver{}
+	withRes, err := Run(&countingPredictor{}, core.NewSliceSource(bs),
+		Options{WarmupInstr: 500, MeasureInstr: 1000, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.warm != withRes.Warmup.CondBranches {
+		t.Fatalf("observer warm = %d, stats = %d", obs.warm, withRes.Warmup.CondBranches)
+	}
+	if obs.measured != withRes.Measured.CondBranches {
+		t.Fatalf("observer measured = %d, stats = %d", obs.measured, withRes.Measured.CondBranches)
+	}
+	if obs.miss != withRes.Measured.Mispredicts {
+		t.Fatalf("observer miss = %d, stats = %d", obs.miss, withRes.Measured.Mispredicts)
+	}
+	// The observer must not perturb results: an identical run without one
+	// produces identical statistics.
+	without, err := Run(&countingPredictor{}, core.NewSliceSource(bs),
+		Options{WarmupInstr: 500, MeasureInstr: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.Measured != withRes.Measured || without.Warmup != withRes.Warmup {
+		t.Fatalf("observer changed results:\nwith:    %+v\nwithout: %+v", withRes, without)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, &countingPredictor{}, core.NewSliceSource(branches(400)),
+		Options{MeasureInstr: 1000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Measured.Instructions != 0 {
+		t.Fatalf("pre-cancelled context still simulated %d instructions", res.Measured.Instructions)
+	}
+
+	// Cancel mid-run: the source trips cancel partway through, and the
+	// partial result must cover everything up to the last completed batch.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	n := 0
+	src := sourceFunc(func() (core.Branch, bool) {
+		n++
+		if n == 2000 { // mid-stream, past the first internal batch
+			cancel2()
+		}
+		return core.Branch{PC: uint64(n), Kind: core.CondDirect, Taken: true, InstrGap: 5}, true
+	})
+	res2, err2 := RunContext(ctx2, &countingPredictor{}, src, Options{MeasureInstr: 1_000_000_000})
+	if !errors.Is(err2, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err2)
+	}
+	if res2.Measured.Instructions == 0 {
+		t.Fatal("mid-run cancel must return the partial result")
+	}
+	if res2.Measured.Instructions >= 1_000_000_000 {
+		t.Fatal("cancelled run claims to have finished")
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	bs := branches(400)
+	a, err := Run(&countingPredictor{}, core.NewSliceSource(bs), Options{WarmupInstr: 500, MeasureInstr: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), &countingPredictor{}, core.NewSliceSource(bs),
+		Options{WarmupInstr: 500, MeasureInstr: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Measured != b.Measured || a.Warmup != b.Warmup || a.Truncated != b.Truncated {
+		t.Fatalf("Run and RunContext diverge:\nRun:        %+v\nRunContext: %+v", a, b)
 	}
 }

@@ -18,10 +18,12 @@
 package llbpx
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 
+	"llbpx/internal/analyze"
 	"llbpx/internal/btb"
 	"llbpx/internal/core"
 	"llbpx/internal/experiments"
@@ -152,6 +154,30 @@ func NewPredictorByName(name string) (Predictor, error) { return serve.NewPredic
 // PredictorNames lists the registry's predictor configuration names.
 func PredictorNames() []string { return serve.PredictorNames() }
 
+// PredictorFactory builds a fresh predictor instance for one registered
+// configuration.
+type PredictorFactory = serve.PredictorFactory
+
+// PredictorInfo describes one registry entry (name + one-line summary).
+type PredictorInfo = serve.PredictorInfo
+
+// RegisterPredictor adds a named predictor configuration to the shared
+// registry. The name becomes usable everywhere registry names are:
+// NewPredictorByName, cmd/llbpsim -predictor, llbpd session creation, and
+// snapshot loading. Registration fails (rather than overwrites) on an
+// empty name, a nil factory, or a name already taken — built-ins cannot
+// be shadowed.
+func RegisterPredictor(name, desc string, factory PredictorFactory) error {
+	return serve.RegisterPredictor(name, desc, factory)
+}
+
+// DescribePredictor returns a registered configuration's one-line
+// description and whether the name exists.
+func DescribePredictor(name string) (string, bool) { return serve.DescribePredictor(name) }
+
+// Predictors returns every registry entry, sorted by name.
+func Predictors() []PredictorInfo { return serve.Predictors() }
+
 // Checkpointing -------------------------------------------------------------
 
 // SavePredictorState serializes a predictor's complete learned state —
@@ -230,10 +256,38 @@ type SimOptions = sim.Options
 // SimResult is a simulation outcome; MPKI() is the headline metric.
 type SimResult = sim.Result
 
+// SimObserver receives one callback per simulated conditional branch; see
+// sim.Observer for the hot-path contract (nil is free, implementations
+// must not retain arguments).
+type SimObserver = sim.Observer
+
 // Simulate drives a predictor over a branch stream in retire order.
 func Simulate(p Predictor, src Source, opt SimOptions) (SimResult, error) {
 	return sim.Run(p, src, opt)
 }
+
+// SimulateContext is Simulate with cancellation: the context is checked at
+// internal batch boundaries, and a cancelled run returns the partial
+// result accumulated so far together with ctx.Err().
+func SimulateContext(ctx context.Context, p Predictor, src Source, opt SimOptions) (SimResult, error) {
+	return sim.RunContext(ctx, p, src, opt)
+}
+
+// Misprediction attribution --------------------------------------------------
+
+// MispredictAttribution accumulates per-static-branch misprediction
+// attribution from a simulation: pass one as SimOptions.Observer, then
+// read TopK or render Table for the paper-style H2P breakdown (which
+// static branches concentrate the misprediction mass, and which provider
+// component — bimodal base, short- or long-history TAGE table, or the
+// second-level pattern buffer — was providing on each miss).
+type MispredictAttribution = analyze.Attribution
+
+// BranchProfile is one static branch's accumulated attribution record.
+type BranchProfile = analyze.BranchProfile
+
+// NewMispredictAttribution returns an empty attribution observer.
+func NewMispredictAttribution() *MispredictAttribution { return analyze.NewAttribution() }
 
 // Timing model --------------------------------------------------------------
 

@@ -1,0 +1,67 @@
+package llbpx_test
+
+// Observability-overhead gate: the simulator's observer hook must be free
+// when disabled and allocation-free when an observer is registered but
+// does nothing. An absolute zero-alloc bar is impossible at the Simulate
+// level (each call allocates its source adapter and Extra stats map once),
+// so the gate is differential: the nil-observer and idle-observer runs
+// must allocate identically, and both must stay within a small constant —
+// a single per-branch allocation across the ~25k-branch window would blow
+// the bound by orders of magnitude.
+
+import (
+	"testing"
+
+	"llbpx"
+)
+
+// idleObserver is registered but does nothing — the "observer attached,
+// nobody looking" configuration the disabled-path gate measures.
+type idleObserver struct{ calls uint64 }
+
+func (o *idleObserver) ObserveBranch(b llbpx.Branch, pred llbpx.Prediction, measuring bool) {
+	o.calls++
+}
+
+func TestObserverDisabledPathAllocFree(t *testing.T) {
+	if slowcheckEnabled {
+		t.Skip("slowcheck shadow maps allocate by design")
+	}
+	warm, window := zaStream(t, "nodeapp", 400_000, 100_000)
+	p, err := llbpx.NewPredictorByName("tsl-64k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(obs llbpx.SimObserver) {
+		_, err := llbpx.Simulate(p, llbpx.NewSliceSource(window),
+			llbpx.SimOptions{MeasureInstr: 1 << 40, Observer: obs})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the predictor, then settle both paths once so lazily-grown
+	// structures reach working size before measurement.
+	_, err = llbpx.Simulate(p, llbpx.NewSliceSource(warm), llbpx.SimOptions{MeasureInstr: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &idleObserver{}
+	run(nil)
+	run(obs)
+
+	base := testing.AllocsPerRun(5, func() { run(nil) })
+	idle := testing.AllocsPerRun(5, func() { run(obs) })
+	if base != idle {
+		t.Errorf("idle observer changes allocation count: disabled=%.1f idle=%.1f allocs/run", base, idle)
+	}
+	// Both paths may only pay Simulate's constant per-call setup; anything
+	// proportional to the ~25k-branch window is a hot-path regression.
+	const maxConstAllocs = 64
+	if base > maxConstAllocs || idle > maxConstAllocs {
+		t.Errorf("per-branch allocation leaked into the simulate path: disabled=%.1f idle=%.1f allocs/run (max %d)",
+			base, idle, maxConstAllocs)
+	}
+	if obs.calls == 0 {
+		t.Fatal("idle observer was never invoked — the gate measured nothing")
+	}
+}
