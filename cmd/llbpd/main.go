@@ -25,12 +25,16 @@
 //	DELETE /v1/sessions/{id}           close session, return final stats
 //	GET    /v1/stats                   server-wide stats (JSON)
 //	GET    /metrics                    Prometheus text format
+//	GET    /healthz                    liveness (200 even while draining)
+//	GET    /readyz                     readiness (503 once draining begins)
 //	GET    /debug/pprof/               profiling endpoints (with -pprof)
 //
 // Errors use a stable JSON envelope {"error":{"code":"...","message":"..."}}
 // with machine-readable codes (bad_request, unknown_predictor,
 // session_not_found, predictor_conflict, batch_too_large, draining,
-// internal).
+// overloaded, internal). A batch that cannot acquire a worker slot within
+// -admit-timeout is shed with 429 + Retry-After instead of queueing
+// unboundedly; shed batches were never executed and are safe to resend.
 //
 // Drive it with cmd/llbpload.
 package main
@@ -46,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"llbpx/internal/faults"
 	"llbpx/internal/serve"
 )
 
@@ -59,8 +64,26 @@ func main() {
 		predictor = flag.String("predictor", "llbp-x", "default predictor for new sessions")
 		snapDir   = flag.String("snapshot-dir", "", "checkpoint evicted/drained sessions here and restore them on demand (empty disables)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service address")
+
+		admitTimeout = flag.Duration("admit-timeout", 2*time.Second, "shed a batch with 429 if no worker slot frees up within this (<0 waits forever)")
+
+		// HTTP server timeouts: all non-zero by default so a slowloris
+		// client (or a stalled peer) cannot pin a connection forever.
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "http.Server.ReadHeaderTimeout")
+		readTimeout       = flag.Duration("read-timeout", time.Minute, "http.Server.ReadTimeout (covers the whole request body)")
+		writeTimeout      = flag.Duration("write-timeout", 2*time.Minute, "http.Server.WriteTimeout (covers batch execution + response)")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server.IdleTimeout for keep-alive connections")
+
+		injectSpec = flag.String("inject", "", "fault-injection spec for chaos drills, e.g. 'serve.snapshot.save:err=0.1;serve.batch.exec:lat=50ms' (empty disables)")
+		injectSeed = flag.Int64("inject-seed", 1, "seed for the fault injector's per-site RNG streams")
 	)
 	flag.Parse()
+
+	inj, err := faults.ParseSpec(*injectSpec, *injectSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llbpd:", err)
+		os.Exit(2)
+	}
 
 	srv := serve.New(serve.Config{
 		Shards:           *shards,
@@ -70,8 +93,17 @@ func main() {
 		DefaultPredictor: *predictor,
 		SnapshotDir:      *snapDir,
 		EnablePprof:      *pprofOn,
+		AdmitTimeout:     *admitTimeout,
+		Faults:           inj,
 	})
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
@@ -100,9 +132,13 @@ func main() {
 	snap := srv.Stats()
 	fmt.Printf("llbpd: served %d batches / %d branches over %d sessions (%.0f branches/s)\n",
 		snap.Batches, snap.Branches, snap.SessionsCreated, snap.BranchesPerSec)
+	if snap.Shed > 0 || snap.Rejected > 0 || snap.Cancelled > 0 {
+		fmt.Printf("llbpd: shed %d batches (429), rejected %d while draining, %d abandoned by clients\n",
+			snap.Shed, snap.Rejected, snap.Cancelled)
+	}
 	if *snapDir != "" {
-		fmt.Printf("llbpd: checkpoints in %s (%d saved, %d restored, %d write errors)\n",
-			*snapDir, snap.SnapshotSaves, snap.SnapshotRestores, snap.SnapshotSaveErrors)
+		fmt.Printf("llbpd: checkpoints in %s (%d saved, %d restored, %d write errors, %d quarantined)\n",
+			*snapDir, snap.SnapshotSaves, snap.SnapshotRestores, snap.SnapshotSaveErrors, snap.SnapshotQuarantined)
 	}
 	if len(finals) > 0 {
 		fmt.Printf("%-24s %-10s %12s %12s %10s\n", "session", "predictor", "instructions", "mispredicts", "MPKI")

@@ -58,6 +58,7 @@ func main() {
 		tolerance  = flag.Float64("tolerance", 0.01, "max |server-local|/local MPKI disagreement")
 		resume     = flag.Bool("resume", false, "pause each session past the server's idle TTL mid-stream to exercise evict-to-disk + restore")
 		resumeWait = flag.Duration("resume-wait", 3*time.Second, "how long a -resume pause lasts (set > the daemon's -ttl)")
+		retries    = flag.Int("retries", 0, "max attempts per request: retry shed (429) and draining (503) batches with exponential backoff (0 disables)")
 	)
 	flag.Parse()
 	if *sessions < 1 || *batchSize < 1 || *instr == 0 {
@@ -78,6 +79,12 @@ func main() {
 		Transport: &http.Transport{MaxIdleConnsPerHost: *sessions},
 		Timeout:   2 * time.Minute,
 	})
+	if *retries > 0 {
+		// The MPKI cross-check below still applies verbatim: retried
+		// batches must not double-apply, so a disagreement after retries
+		// exits non-zero exactly like one without them.
+		client.WithRetry(serve.RetryPolicy{MaxAttempts: *retries})
+	}
 	// SIGINT/SIGTERM cancels every in-flight request, pause, and local
 	// verification run; sessions report context.Canceled and the run exits
 	// through the normal failure path instead of dying mid-write.
@@ -128,6 +135,10 @@ func main() {
 	}
 	fmt.Printf("llbpload: streamed %d branches in %v — %.0f branches/s achieved\n",
 		totalBranches, elapsed.Round(time.Millisecond), float64(totalBranches)/elapsed.Seconds())
+	if *retries > 0 {
+		fmt.Printf("llbpload: %d retries performed, %d 429-shed responses absorbed\n",
+			client.Retries(), client.ShedSeen())
+	}
 
 	// Verification phase: local replay of each workload's stream.
 	local := map[string]float64{}

@@ -1,0 +1,288 @@
+// Package faults is a small deterministic fault-injection framework for
+// chaos-testing the serving stack in plain `go test` — no build tags, no
+// environment variables. Code under test declares named sites ("where a
+// fault could happen") and calls Fire/Delay/WrapWriter at them; a test or
+// an operator arms an Injector with per-site Rules (error rate, added
+// latency, silent partial writes) and passes it through configuration.
+// A nil *Injector is always safe and free: every method on it is a no-op,
+// so production builds carry the sites at the cost of a nil check.
+//
+// Determinism: every site draws from its own RNG stream, seeded by the
+// injector seed mixed with the site name. Two injectors built with the
+// same seed make identical decisions at a site given the same sequence of
+// calls to that site, regardless of how calls to *other* sites interleave
+// — which is what makes multi-goroutine chaos tests reproducible as long
+// as each individual site is exercised deterministically.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"llbpx/internal/hashutil"
+)
+
+// ErrInjected is the error returned by Fire when an error rule trips and
+// the rule does not override it. Callers can errors.Is against it to
+// distinguish injected failures from organic ones in assertions.
+var ErrInjected = errors.New("faults: injected error")
+
+// Rule configures what an armed site injects. The zero Rule injects
+// nothing (equivalent to clearing the site).
+type Rule struct {
+	// ErrRate is the probability in [0, 1] that Fire returns an error.
+	ErrRate float64
+	// Err replaces the returned error when set (default: ErrInjected,
+	// wrapped with the site name).
+	Err error
+	// MaxErrors caps how many errors the site injects over its lifetime;
+	// 0 means unlimited. A Rule{ErrRate: 1, MaxErrors: 1} deterministically
+	// fails exactly the first call — the shape retry tests want.
+	MaxErrors uint64
+	// Latency is added to Fire and Delay calls that trip the latency rule.
+	Latency time.Duration
+	// LatencyRate is the probability of injecting Latency; 0 with a
+	// non-zero Latency means every call (the common "slow site" case).
+	LatencyRate float64
+	// PartialAfter makes WrapWriter return a writer that silently
+	// discards every byte past this many while still reporting success —
+	// a torn write that defeats write-then-rename atomicity, which is
+	// exactly the corruption a checksum + quarantine path must absorb.
+	// 0 disables wrapping.
+	PartialAfter int64
+}
+
+// SiteStats counts what an injector did at one site, for test assertions.
+type SiteStats struct {
+	// Calls counts Fire, Delay, and WrapWriter invocations.
+	Calls uint64
+	// Errors counts injected errors.
+	Errors uint64
+	// Delays counts injected latencies.
+	Delays uint64
+	// Truncated counts wrapped writers that actually dropped bytes.
+	Truncated uint64
+}
+
+// site is one armed site's rule, RNG stream, and counters.
+type site struct {
+	rule  Rule
+	rng   *rand.Rand
+	stats SiteStats
+}
+
+// Injector holds the armed sites. The zero value is not usable; build
+// with New. A nil *Injector is valid everywhere and injects nothing.
+type Injector struct {
+	seed  int64
+	mu    sync.Mutex
+	sites map[string]*site
+}
+
+// New returns an empty injector whose site RNG streams derive from seed.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, sites: make(map[string]*site)}
+}
+
+// Set arms (or re-arms) a site with a rule. Setting the zero Rule keeps
+// the site's counters but stops injecting.
+func (in *Injector) Set(name string, r Rule) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.sites[name]
+	if s == nil {
+		s = &site{rng: rand.New(rand.NewSource(in.seed ^ int64(hashutil.FNV1a(name))))}
+		in.sites[name] = s
+	}
+	s.rule = r
+}
+
+// Clear disarms a site (counters survive for inspection).
+func (in *Injector) Clear(name string) {
+	if in == nil {
+		return
+	}
+	in.Set(name, Rule{})
+}
+
+// Stats returns a site's counters (zero for unknown sites).
+func (in *Injector) Stats(name string) SiteStats {
+	if in == nil {
+		return SiteStats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if s := in.sites[name]; s != nil {
+		return s.stats
+	}
+	return SiteStats{}
+}
+
+// decide rolls the site's dice under the lock and returns what to inject;
+// the actual sleep happens outside the lock so slow sites don't serialize
+// the whole injector.
+func (in *Injector) decide(name string, wantErr bool) (sleep time.Duration, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.sites[name]
+	if s == nil {
+		return 0, nil
+	}
+	s.stats.Calls++
+	r := s.rule
+	if r.Latency > 0 && (r.LatencyRate <= 0 || s.rng.Float64() < r.LatencyRate) {
+		sleep = r.Latency
+		s.stats.Delays++
+	}
+	if wantErr && r.ErrRate > 0 && (r.MaxErrors == 0 || s.stats.Errors < r.MaxErrors) &&
+		s.rng.Float64() < r.ErrRate {
+		err = r.Err
+		if err == nil {
+			err = fmt.Errorf("%w at %q", ErrInjected, name)
+		}
+		s.stats.Errors++
+	}
+	return sleep, err
+}
+
+// Fire applies a site's latency rule, then its error rule, and returns
+// the injected error (nil when nothing fired or the injector is nil).
+func (in *Injector) Fire(name string) error {
+	if in == nil {
+		return nil
+	}
+	sleep, err := in.decide(name, true)
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return err
+}
+
+// Delay applies only a site's latency rule — for sites where an injected
+// error has no meaningful propagation path but slowness does.
+func (in *Injector) Delay(name string) {
+	if in == nil {
+		return
+	}
+	if sleep, _ := in.decide(name, false); sleep > 0 {
+		time.Sleep(sleep)
+	}
+}
+
+// WrapWriter returns w, or — when the site's rule has PartialAfter > 0 —
+// a writer that silently stops forwarding bytes past that offset while
+// reporting every write as fully successful. The caller's encode, sync,
+// and rename all "succeed", landing a torn file on disk.
+func (in *Injector) WrapWriter(name string, w io.Writer) io.Writer {
+	if in == nil {
+		return w
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	s := in.sites[name]
+	if s == nil || s.rule.PartialAfter <= 0 {
+		if s != nil {
+			s.stats.Calls++
+		}
+		return w
+	}
+	s.stats.Calls++
+	return &partialWriter{in: in, site: name, w: w, remaining: s.rule.PartialAfter}
+}
+
+// partialWriter forwards the first `remaining` bytes and swallows the
+// rest, always reporting success.
+type partialWriter struct {
+	in        *Injector
+	site      string
+	w         io.Writer
+	remaining int64
+	truncated bool
+}
+
+func (pw *partialWriter) Write(p []byte) (int, error) {
+	n := int64(len(p))
+	if pw.remaining > 0 {
+		k := min(pw.remaining, n)
+		if _, err := pw.w.Write(p[:k]); err != nil {
+			return 0, err
+		}
+		pw.remaining -= k
+	}
+	if pw.remaining <= 0 && n > 0 && !pw.truncated {
+		// Count the torn write once, on the first dropped byte.
+		pw.in.mu.Lock()
+		if s := pw.in.sites[pw.site]; s != nil {
+			s.stats.Truncated++
+		}
+		pw.in.mu.Unlock()
+		pw.truncated = true
+	}
+	return len(p), nil
+}
+
+// ParseSpec builds an injector from a compact, flag-friendly spec:
+//
+//	site:key=value[,key=value...][;site:...]
+//
+// Keys: err (error rate), maxerr (error cap), lat (latency, Go duration),
+// latrate (latency rate), partial (bytes before a torn write). Example:
+//
+//	serve.snapshot.save:err=0.1;serve.batch.exec:lat=50ms,latrate=0.5
+//
+// An empty spec returns (nil, nil): injection disabled.
+func ParseSpec(spec string, seed int64) (*Injector, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	in := New(seed)
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, fields, ok := strings.Cut(entry, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("faults: spec entry %q: want site:key=value,...", entry)
+		}
+		var r Rule
+		for _, kv := range strings.Split(fields, ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("faults: spec entry %q: bad field %q", entry, kv)
+			}
+			var err error
+			switch key {
+			case "err":
+				r.ErrRate, err = strconv.ParseFloat(val, 64)
+			case "maxerr":
+				r.MaxErrors, err = strconv.ParseUint(val, 10, 64)
+			case "lat":
+				r.Latency, err = time.ParseDuration(val)
+			case "latrate":
+				r.LatencyRate, err = strconv.ParseFloat(val, 64)
+			case "partial":
+				r.PartialAfter, err = strconv.ParseInt(val, 10, 64)
+			default:
+				return nil, fmt.Errorf("faults: spec entry %q: unknown key %q", entry, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faults: spec entry %q: field %q: %v", entry, kv, err)
+			}
+		}
+		if r.ErrRate < 0 || r.ErrRate > 1 || r.LatencyRate < 0 || r.LatencyRate > 1 {
+			return nil, fmt.Errorf("faults: spec entry %q: rates must lie in [0, 1]", entry)
+		}
+		in.Set(name, r)
+	}
+	return in, nil
+}

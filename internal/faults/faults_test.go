@@ -1,0 +1,165 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsFree: every method on a nil injector is a safe no-op —
+// the property that lets production code call sites unconditionally.
+func TestNilInjectorIsFree(t *testing.T) {
+	var in *Injector
+	if err := in.Fire("x"); err != nil {
+		t.Fatalf("nil Fire returned %v", err)
+	}
+	in.Delay("x")
+	in.Set("x", Rule{ErrRate: 1})
+	in.Clear("x")
+	var buf bytes.Buffer
+	if w := in.WrapWriter("x", &buf); w != &buf {
+		t.Fatal("nil WrapWriter must return the writer unchanged")
+	}
+	if st := in.Stats("x"); st != (SiteStats{}) {
+		t.Fatalf("nil Stats = %+v", st)
+	}
+}
+
+// TestDeterministicPerSite: same seed, same per-site call sequence, same
+// decisions — independent of calls to other sites in between.
+func TestDeterministicPerSite(t *testing.T) {
+	run := func(interleave bool) []bool {
+		in := New(42)
+		in.Set("a", Rule{ErrRate: 0.5})
+		in.Set("b", Rule{ErrRate: 0.5})
+		var out []bool
+		for i := 0; i < 64; i++ {
+			if interleave {
+				in.Fire("b") // must not perturb site a's stream
+			}
+			out = append(out, in.Fire("a") != nil)
+		}
+		return out
+	}
+	plain, mixed := run(false), run(true)
+	fired := 0
+	for i := range plain {
+		if plain[i] != mixed[i] {
+			t.Fatalf("call %d: decision changed when another site interleaved", i)
+		}
+		if plain[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(plain) {
+		t.Fatalf("rate 0.5 fired %d/%d times — rng not wired up", fired, len(plain))
+	}
+}
+
+// TestMaxErrorsCap: ErrRate 1 + MaxErrors 2 fails exactly the first two
+// calls, deterministically.
+func TestMaxErrorsCap(t *testing.T) {
+	in := New(7)
+	in.Set("s", Rule{ErrRate: 1, MaxErrors: 2})
+	for i := 0; i < 5; i++ {
+		err := in.Fire("s")
+		if want := i < 2; (err != nil) != want {
+			t.Fatalf("call %d: err=%v, want firing=%v", i, err, want)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("injected error %v does not wrap ErrInjected", err)
+		}
+	}
+	st := in.Stats("s")
+	if st.Calls != 5 || st.Errors != 2 {
+		t.Fatalf("stats = %+v, want 5 calls / 2 errors", st)
+	}
+}
+
+// TestCustomError: a rule's Err overrides the default.
+func TestCustomError(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	in := New(1)
+	in.Set("s", Rule{ErrRate: 1, Err: sentinel})
+	if err := in.Fire("s"); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the custom error", err)
+	}
+}
+
+// TestLatencyInjection: Latency with LatencyRate 0 fires on every call;
+// Delay never injects errors.
+func TestLatencyInjection(t *testing.T) {
+	in := New(3)
+	in.Set("slow", Rule{Latency: 5 * time.Millisecond, ErrRate: 1})
+	start := time.Now()
+	in.Delay("slow")
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("Delay slept %v, want >= 5ms", d)
+	}
+	st := in.Stats("slow")
+	if st.Delays != 1 || st.Errors != 0 {
+		t.Fatalf("stats after Delay = %+v (Delay must never inject errors)", st)
+	}
+	if err := in.Fire("slow"); err == nil {
+		t.Fatal("Fire must still inject the error rule")
+	}
+}
+
+// TestPartialWriterTornWrite: the wrapped writer forwards exactly
+// PartialAfter bytes, swallows the rest, and reports every write as a
+// success — the torn write the quarantine path must absorb.
+func TestPartialWriterTornWrite(t *testing.T) {
+	in := New(9)
+	in.Set("disk", Rule{PartialAfter: 10})
+	var buf bytes.Buffer
+	w := in.WrapWriter("disk", &buf)
+	for _, chunk := range [][]byte{make([]byte, 7), make([]byte, 7), make([]byte, 7)} {
+		n, err := w.Write(chunk)
+		if err != nil || n != len(chunk) {
+			t.Fatalf("torn write must report success, got n=%d err=%v", n, err)
+		}
+	}
+	if buf.Len() != 10 {
+		t.Fatalf("underlying writer got %d bytes, want 10", buf.Len())
+	}
+	if st := in.Stats("disk"); st.Truncated != 1 {
+		t.Fatalf("stats = %+v, want exactly one truncation", st)
+	}
+
+	// Without a PartialAfter rule the original writer comes back.
+	in.Set("disk", Rule{})
+	if got := in.WrapWriter("disk", &buf); got != &buf {
+		t.Fatal("disarmed site must return the writer unchanged")
+	}
+}
+
+// TestParseSpec round-trips the flag syntax.
+func TestParseSpec(t *testing.T) {
+	in, err := ParseSpec("a.save:err=0.25,maxerr=3;b.exec:lat=50ms,latrate=0.5;c.disk:partial=128", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 200; i++ {
+		if in.Fire("a.save") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("a.save fired %d errors, want maxerr cap of 3", fired)
+	}
+	var buf bytes.Buffer
+	if w := in.WrapWriter("c.disk", &buf); w == &buf {
+		t.Fatal("c.disk must wrap the writer")
+	}
+
+	if in, err := ParseSpec("   ", 0); in != nil || err != nil {
+		t.Fatalf("blank spec: (%v, %v), want (nil, nil)", in, err)
+	}
+	for _, bad := range []string{"noclue", "s:err=2", "s:wat=1", "s:err"} {
+		if _, err := ParseSpec(bad, 0); err == nil {
+			t.Fatalf("spec %q must fail to parse", bad)
+		}
+	}
+}

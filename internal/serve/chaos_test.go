@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"llbpx/internal/core"
+	"llbpx/internal/faults"
+	"llbpx/internal/sim"
+)
+
+// swapHandler lets one stable URL front a replaceable Server, so a
+// "process restart" is an atomic pointer swap under live traffic.
+type swapHandler struct{ srv atomic.Pointer[Server] }
+
+func (h *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.srv.Load().ServeHTTP(w, r)
+}
+
+// chaosStream is one session's life under chaos: stream the first
+// phase1Count batches, park at the barrier while the coordinator
+// drains/corrupts/restarts the server, then stream the rest and close.
+type chaosStream struct {
+	id          string
+	phase1Count int
+	startGate   chan struct{} // all streamers released together
+	resumeGate  chan struct{} // closed by the coordinator after the restart
+	parked      sync.WaitGroup
+	final       SessionStats
+	err         error
+}
+
+func (cs *chaosStream) run(client *Client, branches []core.Branch, batchSize int) {
+	// Release the coordinator exactly once: normally when parking at the
+	// barrier, or on an early error exit during phase 1.
+	signaled := false
+	signal := func() {
+		if !signaled {
+			signaled = true
+			cs.parked.Done()
+		}
+	}
+	defer signal()
+	<-cs.startGate
+	ctx := context.Background()
+	sent := 0
+	for start := 0; start < len(branches); start += batchSize {
+		if sent == cs.phase1Count {
+			signal()
+			<-cs.resumeGate
+		}
+		end := min(start+batchSize, len(branches))
+		if _, err := client.Predict(ctx, cs.id, "tsl-8k", branches[start:end]); err != nil {
+			cs.err = err
+			return
+		}
+		sent++
+	}
+	fin, err := client.CloseSession(ctx, cs.id)
+	if err != nil {
+		cs.err = err
+		return
+	}
+	cs.final = fin.Stats
+}
+
+// TestChaosSuite is the robustness acceptance scenario, end to end: with
+// 10% injected snapshot-save errors, 50ms injected latency on every batch
+// execution, a single worker with a tight admission timeout, and one
+// mid-run drain + restart (with the victim session's checkpoint
+// bit-flipped in between), a retry-armed client must still deliver every
+// checked session's full NodeApp stream with the exact same statistics as
+// a local sim.Run — while at least one batch was shed with 429 and
+// retried, and the corrupted checkpoint was quarantined instead of
+// resurrecting bad state. Goroutine hygiene is asserted package-wide by
+// TestMain.
+func TestChaosSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite takes several seconds of injected latency and backoff")
+	}
+	const (
+		instrBudget = 60_000
+		batchSize   = 1024
+	)
+	branches := workloadBranches(t, "nodeapp", instrBudget)
+	nbatches := (len(branches) + batchSize - 1) / batchSize
+	if nbatches < 5 {
+		t.Fatalf("only %d batches; the scenario needs a drain strictly mid-stream", nbatches)
+	}
+
+	// Ground truth: the exact stream through a local simulation.
+	p, err := NewPredictor("tsl-8k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sim.Run(p, core.NewSliceSource(branches), sim.Options{MeasureInstr: instrBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	// Seed chosen so the drain saves deterministically hit the 10% error
+	// rate at least once without ever failing one session three times in a
+	// row (which would legitimately drop that checkpoint).
+	inj := faults.New(20260825)
+	inj.Set(FaultSnapshotSave, faults.Rule{ErrRate: 0.10})
+	inj.Set(FaultBatchExec, faults.Rule{Latency: 50 * time.Millisecond})
+	cfg := Config{
+		SnapshotDir:  dir,
+		Workers:      1,
+		AdmitTimeout: 15 * time.Millisecond,
+		SessionTTL:   time.Hour, // only drain checkpoints, never the janitor
+		EvictEvery:   time.Hour,
+		Faults:       inj,
+	}
+
+	srv1 := New(cfg)
+	sw := &swapHandler{}
+	sw.srv.Store(srv1)
+	hs := httptest.NewServer(sw)
+	t.Cleanup(func() { hs.Close(); sw.srv.Load().Close() })
+
+	client := NewClient(hs.URL, hs.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 25,
+		BaseDelay:   25 * time.Millisecond,
+		MaxDelay:    200 * time.Millisecond,
+	})
+
+	// Three checked sessions plus one victim whose checkpoint gets
+	// corrupted during the restart window. All four release together, so
+	// their first batches collide on the single worker slot and the
+	// admission path must shed at least three of them.
+	ids := []string{"chaos-0", "chaos-1", "chaos-2", "victim"}
+	streams := make([]*chaosStream, len(ids))
+	start := make(chan struct{})
+	resume := make(chan struct{})
+	var done sync.WaitGroup
+	for i, id := range ids {
+		cs := &chaosStream{id: id, phase1Count: 2, startGate: start, resumeGate: resume}
+		cs.parked.Add(1)
+		streams[i] = cs
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			cs.run(client, branches, batchSize)
+		}()
+	}
+	close(start)
+
+	// Wait until every session has exactly two applied batches and its
+	// streamer is parked at the barrier.
+	for _, cs := range streams {
+		cs.parked.Wait()
+	}
+	for _, cs := range streams {
+		if cs.err != nil {
+			t.Fatalf("session %s failed in phase 1: %v", cs.id, cs.err)
+		}
+	}
+
+	// The "crash": drain checkpoints every session (each save runs against
+	// the 10%% error rate plus the retry loop), the victim's checkpoint
+	// rots on disk, then a cold Server takes over the same URL and
+	// snapshot directory.
+	finals := srv1.Drain()
+	if len(finals) != len(ids) {
+		t.Fatalf("drain flushed %d sessions, want %d", len(finals), len(ids))
+	}
+	victimSnap := filepath.Join(dir, "victim.snap")
+	blob, err := os.ReadFile(victimSnap)
+	if err != nil {
+		t.Fatalf("victim checkpoint missing after drain (save retries exhausted?): %v", err)
+	}
+	blob[len(blob)/2] ^= 0xFF
+	if err := os.WriteFile(victimSnap, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(cfg)
+	sw.srv.Store(srv2)
+	close(resume)
+	done.Wait()
+
+	// Fidelity: every checked session agrees with the local simulation
+	// bit for bit, despite shed batches, retries, and the restart.
+	want := local.Measured
+	for _, cs := range streams[:3] {
+		if cs.err != nil {
+			t.Fatalf("session %s: %v", cs.id, cs.err)
+		}
+		got := cs.final
+		if got.Instructions != want.Instructions || got.CondBranches != want.CondBranches ||
+			got.Mispredicts != want.Mispredicts || got.UncondCount != want.UncondCount ||
+			got.MPKI != local.MPKI() {
+			t.Errorf("session %s diverges from local sim:\nserver %+v\nlocal  %+v (MPKI %v)",
+				cs.id, got, want, local.MPKI())
+		}
+	}
+	if victim := streams[3]; victim.err != nil {
+		t.Fatalf("victim session: %v", victim.err)
+	}
+
+	// Revival accounting on the post-restart server: the three checked
+	// sessions came back warm from their checkpoints; the victim's corrupt
+	// checkpoint was quarantined and it alone cold-started.
+	s2 := srv2.Stats()
+	if s2.SnapshotRestores != 3 {
+		t.Errorf("snapshot restores after restart = %d, want 3", s2.SnapshotRestores)
+	}
+	if s2.SessionsCreated != 1 {
+		t.Errorf("cold session creations after restart = %d, want 1 (the victim)", s2.SessionsCreated)
+	}
+	if s2.SnapshotQuarantined != 1 {
+		t.Errorf("snapshot_quarantined_total = %d, want 1", s2.SnapshotQuarantined)
+	}
+	if _, err := os.Stat(victimSnap + ".corrupt"); err != nil {
+		t.Errorf("corrupt victim checkpoint not preserved for post-mortem: %v", err)
+	}
+
+	// Overload really happened and the client rode it out.
+	shed := srv1.Stats().Shed + s2.Shed
+	if shed < 1 {
+		t.Errorf("shed = %d, want >= 1 (worker collision never shed a batch?)", shed)
+	}
+	if client.ShedSeen() < 1 || client.Retries() < 1 {
+		t.Errorf("client saw %d sheds over %d retries, want >= 1 each", client.ShedSeen(), client.Retries())
+	}
+
+	// The save-error injection really bit — and the retry loop still kept
+	// every checkpoint (proven above: 3 warm restores + 1 quarantined file).
+	ss := inj.Stats(FaultSnapshotSave)
+	t.Logf("chaos: %d batches/session, %d shed, %d client retries, save site %d calls / %d injected errors, %d quarantined",
+		nbatches, shed, client.Retries(), ss.Calls, ss.Errors, s2.SnapshotQuarantined)
+	if ss.Errors < 1 {
+		t.Errorf("save fault site injected %d errors over %d calls, want >= 1 (seed drifted?)", ss.Errors, ss.Calls)
+	}
+}

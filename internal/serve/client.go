@@ -6,8 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"llbpx/internal/core"
 )
@@ -15,9 +19,59 @@ import (
 // Client is a minimal llbpd API client, the transport half of
 // cmd/llbpload. It is safe for concurrent use by multiple goroutines
 // (each driving its own session).
+//
+// By default the client gives up on the first failure. WithRetry arms
+// exponential backoff with jitter, honoring the server's Retry-After
+// hint, under strict idempotency rules: a response that arrived as a 429
+// (shed) or 503 (draining / injected pre-execution fault) means the
+// server did not apply the batch, so any request is safe to resend; a
+// transport error before any response byte was consumed is likewise
+// retried. But once a 2xx body has started decoding, a predict is never
+// retried — the server executed the batch, and replaying it would
+// double-apply learned state. Session stats and close are idempotent by
+// construction and follow the same mechanical rules.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
+
+	nretries atomic.Uint64 // resend attempts performed
+	nshed    atomic.Uint64 // 429 overloaded envelopes observed
+}
+
+// RetryPolicy configures Client retries. The zero value disables them;
+// WithRetry fills unset fields with the defaults noted per field.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 50ms); step k waits
+	// BaseDelay << k, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+	// Jitter spreads each delay uniformly over [1-Jitter, 1+Jitter]
+	// multiples of itself (default 0.2), so synchronized clients don't
+	// re-stampede a recovering server.
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.2
+	} else if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
 }
 
 // NewClient returns a client for the llbpd instance at base (e.g.
@@ -28,6 +82,21 @@ func NewClient(base string, hc *http.Client) *Client {
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
 }
+
+// WithRetry arms the retry policy (see RetryPolicy for defaults) and
+// returns the client for chaining. Call before sharing the client across
+// goroutines.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.retry = p.withDefaults()
+	return c
+}
+
+// Retries reports how many resend attempts this client has performed.
+func (c *Client) Retries() uint64 { return c.nretries.Load() }
+
+// ShedSeen reports how many 429 overloaded responses this client has
+// absorbed (each either retried or surfaced as the final error).
+func (c *Client) ShedSeen() uint64 { return c.nshed.Load() }
 
 // Predict streams one batch to session id, creating the session with the
 // named predictor if it does not exist ("" = server default).
@@ -77,33 +146,101 @@ func (c *Client) ServerStats(ctx context.Context) (*StatsSnapshot, error) {
 	return &out, nil
 }
 
+// do performs one logical API call, resending per the retry policy. Each
+// failed attempt reports whether it is safe to resend (see Client's
+// idempotency rules) and any Retry-After hint the server sent.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	attempts := 1
+	if c.retry.MaxAttempts > 0 {
+		attempts = c.retry.MaxAttempts
+	}
+	for attempt := 1; ; attempt++ {
+		err, retryable, retryAfter := c.once(ctx, method, path, body, out)
+		if err == nil || !retryable || attempt >= attempts {
+			return err
+		}
+		c.nretries.Add(1)
+		select {
+		case <-time.After(c.backoff(attempt, retryAfter)):
+		case <-ctx.Done():
+			// Surface the server's error, not the cancellation — it is
+			// the more diagnostic of the two.
+			return err
+		}
+	}
+}
+
+// once performs a single HTTP attempt. The response body is always fully
+// drained and closed — on every path, including errors — so the
+// keep-alive connection returns to the pool and a retry reuses it instead
+// of leaking a conn per failure.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (err error, retryable bool, retryAfter time.Duration) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return err
+		return err, false, 0
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		// Transport failure: no response byte was consumed, so even a
+		// predict is safe to resend under the idempotency rules.
+		return err, true, 0
 	}
-	defer resp.Body.Close()
+	defer func() {
+		// Drain whatever the decoder left so the connection is reusable.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+
 	if resp.StatusCode != http.StatusOK {
+		// 429 and 503 both mean "not applied, resend verbatim"; anything
+		// else (4xx contract violations, 500 mid-execution failures) is
+		// final.
+		retryable = resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if resp.StatusCode == http.StatusTooManyRequests {
+			c.nshed.Add(1)
+		}
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
 		// Decode the versioned error envelope into a typed *APIError so
 		// callers can errors.Is against the sentinel for its code (and
 		// errors.As for the code string itself).
 		var er errorReply
 		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&er) == nil && er.Error.Message != "" {
 			return fmt.Errorf("serve client: %s %s: %w", method, path,
-				&APIError{Code: er.Error.Code, Message: er.Error.Message, Status: resp.StatusCode})
+				&APIError{Code: er.Error.Code, Message: er.Error.Message, Status: resp.StatusCode}), retryable, retryAfter
 		}
-		return fmt.Errorf("serve client: %s %s: status %d", method, path, resp.StatusCode)
+		return fmt.Errorf("serve client: %s %s: status %d", method, path, resp.StatusCode), retryable, retryAfter
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	// From the first decoded byte of a 2xx the server has applied the
+	// request; a decode failure here is never retried.
+	return json.NewDecoder(resp.Body).Decode(out), false, 0
+}
+
+// backoff computes the wait before resend attempt+1: exponential from
+// BaseDelay, capped at MaxDelay, jittered, and never shorter than the
+// server's Retry-After hint.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.retry.BaseDelay
+	for i := 1; i < attempt && d < c.retry.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > c.retry.MaxDelay {
+		d = c.retry.MaxDelay
+	}
+	if j := c.retry.Jitter; j > 0 {
+		d = time.Duration(float64(d) * (1 - j + 2*j*rand.Float64()))
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
 }

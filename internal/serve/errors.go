@@ -27,6 +27,11 @@ const (
 	CodeBatchTooLarge = "batch_too_large"
 	// CodeDraining: the server is shutting down and refuses new batches.
 	CodeDraining = "draining"
+	// CodeOverloaded: the batch could not acquire a worker slot within
+	// AdmitTimeout and was shed (HTTP 429 with a Retry-After header).
+	// Shedding happens before any predictor state is touched, so a shed
+	// batch is always safe to retry.
+	CodeOverloaded = "overloaded"
 	// CodeInternal: the server hit an unexpected internal failure.
 	CodeInternal = "internal"
 )
@@ -39,6 +44,7 @@ var (
 	ErrPredictorConflict = errors.New("predictor conflict")
 	ErrBatchTooLarge     = errors.New("batch too large")
 	ErrDraining          = errors.New("server is draining")
+	ErrOverloaded        = errors.New("server overloaded, batch shed")
 	ErrInternal          = errors.New("internal server error")
 )
 
@@ -50,6 +56,7 @@ var codeSentinels = map[string]error{
 	CodePredictorConflict: ErrPredictorConflict,
 	CodeBatchTooLarge:     ErrBatchTooLarge,
 	CodeDraining:          ErrDraining,
+	CodeOverloaded:        ErrOverloaded,
 	CodeInternal:          ErrInternal,
 }
 

@@ -87,6 +87,8 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -142,6 +144,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		batch[i] = b
 	}
 
+	// Fault site: fires before any state is touched, so an injected
+	// failure is reported as a retryable 503 — the batch was not applied.
+	if ferr := s.cfg.Faults.Fire(FaultPredict); ferr != nil {
+		writeError(w, http.StatusServiceUnavailable, CodeInternal, "injected fault: %v", ferr)
+		return
+	}
+
 	// From here the batch counts as in-flight: drain waits for it and it
 	// is never dropped part-way.
 	if !s.beginBatch() {
@@ -184,15 +193,32 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Bounded worker pool: a slot gates the CPU-heavy predictor walk so a
-	// flood of batches queues here instead of oversubscribing the host.
-	// The pool's occupancy at admission is the queue-depth sample: how many
-	// workers were already busy when this batch arrived.
+	// flood of batches queues here instead of oversubscribing the host —
+	// but only for AdmitTimeout. A batch that cannot get a slot in time is
+	// shed whole with 429 + Retry-After (predictor state untouched, so the
+	// client retries it verbatim), and a batch whose client disconnected
+	// while queueing is dropped without execution. The pool's occupancy at
+	// admission is the queue-depth sample: how many workers were already
+	// busy when this batch arrived.
 	depth := len(s.pool)
-	s.pool <- struct{}{}
+	if aerr := s.acquireSlot(r.Context()); aerr != nil {
+		if errors.Is(aerr, ErrOverloaded) {
+			s.metrics.shed.Inc()
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.AdmitTimeout))
+			writeError(w, http.StatusTooManyRequests, CodeOverloaded,
+				"no worker slot within %v (%d executing); batch shed, retry safe",
+				s.cfg.AdmitTimeout, len(s.pool))
+			return
+		}
+		// Client gone: nothing to answer, nothing was executed.
+		s.metrics.cancelled.Inc()
+		return
+	}
+	s.cfg.Faults.Delay(FaultBatchExec)
 	start := time.Now()
 	preds, delta, snap := sess.executeBatch(batch)
 	elapsed := time.Since(start)
-	<-s.pool
+	s.releaseSlot()
 	s.metrics.observeBatch(sess.PredictorName, s.sessions.index(id), delta, elapsed, depth)
 
 	writeJSON(w, http.StatusOK, PredictResponse{

@@ -36,10 +36,13 @@ type metrics struct {
 	batches         *obs.Counter
 	branches        *obs.Counter
 	rejected        *obs.Counter // batches refused while draining
+	shed            *obs.Counter // batches shed with 429 (no worker slot within AdmitTimeout)
+	cancelled       *obs.Counter // batches abandoned because the client went away pre-execution
 
-	snapshotSaves      *obs.Counter // sessions checkpointed to disk
-	snapshotRestores   *obs.Counter // sessions rebuilt from a checkpoint
-	snapshotSaveErrors *obs.Counter // failed checkpoint writes
+	snapshotSaves       *obs.Counter // sessions checkpointed to disk
+	snapshotRestores    *obs.Counter // sessions rebuilt from a checkpoint
+	snapshotSaveErrors  *obs.Counter // failed checkpoint write attempts (retries count individually)
+	snapshotQuarantined *obs.Counter // corrupt checkpoints renamed *.corrupt
 
 	batchLatency    *obs.Histogram   // one sample per executed batch, µs
 	shardLatency    []*obs.Histogram // batch latency split by session shard, µs
@@ -67,10 +70,13 @@ func newMetrics(shards int, live func() (map[string]int, int)) *metrics {
 		batches:         reg.Counter("batches_total"),
 		branches:        reg.Counter("branches_total"),
 		rejected:        reg.Counter("batches_rejected_total"),
+		shed:            reg.Counter("batches_shed_total"),
+		cancelled:       reg.Counter("batches_cancelled_total"),
 
-		snapshotSaves:      reg.Counter("snapshot_saves_total"),
-		snapshotRestores:   reg.Counter("snapshot_restores_total"),
-		snapshotSaveErrors: reg.Counter("snapshot_save_errors_total"),
+		snapshotSaves:       reg.Counter("snapshot_saves_total"),
+		snapshotRestores:    reg.Counter("snapshot_restores_total"),
+		snapshotSaveErrors:  reg.Counter("snapshot_save_errors_total"),
+		snapshotQuarantined: reg.Counter("snapshot_quarantined_total"),
 
 		batchLatency:    reg.Histogram("batch_latency_us", latencyBuckets),
 		queueDepth:      reg.Histogram("batch_queue_depth", depthBuckets),
@@ -214,6 +220,8 @@ type StatsSnapshot struct {
 	Batches         uint64                    `json:"batches"`
 	Branches        uint64                    `json:"branches"`
 	Rejected        uint64                    `json:"rejected"`
+	Shed            uint64                    `json:"shed"`
+	Cancelled       uint64                    `json:"cancelled"`
 	BranchesPerSec  float64                   `json:"branches_per_sec"`
 	LatencyP50Us    float64                   `json:"batch_latency_p50_us"`
 	LatencyP90Us    float64                   `json:"batch_latency_p90_us"`
@@ -226,6 +234,7 @@ type StatsSnapshot struct {
 	SnapshotSaves        uint64  `json:"snapshot_saves"`
 	SnapshotRestores     uint64  `json:"snapshot_restores"`
 	SnapshotSaveErrors   uint64  `json:"snapshot_save_errors"`
+	SnapshotQuarantined  uint64  `json:"snapshot_quarantined"`
 	SnapshotSaveP99Us    float64 `json:"snapshot_save_p99_us"`
 	SnapshotRestoreP99Us float64 `json:"snapshot_restore_p99_us"`
 
@@ -251,6 +260,8 @@ func (m *metrics) snapshot(sessionsLive int, byPred map[string]int) StatsSnapsho
 		Batches:         m.batches.Value(),
 		Branches:        branches,
 		Rejected:        m.rejected.Value(),
+		Shed:            m.shed.Value(),
+		Cancelled:       m.cancelled.Value(),
 		LatencyP50Us:    m.batchLatency.Quantile(0.50),
 		LatencyP90Us:    m.batchLatency.Quantile(0.90),
 		LatencyP99Us:    m.batchLatency.Quantile(0.99),
@@ -262,6 +273,7 @@ func (m *metrics) snapshot(sessionsLive int, byPred map[string]int) StatsSnapsho
 		SnapshotSaves:        m.snapshotSaves.Value(),
 		SnapshotRestores:     m.snapshotRestores.Value(),
 		SnapshotSaveErrors:   m.snapshotSaveErrors.Value(),
+		SnapshotQuarantined:  m.snapshotQuarantined.Value(),
 		SnapshotSaveP99Us:    m.snapSaveDur.Quantile(0.99),
 		SnapshotRestoreP99Us: m.snapRestoreDur.Quantile(0.99),
 

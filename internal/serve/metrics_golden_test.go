@@ -21,6 +21,8 @@ var goldenFamilies = map[string]string{
 	"llbpd_batches_total":                "counter",
 	"llbpd_branches_total":               "counter",
 	"llbpd_batches_rejected_total":       "counter",
+	"llbpd_batches_shed_total":           "counter",
+	"llbpd_batches_cancelled_total":      "counter",
 	"llbpd_branches_per_second":          "gauge",
 	"llbpd_batch_latency_p50_us":         "gauge",
 	"llbpd_batch_latency_p90_us":         "gauge",
@@ -34,6 +36,7 @@ var goldenFamilies = map[string]string{
 	"llbpd_snapshot_saves_total":         "counter",
 	"llbpd_snapshot_restores_total":      "counter",
 	"llbpd_snapshot_save_errors_total":   "counter",
+	"llbpd_snapshot_quarantined_total":   "counter",
 	"llbpd_predictor_mpki":               "gauge",
 	"llbpd_predictor_branches_total":     "counter",
 	"llbpd_predictor_mispredicts_total":  "counter",

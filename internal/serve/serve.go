@@ -18,11 +18,14 @@
 package serve
 
 import (
+	"context"
 	"net/http"
 	"os"
 	"runtime"
 	"sync"
 	"time"
+
+	"llbpx/internal/faults"
 )
 
 // Config parameterizes a Server. The zero value is usable; every field
@@ -52,7 +55,44 @@ type Config struct {
 	// /debug/pprof/ (llbpd's -pprof flag). Off by default: the endpoints
 	// expose internals and cost nothing only when unused.
 	EnablePprof bool
+	// AdmitTimeout bounds how long an accepted batch may wait for a
+	// worker-pool slot. A batch that cannot acquire one in time is shed
+	// with HTTP 429 + Retry-After and the "overloaded" error code —
+	// before any predictor state is touched, so shedding is always safe
+	// to retry. Default 2s; negative restores the PR-1 behavior of
+	// waiting indefinitely.
+	AdmitTimeout time.Duration
+	// SnapshotRetries is how many extra immediate attempts a failed
+	// checkpoint write gets before the session's state is dropped
+	// (transient I/O errors should not cost a warm predictor). Default 2;
+	// negative disables retries.
+	SnapshotRetries int
+	// Faults optionally injects deterministic faults (internal/faults) at
+	// the serving stack's named sites — see the Fault* constants. Nil
+	// disables injection entirely; the sites then cost one nil check.
+	Faults *faults.Injector
 }
+
+// Fault-injection site names the serving stack fires (internal/faults).
+const (
+	// FaultPredict fires at the top of the predict handler, before any
+	// state is touched; an injected error returns 503 so clients may
+	// safely retry.
+	FaultPredict = "serve.http.predict"
+	// FaultBatchExec injects latency (only) around batch execution, while
+	// the worker slot is held — the "slow batch" chaos case.
+	FaultBatchExec = "serve.batch.exec"
+	// FaultSnapshotSave fires before a session checkpoint write; errors
+	// count as snapshot_save_errors_total and are retried.
+	FaultSnapshotSave = "serve.snapshot.save"
+	// FaultSnapshotRestore fires before a checkpoint read; an injected
+	// error cold-starts the session without quarantining the file
+	// (transient read failure, not corruption).
+	FaultSnapshotRestore = "serve.snapshot.restore"
+	// FaultSnapshotWrite wraps the checkpoint byte stream (partial-write
+	// rules), simulating torn writes that land a corrupt file on disk.
+	FaultSnapshotWrite = "serve.snapshot.write"
+)
 
 func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
@@ -75,6 +115,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultPredictor == "" {
 		c.DefaultPredictor = "llbp-x"
+	}
+	if c.AdmitTimeout == 0 {
+		c.AdmitTimeout = 2 * time.Second
+	}
+	if c.SnapshotRetries == 0 {
+		c.SnapshotRetries = 2
+	} else if c.SnapshotRetries < 0 {
+		c.SnapshotRetries = 0
 	}
 	return c
 }
@@ -143,3 +191,35 @@ func (s *Server) beginBatch() bool {
 }
 
 func (s *Server) endBatch() { s.inflight.Done() }
+
+// acquireSlot takes a worker-pool slot, giving up after AdmitTimeout
+// (ErrOverloaded — the caller sheds the batch) or when the client goes
+// away (ctx.Err()). The fast path is a non-blocking send, so an idle
+// server admits without touching a timer.
+func (s *Server) acquireSlot(ctx context.Context) error {
+	select {
+	case s.pool <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.cfg.AdmitTimeout < 0 {
+		select {
+		case s.pool <- struct{}{}:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	t := time.NewTimer(s.cfg.AdmitTimeout)
+	defer t.Stop()
+	select {
+	case s.pool <- struct{}{}:
+		return nil
+	case <-t.C:
+		return ErrOverloaded
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) releaseSlot() { <-s.pool }

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net/url"
 	"os"
 	"path/filepath"
@@ -71,8 +73,15 @@ func (s *Server) saveSession(sess *Session) error {
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if err := s.cfg.Faults.Fire(FaultSnapshotSave); err != nil {
+		return err
+	}
 	start := time.Now()
-	err := snapshot.WriteFile(s.snapPath(sess.ID), sess.PredictorName, sessionState{sess})
+	var wrap func(io.Writer) io.Writer
+	if s.cfg.Faults != nil {
+		wrap = func(w io.Writer) io.Writer { return s.cfg.Faults.WrapWriter(FaultSnapshotWrite, w) }
+	}
+	err := snapshot.WriteFileWrapped(s.snapPath(sess.ID), sess.PredictorName, sessionState{sess}, wrap)
 	if err == nil {
 		s.metrics.snapSaveDur.ObserveDuration(time.Since(start))
 	}
@@ -80,15 +89,25 @@ func (s *Server) saveSession(sess *Session) error {
 }
 
 // checkpointSessions saves each session, counting successes and failures;
-// it is a no-op without a snapshot directory.
+// it is a no-op without a snapshot directory. A failed write is retried
+// up to SnapshotRetries extra times immediately — losing a warm predictor
+// to one transient I/O error is the costliest failure the serving layer
+// has, so the write gets more than one chance. Every failed attempt
+// counts in snapshot_save_errors_total; a session whose attempts are
+// exhausted is dropped cold (the next batch for its ID starts fresh).
 func (s *Server) checkpointSessions(sessions []*Session) {
 	if s.cfg.SnapshotDir == "" {
 		return
 	}
 	for _, sess := range sessions {
-		if err := s.saveSession(sess); err != nil {
+		var err error
+		for attempt := 0; attempt <= s.cfg.SnapshotRetries; attempt++ {
+			if err = s.saveSession(sess); err == nil {
+				break
+			}
 			s.metrics.snapshotSaveErrors.Inc()
-		} else {
+		}
+		if err == nil {
 			s.metrics.snapshotSaves.Inc()
 		}
 	}
@@ -101,11 +120,24 @@ func (s *Server) checkpointSessions(sessions []*Session) {
 // snapshot is a cache, never authoritative, so there is no error path
 // back to the client. A consumed snapshot file is deleted (the live
 // session supersedes it).
+//
+// Corrupt checkpoints are quarantined, not retried: a file whose decode
+// wraps snapshot.ErrCorrupt (bad magic, truncation, framing or checksum
+// mismatch, version skew) would fail identically on every future restore
+// attempt, so it is renamed to <path>.corrupt — preserved for post-mortem,
+// out of the restore path — and counted in snapshot_quarantined_total.
+// Declined restores (predictor mismatch, unsupported predictor) leave the
+// file alone: the bytes are fine, the request just wants something else.
 func (s *Server) restoreSession(id, want string) (*Session, bool) {
 	if s.cfg.SnapshotDir == "" {
 		return nil, false
 	}
 	path := s.snapPath(id)
+	// Injected transient read failure: cold-start without quarantining —
+	// the file on disk is presumed good.
+	if s.cfg.Faults.Fire(FaultSnapshotRestore) != nil {
+		return nil, false
+	}
 	var sess *Session
 	start := time.Now()
 	_, _, err := snapshot.ReadFile(path, func(name string) (snapshot.State, error) {
@@ -123,6 +155,9 @@ func (s *Server) restoreSession(id, want string) (*Session, bool) {
 		return sessionState{ns}, nil
 	})
 	if err != nil {
+		if errors.Is(err, snapshot.ErrCorrupt) {
+			s.quarantineSnapshot(path)
+		}
 		return nil, false
 	}
 	s.metrics.snapRestoreDur.ObserveDuration(time.Since(start))
@@ -136,5 +171,16 @@ func (s *Server) restoreSession(id, want string) (*Session, bool) {
 func (s *Server) removeSnapshot(id string) {
 	if s.cfg.SnapshotDir != "" {
 		os.Remove(s.snapPath(id))
+	}
+}
+
+// quarantineSnapshot moves a checkpoint that failed to decode out of the
+// restore path by renaming it to <path>.corrupt (overwriting an earlier
+// quarantined generation of the same ID — the newest corpse is the
+// interesting one). The session restarts cold; the bytes survive for
+// debugging.
+func (s *Server) quarantineSnapshot(path string) {
+	if os.Rename(path, path+".corrupt") == nil {
+		s.metrics.snapshotQuarantined.Inc()
 	}
 }

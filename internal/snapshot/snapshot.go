@@ -119,7 +119,17 @@ func Load(r io.Reader, construct func(name string) (State, error)) (State, strin
 // file in the destination directory, are fsynced, and are renamed over
 // path, so a crash at any point leaves either the old snapshot or the new
 // one — never a torn file.
-func WriteFile(path, name string, s State) (err error) {
+func WriteFile(path, name string, s State) error {
+	return WriteFileWrapped(path, name, s, nil)
+}
+
+// WriteFileWrapped is WriteFile with an interception point for fault
+// injection: when wrap is non-nil, the encoded byte stream passes through
+// wrap(tempFile) on its way to disk, letting a test inject torn or
+// partial writes underneath the crash-consistency machinery (the CRC and
+// the loader's quarantine handling are what must catch the damage). A nil
+// wrap is exactly WriteFile.
+func WriteFileWrapped(path, name string, s State, wrap func(io.Writer) io.Writer) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".snap-*.tmp")
 	if err != nil {
@@ -132,7 +142,11 @@ func WriteFile(path, name string, s State) (err error) {
 			os.Remove(tmpName)
 		}
 	}()
-	if err = Save(tmp, name, s); err != nil {
+	var dst io.Writer = tmp
+	if wrap != nil {
+		dst = wrap(tmp)
+	}
+	if err = Save(dst, name, s); err != nil {
 		return err
 	}
 	if err = tmp.Sync(); err != nil {
