@@ -1,15 +1,23 @@
-// Command llbpd serves the repository's branch predictors over HTTP: the
-// last-level branch predictor as a network service. Each client session
-// owns one live predictor (any of the registry configurations) and
-// streams batches of branch records to it; the daemon replies with
+// Command llbpd serves the repository's branch predictors over the
+// network: the last-level branch predictor as a service. Each client
+// session owns one live predictor (any of the registry configurations)
+// and streams batches of branch records to it; the daemon replies with
 // per-branch predictions and running MPKI. Sessions live in a sharded
 // map, batches run through a bounded worker pool, idle sessions are
 // evicted after -ttl, and SIGTERM/SIGINT drains gracefully: in-flight
 // batches flush, then the final per-session stats print.
 //
+// Two protocols front the same machinery. The JSON/HTTP API on -addr is
+// the compatibility facade; the binary streaming protocol on -wire-addr
+// (internal/wire: length-prefixed CRC-guarded frames, pipelined batches,
+// typed NACKs instead of 429s) is the high-throughput path. Both share
+// one session map, worker pool, drain barrier, and fault injector, so a
+// session is reachable from either protocol under the same ID.
+//
 // Usage:
 //
 //	llbpd -addr :8713
+//	llbpd -addr :8713 -wire-addr :8714
 //	llbpd -addr :8713 -shards 32 -workers 8 -ttl 2m -max-batch 16384
 //	llbpd -addr :8713 -snapshot-dir /var/lib/llbpd/snapshots
 //
@@ -44,6 +52,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -52,11 +61,20 @@ import (
 
 	"llbpx/internal/faults"
 	"llbpx/internal/serve"
+	"llbpx/internal/wire"
 )
+
+func orDisabled(addr string) string {
+	if addr == "" {
+		return "disabled"
+	}
+	return addr
+}
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8713", "listen address")
+		addr      = flag.String("addr", ":8713", "HTTP/JSON listen address")
+		wireAddr  = flag.String("wire-addr", ":8714", "binary-protocol listen address (empty disables)")
 		shards    = flag.Int("shards", 16, "session map shard count")
 		workers   = flag.Int("workers", 0, "max concurrently executing batches (0 = GOMAXPROCS)")
 		maxBatch  = flag.Int("max-batch", 65536, "max branches per batch")
@@ -105,16 +123,28 @@ func main() {
 		IdleTimeout:       *idleTimeout,
 	}
 
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
 	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Printf("llbpd: listening on %s (shards=%d workers=%d ttl=%v default=%s)\n",
-		*addr, srv.Config().Shards, srv.Config().Workers, srv.Config().SessionTTL, *predictor)
+	var ws *wire.Server
+	if *wireAddr != "" {
+		// Bind synchronously so a taken port fails startup instead of
+		// surfacing later as a dead listener.
+		wln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "llbpd:", err)
+			os.Exit(1)
+		}
+		ws = wire.NewServer(srv, wire.Config{})
+		go func() { errCh <- ws.Serve(wln) }()
+	}
+	fmt.Printf("llbpd: listening on %s (wire %s, shards=%d workers=%d ttl=%v default=%s)\n",
+		*addr, orDisabled(*wireAddr), srv.Config().Shards, srv.Config().Workers, srv.Config().SessionTTL, *predictor)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		if !errors.Is(err, http.ErrServerClosed) {
+		if !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
 			fmt.Fprintln(os.Stderr, "llbpd:", err)
 			os.Exit(1)
 		}
@@ -123,8 +153,15 @@ func main() {
 		fmt.Printf("llbpd: %v — draining\n", got)
 	}
 
-	// Refuse new batches, flush in-flight ones, then close the listener.
+	// Refuse new batches, flush in-flight ones, then close the listeners.
+	// Drain runs first so executing batches retire (wire clients see
+	// draining NACKs, HTTP clients 503s, both retryable); tearing the wire
+	// connections down after that may lose responses, which the sequencing
+	// contract lets clients recover exactly.
 	finals := srv.Drain()
+	if ws != nil {
+		_ = ws.Close()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	_ = hs.Shutdown(ctx)

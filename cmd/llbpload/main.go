@@ -1,13 +1,17 @@
 // Command llbpload drives an llbpd daemon with the synthetic server
-// workloads: K concurrent sessions stream branch batches over HTTP, then
-// every session's server-side MPKI is checked against a local sim.Run of
-// the identical stream. It is the repository's end-to-end client/server
-// benchmark: it prints achieved branches/sec, per-workload server-vs-local
-// MPKI agreement, and the daemon's own /v1/stats counters.
+// workloads: K concurrent sessions stream branch batches over the JSON
+// API (-proto=http) or the binary streaming protocol (-proto=binary),
+// then every session's server-side MPKI is checked against a local
+// sim.Run of the identical stream. It is the repository's end-to-end
+// client/server benchmark: it prints achieved branches/sec, per-workload
+// server-vs-local MPKI agreement, and the daemon's own /v1/stats
+// counters. The MPKI cross-check is protocol-independent — both paths
+// must land the exact statistics of the local replay.
 //
 // Usage:
 //
 //	llbpload -addr http://localhost:8713
+//	llbpload -proto binary -wire-addr localhost:8714
 //	llbpload -workloads nodeapp,kafka,wikipedia,whiskey -sessions 8 -instr 200000
 //	llbpload -predictor tsl-64k -batch 8192 -skip-local
 //	llbpload -resume -resume-wait 3s
@@ -34,6 +38,7 @@ import (
 
 	"llbpx"
 	"llbpx/internal/serve"
+	"llbpx/internal/wire"
 )
 
 // sessionResult is one streamed session's outcome.
@@ -48,7 +53,9 @@ type sessionResult struct {
 
 func main() {
 	var (
-		addr       = flag.String("addr", "http://localhost:8713", "llbpd base URL")
+		addr       = flag.String("addr", "http://localhost:8713", "llbpd base URL (JSON API; also used for the final /v1/stats probe)")
+		proto      = flag.String("proto", "http", `session transport: "http" (JSON API) or "binary" (internal/wire frames)`)
+		wireAddr   = flag.String("wire-addr", "localhost:8714", "llbpd binary-protocol host:port for -proto=binary")
 		workloads  = flag.String("workloads", "all", "comma-separated workloads, or 'all' (14 presets)")
 		sessions   = flag.Int("sessions", 8, "concurrent sessions (assigned workloads round-robin)")
 		predictor  = flag.String("predictor", "llbp-x", "predictor for every session")
@@ -64,6 +71,9 @@ func main() {
 	if *sessions < 1 || *batchSize < 1 || *instr == 0 {
 		fatal(fmt.Errorf("need -sessions >= 1, -batch >= 1, -instr > 0"))
 	}
+	if *proto != "http" && *proto != "binary" {
+		fatal(fmt.Errorf(`-proto must be "http" or "binary", got %q`, *proto))
+	}
 
 	names := llbpx.WorkloadNames()
 	if *workloads != "all" {
@@ -75,15 +85,34 @@ func main() {
 		}
 	}
 
+	// The HTTP client is always built: it carries the load for -proto=http
+	// and serves the final /v1/stats probe either way (the daemon fronts
+	// both protocols over the same machinery).
 	client := serve.NewClient(*addr, &http.Client{
 		Transport: &http.Transport{MaxIdleConnsPerHost: *sessions},
 		Timeout:   2 * time.Minute,
 	})
+	var wc *wire.Client
+	if *proto == "binary" {
+		wc = wire.NewClient(*wireAddr)
+		defer wc.Close()
+	}
 	if *retries > 0 {
 		// The MPKI cross-check below still applies verbatim: retried
 		// batches must not double-apply, so a disagreement after retries
-		// exits non-zero exactly like one without them.
+		// exits non-zero exactly like one without them. On the binary path
+		// the batch-number contract extends that guarantee to resends of
+		// batches whose response was lost.
 		client.WithRetry(serve.RetryPolicy{MaxAttempts: *retries})
+		if wc != nil {
+			wc.WithRetry(serve.RetryPolicy{MaxAttempts: *retries})
+		}
+	}
+	newSession := func(id string) batchSession {
+		if wc != nil {
+			return newWireSession(wc, id, *predictor)
+		}
+		return &httpSession{client: client, id: id, predictor: *predictor}
 	}
 	// SIGINT/SIGTERM cancels every in-flight request, pause, and local
 	// verification run; sessions report context.Canceled and the run exits
@@ -92,8 +121,12 @@ func main() {
 	defer stop()
 
 	// Load phase: K sessions stream concurrently.
+	target := *addr
+	if wc != nil {
+		target = *wireAddr + " (binary)"
+	}
 	fmt.Printf("llbpload: %d sessions x %d instr over %d workloads against %s (predictor %s)\n",
-		*sessions, *instr, len(names), *addr, *predictor)
+		*sessions, *instr, len(names), target, *predictor)
 	results := make([]sessionResult, *sessions)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -107,7 +140,7 @@ func main() {
 			if *resume {
 				pauseAt = *instr / 2
 			}
-			results[i] = streamSession(ctx, client, id, wl, *predictor, *instr, *batchSize, pauseAt, *resumeWait)
+			results[i] = streamSession(ctx, newSession(id), id, wl, *instr, *batchSize, pauseAt, *resumeWait)
 		}(i)
 	}
 	wg.Wait()
@@ -118,11 +151,16 @@ func main() {
 	for _, r := range results {
 		if r.err != nil {
 			// Surface the server's stable error code when the failure came
-			// back in the API envelope.
+			// back in the API envelope (HTTP) or as a typed NACK (binary) —
+			// both carry the same code vocabulary.
 			var apiErr *serve.APIError
-			if errors.As(r.err, &apiErr) {
+			var nackErr *wire.NackError
+			switch {
+			case errors.As(r.err, &apiErr):
 				fmt.Fprintf(os.Stderr, "llbpload: session %s: [%s] %v\n", r.id, apiErr.Code, r.err)
-			} else {
+			case errors.As(r.err, &nackErr):
+				fmt.Fprintf(os.Stderr, "llbpload: session %s: [%s] %v\n", r.id, nackErr.Code, r.err)
+			default:
 				fmt.Fprintf(os.Stderr, "llbpload: session %s: %v\n", r.id, r.err)
 			}
 			failed++
@@ -136,8 +174,13 @@ func main() {
 	fmt.Printf("llbpload: streamed %d branches in %v — %.0f branches/s achieved\n",
 		totalBranches, elapsed.Round(time.Millisecond), float64(totalBranches)/elapsed.Seconds())
 	if *retries > 0 {
-		fmt.Printf("llbpload: %d retries performed, %d 429-shed responses absorbed\n",
-			client.Retries(), client.ShedSeen())
+		if wc != nil {
+			fmt.Printf("llbpload: %d retries performed, %d shed NACKs absorbed, %d reconnects\n",
+				wc.Retries(), wc.ShedSeen(), wc.Reconnects())
+		} else {
+			fmt.Printf("llbpload: %d retries performed, %d 429-shed responses absorbed\n",
+				client.Retries(), client.ShedSeen())
+		}
 	}
 
 	// Verification phase: local replay of each workload's stream.
@@ -167,7 +210,9 @@ func main() {
 	}
 	fmt.Println(tbl.String())
 
+	var serverRestores uint64
 	if snap, err := client.ServerStats(ctx); err == nil {
+		serverRestores = snap.SnapshotRestores
 		fmt.Printf("server: %d batches, %d branches, %.0f branches/s lifetime, "+
 			"batch latency p50=%.0fus p99=%.0fus, sessions live=%d evicted=%d\n",
 			snap.Batches, snap.Branches, snap.BranchesPerSec,
@@ -193,7 +238,11 @@ func main() {
 		fatal(fmt.Errorf("%d sessions failed", failed))
 	case mismatches > 0:
 		fatal(fmt.Errorf("%d sessions disagree with local MPKI beyond %.2f%%", mismatches, 100**tolerance))
-	case *resume && restored == 0:
+	case *resume && restored == 0 && serverRestores == 0:
+		// The client-side flag alone is not authoritative on the binary
+		// path: a restore acknowledgement lost to a dying connection is
+		// answered as a duplicate on resend, which legitimately carries no
+		// restore flag. The server's own restore counter breaks the tie.
 		fatal(fmt.Errorf("-resume: no session was restored from a checkpoint — run llbpd with -snapshot-dir and a -ttl shorter than %v", *resumeWait))
 	default:
 		if !*skipLocal {
@@ -202,13 +251,116 @@ func main() {
 	}
 }
 
+// batchSession abstracts one server session's transport: the JSON API and
+// the binary protocol implement it against the same daemon machinery, so
+// streamSession (and the MPKI cross-check downstream) is protocol-blind.
+type batchSession interface {
+	// flush sends one batch and returns the latest server-side stats the
+	// transport has seen. On pipelined transports those may trail the
+	// batches sent; close returns the authoritative finals.
+	flush(ctx context.Context, batch []llbpx.Branch) (serve.SessionStats, error)
+	// close closes the session and returns its final stats.
+	close(ctx context.Context) (serve.SessionStats, error)
+	// restored reports whether the server revived this session from a
+	// checkpoint at any point.
+	restored() bool
+}
+
+// httpSession is one session over the JSON API.
+type httpSession struct {
+	client        *serve.Client
+	id, predictor string
+	revived       bool
+}
+
+func (s *httpSession) flush(ctx context.Context, batch []llbpx.Branch) (serve.SessionStats, error) {
+	resp, err := s.client.Predict(ctx, s.id, s.predictor, batch)
+	if err != nil {
+		return serve.SessionStats{}, err
+	}
+	if resp.Restored {
+		s.revived = true
+	}
+	return resp.Stats, nil
+}
+
+func (s *httpSession) close(ctx context.Context) (serve.SessionStats, error) {
+	fin, err := s.client.CloseSession(ctx, s.id)
+	if err != nil {
+		return serve.SessionStats{}, err
+	}
+	return fin.Stats, nil
+}
+
+func (s *httpSession) restored() bool { return s.revived }
+
+// wireSession is one session over the binary protocol: a pipelined
+// stream with a window of batches in flight, resent across connection
+// loss under the sequencing contract.
+type wireSession struct {
+	st      *wire.Stream
+	revived bool
+}
+
+func newWireSession(c *wire.Client, id, predictor string) *wireSession {
+	s := &wireSession{}
+	s.st = c.Stream(id, predictor, wire.StreamConfig{Window: 8, OnBatch: func(ok *wire.PredictOK) {
+		if ok.Flags&wire.FlagRestored != 0 {
+			s.revived = true
+		}
+	}})
+	return s
+}
+
+func (s *wireSession) flush(ctx context.Context, batch []llbpx.Branch) (serve.SessionStats, error) {
+	if err := s.st.Send(ctx, batch); err != nil {
+		return serve.SessionStats{}, err
+	}
+	return wireSessionStats(s.st.Stats()), nil
+}
+
+func (s *wireSession) close(ctx context.Context) (serve.SessionStats, error) {
+	_, fin, err := s.st.Close(ctx)
+	if err != nil {
+		return serve.SessionStats{}, err
+	}
+	return wireSessionStats(fin), nil
+}
+
+func (s *wireSession) restored() bool { return s.revived }
+
+// wireSessionStats converts the binary protocol's raw counters into the
+// JSON API's stats shape, deriving MPKI and accuracy the same way the
+// server does.
+func wireSessionStats(ws wire.WireStats) serve.SessionStats {
+	st := serve.SessionStats{
+		Instructions:  ws.Instructions,
+		CondBranches:  ws.CondBranches,
+		Mispredicts:   ws.Mispredicts,
+		UncondCount:   ws.UncondCount,
+		SecondLevelOK: ws.SecondLevelOK,
+		Batches:       ws.Batches,
+		Accuracy:      1,
+	}
+	if ws.Instructions > 0 {
+		st.MPKI = float64(ws.Mispredicts) / float64(ws.Instructions) * 1000
+	}
+	if ws.CondBranches > 0 {
+		st.Accuracy = 1 - float64(ws.Mispredicts)/float64(ws.CondBranches)
+	}
+	return st
+}
+
 // streamSession streams one workload's branch stream to one server
 // session in batches and closes the session, returning its final stats.
 // A non-zero pauseAt sleeps resumeWait once after crossing that many
 // instructions — long enough, with a short server TTL, for the janitor to
 // checkpoint the session to disk so the next batch exercises restore.
-func streamSession(ctx context.Context, client *serve.Client, id, workloadName, predictor string, instrBudget uint64, batchSize int, pauseAt uint64, resumeWait time.Duration) sessionResult {
-	res := sessionResult{id: id, workload: workloadName}
+func streamSession(ctx context.Context, sess batchSession, id, workloadName string, instrBudget uint64, batchSize int, pauseAt uint64, resumeWait time.Duration) (res sessionResult) {
+	res = sessionResult{id: id, workload: workloadName}
+	// On a pipelined transport the restore acknowledgement may only be
+	// observed while draining the window at close, so sample last.
+	defer func() { res.restored = sess.restored() }()
 	src, err := workloadSource(workloadName)
 	if err != nil {
 		res.err = err
@@ -220,14 +372,11 @@ func streamSession(ctx context.Context, client *serve.Client, id, workloadName, 
 		if len(batch) == 0 {
 			return nil
 		}
-		resp, err := client.Predict(ctx, id, predictor, batch)
+		st, err := sess.flush(ctx, batch)
 		if err != nil {
 			return err
 		}
-		if resp.Restored {
-			res.restored = true
-		}
-		res.server = resp.Stats
+		res.server = st
 		res.branches += uint64(len(batch))
 		batch = batch[:0]
 		return nil
@@ -266,8 +415,8 @@ func streamSession(ctx context.Context, client *serve.Client, id, workloadName, 
 	if res.err = flush(); res.err != nil {
 		return res
 	}
-	if fin, err := client.CloseSession(ctx, id); err == nil {
-		res.server = fin.Stats
+	if fin, err := sess.close(ctx); err == nil {
+		res.server = fin
 	}
 	return res
 }

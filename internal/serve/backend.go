@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"llbpx/internal/core"
+)
+
+// Transport SPI ------------------------------------------------------------
+//
+// The Server's session, admission, drain, and checkpoint machinery is
+// transport-agnostic; the HTTP mux is just its oldest frontend. The
+// methods in this file are the exported surface a second frontend — the
+// binary streaming listener in internal/wire — drives. They are thin
+// wrappers over the same private paths the HTTP handlers use, so both
+// protocols share one drain barrier, one worker pool, one shard map, and
+// one metrics registry, and a session is reachable from either protocol
+// under the same ID.
+
+// BeginBatch registers an accepted batch with the drain barrier. It
+// reports false when the server is draining — the caller must refuse the
+// batch (the HTTP path answers 503, the wire path a "draining" NACK).
+// Every successful BeginBatch must be paired with EndBatch.
+func (s *Server) BeginBatch() bool {
+	if !s.beginBatch() {
+		s.metrics.rejected.Inc()
+		return false
+	}
+	return true
+}
+
+// EndBatch releases a batch accepted by BeginBatch.
+func (s *Server) EndBatch() { s.endBatch() }
+
+// AcquireSlot takes a worker-pool slot under the admission policy: it
+// gives up after AdmitTimeout with ErrOverloaded (the caller sheds the
+// batch — state untouched, always safe to resend) or when ctx is
+// cancelled. Pair with ReleaseSlot.
+func (s *Server) AcquireSlot(ctx context.Context) error {
+	err := s.acquireSlot(ctx)
+	if errors.Is(err, ErrOverloaded) {
+		s.metrics.shed.Inc()
+	}
+	return err
+}
+
+// ReleaseSlot returns a worker-pool slot taken by AcquireSlot.
+func (s *Server) ReleaseSlot() { s.releaseSlot() }
+
+// PoolDepth reports how many worker-pool slots are currently held — the
+// queue-depth sample transports record at batch admission.
+func (s *Server) PoolDepth() int { return len(s.pool) }
+
+// RetryAfter is the server's advisory resend delay for shed batches (the
+// HTTP path's Retry-After header, the wire path's NACK field).
+func (s *Server) RetryAfter() time.Duration {
+	if s.cfg.AdmitTimeout > 0 {
+		return s.cfg.AdmitTimeout
+	}
+	return time.Second
+}
+
+// AcquireSession returns the live session for id, creating it (or
+// restoring it from a checkpoint) on first use. requested is the
+// client's explicitly named predictor: "" accepts whatever exists (or
+// the server default for a fresh session), and a non-empty name that
+// conflicts with an existing session's predictor fails with
+// ErrPredictorConflict. created reports a session that entered memory on
+// this call; restored that it came back from an on-disk checkpoint.
+func (s *Server) AcquireSession(id, requested string) (sess *Session, created, restored bool, err error) {
+	predictorName := requested
+	if predictorName == "" {
+		predictorName = s.cfg.DefaultPredictor
+	}
+	sess, created, err = s.sessions.getOrCreate(id, func() (*Session, error) {
+		// A checkpointed session resumes warm; any restore failure
+		// (no file, corrupt bytes, predictor mismatch) cold-starts.
+		if rs, ok := s.restoreSession(id, requested); ok {
+			return rs, nil
+		}
+		return newSession(id, predictorName)
+	})
+	if err != nil {
+		return nil, false, false, err
+	}
+	if created {
+		if sess.restored {
+			s.metrics.snapshotRestores.Inc()
+		} else {
+			s.metrics.sessionsCreated.Inc()
+		}
+	} else if requested != "" && requested != sess.PredictorName {
+		return nil, false, false, fmt.Errorf("session %q runs predictor %q, not %q: %w",
+			id, sess.PredictorName, requested, ErrPredictorConflict)
+	}
+	return sess, created, created && sess.restored, nil
+}
+
+// WireStatus is ExecuteWireBatch's sequencing verdict.
+type WireStatus int
+
+const (
+	// WireApplied: the batch executed and advanced the session's cursor.
+	WireApplied WireStatus = iota
+	// WireDuplicate: the batch number was already applied — the resend of
+	// a batch whose first response was lost. Nothing re-executed; the
+	// caller answers with the session's current statistics so the
+	// exactly-once retry contract holds.
+	WireDuplicate
+	// WireOutOfOrder: the batch number skips ahead of the cursor. Nothing
+	// executed; the caller NACKs so the client replays the gap first.
+	// This is what makes pipelined retries safe: a batch that slipped
+	// past a failed predecessor is refused loudly instead of silently
+	// corrupting the stream's retire order.
+	WireOutOfOrder
+)
+
+// ExecuteWireBatch runs one binary-protocol batch against sess under its
+// sequencing contract. batchNum is the client's per-session monotonically
+// increasing batch number (1-based); 0 opts out of sequencing and always
+// applies. On WireApplied the raw per-branch predictions are copied into
+// preds (which must hold at least len(batch) elements) and the metrics
+// pipeline records the batch; on WireDuplicate and WireOutOfOrder no
+// state changes. snap is the session's statistics snapshot taken under
+// the session lock in every case. The caller holds a worker-pool slot.
+func (s *Server) ExecuteWireBatch(sess *Session, batchNum uint64, batch []core.Branch, preds []core.Prediction, depth int) (WireStatus, SessionStats) {
+	s.cfg.Faults.Delay(FaultBatchExec)
+	start := time.Now()
+	sess.mu.Lock()
+	if batchNum != 0 {
+		switch {
+		case batchNum <= sess.wireSeq:
+			snap := sess.snapshotLocked()
+			sess.mu.Unlock()
+			return WireDuplicate, snap
+		case batchNum > sess.wireSeq+1:
+			snap := sess.snapshotLocked()
+			sess.mu.Unlock()
+			return WireOutOfOrder, snap
+		}
+	}
+	raw, delta := sess.applyBatchLocked(batch)
+	copy(preds, raw)
+	if batchNum != 0 {
+		sess.wireSeq = batchNum
+	}
+	snap := sess.snapshotLocked()
+	sess.mu.Unlock()
+	s.metrics.observeBatch(sess.PredictorName, s.sessions.index(sess.ID), delta, time.Since(start), depth)
+	return WireApplied, snap
+}
+
+// CloseSession removes a session and returns its final statistics,
+// deleting any on-disk checkpoint so a stale file cannot resurrect the
+// ID. ok is false when no such session exists.
+func (s *Server) CloseSession(id string) (SessionFinal, bool) {
+	sess := s.sessions.remove(id)
+	if sess == nil {
+		return SessionFinal{}, false
+	}
+	s.removeSnapshot(id)
+	s.metrics.sessionsClosed.Inc()
+	s.metrics.observeSessionEnd(sess)
+	return sess.final(), true
+}
+
+// FireFault fires the named fault-injection site on the server's
+// injector (a no-op without one). Transports use it for their own sites
+// — internal/wire's read/write sites run through here so one -inject
+// spec arms both protocols.
+func (s *Server) FireFault(site string) error { return s.cfg.Faults.Fire(site) }

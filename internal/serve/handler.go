@@ -160,35 +160,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.endBatch()
 
-	predictorName := req.Predictor
-	if predictorName == "" {
-		predictorName = s.cfg.DefaultPredictor
-	}
-	sess, created, err := s.sessions.getOrCreate(id, func() (*Session, error) {
-		// A checkpointed session resumes warm; any restore failure
-		// (no file, corrupt bytes, predictor mismatch) cold-starts.
-		if rs, ok := s.restoreSession(id, req.Predictor); ok {
-			return rs, nil
-		}
-		return newSession(id, predictorName)
-	})
+	sess, created, restored, err := s.AcquireSession(id, req.Predictor)
 	if err != nil {
-		code := CodeBadRequest
-		if errors.Is(err, ErrUnknownPredictor) {
-			code = CodeUnknownPredictor
+		switch {
+		case errors.Is(err, ErrPredictorConflict):
+			writeError(w, http.StatusConflict, CodePredictorConflict, "%v", err)
+		case errors.Is(err, ErrUnknownPredictor):
+			writeError(w, http.StatusBadRequest, CodeUnknownPredictor, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		}
-		writeError(w, http.StatusBadRequest, code, "%v", err)
-		return
-	}
-	if created {
-		if sess.restored {
-			s.metrics.snapshotRestores.Inc()
-		} else {
-			s.metrics.sessionsCreated.Inc()
-		}
-	} else if req.Predictor != "" && req.Predictor != sess.PredictorName {
-		writeError(w, http.StatusConflict, CodePredictorConflict,
-			"session %q runs predictor %q, not %q", id, sess.PredictorName, req.Predictor)
 		return
 	}
 
@@ -225,7 +206,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Session:     id,
 		Predictor:   sess.PredictorName,
 		Created:     created,
-		Restored:    created && sess.restored,
+		Restored:    restored,
 		Predictions: preds,
 		Stats:       snap,
 	})
@@ -243,16 +224,12 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	sess := s.sessions.remove(id)
-	if sess == nil {
+	fin, ok := s.CloseSession(id)
+	if !ok {
 		writeError(w, http.StatusNotFound, CodeSessionNotFound, "no session %q", id)
 		return
 	}
-	// DELETE is terminal: a stale checkpoint must not resurrect the ID.
-	s.removeSnapshot(id)
-	s.metrics.sessionsClosed.Inc()
-	s.metrics.observeSessionEnd(sess)
-	writeJSON(w, http.StatusOK, sess.final())
+	writeJSON(w, http.StatusOK, fin)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

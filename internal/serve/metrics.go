@@ -44,6 +44,11 @@ type metrics struct {
 	snapshotSaveErrors  *obs.Counter // failed checkpoint write attempts (retries count individually)
 	snapshotQuarantined *obs.Counter // corrupt checkpoints renamed *.corrupt
 
+	// Binary-protocol (internal/wire) series, incremented by the wire
+	// listener through WireMetrics. They live on the same registry as the
+	// HTTP families so one /metrics scrape covers both protocols.
+	wire WireMetrics
+
 	batchLatency    *obs.Histogram   // one sample per executed batch, µs
 	shardLatency    []*obs.Histogram // batch latency split by session shard, µs
 	queueDepth      *obs.Histogram   // busy worker-pool slots at batch admission
@@ -83,6 +88,16 @@ func newMetrics(shards int, live func() (map[string]int, int)) *metrics {
 		snapSaveDur:     reg.Histogram("snapshot_save_duration_us", latencyBuckets),
 		snapRestoreDur:  reg.Histogram("snapshot_restore_duration_us", latencyBuckets),
 		sessionLifetime: reg.Histogram("session_lifetime_ms", lifetimeBuckets),
+
+		wire: WireMetrics{
+			FramesRx:     reg.Counter("wire_frames_rx_total"),
+			FramesTx:     reg.Counter("wire_frames_tx_total"),
+			BytesRx:      reg.Counter("wire_bytes_rx_total"),
+			BytesTx:      reg.Counter("wire_bytes_tx_total"),
+			Nacks:        reg.Counter("wire_nacks_total"),
+			Conns:        reg.Counter("wire_conns_total"),
+			FrameLatency: reg.Histogram("wire_frame_latency_us", latencyBuckets),
+		},
 
 		perPred: make(map[string]*stats.BranchStats),
 	}
@@ -202,6 +217,26 @@ func (m *metrics) collect(w *obs.ExpoWriter, live func() (map[string]int, int)) 
 
 func predLabel(name string) string { return fmt.Sprintf("predictor=%q", name) }
 
+// WireMetrics is the binary protocol's slice of the server's metrics
+// registry: frame and byte counters per direction, NACKs, accepted
+// connections, and the request-frame service-latency histogram
+// (read-complete to response-encoded, µs). internal/wire increments
+// these through Server.WireMetrics so both protocols share one
+// registry, one exposition, and one golden lock test.
+type WireMetrics struct {
+	FramesRx     *obs.Counter
+	FramesTx     *obs.Counter
+	BytesRx      *obs.Counter
+	BytesTx      *obs.Counter
+	Nacks        *obs.Counter
+	Conns        *obs.Counter
+	FrameLatency *obs.Histogram
+}
+
+// WireMetrics exposes the binary-protocol metric set for the wire
+// listener.
+func (s *Server) WireMetrics() *WireMetrics { return &s.metrics.wire }
+
 // PredictorStats is the wire form of a per-predictor aggregate.
 type PredictorStats struct {
 	Instructions uint64  `json:"instructions"`
@@ -237,6 +272,17 @@ type StatsSnapshot struct {
 	SnapshotQuarantined  uint64  `json:"snapshot_quarantined"`
 	SnapshotSaveP99Us    float64 `json:"snapshot_save_p99_us"`
 	SnapshotRestoreP99Us float64 `json:"snapshot_restore_p99_us"`
+
+	// Wire* summarize the binary streaming protocol (internal/wire):
+	// frames and bytes per direction, NACK frames sent, connections
+	// accepted, and the p99 frame service latency.
+	WireFramesRx        uint64  `json:"wire_frames_rx"`
+	WireFramesTx        uint64  `json:"wire_frames_tx"`
+	WireBytesRx         uint64  `json:"wire_bytes_rx"`
+	WireBytesTx         uint64  `json:"wire_bytes_tx"`
+	WireNacks           uint64  `json:"wire_nacks"`
+	WireConns           uint64  `json:"wire_conns"`
+	WireFrameLatP99Us   float64 `json:"wire_frame_latency_p99_us"`
 
 	// SessionLifetimeP50Ms / P99Ms summarize closed and evicted sessions'
 	// in-memory lifetimes.
@@ -276,6 +322,14 @@ func (m *metrics) snapshot(sessionsLive int, byPred map[string]int) StatsSnapsho
 		SnapshotQuarantined:  m.snapshotQuarantined.Value(),
 		SnapshotSaveP99Us:    m.snapSaveDur.Quantile(0.99),
 		SnapshotRestoreP99Us: m.snapRestoreDur.Quantile(0.99),
+
+		WireFramesRx:      m.wire.FramesRx.Value(),
+		WireFramesTx:      m.wire.FramesTx.Value(),
+		WireBytesRx:       m.wire.BytesRx.Value(),
+		WireBytesTx:       m.wire.BytesTx.Value(),
+		WireNacks:         m.wire.Nacks.Value(),
+		WireConns:         m.wire.Conns.Value(),
+		WireFrameLatP99Us: m.wire.FrameLatency.Quantile(0.99),
 
 		SessionLifetimeP50Ms:    m.sessionLifetime.Quantile(0.50),
 		SessionLifetimeP99Ms:    m.sessionLifetime.Quantile(0.99),

@@ -37,6 +37,13 @@ var goldenFamilies = map[string]string{
 	"llbpd_snapshot_restores_total":      "counter",
 	"llbpd_snapshot_save_errors_total":   "counter",
 	"llbpd_snapshot_quarantined_total":   "counter",
+	"llbpd_wire_frames_rx_total":         "counter",
+	"llbpd_wire_frames_tx_total":         "counter",
+	"llbpd_wire_bytes_rx_total":          "counter",
+	"llbpd_wire_bytes_tx_total":          "counter",
+	"llbpd_wire_nacks_total":             "counter",
+	"llbpd_wire_conns_total":             "counter",
+	"llbpd_wire_frame_latency_us":        "histogram",
 	"llbpd_predictor_mpki":               "gauge",
 	"llbpd_predictor_branches_total":     "counter",
 	"llbpd_predictor_mispredicts_total":  "counter",

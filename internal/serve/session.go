@@ -34,6 +34,11 @@ type Session struct {
 	// predBuf is the session's reusable prediction scratch buffer for
 	// core.RunBatch, guarded by mu like the predictor itself.
 	predBuf []core.Prediction
+	// wireSeq is the highest applied binary-protocol batch number (the
+	// exactly-once cursor of internal/wire's sequencing contract). Zero
+	// until the first sequenced wire batch; untouched by the HTTP path.
+	// Persisted in checkpoints so a restored session keeps its cursor.
+	wireSeq uint64
 
 	// restored marks a session rebuilt from an on-disk snapshot rather
 	// than created cold (reported once in the creating batch's response).
@@ -57,17 +62,14 @@ func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
 // (unix nanos).
 func (s *Session) idleSince(cutoff int64) bool { return s.lastUsed.Load() < cutoff }
 
-// executeBatch drives the predictor over one batch of branches in retire
-// order through core.RunBatch, with the same accounting as sim.Run so that
-// a session's MPKI matches a local simulation of the same stream. It returns the per-branch
-// predictions, the batch's own stats delta (used for server-wide
-// per-predictor aggregation), and the session's post-batch snapshot taken
-// under the same lock.
-func (s *Session) executeBatch(batch []core.Branch) ([]BranchPrediction, stats.BranchStats, SessionStats) {
-	out := make([]BranchPrediction, len(batch))
+// applyBatchLocked drives the predictor over one batch of branches in
+// retire order through core.RunBatch, with the same accounting as sim.Run
+// so that a session's MPKI matches a local simulation of the same stream.
+// It returns the raw per-branch predictions (aliasing the session's
+// scratch buffer — valid only while mu is held) and the batch's own stats
+// delta. Callers hold mu.
+func (s *Session) applyBatchLocked(batch []core.Branch) ([]core.Prediction, stats.BranchStats) {
 	var delta stats.BranchStats
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if cap(s.predBuf) < len(batch) {
 		s.predBuf = make([]core.Prediction, len(batch))
 	}
@@ -78,8 +80,7 @@ func (s *Session) executeBatch(batch []core.Branch) ([]BranchPrediction, stats.B
 		if b.Kind.Conditional() {
 			delta.CondBranches++
 			pred := preds[i]
-			correct := pred.Taken == b.Taken
-			if !correct {
+			if pred.Taken != b.Taken {
 				delta.Mispredicts++
 			} else if pred.FromSecondLevel {
 				delta.SecondLevelOK++
@@ -87,22 +88,41 @@ func (s *Session) executeBatch(batch []core.Branch) ([]BranchPrediction, stats.B
 			if pred.Taken != pred.FastTaken {
 				delta.Overrides++
 			}
-			out[i] = BranchPrediction{
-				Cond:        true,
-				Taken:       pred.Taken,
-				Correct:     correct,
-				SecondLevel: pred.FromSecondLevel,
-			}
 		} else {
 			delta.UncondCount++
-			// Unconditional branches are always taken and never predicted
-			// for direction.
-			out[i] = BranchPrediction{Taken: true, Correct: true}
 		}
 	}
 	s.stats.Add(delta)
 	s.batches++
 	s.touch()
+	return preds, delta
+}
+
+// executeBatch is the HTTP path's batch execution: applyBatchLocked plus
+// materializing the JSON-shaped per-branch reply. It returns the
+// per-branch predictions, the batch's own stats delta (used for
+// server-wide per-predictor aggregation), and the session's post-batch
+// snapshot taken under the same lock.
+func (s *Session) executeBatch(batch []core.Branch) ([]BranchPrediction, stats.BranchStats, SessionStats) {
+	out := make([]BranchPrediction, len(batch))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	preds, delta := s.applyBatchLocked(batch)
+	for i, b := range batch {
+		if b.Kind.Conditional() {
+			pred := preds[i]
+			out[i] = BranchPrediction{
+				Cond:        true,
+				Taken:       pred.Taken,
+				Correct:     pred.Taken == b.Taken,
+				SecondLevel: pred.FromSecondLevel,
+			}
+		} else {
+			// Unconditional branches are always taken and never predicted
+			// for direction.
+			out[i] = BranchPrediction{Taken: true, Correct: true}
+		}
+	}
 	return out, delta, s.snapshotLocked()
 }
 

@@ -31,6 +31,7 @@ func (ss sessionState) SaveState(w *snapshot.Writer) {
 	w.U64(st.SecondLevelOK)
 	w.U64(st.Overrides)
 	w.U64(s.batches)
+	w.U64(s.wireSeq)
 	s.pred.(snapshot.State).SaveState(w)
 }
 
@@ -54,6 +55,7 @@ func (ss sessionState) LoadState(r *snapshot.Reader) {
 		Overrides:     r.U64(),
 	}
 	s.batches = r.U64()
+	s.wireSeq = r.U64()
 	s.pred.(snapshot.State).LoadState(r)
 }
 

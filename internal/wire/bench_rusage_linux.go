@@ -1,0 +1,17 @@
+//go:build linux
+
+package wire
+
+import "syscall"
+
+// processCPU returns the process's cumulative user+system CPU time in
+// seconds, for CPU-normalized benchmark metrics. Returns 0 where rusage
+// is unavailable (the metric is then omitted).
+func processCPU() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := func(tv syscall.Timeval) float64 { return float64(tv.Sec) + float64(tv.Usec)/1e6 }
+	return sec(ru.Utime) + sec(ru.Stime)
+}

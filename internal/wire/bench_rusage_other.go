@@ -1,0 +1,7 @@
+//go:build !linux
+
+package wire
+
+// processCPU is unavailable off Linux; the CPU-normalized benchmark
+// metric is omitted.
+func processCPU() float64 { return 0 }

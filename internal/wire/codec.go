@@ -1,0 +1,537 @@
+package wire
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math"
+	"math/bits"
+
+	"llbpx/internal/core"
+)
+
+// castagnoli is the CRC-32C table guarding every frame — the same
+// polynomial the snapshot layer uses, hardware-accelerated on amd64 and
+// arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encoding -----------------------------------------------------------------
+//
+// Encoders are appenders: they extend a caller-owned []byte and return
+// it, so a connection reuses one buffer per direction and steady-state
+// encoding allocates nothing once capacities converge.
+
+// beginFrame appends the 4-byte length placeholder plus the frame
+// header (type, seq) and returns the body's start offset for finishFrame.
+func beginFrame(dst []byte, typ byte, seq uint64) ([]byte, int) {
+	dst = append(dst, 0, 0, 0, 0)
+	mark := len(dst)
+	dst = append(dst, typ)
+	dst = binary.AppendUvarint(dst, seq)
+	return dst, mark
+}
+
+// finishFrame seals a frame begun at mark: it appends the CRC-32C over
+// the body and patches the length prefix.
+func finishFrame(dst []byte, mark int) []byte {
+	crc := crc32.Checksum(dst[mark:], castagnoli)
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
+	binary.LittleEndian.PutUint32(dst[mark-4:mark], uint32(len(dst)-mark))
+	return dst
+}
+
+// appendString appends a length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// WireStats is the session-statistics block carried by PredictOK and
+// CloseOK frames: the raw counters, from which both sides derive MPKI
+// and accuracy with identical float operations.
+type WireStats struct {
+	Instructions  uint64
+	CondBranches  uint64
+	Mispredicts   uint64
+	UncondCount   uint64
+	SecondLevelOK uint64
+	Batches       uint64
+}
+
+func appendStats(dst []byte, st WireStats) []byte {
+	dst = binary.AppendUvarint(dst, st.Instructions)
+	dst = binary.AppendUvarint(dst, st.CondBranches)
+	dst = binary.AppendUvarint(dst, st.Mispredicts)
+	dst = binary.AppendUvarint(dst, st.UncondCount)
+	dst = binary.AppendUvarint(dst, st.SecondLevelOK)
+	return binary.AppendUvarint(dst, st.Batches)
+}
+
+// AppendPredict encodes one Predict frame: session identity, the
+// per-session batch number, and the batch itself — conditional and
+// taken bit vectors, kind bytes for the unconditional minority, then
+// zigzag-varint PC deltas, target deltas (against each branch's own
+// PC), and instruction gaps.
+func AppendPredict(dst []byte, seq uint64, session, predictor string, batchNum uint64, batch []core.Branch) []byte {
+	dst, mark := beginFrame(dst, FramePredict, seq)
+	dst = appendString(dst, session)
+	dst = appendString(dst, predictor)
+	dst = binary.AppendUvarint(dst, batchNum)
+	n := len(batch)
+	dst = binary.AppendUvarint(dst, uint64(n))
+	dst = appendBits(dst, n, func(i int) bool { return batch[i].Kind.Conditional() })
+	dst = appendBits(dst, n, func(i int) bool { return batch[i].Taken })
+	for i := range batch {
+		if !batch[i].Kind.Conditional() {
+			dst = append(dst, byte(batch[i].Kind))
+		}
+	}
+	prev := uint64(0)
+	for i := range batch {
+		dst = binary.AppendVarint(dst, int64(batch[i].PC-prev))
+		prev = batch[i].PC
+	}
+	for i := range batch {
+		dst = binary.AppendVarint(dst, int64(batch[i].Target-batch[i].PC))
+	}
+	for i := range batch {
+		dst = binary.AppendUvarint(dst, uint64(batch[i].InstrGap))
+	}
+	return finishFrame(dst, mark)
+}
+
+// PredictOK response flags.
+const (
+	// FlagCreated: this batch created the session.
+	FlagCreated = 1 << 0
+	// FlagRestored: the creation revived an on-disk checkpoint.
+	FlagRestored = 1 << 1
+	// FlagDuplicate: the batch number was already applied; the frame
+	// carries no predictions, only current statistics.
+	FlagDuplicate = 1 << 2
+)
+
+// AppendPredictOK encodes a Predict response: flags, the session's
+// predictor, four bit-packed per-branch outcome vectors derived from
+// the executed batch and its raw predictions, and the post-batch
+// statistics. For duplicate acknowledgements pass an empty batch.
+func AppendPredictOK(dst []byte, seq uint64, flags byte, predictor string, batch []core.Branch, preds []core.Prediction, st WireStats) []byte {
+	dst, mark := beginFrame(dst, FramePredictOK, seq)
+	dst = append(dst, flags)
+	dst = appendString(dst, predictor)
+	n := len(batch)
+	dst = binary.AppendUvarint(dst, uint64(n))
+	dst = appendBits(dst, n, func(i int) bool { return batch[i].Kind.Conditional() })
+	dst = appendBits(dst, n, func(i int) bool {
+		if batch[i].Kind.Conditional() {
+			return preds[i].Taken
+		}
+		return true // unconditional branches are always taken
+	})
+	dst = appendBits(dst, n, func(i int) bool {
+		if batch[i].Kind.Conditional() {
+			return preds[i].Taken == batch[i].Taken
+		}
+		return true
+	})
+	dst = appendBits(dst, n, func(i int) bool {
+		return batch[i].Kind.Conditional() && preds[i].FromSecondLevel
+	})
+	dst = appendStats(dst, st)
+	return finishFrame(dst, mark)
+}
+
+// AppendNack encodes a typed refusal for the request tagged seq.
+func AppendNack(dst []byte, seq uint64, code, message string, retryable bool, retryAfterMillis uint64) []byte {
+	dst, mark := beginFrame(dst, FrameNack, seq)
+	dst = appendString(dst, code)
+	dst = appendString(dst, message)
+	if retryable {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, retryAfterMillis)
+	return finishFrame(dst, mark)
+}
+
+// AppendClose encodes a session-close request.
+func AppendClose(dst []byte, seq uint64, session string) []byte {
+	dst, mark := beginFrame(dst, FrameClose, seq)
+	dst = appendString(dst, session)
+	return finishFrame(dst, mark)
+}
+
+// AppendCloseOK encodes a Close response carrying final statistics.
+func AppendCloseOK(dst []byte, seq uint64, predictor string, st WireStats) []byte {
+	dst, mark := beginFrame(dst, FrameCloseOK, seq)
+	dst = appendString(dst, predictor)
+	dst = appendStats(dst, st)
+	return finishFrame(dst, mark)
+}
+
+// AppendPing / AppendPong encode the liveness no-ops.
+func AppendPing(dst []byte, seq uint64) []byte {
+	dst, mark := beginFrame(dst, FramePing, seq)
+	return finishFrame(dst, mark)
+}
+
+// AppendPong encodes the FramePing response.
+func AppendPong(dst []byte, seq uint64) []byte {
+	dst, mark := beginFrame(dst, FramePong, seq)
+	return finishFrame(dst, mark)
+}
+
+// appendBits bit-packs n booleans LSB-first into ceil(n/8) bytes.
+func appendBits(dst []byte, n int, bit func(i int) bool) []byte {
+	var cur byte
+	for i := 0; i < n; i++ {
+		if bit(i) {
+			cur |= 1 << (i & 7)
+		}
+		if i&7 == 7 {
+			dst = append(dst, cur)
+			cur = 0
+		}
+	}
+	if n&7 != 0 {
+		dst = append(dst, cur)
+	}
+	return dst
+}
+
+// Bit reports bit i of an appendBits-packed vector.
+func Bit(bits []byte, i int) bool { return bits[i>>3]&(1<<(i&7)) != 0 }
+
+// Decoding -----------------------------------------------------------------
+
+// parser is a sticky-error cursor over one frame body — the slice-based
+// twin of snapshot.Reader. Reads past the end, oversized counts, and
+// bad varints all fail with ErrMalformed; every accessor is a no-op
+// after the first failure. Byte-string reads return views into the
+// frame buffer, so parsing allocates nothing.
+type parser struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (p *parser) fail(format string, args ...any) {
+	if p.err == nil {
+		p.err = malformedf(format, args...)
+	}
+}
+
+func (p *parser) u8() byte {
+	if p.err != nil {
+		return 0
+	}
+	if p.off >= len(p.b) {
+		p.fail("truncated at byte %d", p.off)
+		return 0
+	}
+	v := p.b[p.off]
+	p.off++
+	return v
+}
+
+func (p *parser) uvarint() uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(p.b[p.off:])
+	if n <= 0 {
+		p.fail("bad varint at byte %d", p.off)
+		return 0
+	}
+	p.off += n
+	return v
+}
+
+func (p *parser) varint() int64 {
+	if p.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(p.b[p.off:])
+	if n <= 0 {
+		p.fail("bad signed varint at byte %d", p.off)
+		return 0
+	}
+	p.off += n
+	return v
+}
+
+// take returns an n-byte view of the body.
+func (p *parser) take(n int) []byte {
+	if p.err != nil {
+		return nil
+	}
+	if n < 0 || p.off+n > len(p.b) {
+		p.fail("truncated: need %d bytes at %d of %d", n, p.off, len(p.b))
+		return nil
+	}
+	v := p.b[p.off : p.off+n : p.off+n]
+	p.off += n
+	return v
+}
+
+// str returns a length-prefixed byte-string view, capped at max.
+func (p *parser) str(max int) []byte {
+	n := p.uvarint()
+	if p.err == nil && n > uint64(max) {
+		p.fail("string length %d exceeds limit %d", n, max)
+	}
+	return p.take(int(n))
+}
+
+// done fails unless the body was consumed exactly.
+func (p *parser) done() error {
+	if p.err == nil && p.off != len(p.b) {
+		p.fail("%d trailing bytes", len(p.b)-p.off)
+	}
+	return p.err
+}
+
+// ReadFrame reads one length-prefixed frame from r into buf (grown as
+// needed), verifies the CRC, and returns the body (type byte onward)
+// plus the total bytes consumed off the connection. The returned slice
+// aliases buf and is valid until the next call with the same buffer.
+func ReadFrame(r io.Reader, buf []byte) (body, bufOut []byte, wireBytes int, err error) {
+	// The length prefix is read into the reusable buffer, not a local
+	// array: a local would escape through the io.Reader interface and
+	// cost one allocation per frame.
+	if cap(buf) < 4 {
+		buf = make([]byte, 4, 512)
+	}
+	buf = buf[:4]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, buf, 0, err
+	}
+	n := binary.LittleEndian.Uint32(buf)
+	// Smallest legal frame body is type + 1-byte seq, plus the CRC.
+	if n < 6 || n > MaxFrame {
+		return nil, buf, 4, malformedf("frame length %d outside [6, %d]", n, MaxFrame)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		// A partial frame after a valid header is stream corruption, not
+		// clean EOF.
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, buf, 4, err
+	}
+	body = buf[:n-4]
+	want := binary.LittleEndian.Uint32(buf[n-4:])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, buf, 4 + int(n), malformedf("frame CRC mismatch: %08x != %08x", got, want)
+	}
+	return body, buf, 4 + int(n), nil
+}
+
+// ParseHeader splits a frame body into its type, sequence tag, and
+// payload.
+func ParseHeader(body []byte) (typ byte, seq uint64, payload []byte, err error) {
+	p := parser{b: body}
+	typ = p.u8()
+	seq = p.uvarint()
+	if p.err != nil {
+		return 0, 0, nil, p.err
+	}
+	return typ, seq, body[p.off:], nil
+}
+
+// Predict is a decoded Predict payload. Session and Predictor are views
+// into the frame buffer (valid until the buffer is reused); Branches is
+// a reusable slice regrown in place across frames.
+type Predict struct {
+	Session   []byte
+	Predictor []byte
+	BatchNum  uint64
+	Branches  []core.Branch
+}
+
+// DecodePredict parses a Predict payload into pr, enforcing maxBatch on
+// the branch count. The decoder validates before it allocates: branch
+// storage only grows in proportion to bytes actually present in the
+// payload, so a hostile count field cannot balloon memory.
+func DecodePredict(payload []byte, pr *Predict, maxBatch int) error {
+	p := parser{b: payload}
+	pr.Session = p.str(MaxSessionID)
+	pr.Predictor = p.str(MaxPredictorName)
+	pr.BatchNum = p.uvarint()
+	n64 := p.uvarint()
+	if p.err != nil {
+		return p.err
+	}
+	if n64 > uint64(maxBatch) {
+		return malformedf("batch of %d branches exceeds limit %d", n64, maxBatch)
+	}
+	n := int(n64)
+	nb := (n + 7) / 8
+	condBits := p.take(nb)
+	takenBits := p.take(nb)
+	if p.err != nil {
+		return p.err
+	}
+	// Count unconditional branches among the n valid bits. The last
+	// byte's padding bits are masked off rather than assumed zero — a
+	// hostile frame may set them, and an undercount here would size the
+	// kind array short.
+	ones := 0
+	for j, b := range condBits {
+		if j == len(condBits)-1 && n&7 != 0 {
+			b &= byte(1<<(n&7)) - 1
+		}
+		ones += bits.OnesCount8(b)
+	}
+	uncond := n - ones
+	// Every branch still owes >= 3 varint bytes (pc, target, gap) and
+	// every unconditional branch one kind byte: refuse counts the
+	// remaining payload cannot possibly carry before growing storage.
+	if remaining := len(payload) - p.off; remaining < 3*n+uncond {
+		return malformedf("%d branches need >= %d payload bytes, have %d", n, 3*n+uncond, remaining)
+	}
+	kinds := p.take(uncond)
+	if p.err != nil {
+		return p.err
+	}
+	if cap(pr.Branches) < n {
+		pr.Branches = make([]core.Branch, n)
+	}
+	branches := pr.Branches[:n]
+	ki := 0
+	for i := 0; i < n; i++ {
+		if Bit(condBits, i) {
+			branches[i].Kind = core.CondDirect
+		} else {
+			k := core.BranchKind(kinds[ki])
+			ki++
+			if !k.Valid() || k.Conditional() {
+				return malformedf("branch %d: invalid unconditional kind %d", i, k)
+			}
+			branches[i].Kind = k
+		}
+		branches[i].Taken = Bit(takenBits, i)
+	}
+	prev := uint64(0)
+	for i := 0; i < n; i++ {
+		prev += uint64(p.varint())
+		branches[i].PC = prev
+	}
+	for i := 0; i < n; i++ {
+		branches[i].Target = branches[i].PC + uint64(p.varint())
+	}
+	for i := 0; i < n; i++ {
+		gap := p.uvarint()
+		if p.err == nil && gap > math.MaxUint32 {
+			return malformedf("branch %d: instruction gap %d overflows uint32", i, gap)
+		}
+		branches[i].InstrGap = uint32(gap)
+	}
+	if err := p.done(); err != nil {
+		return err
+	}
+	pr.Branches = branches
+	return nil
+}
+
+// PredictOK is a decoded Predict response. The bit vectors and the
+// predictor name are views into the frame buffer.
+type PredictOK struct {
+	Flags     byte
+	Predictor []byte
+	N         int
+	Cond      []byte
+	Taken     []byte
+	Correct   []byte
+	Second    []byte
+	Stats     WireStats
+}
+
+func decodeStats(p *parser) WireStats {
+	return WireStats{
+		Instructions:  p.uvarint(),
+		CondBranches:  p.uvarint(),
+		Mispredicts:   p.uvarint(),
+		UncondCount:   p.uvarint(),
+		SecondLevelOK: p.uvarint(),
+		Batches:       p.uvarint(),
+	}
+}
+
+// DecodePredictOK parses a PredictOK payload, enforcing maxBatch on the
+// prediction count.
+func DecodePredictOK(payload []byte, ok *PredictOK, maxBatch int) error {
+	p := parser{b: payload}
+	ok.Flags = p.u8()
+	ok.Predictor = p.str(MaxPredictorName)
+	n64 := p.uvarint()
+	if p.err != nil {
+		return p.err
+	}
+	if n64 > uint64(maxBatch) {
+		return malformedf("%d predictions exceed limit %d", n64, maxBatch)
+	}
+	ok.N = int(n64)
+	nb := (ok.N + 7) / 8
+	ok.Cond = p.take(nb)
+	ok.Taken = p.take(nb)
+	ok.Correct = p.take(nb)
+	ok.Second = p.take(nb)
+	ok.Stats = decodeStats(&p)
+	return p.done()
+}
+
+// Nack is a decoded refusal frame; Code and Message are views into the
+// frame buffer.
+type Nack struct {
+	Code             []byte
+	Message          []byte
+	Retryable        bool
+	RetryAfterMillis uint64
+}
+
+// DecodeNack parses a Nack payload.
+func DecodeNack(payload []byte, nk *Nack) error {
+	p := parser{b: payload}
+	nk.Code = p.str(MaxCode)
+	nk.Message = p.str(MaxMessage)
+	switch p.u8() {
+	case 0:
+		nk.Retryable = false
+	case 1:
+		nk.Retryable = true
+	default:
+		p.fail("retryable flag outside {0, 1}")
+	}
+	nk.RetryAfterMillis = p.uvarint()
+	return p.done()
+}
+
+// Close is a decoded Close payload.
+type Close struct{ Session []byte }
+
+// DecodeClose parses a Close payload.
+func DecodeClose(payload []byte, c *Close) error {
+	p := parser{b: payload}
+	c.Session = p.str(MaxSessionID)
+	return p.done()
+}
+
+// CloseOK is a decoded Close response.
+type CloseOK struct {
+	Predictor []byte
+	Stats     WireStats
+}
+
+// DecodeCloseOK parses a CloseOK payload.
+func DecodeCloseOK(payload []byte, c *CloseOK) error {
+	p := parser{b: payload}
+	c.Predictor = p.str(MaxPredictorName)
+	c.Stats = decodeStats(&p)
+	return p.done()
+}

@@ -1,0 +1,515 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"llbpx/internal/core"
+	"llbpx/internal/serve"
+)
+
+// Config parameterizes the wire listener. The zero value is usable.
+type Config struct {
+	// Executors is the per-connection parallel-execution width: frames
+	// are sharded over this many executor goroutines by session ID, so
+	// one connection multiplexing many sessions still executes them in
+	// parallel while every single session stays in arrival order
+	// (default 4).
+	Executors int
+	// Window bounds decoded-but-unanswered frames per connection; a
+	// client that pipelines past it blocks in the kernel, which is the
+	// backpressure signal (default 64).
+	Window int
+	// IdleTimeout drops a connection with no complete frame for this
+	// long (default 2m; negative disables).
+	IdleTimeout time.Duration
+	// HandshakeTimeout bounds the preamble exchange (default 5s).
+	HandshakeTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Executors <= 0 {
+		c.Executors = 4
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Server is the binary-protocol listener. It owns no session, admission,
+// drain, or checkpoint state of its own: every frame drives the same
+// serve.Server machinery the HTTP mux does, so the two protocols share
+// one worker pool, one drain barrier, one shard map, and one metrics
+// registry — a session is reachable from either protocol under the same
+// ID.
+type Server struct {
+	backend *serve.Server
+	cfg     Config
+	m       *serve.WireMetrics
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a serve.Server with a binary-protocol frontend.
+func NewServer(backend *serve.Server, cfg Config) *Server {
+	return &Server{
+		backend: backend,
+		cfg:     cfg.withDefaults(),
+		m:       backend.WireMetrics(),
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts connections on ln until Close. It always returns a
+// non-nil error; after Close it returns net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return net.ErrClosed
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.m.Conns.Inc()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(c)
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, tears every connection down, and waits for the
+// per-connection goroutines to exit. Batches already executing complete
+// under the backend's drain barrier (serve.Server.Drain waits on them);
+// their responses may be lost with the connection, which is exactly the
+// case the sequencing contract lets clients retry through.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// job is one in-flight frame: decoded request state on the way in,
+// encoded response bytes on the way out. A connection owns Window jobs
+// recycled through a free list, so the steady-state frame path performs
+// no per-frame heap allocation.
+type job struct {
+	typ      byte
+	seq      uint64
+	start    time.Time
+	session  []byte // copied out of the read buffer (it is reused per frame)
+	pred     []byte
+	batchNum uint64
+	branches []core.Branch
+	preds    []core.Prediction
+	out      []byte
+	nack     bool
+}
+
+// wireConn is the per-connection pipeline: one reader decoding frames,
+// Executors goroutines executing them (sharded by session so a session
+// keeps retire order), one writer serializing responses.
+type wireConn struct {
+	s      *Server
+	c      net.Conn
+	ctx    context.Context
+	cancel context.CancelFunc
+	quit   chan struct{}
+	kill   sync.Once
+	free   chan *job
+	writeq chan *job
+	execq  []chan *job
+	seed   maphash.Seed
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer c.Close()
+	hs := s.cfg.HandshakeTimeout
+	c.SetDeadline(time.Now().Add(hs))
+	var got [len(preamble)]byte
+	if _, err := io.ReadFull(c, got[:]); err != nil {
+		return
+	}
+	if got != preamble {
+		// Wrong magic or version: say nothing a non-wire peer could
+		// misparse; just hang up.
+		return
+	}
+	if _, err := c.Write(preamble[:]); err != nil {
+		return
+	}
+	c.SetDeadline(time.Time{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	wc := &wireConn{
+		s:      s,
+		c:      c,
+		ctx:    ctx,
+		cancel: cancel,
+		quit:   make(chan struct{}),
+		free:   make(chan *job, s.cfg.Window),
+		writeq: make(chan *job, s.cfg.Window),
+		execq:  make([]chan *job, s.cfg.Executors),
+		seed:   maphash.MakeSeed(),
+	}
+	defer cancel()
+	for i := 0; i < s.cfg.Window; i++ {
+		wc.free <- &job{}
+	}
+	var execWg sync.WaitGroup
+	for i := range wc.execq {
+		wc.execq[i] = make(chan *job, s.cfg.Window)
+		execWg.Add(1)
+		go func(q chan *job) {
+			defer execWg.Done()
+			wc.executor(q)
+		}(wc.execq[i])
+	}
+	var writeWg sync.WaitGroup
+	writeWg.Add(1)
+	go func() {
+		defer writeWg.Done()
+		wc.writer()
+	}()
+
+	wc.reader() // returns on connection death, malformed stream, or Close
+	for _, q := range wc.execq {
+		close(q)
+	}
+	execWg.Wait()
+	close(wc.writeq)
+	writeWg.Wait()
+}
+
+// die tears the connection down once: the net.Conn closes (unblocking
+// reader and writer) and the conn context cancels (unblocking executors
+// parked in slot admission).
+func (wc *wireConn) die() {
+	wc.kill.Do(func() {
+		close(wc.quit)
+		wc.cancel()
+		wc.c.Close()
+	})
+}
+
+// shard maps a session ID to its executor, so one session's frames stay
+// strictly ordered while distinct sessions run in parallel.
+func (wc *wireConn) shard(session []byte) int {
+	if len(wc.execq) == 1 {
+		return 0
+	}
+	return int(maphash.Bytes(wc.seed, session) % uint64(len(wc.execq)))
+}
+
+// reader is the connection's frame-decode loop. It owns the read buffer;
+// everything a frame needs past the next read is copied into the job.
+func (wc *wireConn) reader() {
+	br := bufio.NewReaderSize(wc.c, 256<<10)
+	var buf []byte
+	var pr Predict
+	maxBatch := wc.s.backend.Config().MaxBatch
+	for {
+		// The read fault site models a torn network: an injected error
+		// abandons the connection exactly like a peer vanishing
+		// mid-frame would.
+		if wc.s.backend.FireFault(FaultRead) != nil {
+			wc.die()
+			return
+		}
+		if wc.s.cfg.IdleTimeout > 0 {
+			wc.c.SetReadDeadline(time.Now().Add(wc.s.cfg.IdleTimeout))
+		}
+		body, nbuf, n, err := ReadFrame(br, buf)
+		buf = nbuf
+		if err != nil {
+			wc.s.m.BytesRx.Add(uint64(n))
+			wc.die()
+			return
+		}
+		wc.s.m.FramesRx.Inc()
+		wc.s.m.BytesRx.Add(uint64(n))
+		typ, seq, payload, err := ParseHeader(body)
+		if err != nil {
+			wc.die()
+			return
+		}
+		var j *job
+		select {
+		case j = <-wc.free:
+		case <-wc.quit:
+			return
+		}
+		j.typ, j.seq, j.start, j.nack = typ, seq, time.Now(), false
+		switch typ {
+		case FramePredict:
+			pr.Branches = j.branches // decode into the job's storage
+			if err := DecodePredict(payload, &pr, maxBatch); err != nil {
+				// The stream itself is intact (CRC passed): NACK this
+				// frame and keep the connection.
+				wc.respondNack(j, serve.CodeBadRequest, err.Error(), false, 0)
+				continue
+			}
+			j.session = append(j.session[:0], pr.Session...)
+			j.pred = append(j.pred[:0], pr.Predictor...)
+			j.batchNum = pr.BatchNum
+			j.branches = pr.Branches
+			wc.dispatch(j)
+		case FrameClose:
+			var cl Close
+			if err := DecodeClose(payload, &cl); err != nil {
+				wc.respondNack(j, serve.CodeBadRequest, err.Error(), false, 0)
+				continue
+			}
+			j.session = append(j.session[:0], cl.Session...)
+			j.branches = j.branches[:0]
+			wc.dispatch(j)
+		case FramePing:
+			j.out = AppendPong(j.out[:0], seq)
+			wc.send(j)
+		default:
+			// Anything else — response types, unknown types — is a
+			// protocol violation that poisons framing trust.
+			wc.die()
+			return
+		}
+	}
+}
+
+// dispatch hands a decoded job to its session's executor.
+func (wc *wireConn) dispatch(j *job) {
+	select {
+	case wc.execq[wc.shard(j.session)] <- j:
+	case <-wc.quit:
+	}
+}
+
+// send queues an encoded response for the writer.
+func (wc *wireConn) send(j *job) {
+	select {
+	case wc.writeq <- j:
+	case <-wc.quit:
+	}
+}
+
+// respondNack encodes a NACK for j and queues it.
+func (wc *wireConn) respondNack(j *job, code, msg string, retryable bool, retryAfter time.Duration) {
+	j.nack = true
+	j.out = AppendNack(j.out[:0], j.seq, code, msg, retryable, uint64(retryAfter.Milliseconds()))
+	wc.send(j)
+}
+
+// executor runs one shard's jobs in FIFO order against the backend.
+func (wc *wireConn) executor(q chan *job) {
+	for j := range q {
+		switch j.typ {
+		case FramePredict:
+			wc.execPredict(j)
+		case FrameClose:
+			wc.execClose(j)
+		}
+	}
+}
+
+func (wc *wireConn) execPredict(j *job) {
+	s := wc.s
+	if len(j.branches) == 0 {
+		wc.respondNack(j, serve.CodeBadRequest, "empty batch", false, 0)
+		return
+	}
+	if !s.backend.BeginBatch() {
+		wc.respondNack(j, serve.CodeDraining, "server is draining", true, s.backend.RetryAfter())
+		return
+	}
+	defer s.backend.EndBatch()
+
+	sess, created, restored, err := s.backend.AcquireSession(string(j.session), string(j.pred))
+	if err != nil {
+		code := serve.CodeBadRequest
+		switch {
+		case errors.Is(err, serve.ErrPredictorConflict):
+			code = serve.CodePredictorConflict
+		case errors.Is(err, serve.ErrUnknownPredictor):
+			code = serve.CodeUnknownPredictor
+		}
+		wc.respondNack(j, code, err.Error(), false, 0)
+		return
+	}
+
+	depth := s.backend.PoolDepth()
+	if aerr := s.backend.AcquireSlot(wc.ctx); aerr != nil {
+		if errors.Is(aerr, serve.ErrOverloaded) {
+			wc.respondNack(j, serve.CodeOverloaded,
+				fmt.Sprintf("no worker slot; batch shed, retry safe (%d executing)", depth),
+				true, s.backend.RetryAfter())
+			return
+		}
+		// Connection died while queueing: nothing to answer.
+		wc.free <- j
+		return
+	}
+	if cap(j.preds) < len(j.branches) {
+		j.preds = make([]core.Prediction, len(j.branches))
+	}
+	preds := j.preds[:len(j.branches)]
+	status, snap := s.backend.ExecuteWireBatch(sess, j.batchNum, j.branches, preds, depth)
+	s.backend.ReleaseSlot()
+
+	switch status {
+	case serve.WireOutOfOrder:
+		wc.respondNack(j, CodeOutOfOrder,
+			fmt.Sprintf("batch %d skips ahead of the session's applied cursor; replay the gap first", j.batchNum),
+			true, 0)
+		return
+	case serve.WireDuplicate:
+		j.out = AppendPredictOK(j.out[:0], j.seq, FlagDuplicate, sess.PredictorName, nil, nil, statsOf(snap))
+	default:
+		var flags byte
+		if created {
+			flags |= FlagCreated
+		}
+		if restored {
+			flags |= FlagRestored
+		}
+		j.out = AppendPredictOK(j.out[:0], j.seq, flags, sess.PredictorName, j.branches, preds, statsOf(snap))
+	}
+	s.m.FrameLatency.ObserveDuration(time.Since(j.start))
+	wc.send(j)
+}
+
+func (wc *wireConn) execClose(j *job) {
+	fin, ok := wc.s.backend.CloseSession(string(j.session))
+	if !ok {
+		wc.respondNack(j, serve.CodeSessionNotFound, "no such session", false, 0)
+		return
+	}
+	j.out = AppendCloseOK(j.out[:0], j.seq, fin.Predictor, WireStats{
+		Instructions:  fin.Stats.Instructions,
+		CondBranches:  fin.Stats.CondBranches,
+		Mispredicts:   fin.Stats.Mispredicts,
+		UncondCount:   fin.Stats.UncondCount,
+		SecondLevelOK: fin.Stats.SecondLevelOK,
+		Batches:       fin.Stats.Batches,
+	})
+	wc.send(j)
+}
+
+// statsOf converts a serve snapshot to the wire's counter block.
+func statsOf(s serve.SessionStats) WireStats {
+	return WireStats{
+		Instructions:  s.Instructions,
+		CondBranches:  s.CondBranches,
+		Mispredicts:   s.Mispredicts,
+		UncondCount:   s.UncondCount,
+		SecondLevelOK: s.SecondLevelOK,
+		Batches:       s.Batches,
+	}
+}
+
+// writer serializes encoded frames onto the connection, flushing when
+// the queue momentarily empties (response coalescing under pipelining),
+// and recycles jobs back to the free list.
+func (wc *wireConn) writer() {
+	bw := bufio.NewWriterSize(wc.c, 256<<10)
+	dead := false
+	for j := range wc.writeq {
+		if !dead {
+			// The write fault site models the response path dying after
+			// execution: the lost-ack case the sequencing contract
+			// (duplicate detection on resend) exists to absorb.
+			if wc.s.backend.FireFault(FaultWrite) != nil {
+				wc.die()
+				dead = true
+			} else {
+				if _, err := bw.Write(j.out); err != nil {
+					wc.die()
+					dead = true
+				} else {
+					wc.s.m.FramesTx.Inc()
+					wc.s.m.BytesTx.Add(uint64(len(j.out)))
+					if j.nack {
+						wc.s.m.Nacks.Inc()
+					}
+					if len(wc.writeq) == 0 {
+						if err := bw.Flush(); err != nil {
+							wc.die()
+							dead = true
+						}
+					}
+				}
+			}
+		}
+		// Recycle regardless: the free list's capacity equals the job
+		// population, so this never blocks.
+		wc.free <- j
+	}
+}
