@@ -1,0 +1,201 @@
+// Command llbpgw is the cluster tier's routing gateway: a stateless
+// front that spreads llbpd sessions across N backends and moves them
+// between backends live, without losing bit-exactness.
+//
+// Placement is a weighted consistent-hash ring over session IDs: every
+// gateway with the same membership computes the same owner, so gateways
+// scale out with no coordination and no persisted state. Downstream the
+// gateway speaks the binary wire protocol; upstream it exposes BOTH the
+// llbpd HTTP API (same paths, same error envelope) and the binary
+// protocol, so existing clients — curl, serve.Client, wire.Stream,
+// llbpload — point at the cluster unchanged.
+//
+// On membership change (join via the admin API, graceful leave, or a
+// death verdict from failed probes/forwards) affected sessions migrate
+// as drain-checkpoint → transfer → warm-restore over the llbpd admin
+// transfer API: the gateway quiesces the session, exports its
+// CRC-guarded checkpoint from the old owner, imports it on the new one,
+// and resumes the stream there. The exactly-once batch cursor rides the
+// checkpoint, so in-flight resends across the move are answered as
+// duplicates instead of double-applied. A backend that died without a
+// goodbye is routed around; its sessions warm-restore from the shared
+// snapshot directory when the backends have one.
+//
+// Usage:
+//
+//	llbpgw -addr :8712 -backends 'b1=127.0.0.1:8714,http://127.0.0.1:8713;b2=127.0.0.1:8724,http://127.0.0.1:8723'
+//	llbpgw -addr :8712 -wire-addr :8715 -backends ... -vnodes 128
+//	llbpgw -addr :8712 -backends ... -inject 'cluster.forward:err=0.05'
+//
+// Each -backends entry is name=wireAddr,httpURL[,weight]; entries are
+// separated by semicolons. Backends can also join and leave at runtime:
+//
+//	POST   /admin/v1/backends          {"name":"b3","wire_addr":"...","http_url":"..."}
+//	DELETE /admin/v1/backends/{name}   graceful leave (live-migrates its sessions first)
+//	GET    /admin/v1/backends          membership with health verdicts
+//
+// The serving API mirrors llbpd (predict/stats/close per session), plus
+// GET /v1/stats (routing statistics), /metrics (llbpgw_* families),
+// /healthz and /readyz (503 when no backend is live).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"llbpx/internal/cluster"
+	"llbpx/internal/faults"
+)
+
+// parseBackends parses the -backends spec: semicolon-separated
+// name=wireAddr,httpURL[,weight] entries.
+func parseBackends(spec string) ([]cluster.Backend, error) {
+	var out []cluster.Backend
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, rest, okEq := strings.Cut(entry, "=")
+		parts := strings.Split(rest, ",")
+		if !okEq || name == "" || len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("bad backend entry %q (want name=wireAddr,httpURL[,weight])", entry)
+		}
+		b := cluster.Backend{Name: name, WireAddr: strings.TrimSpace(parts[0]), HTTPURL: strings.TrimSpace(parts[1])}
+		if len(parts) == 3 {
+			w, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("bad weight in backend entry %q", entry)
+			}
+			b.Weight = w
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no backends configured (use -backends 'name=wireAddr,httpURL;...')")
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8712", "HTTP/JSON listen address")
+		wireAddr = flag.String("wire-addr", "", "binary-protocol listen address (empty disables)")
+		backends = flag.String("backends", "", "initial membership: 'name=wireAddr,httpURL[,weight];...'")
+		vnodes   = flag.Int("vnodes", 64, "consistent-hash ring points per weight unit")
+		maxBatch = flag.Int("max-batch", 65536, "max branches per batch")
+
+		forwardAttempts  = flag.Int("forward-attempts", 8, "max attempts to route one batch across failures and reroutes")
+		forwardTimeout   = flag.Duration("forward-timeout", 10*time.Second, "per-attempt downstream timeout")
+		healthEvery      = flag.Duration("health-every", 2*time.Second, "backend liveness probe interval (<0 disables)")
+		healthFails      = flag.Int("health-fails", 3, "consecutive failures that declare a backend dead")
+		transferAttempts = flag.Int("transfer-attempts", 4, "migration attempts per relocation (each re-exports)")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "http.Server.ReadHeaderTimeout")
+		readTimeout       = flag.Duration("read-timeout", time.Minute, "http.Server.ReadTimeout")
+		writeTimeout      = flag.Duration("write-timeout", 2*time.Minute, "http.Server.WriteTimeout")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server.IdleTimeout")
+
+		injectSpec = flag.String("inject", "", "fault-injection spec for chaos drills, e.g. 'cluster.forward:err=0.05;cluster.transfer:partial=64' (empty disables)")
+		injectSeed = flag.Int64("inject-seed", 1, "seed for the fault injector's per-site RNG streams")
+	)
+	flag.Parse()
+
+	members, err := parseBackends(*backends)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llbpgw:", err)
+		os.Exit(2)
+	}
+	inj, err := faults.ParseSpec(*injectSpec, *injectSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llbpgw:", err)
+		os.Exit(2)
+	}
+
+	g, err := cluster.New(cluster.Config{
+		Backends:         members,
+		VNodes:           *vnodes,
+		MaxBatch:         *maxBatch,
+		ForwardAttempts:  *forwardAttempts,
+		ForwardTimeout:   *forwardTimeout,
+		HealthEvery:      *healthEvery,
+		HealthFails:      *healthFails,
+		TransferAttempts: *transferAttempts,
+		Faults:           inj,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llbpgw:", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           g,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+	errCh := make(chan error, 2)
+	go func() { errCh <- hs.ListenAndServe() }()
+	var wln net.Listener
+	if *wireAddr != "" {
+		// Bind synchronously so a taken port fails startup instead of
+		// surfacing later as a dead listener.
+		wln, err = net.Listen("tcp", *wireAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "llbpgw:", err)
+			os.Exit(1)
+		}
+		go func() { errCh <- g.ServeWire(wln) }()
+	}
+	names := make([]string, len(members))
+	for i, b := range members {
+		names[i] = b.Name
+	}
+	wireState := "disabled"
+	if *wireAddr != "" {
+		wireState = *wireAddr
+	}
+	fmt.Printf("llbpgw: routing on %s (wire %s) over %d backends [%s], vnodes=%d\n",
+		*addr, wireState, len(members), strings.Join(names, " "), *vnodes)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintln(os.Stderr, "llbpgw:", err)
+			os.Exit(1)
+		}
+		return
+	case got := <-sig:
+		fmt.Printf("llbpgw: %v — shutting down\n", got)
+	}
+
+	// The gateway holds no predictor state: shutdown is closing the
+	// frontends and releasing downstream clients. Sessions stay live on
+	// their backends; another gateway with the same membership picks them
+	// up (and resynchronizes its cursors from the owners).
+	if wln != nil {
+		_ = wln.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(ctx)
+	g.Close()
+
+	st := g.Stats()
+	fmt.Printf("llbpgw: routed %d batches (%d forward errors, %d retries), %d migrations (%d failed), %d reroutes, %d cursor resyncs\n",
+		st.RoutedBatches, st.ForwardErrors, st.ForwardRetries, st.Migrations, st.MigrationErrors, st.Reroutes, st.CursorResyncs)
+}

@@ -15,6 +15,16 @@
 //	llbpload -workloads nodeapp,kafka,wikipedia,whiskey -sessions 8 -instr 200000
 //	llbpload -predictor tsl-64k -batch 8192 -skip-local
 //	llbpload -resume -resume-wait 3s
+//	llbpload -gateway -addr http://localhost:8712 -tolerance 0
+//
+// With -gateway the target is an llbpgw routing gateway instead of a
+// single llbpd. Nothing about the session traffic changes — the gateway
+// mirrors llbpd's APIs on both protocols — but the final stats probe
+// reads the gateway's routing counters (routed batches, migrations,
+// reroutes) instead of llbpd's /v1/stats, and the MPKI cross-check now
+// spans however many backends the cluster routed (and live-migrated)
+// each session across. At -tolerance 0 it is the cluster's bit-exactness
+// drill.
 //
 // With -resume (the daemon must run with -snapshot-dir and a short -ttl),
 // each session pauses mid-stream until it crosses the idle TTL, letting
@@ -25,6 +35,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -37,6 +48,7 @@ import (
 	"time"
 
 	"llbpx"
+	"llbpx/internal/cluster"
 	"llbpx/internal/serve"
 	"llbpx/internal/wire"
 )
@@ -66,6 +78,7 @@ func main() {
 		resume     = flag.Bool("resume", false, "pause each session past the server's idle TTL mid-stream to exercise evict-to-disk + restore")
 		resumeWait = flag.Duration("resume-wait", 3*time.Second, "how long a -resume pause lasts (set > the daemon's -ttl)")
 		retries    = flag.Int("retries", 0, "max attempts per request: retry shed (429) and draining (503) batches with exponential backoff (0 disables)")
+		gateway    = flag.Bool("gateway", false, "the target is an llbpgw routing gateway: probe cluster routing stats instead of llbpd server stats")
 	)
 	flag.Parse()
 	if *sessions < 1 || *batchSize < 1 || *instr == 0 {
@@ -211,7 +224,13 @@ func main() {
 	fmt.Println(tbl.String())
 
 	var serverRestores uint64
-	if snap, err := client.ServerStats(ctx); err == nil {
+	if *gateway {
+		// A gateway serves routing statistics, not llbpd's server snapshot.
+		if cs, err := clusterStats(ctx, *addr); err == nil {
+			fmt.Printf("gateway: routed %d batches over %d backends, %d migrations (%d failed), %d reroutes, %d cursor resyncs, %d forward errors\n",
+				cs.RoutedBatches, len(cs.Backends), cs.Migrations, cs.MigrationErrors, cs.Reroutes, cs.CursorResyncs, cs.ForwardErrors)
+		}
+	} else if snap, err := client.ServerStats(ctx); err == nil {
 		serverRestores = snap.SnapshotRestores
 		fmt.Printf("server: %d batches, %d branches, %.0f branches/s lifetime, "+
 			"batch latency p50=%.0fus p99=%.0fus, sessions live=%d evicted=%d\n",
@@ -466,6 +485,28 @@ func workloadSource(name string) (llbpx.Source, error) {
 		return nil, err
 	}
 	return llbpx.NewGenerator(prog), nil
+}
+
+// clusterStats fetches an llbpgw gateway's routing counters from its
+// /v1/stats endpoint.
+func clusterStats(ctx context.Context, base string) (*cluster.ClusterStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("gateway stats: status %d", resp.StatusCode)
+	}
+	var out cluster.ClusterStats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 func fatal(err error) {

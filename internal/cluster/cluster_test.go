@@ -1,0 +1,546 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"llbpx/internal/core"
+	"llbpx/internal/faults"
+	"llbpx/internal/serve"
+	"llbpx/internal/sim"
+	"llbpx/internal/stats"
+	"llbpx/internal/wire"
+	"llbpx/internal/workload"
+)
+
+// testBackend is one in-process llbpd: a serve.Server with both its wire
+// listener and HTTP frontend up, sharing a snapshot directory with its
+// peers the way a real deployment shares durable storage.
+type testBackend struct {
+	name string
+	srv  *serve.Server
+	ws   *wire.Server
+	ln   net.Listener
+	hts  *httptest.Server
+	done chan struct{}
+	once sync.Once
+}
+
+func startBackend(t *testing.T, name, snapDir string) *testBackend {
+	t.Helper()
+	srv := serve.New(serve.Config{SnapshotDir: snapDir, SessionTTL: -1})
+	ws := wire.NewServer(srv, wire.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := &testBackend{name: name, srv: srv, ws: ws, ln: ln, done: make(chan struct{})}
+	go func() {
+		defer close(tb.done)
+		ws.Serve(ln)
+	}()
+	tb.hts = httptest.NewServer(srv)
+	t.Cleanup(tb.kill)
+	return tb
+}
+
+func (tb *testBackend) backend() Backend {
+	return Backend{Name: tb.name, WireAddr: tb.ln.Addr().String(), HTTPURL: tb.hts.URL}
+}
+
+// kill stops the backend the way SIGTERM stops llbpd: the server drains
+// (checkpointing every live session to the shared snapshot directory)
+// and the listeners close. The gateway is NOT told — it discovers the
+// death through failed forwards, exactly like a production crash with
+// durable state.
+func (tb *testBackend) kill() {
+	tb.once.Do(func() {
+		tb.ws.Close()
+		<-tb.done
+		tb.hts.Close()
+		tb.srv.Close()
+	})
+}
+
+// fastCfg returns a gateway Config tuned for tests: tight backoffs, a
+// two-strike death verdict, and no background prober unless asked
+// (health transitions then come only from forward failures, which keeps
+// single-purpose tests deterministic).
+func fastCfg(backends ...Backend) Config {
+	return Config{
+		Backends:         backends,
+		ForwardAttempts:  12,
+		ForwardTimeout:   5 * time.Second,
+		RetryBase:        2 * time.Millisecond,
+		RetryMax:         25 * time.Millisecond,
+		HealthEvery:      -1,
+		HealthFails:      2,
+		TransferAttempts: 3,
+	}
+}
+
+func newGateway(t *testing.T, cfg Config) *Gateway {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+// gatewayHTTP mounts the gateway's HTTP frontend and returns an llbpd
+// client pointed at it — the "client configured for one llbpd points at
+// the cluster unchanged" claim, load-bearing in every test that uses it.
+func gatewayHTTP(t *testing.T, g *Gateway) *serve.Client {
+	t.Helper()
+	hts := httptest.NewServer(g)
+	t.Cleanup(hts.Close)
+	return serve.NewClient(hts.URL, nil)
+}
+
+// gatewayWireAddr starts the gateway's binary-protocol frontend on a
+// loopback listener and returns its address.
+func gatewayWireAddr(t *testing.T, g *Gateway) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g.ServeWire(ln)
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+// gatewayWire starts the gateway's binary-protocol frontend and returns
+// a connected wire client.
+func gatewayWire(t *testing.T, g *Gateway) *wire.Client {
+	t.Helper()
+	c := wire.NewClient(gatewayWireAddr(t, g))
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// workloadBranches materializes the first instruction-budget worth of a
+// preset workload's deterministic stream.
+func workloadBranches(t testing.TB, name string, instrBudget uint64) []core.Branch {
+	t.Helper()
+	prof, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := workload.Build(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(prog)
+	var out []core.Branch
+	var instr uint64
+	for instr < instrBudget {
+		b, ok := gen.Next()
+		if !ok {
+			break
+		}
+		instr += b.Instructions()
+		out = append(out, b)
+	}
+	return out
+}
+
+// localRun replays branches through a fresh predictor exactly like a
+// backend does, yielding the expected session statistics.
+func localRun(t testing.TB, predictor string, branches []core.Branch, instrBudget uint64) sim.Result {
+	t.Helper()
+	p, err := serve.NewPredictor(predictor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(p, core.NewSliceSource(branches), sim.Options{MeasureInstr: instrBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// requireExact asserts cluster-served statistics equal the local sim's
+// bit for bit — counters and derived MPKI, zero tolerance. This is the
+// whole point of the migration protocol: routing and relocation must be
+// invisible in the numbers.
+func requireExact(t *testing.T, label string, got serve.SessionStats, want stats.BranchStats) {
+	t.Helper()
+	if got.Instructions != want.Instructions || got.CondBranches != want.CondBranches ||
+		got.Mispredicts != want.Mispredicts || got.UncondCount != want.UncondCount ||
+		got.SecondLevelOK != want.SecondLevelOK {
+		t.Fatalf("%s: cluster stats diverge from local sim:\ncluster %+v\nlocal   %+v", label, got, want)
+	}
+	if got.MPKI != want.MPKI() {
+		t.Fatalf("%s: cluster MPKI %v != local %v", label, got.MPKI, want.MPKI())
+	}
+}
+
+// sendBatches streams branches through the gateway's HTTP frontend in
+// fixed-size batches and returns the last acknowledged statistics.
+func sendBatches(t *testing.T, c *serve.Client, id, predictor string, branches []core.Branch, batchSize int) serve.SessionStats {
+	t.Helper()
+	ctx := context.Background()
+	var last serve.SessionStats
+	for i := 0; i < len(branches); i += batchSize {
+		j := i + batchSize
+		if j > len(branches) {
+			j = len(branches)
+		}
+		resp, err := c.Predict(ctx, id, predictor, branches[i:j])
+		if err != nil {
+			t.Fatalf("predict %s [%d:%d]: %v", id, i, j, err)
+		}
+		last = resp.Stats
+	}
+	return last
+}
+
+// TestGatewayRoutesExactStats is the base routing claim: sessions spread
+// over both backends through the gateway, and every session's final
+// statistics match a local simulation exactly.
+func TestGatewayRoutesExactStats(t *testing.T) {
+	dir := t.TempDir()
+	b1 := startBackend(t, "b1", dir)
+	b2 := startBackend(t, "b2", dir)
+	g := newGateway(t, fastCfg(b1.backend(), b2.backend()))
+	client := gatewayHTTP(t, g)
+
+	const instr = 30_000
+	workloads := []string{"kafka", "tomcat", "spring", "delta", "chirper", "whiskey"}
+	owners := map[string]bool{}
+	for i, wl := range workloads {
+		id := fmt.Sprintf("route-%d-%s", i, wl)
+		owners[g.LookupOwner(id)] = true
+		branches := workloadBranches(t, wl, instr)
+		sendBatches(t, client, id, "tsl-8k", branches, 1024)
+		fin, err := client.CloseSession(context.Background(), id)
+		if err != nil {
+			t.Fatalf("close %s: %v", id, err)
+		}
+		want := localRun(t, "tsl-8k", branches, instr)
+		requireExact(t, id, fin.Stats, want.Measured)
+	}
+	if !owners["b1"] || !owners["b2"] {
+		t.Fatalf("expected sessions on both backends, got owners %v", owners)
+	}
+	st := g.Stats()
+	if st.RoutedBatches == 0 {
+		t.Fatalf("no routed batches counted: %+v", st)
+	}
+	if st.SessionsKnown != 0 {
+		t.Fatalf("closed sessions still tracked: %+v", st)
+	}
+}
+
+// TestGatewayWireFrontend runs a client-sequenced stream through the
+// binary frontend: exact statistics, duplicate verdicts relayed
+// verbatim, and a close acknowledged with the final numbers.
+func TestGatewayWireFrontend(t *testing.T) {
+	dir := t.TempDir()
+	b1 := startBackend(t, "b1", dir)
+	b2 := startBackend(t, "b2", dir)
+	g := newGateway(t, fastCfg(b1.backend(), b2.backend()))
+	wc := gatewayWire(t, g)
+
+	const instr = 30_000
+	branches := workloadBranches(t, "kafka", instr)
+	ctx := context.Background()
+	const id = "wire-1"
+	var ok wire.PredictOK
+	var num uint64
+	var lastBatch []core.Branch
+	for i := 0; i < len(branches); i += 1024 {
+		j := i + 1024
+		if j > len(branches) {
+			j = len(branches)
+		}
+		num++
+		lastBatch = branches[i:j]
+		if err := wc.Predict(ctx, id, "tsl-8k", num, lastBatch, &ok); err != nil {
+			t.Fatalf("wire predict batch %d: %v", num, err)
+		}
+		if ok.Flags&wire.FlagDuplicate != 0 {
+			t.Fatalf("batch %d unexpectedly answered as duplicate", num)
+		}
+		if ok.N != j-i {
+			t.Fatalf("batch %d: %d predictions for %d branches", num, ok.N, j-i)
+		}
+	}
+	// Resending the last applied batch number must relay the owner's
+	// duplicate verdict (stats unchanged, no predictions re-applied).
+	applied := ok.Stats
+	if err := wc.Predict(ctx, id, "tsl-8k", num, lastBatch, &ok); err != nil {
+		t.Fatalf("wire resend: %v", err)
+	}
+	if ok.Flags&wire.FlagDuplicate == 0 {
+		t.Fatalf("resend of batch %d not flagged duplicate", num)
+	}
+	if ok.Stats != applied {
+		t.Fatalf("duplicate changed stats: %+v != %+v", ok.Stats, applied)
+	}
+
+	pred, st, err := wc.CloseSession(ctx, id)
+	if err != nil {
+		t.Fatalf("wire close: %v", err)
+	}
+	if pred != "tsl-8k" {
+		t.Fatalf("close predictor %q", pred)
+	}
+	want := localRun(t, "tsl-8k", branches, instr)
+	requireExact(t, id, serve.SessionStats{
+		Instructions: st.Instructions, CondBranches: st.CondBranches,
+		Mispredicts: st.Mispredicts, UncondCount: st.UncondCount,
+		SecondLevelOK: st.SecondLevelOK, Batches: st.Batches,
+		MPKI: stats.BranchStats{Instructions: st.Instructions, CondBranches: st.CondBranches, Mispredicts: st.Mispredicts}.MPKI(),
+	}, want.Measured)
+}
+
+// TestGatewayLiveMigration drives both directions of a live move: a
+// graceful leave migrates every owned session off the leaving backend,
+// and a join pulls sessions onto the new member — with traffic running
+// before, between, and after, and exact statistics at the end.
+func TestGatewayLiveMigration(t *testing.T) {
+	dir := t.TempDir()
+	b1 := startBackend(t, "b1", dir)
+	b2 := startBackend(t, "b2", dir)
+	b3 := startBackend(t, "b3", dir)
+	g := newGateway(t, fastCfg(b1.backend(), b2.backend()))
+	client := gatewayHTTP(t, g)
+
+	const instr = 40_000
+	type sess struct {
+		id       string
+		branches []core.Branch
+	}
+	var sessions []sess
+	for i := 0; i < 8; i++ {
+		wl := []string{"kafka", "tomcat", "spring", "delta"}[i%4]
+		sessions = append(sessions, sess{
+			id:       fmt.Sprintf("mig-%d-%s", i, wl),
+			branches: workloadBranches(t, wl, instr),
+		})
+	}
+
+	// Phase 1: first third on the {b1, b2} ring.
+	for _, s := range sessions {
+		sendBatches(t, client, s.id, "tsl-8k", s.branches[:len(s.branches)/3], 512)
+	}
+
+	// Join: b3 enters the ring; rebalance synchronously so the assert
+	// below observes the settled state.
+	if err := g.AddBackend(b3.backend()); err != nil {
+		t.Fatal(err)
+	}
+	g.rebalance()
+	afterJoin := g.Stats()
+	if afterJoin.Migrations == 0 {
+		t.Fatalf("no live migration onto joined backend: %+v", afterJoin)
+	}
+	onB3 := 0
+	for _, s := range sessions {
+		if g.LookupOwner(s.id) == "b3" {
+			onB3++
+		}
+	}
+	if onB3 == 0 {
+		t.Fatalf("ring assigns no session to the joined backend")
+	}
+
+	// Phase 2: second third on the {b1, b2, b3} ring.
+	for _, s := range sessions {
+		sendBatches(t, client, s.id, "tsl-8k", s.branches[len(s.branches)/3:2*len(s.branches)/3], 512)
+	}
+
+	// Leave: b1 retires gracefully; every session it owns migrates away
+	// live before RemoveBackend returns.
+	ownedByB1 := 0
+	for _, s := range sessions {
+		if g.LookupOwner(s.id) == "b1" {
+			ownedByB1++
+		}
+	}
+	if ownedByB1 == 0 {
+		t.Fatalf("no session owned by b1 before its leave; ring distribution too skewed")
+	}
+	preLeave := g.Stats().Migrations
+	if err := g.RemoveBackend("b1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Stats().Migrations; got < preLeave+uint64(ownedByB1) {
+		t.Fatalf("leave migrated %d sessions, want >= %d", got-preLeave, ownedByB1)
+	}
+	for _, s := range sessions {
+		if owner := g.LookupOwner(s.id); owner == "b1" {
+			t.Fatalf("session %s still assigned to removed backend", s.id)
+		}
+	}
+
+	// Phase 3: final third, then close and compare against an unbroken
+	// local run — two membership changes must be invisible in the bits.
+	for _, s := range sessions {
+		sendBatches(t, client, s.id, "tsl-8k", s.branches[2*len(s.branches)/3:], 512)
+		fin, err := client.CloseSession(context.Background(), s.id)
+		if err != nil {
+			t.Fatalf("close %s: %v", s.id, err)
+		}
+		want := localRun(t, "tsl-8k", s.branches, instr)
+		requireExact(t, s.id, fin.Stats, want.Measured)
+	}
+}
+
+// TestGatewayTornTransfer arms partial-write rules on the transfer site:
+// every exported checkpoint is torn in flight, the import side's
+// integrity checks reject it, and the relocation fails WITHOUT the
+// session forking or losing state — the live source keeps serving. Once
+// the rule clears, the move completes and the stream's statistics are
+// still exact.
+func TestGatewayTornTransfer(t *testing.T) {
+	dir := t.TempDir()
+	inj := faults.New(41)
+	b1 := startBackend(t, "b1", dir)
+	b2 := startBackend(t, "b2", dir)
+	cfg := fastCfg(b1.backend(), b2.backend())
+	cfg.Faults = inj
+	g := newGateway(t, cfg)
+	client := gatewayHTTP(t, g)
+
+	const instr = 40_000
+	// Pick a session the ring assigns to b1, so removing b1 forces a move.
+	id := ""
+	for i := 0; i < 64; i++ {
+		cand := fmt.Sprintf("torn-%d", i)
+		if g.LookupOwner(cand) == "b1" {
+			id = cand
+			break
+		}
+	}
+	if id == "" {
+		t.Fatal("no candidate session maps to b1")
+	}
+	branches := workloadBranches(t, "kafka", instr)
+	half := len(branches) / 2
+	sendBatches(t, client, id, "tsl-8k", branches[:half], 512)
+
+	// Tear every transfer: the blob passes export intact and loses its
+	// tail between the daemons.
+	inj.Set(FaultTransfer, faults.Rule{PartialAfter: 64})
+	if err := g.RemoveBackend("b1"); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.MigrationErrors == 0 {
+		t.Fatalf("torn transfers did not surface as migration errors: %+v", st)
+	}
+	if st.Migrations != 0 {
+		t.Fatalf("a torn transfer was accepted: %+v", st)
+	}
+	if fs := inj.Stats(FaultTransfer); fs.Truncated == 0 {
+		t.Fatalf("no blob was actually truncated: %+v", fs)
+	}
+	// The session must still be live on b1 — torn moves degrade to
+	// staying put, never to a half-imported fork.
+	gs := g.session(id, false)
+	gs.mu.Lock()
+	owner := gs.owner
+	gs.mu.Unlock()
+	if owner != "b1" {
+		t.Fatalf("session moved despite failed transfer: owner %q", owner)
+	}
+
+	// Heal the network; the next batch retries the move, which now
+	// succeeds, and the stream finishes on b2 bit-exact.
+	inj.Clear(FaultTransfer)
+	sendBatches(t, client, id, "tsl-8k", branches[half:], 512)
+	gs.mu.Lock()
+	owner = gs.owner
+	gs.mu.Unlock()
+	if owner != "b2" {
+		t.Fatalf("session not relocated after rules cleared: owner %q", owner)
+	}
+	if got := g.Stats(); got.Migrations == 0 {
+		t.Fatalf("healed transfer not counted: %+v", got)
+	}
+	fin, err := client.CloseSession(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localRun(t, "tsl-8k", branches, instr)
+	requireExact(t, id, fin.Stats, want.Measured)
+}
+
+// TestGatewayCursorProbeAcrossRestart replaces the gateway mid-stream —
+// the new one has no routing state and must resynchronize its assigned
+// batch cursor from the owner before continuing exactly-once.
+func TestGatewayCursorProbeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	b1 := startBackend(t, "b1", dir)
+	b2 := startBackend(t, "b2", dir)
+
+	const instr = 30_000
+	const id = "restart-1"
+	branches := workloadBranches(t, "tomcat", instr)
+	half := len(branches) / 2
+
+	g1 := newGateway(t, fastCfg(b1.backend(), b2.backend()))
+	sendBatches(t, gatewayHTTP(t, g1), id, "tsl-8k", branches[:half], 512)
+	g1.Close()
+
+	g2 := newGateway(t, fastCfg(b1.backend(), b2.backend()))
+	sendBatches(t, gatewayHTTP(t, g2), id, "tsl-8k", branches[half:], 512)
+	fin, err := gatewayHTTP(t, g2).CloseSession(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := localRun(t, "tsl-8k", branches, instr)
+	requireExact(t, id, fin.Stats, want.Measured)
+}
+
+// TestGatewayRingMovementOnJoin is the gateway-level placement-stability
+// assertion: a third backend joining moves roughly its fair share of the
+// key space — and every key that moves, moves onto the joiner.
+func TestGatewayRingMovementOnJoin(t *testing.T) {
+	dir := t.TempDir()
+	b1 := startBackend(t, "b1", dir)
+	b2 := startBackend(t, "b2", dir)
+	b3 := startBackend(t, "b3", dir)
+	g := newGateway(t, fastCfg(b1.backend(), b2.backend()))
+
+	const keys = 4096
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = g.LookupOwner(fmt.Sprintf("key-%d", i))
+	}
+	if err := g.AddBackend(b3.backend()); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := range before {
+		after := g.LookupOwner(fmt.Sprintf("key-%d", i))
+		if after == before[i] {
+			continue
+		}
+		moved++
+		if after != "b3" {
+			t.Fatalf("key-%d moved %s -> %s, not onto the joiner", i, before[i], after)
+		}
+	}
+	frac := float64(moved) / keys
+	if frac < 0.15 || frac > 0.55 {
+		t.Fatalf("join moved %.1f%% of keys, want roughly a third", 100*frac)
+	}
+}

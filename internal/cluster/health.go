@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// prober is the gateway's liveness loop: every HealthEvery it pings each
+// backend over the wire protocol. HealthFails consecutive failures
+// (shared with the forward path's failure accounting) declare a backend
+// dead — it leaves the ring and its sessions migrate. A dead backend
+// that answers again is revived and rebalanced back in, unless it is
+// leaving (draining backends still answer pings; see markAlive).
+func (g *Gateway) prober() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.cfg.HealthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.ctx.Done():
+			return
+		case <-t.C:
+		}
+		g.mu.Lock()
+		list := make([]*backendState, 0, len(g.backends))
+		for _, bs := range g.backends {
+			list = append(list, bs)
+		}
+		g.mu.Unlock()
+		for _, bs := range list {
+			ctx, cancel := context.WithTimeout(g.ctx, g.cfg.HealthEvery)
+			err := bs.wc.Ping(ctx)
+			cancel()
+			switch {
+			case err != nil:
+				g.noteFailure(bs)
+			case !bs.alive.Load():
+				g.markAlive(bs)
+			default:
+				bs.fails.Store(0)
+			}
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"llbpx/internal/core"
+	"llbpx/internal/serve"
+	"llbpx/internal/stats"
+	"llbpx/internal/wire"
+)
+
+// HTTP frontend -------------------------------------------------------------
+//
+// The gateway mirrors the llbpd HTTP API — same paths, same wire types,
+// same error envelope — so a client configured for one llbpd points at
+// the cluster unchanged. Requests are forwarded downstream over the
+// binary protocol with gateway-assigned batch numbers, which upgrades
+// plain HTTP clients to the exactly-once resend contract across
+// reroutes: a forward whose response was lost is resent and answered as
+// a duplicate instead of double-applied.
+
+// maxBodyBytes mirrors llbpd's predict-body bound.
+const maxBodyBytes = 64 << 20
+
+// ServeHTTP implements http.Handler, with llbpd's panic-to-envelope
+// guard.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			writeError(w, http.StatusInternalServerError, serve.CodeInternal, "internal error: %v", p)
+		}
+	}()
+	g.mux.ServeHTTP(w, r)
+}
+
+func (g *Gateway) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions/{id}/predict", g.handlePredict)
+	mux.HandleFunc("GET /v1/sessions/{id}", g.handleSessionGet)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", g.handleSessionDelete)
+	mux.HandleFunc("GET /v1/stats", g.handleStats)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /readyz", g.handleReadyz)
+	mux.HandleFunc("GET /admin/v1/backends", g.handleBackendsGet)
+	mux.HandleFunc("POST /admin/v1/backends", g.handleBackendJoin)
+	mux.HandleFunc("DELETE /admin/v1/backends/{name}", g.handleBackendLeave)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}{Error: struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// writeForwardError maps a failed forward onto the llbpd error contract:
+// NACK codes relay with their llbpd status, anything else is a 503 the
+// client may retry (the gateway never half-applied anything).
+func writeForwardError(w http.ResponseWriter, err error) {
+	var ne *wire.NackError
+	if errors.As(err, &ne) {
+		writeError(w, nackStatus(ne), ne.Code, "%s", ne.Message)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, serve.CodeInternal, "forward failed: %v", err)
+}
+
+// nackStatus maps a downstream NACK code to the HTTP status llbpd itself
+// would have used.
+func nackStatus(ne *wire.NackError) int {
+	switch ne.Code {
+	case serve.CodeBadRequest, serve.CodeUnknownPredictor:
+		return http.StatusBadRequest
+	case serve.CodeSessionNotFound:
+		return http.StatusNotFound
+	case serve.CodePredictorConflict:
+		return http.StatusConflict
+	case serve.CodeBatchTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case serve.CodeOverloaded:
+		return http.StatusTooManyRequests
+	case serve.CodeDraining:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// wireSessionStats converts downstream wire statistics to the HTTP
+// session-stats shape, deriving MPKI and accuracy exactly like the
+// server does.
+func wireSessionStats(st wire.WireStats) serve.SessionStats {
+	bs := stats.BranchStats{
+		Instructions:  st.Instructions,
+		CondBranches:  st.CondBranches,
+		Mispredicts:   st.Mispredicts,
+		UncondCount:   st.UncondCount,
+		SecondLevelOK: st.SecondLevelOK,
+	}
+	return serve.SessionStats{
+		Instructions:  st.Instructions,
+		CondBranches:  st.CondBranches,
+		Mispredicts:   st.Mispredicts,
+		UncondCount:   st.UncondCount,
+		SecondLevelOK: st.SecondLevelOK,
+		Batches:       st.Batches,
+		MPKI:          bs.MPKI(),
+		Accuracy:      bs.Accuracy(),
+	}
+}
+
+func (g *Gateway) handlePredict(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req serve.PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeBadRequest, "bad batch body: %v", err)
+		return
+	}
+	if len(req.Branches) == 0 {
+		writeError(w, http.StatusBadRequest, serve.CodeBadRequest, "empty batch")
+		return
+	}
+	if len(req.Branches) > g.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, serve.CodeBatchTooLarge,
+			"batch of %d branches exceeds limit %d", len(req.Branches), g.cfg.MaxBatch)
+		return
+	}
+	batch := make([]core.Branch, len(req.Branches))
+	for i, rec := range req.Branches {
+		b := rec.ToBranch()
+		if !b.Kind.Valid() {
+			writeError(w, http.StatusBadRequest, serve.CodeBadRequest, "branch %d: invalid kind %d", i, rec.Kind)
+			return
+		}
+		batch[i] = b
+	}
+
+	gs := g.session(id, true)
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.closed {
+		writeError(w, http.StatusNotFound, serve.CodeSessionNotFound, "session %q is closed", id)
+		return
+	}
+	var ok wire.PredictOK
+	dup, err := g.forward(r.Context(), gs, req.Predictor, 0, batch, &ok)
+	if err != nil {
+		writeForwardError(w, err)
+		return
+	}
+	resp := serve.PredictResponse{
+		Session:   id,
+		Predictor: string(ok.Predictor),
+		Created:   ok.Flags&wire.FlagCreated != 0,
+		Restored:  ok.Flags&wire.FlagRestored != 0,
+		Duplicate: dup,
+		Stats:     wireSessionStats(ok.Stats),
+	}
+	if !dup {
+		preds := make([]serve.BranchPrediction, len(batch))
+		for i := range batch {
+			preds[i] = serve.BranchPrediction{
+				Cond:        wire.Bit(ok.Cond, i),
+				Taken:       wire.Bit(ok.Taken, i),
+				Correct:     wire.Bit(ok.Correct, i),
+				SecondLevel: wire.Bit(ok.Second, i),
+			}
+		}
+		resp.Predictions = preds
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	gs := g.session(id, false)
+	if gs == nil {
+		writeError(w, http.StatusNotFound, serve.CodeSessionNotFound, "no session %q", id)
+		return
+	}
+	gs.mu.Lock()
+	owner := gs.owner
+	closed := gs.closed
+	gs.mu.Unlock()
+	bs := g.backend(owner)
+	if closed || bs == nil {
+		writeError(w, http.StatusNotFound, serve.CodeSessionNotFound, "no session %q", id)
+		return
+	}
+	fin, err := bs.hc.SessionStats(r.Context(), id)
+	if err != nil {
+		var ae *serve.APIError
+		if errors.As(err, &ae) {
+			writeError(w, ae.Status, ae.Code, "%s", ae.Message)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, serve.CodeInternal, "owner unreachable: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fin)
+}
+
+func (g *Gateway) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	pred, st, err := g.closeSession(r.Context(), id)
+	if err != nil {
+		writeForwardError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, serve.SessionFinal{ID: id, Predictor: pred, Stats: wireSessionStats(st)})
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.Stats())
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	g.metrics.reg.WritePrometheus(w)
+}
+
+// healthReply is the gateway's health body: live when the process runs,
+// ready while at least one backend is routable.
+type healthReply struct {
+	Status       string `json:"status"`
+	BackendsLive int    `json:"backends_live"`
+}
+
+func (g *Gateway) liveBackends() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, bs := range g.backends {
+		if bs.alive.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthReply{Status: "ok", BackendsLive: g.liveBackends()})
+}
+
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	live := g.liveBackends()
+	status := http.StatusOK
+	state := "ok"
+	if live == 0 {
+		status = http.StatusServiceUnavailable
+		state = "no live backends"
+	}
+	writeJSON(w, status, healthReply{Status: state, BackendsLive: live})
+}
+
+func (g *Gateway) handleBackendsGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.Stats().Backends)
+}
+
+func (g *Gateway) handleBackendJoin(w http.ResponseWriter, r *http.Request) {
+	var b Backend
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&b); err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeBadRequest, "bad backend body: %v", err)
+		return
+	}
+	if err := g.AddBackend(b); err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, g.Stats().Backends)
+}
+
+func (g *Gateway) handleBackendLeave(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := g.RemoveBackend(name); err != nil {
+		writeError(w, http.StatusNotFound, serve.CodeBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, g.Stats().Backends)
+}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// gwGoldenFamilies is the complete expected set of the gateway's
+// /metrics families and their types — the llbpgw_* exposition contract,
+// locked the same way internal/serve locks llbpd_*. Adding a family is
+// fine (add it here); renaming or retyping one is a breaking change this
+// test is meant to flag.
+var gwGoldenFamilies = map[string]string{
+	"llbpgw_uptime_seconds":         "gauge",
+	"llbpgw_sessions_known":         "gauge",
+	"llbpgw_backends_live":          "gauge",
+	"llbpgw_ring_version":           "gauge",
+	"llbpgw_routed_batches_total":   "counter",
+	"llbpgw_forward_errors_total":   "counter",
+	"llbpgw_forward_retries_total":  "counter",
+	"llbpgw_reroutes_total":         "counter",
+	"llbpgw_cursor_resyncs_total":   "counter",
+	"llbpgw_migrations_total":       "counter",
+	"llbpgw_migration_errors_total": "counter",
+	"llbpgw_wire_conns_total":       "counter",
+	"llbpgw_migration_duration_us":  "histogram",
+	"llbpgw_backend_up":             "gauge",
+	"llbpgw_backend_sessions":       "gauge",
+}
+
+// TestGatewayMetricsGoldenExposition locks the gateway's /metrics
+// exposition: the exact family set with exact types, per-backend labeled
+// gauges present for every member, and histogram well-formedness.
+func TestGatewayMetricsGoldenExposition(t *testing.T) {
+	dir := t.TempDir()
+	b1 := startBackend(t, "b1", dir)
+	b2 := startBackend(t, "b2", dir)
+	b3 := startBackend(t, "b3", dir)
+	g := newGateway(t, fastCfg(b1.backend(), b2.backend()))
+	client := gatewayHTTP(t, g)
+
+	// Route real traffic and force one live migration so the counters and
+	// the migration histogram have observations behind them.
+	branches := workloadBranches(t, "kafka", 20_000)
+	sendBatches(t, client, "golden-1", "tsl-8k", branches, 512)
+	if err := g.AddBackend(b3.backend()); err != nil {
+		t.Fatal(err)
+	}
+	g.rebalance()
+	owner := g.LookupOwner("golden-1")
+	if err := g.RemoveBackend(owner); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().Migrations == 0 {
+		t.Fatalf("no migration before scrape: %+v", g.Stats())
+	}
+	if _, err := client.CloseSession(context.Background(), "golden-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+
+	got := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			t.Fatalf("malformed TYPE line: %q", line)
+		}
+		if _, dup := got[fields[2]]; dup {
+			t.Fatalf("family %q declared twice", fields[2])
+		}
+		got[fields[2]] = fields[3]
+	}
+	for name, typ := range gwGoldenFamilies {
+		if got[name] != typ {
+			t.Errorf("family %q: type %q, want %q", name, got[name], typ)
+		}
+	}
+	for name, typ := range got {
+		if gwGoldenFamilies[name] != typ {
+			t.Errorf("unexpected family %q (%s) — extend gwGoldenFamilies if intentional", name, typ)
+		}
+	}
+
+	// Every member appears in the labeled per-backend gauges, including
+	// the one that left (its membership record survives for inspection).
+	for _, name := range []string{"b1", "b2", "b3"} {
+		if !strings.Contains(body, `llbpgw_backend_up{backend="`+name+`"}`) {
+			t.Errorf("backend_up missing member %s", name)
+		}
+		if !strings.Contains(body, `llbpgw_backend_sessions{backend="`+name+`"}`) {
+			t.Errorf("backend_sessions missing member %s", name)
+		}
+	}
+
+	// Histogram well-formedness: cumulative buckets never decrease and
+	// the +Inf bucket equals _count — and the migration above landed.
+	for name, typ := range gwGoldenFamilies {
+		if typ != "histogram" {
+			continue
+		}
+		var last, inf, count uint64
+		var sawInf, sawCount bool
+		sc := bufio.NewScanner(strings.NewReader(body))
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, name+"_bucket{le="):
+				v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+				if err != nil {
+					t.Fatalf("%s: bad bucket line %q: %v", name, line, err)
+				}
+				if v < last {
+					t.Fatalf("%s: cumulative bucket decreased (%d -> %d): %q", name, last, v, line)
+				}
+				last = v
+				if strings.Contains(line, `le="+Inf"`) {
+					inf, sawInf = v, true
+				}
+			case strings.HasPrefix(line, name+"_count "):
+				v, err := strconv.ParseUint(strings.TrimPrefix(line, name+"_count "), 10, 64)
+				if err != nil {
+					t.Fatalf("%s: bad count line %q: %v", name, line, err)
+				}
+				count, sawCount = v, true
+			}
+		}
+		if !sawInf || !sawCount {
+			t.Fatalf("%s: histogram missing +Inf bucket or _count", name)
+		}
+		if inf != count {
+			t.Fatalf("%s: +Inf bucket %d != count %d", name, inf, count)
+		}
+	}
+	sc3 := bufio.NewScanner(strings.NewReader(body))
+	for sc3.Scan() {
+		line := sc3.Text()
+		if strings.HasPrefix(line, "llbpgw_migration_duration_us_count ") {
+			if n, _ := strconv.ParseUint(strings.Fields(line)[1], 10, 64); n == 0 {
+				t.Fatal("migration histogram empty after a live migration")
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package hashutil
+
+import "sort"
+
+// Ring is a weighted consistent-hash ring with virtual nodes: the
+// placement structure behind the cluster tier's session routing. Each
+// member contributes weight × replicas points, hashed deterministically
+// from the member name alone, so every process that builds a ring from
+// the same membership computes the identical key → member assignment —
+// no coordination, no persisted state.
+//
+// The property the cluster tier leans on is minimal movement: because a
+// member's points depend only on its own name, adding or removing one
+// member leaves every other member's points untouched. Keys only move
+// between a changed member and the rest; an unrelated key's owner never
+// changes. That is what makes membership churn a bounded migration, not
+// a full reshuffle.
+//
+// A Ring is not safe for concurrent mutation; guard it (the gateway
+// holds it under its own mutex) or treat it as immutable after build.
+type Ring struct {
+	replicas int
+	weights  map[string]int
+	points   []ringPoint // sorted by (hash, node)
+}
+
+// ringPoint is one virtual node: a position on the 64-bit circle and the
+// member that owns it.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring with the given points-per-weight-unit
+// (clamped to at least 1). More replicas smooth the key distribution at
+// the cost of a larger sorted point table; 64–128 per weight unit keeps
+// skew within a few percent for realistic member counts.
+func NewRing(replicas int) *Ring {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return &Ring{replicas: replicas, weights: make(map[string]int)}
+}
+
+// pointHash positions virtual node i of a member: the member name seeds
+// an FNV-1a stream and Combine walks it per replica, so points are
+// deterministic, well-spread, and independent of every other member.
+func pointHash(node string, i int) uint64 {
+	return Combine(FNV1a(node), uint64(i))
+}
+
+// keyHash positions a key on the circle.
+func keyHash(key string) uint64 {
+	return Mix64(FNV1a(key))
+}
+
+// Add inserts a member with the given weight (clamped to at least 1), or
+// re-weights an existing member. Re-adding with the same weight is a
+// no-op, so membership flapping (death verdict, then recovery) does not
+// churn the point table.
+func (r *Ring) Add(node string, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	if w, ok := r.weights[node]; ok && w == weight {
+		return
+	}
+	r.Remove(node)
+	r.weights[node] = weight
+	n := weight * r.replicas
+	for i := 0; i < n; i++ {
+		r.points = append(r.points, ringPoint{hash: pointHash(node, i), node: node})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+}
+
+// Remove deletes a member and its points; unknown members are a no-op.
+func (r *Ring) Remove(node string) {
+	if _, ok := r.weights[node]; !ok {
+		return
+	}
+	delete(r.weights, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Lookup returns the member owning key: the first point at or clockwise
+// past the key's hash, wrapping at the top of the circle. An empty ring
+// returns "".
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Contains reports whether node is a member.
+func (r *Ring) Contains(node string) bool {
+	_, ok := r.weights[node]
+	return ok
+}
+
+// Weight returns a member's weight (0 for non-members).
+func (r *Ring) Weight(node string) int { return r.weights[node] }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.weights) }
+
+// Nodes returns the members, sorted by name.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.weights))
+	for n := range r.weights {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,205 @@
+package hashutil
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates n deterministic synthetic keys.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("session-%d", i)
+	}
+	return keys
+}
+
+func TestRingTableDriven(t *testing.T) {
+	cases := []struct {
+		name     string
+		build    func() *Ring
+		key      string
+		nonEmpty bool
+	}{
+		{"empty ring returns empty owner", func() *Ring { return NewRing(64) }, "k", false},
+		{"single member owns everything", func() *Ring {
+			r := NewRing(64)
+			r.Add("a", 1)
+			return r
+		}, "anything", true},
+		{"removing the only member empties the ring", func() *Ring {
+			r := NewRing(64)
+			r.Add("a", 1)
+			r.Remove("a")
+			return r
+		}, "k", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := tc.build()
+			got := r.Lookup(tc.key)
+			if (got != "") != tc.nonEmpty {
+				t.Fatalf("Lookup(%q) = %q, want non-empty=%v", tc.key, got, tc.nonEmpty)
+			}
+		})
+	}
+
+	t.Run("single member owns every key", func(t *testing.T) {
+		r := NewRing(16)
+		r.Add("only", 1)
+		for _, k := range ringKeys(100) {
+			if got := r.Lookup(k); got != "only" {
+				t.Fatalf("Lookup(%q) = %q, want %q", k, got, "only")
+			}
+		}
+	})
+
+	t.Run("placement is deterministic across builds and insert order", func(t *testing.T) {
+		a := NewRing(64)
+		a.Add("n1", 1)
+		a.Add("n2", 2)
+		a.Add("n3", 1)
+		b := NewRing(64)
+		b.Add("n3", 1)
+		b.Add("n1", 1)
+		b.Add("n2", 2)
+		for _, k := range ringKeys(2000) {
+			if a.Lookup(k) != b.Lookup(k) {
+				t.Fatalf("insert order changed placement of %q: %q vs %q", k, a.Lookup(k), b.Lookup(k))
+			}
+		}
+	})
+
+	t.Run("re-adding with the same weight is a no-op", func(t *testing.T) {
+		r := NewRing(64)
+		r.Add("n1", 1)
+		r.Add("n2", 1)
+		before := make(map[string]string)
+		for _, k := range ringKeys(500) {
+			before[k] = r.Lookup(k)
+		}
+		r.Add("n1", 1)
+		for k, want := range before {
+			if got := r.Lookup(k); got != want {
+				t.Fatalf("re-add moved %q: %q -> %q", k, want, got)
+			}
+		}
+	})
+
+	t.Run("membership accessors", func(t *testing.T) {
+		r := NewRing(8)
+		r.Add("b", 2)
+		r.Add("a", 1)
+		if !r.Contains("a") || r.Contains("z") {
+			t.Fatal("Contains wrong")
+		}
+		if r.Weight("b") != 2 || r.Weight("z") != 0 {
+			t.Fatal("Weight wrong")
+		}
+		if r.Len() != 2 {
+			t.Fatalf("Len = %d, want 2", r.Len())
+		}
+		nodes := r.Nodes()
+		if len(nodes) != 2 || nodes[0] != "a" || nodes[1] != "b" {
+			t.Fatalf("Nodes = %v, want [a b]", nodes)
+		}
+	})
+}
+
+// TestRingDistributionSkew checks that key shares track weight shares:
+// with enough virtual nodes a member's share of 20k keys stays within
+// 25% relative error of weight/totalWeight.
+func TestRingDistributionSkew(t *testing.T) {
+	r := NewRing(128)
+	weights := map[string]int{"n1": 1, "n2": 1, "n3": 2, "n4": 4}
+	total := 0
+	for n, w := range weights {
+		r.Add(n, w)
+		total += w
+	}
+	keys := ringKeys(20000)
+	counts := make(map[string]int)
+	for _, k := range keys {
+		counts[r.Lookup(k)]++
+	}
+	for n, w := range weights {
+		want := float64(len(keys)) * float64(w) / float64(total)
+		got := float64(counts[n])
+		if rel := (got - want) / want; rel < -0.25 || rel > 0.25 {
+			t.Errorf("member %s (weight %d): %d keys, want ~%.0f (rel err %.1f%%)", n, w, counts[n], want, 100*rel)
+		}
+	}
+}
+
+// TestRingMinimalMovement locks the property the cluster tier's
+// migration cost depends on: a membership change only moves keys between
+// the changed member and the rest.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := ringKeys(10000)
+
+	t.Run("add moves keys only onto the new member", func(t *testing.T) {
+		r := NewRing(64)
+		r.Add("n1", 1)
+		r.Add("n2", 1)
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k] = r.Lookup(k)
+		}
+		r.Add("n3", 1)
+		moved := 0
+		for _, k := range keys {
+			after := r.Lookup(k)
+			if after != before[k] {
+				moved++
+				if after != "n3" {
+					t.Fatalf("key %q moved %q -> %q, not onto the new member", k, before[k], after)
+				}
+			}
+		}
+		// n3 should take roughly a third of the key space; allow a wide
+		// band but reject both no-op and reshuffle behavior.
+		frac := float64(moved) / float64(len(keys))
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("add moved %.1f%% of keys, want roughly 33%%", 100*frac)
+		}
+	})
+
+	t.Run("remove moves only the removed member's keys", func(t *testing.T) {
+		r := NewRing(64)
+		r.Add("n1", 1)
+		r.Add("n2", 1)
+		r.Add("n3", 1)
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k] = r.Lookup(k)
+		}
+		r.Remove("n2")
+		for _, k := range keys {
+			after := r.Lookup(k)
+			if before[k] == "n2" {
+				if after == "n2" {
+					t.Fatalf("key %q still maps to the removed member", k)
+				}
+			} else if after != before[k] {
+				t.Fatalf("key %q not owned by the removed member moved %q -> %q", k, before[k], after)
+			}
+		}
+	})
+
+	t.Run("add then remove restores the original placement", func(t *testing.T) {
+		r := NewRing(64)
+		r.Add("n1", 1)
+		r.Add("n2", 1)
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k] = r.Lookup(k)
+		}
+		r.Add("n3", 1)
+		r.Remove("n3")
+		for k, want := range before {
+			if got := r.Lookup(k); got != want {
+				t.Fatalf("add+remove changed %q: %q -> %q", k, want, got)
+			}
+		}
+	})
+}

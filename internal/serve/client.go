@@ -113,7 +113,10 @@ func (c *Client) Predict(ctx context.Context, id, predictor string, batch []core
 	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/predict", body, &out); err != nil {
 		return nil, err
 	}
-	if len(out.Predictions) != len(batch) {
+	// A duplicate reply (gateway-resolved resend) carries statistics but no
+	// per-branch predictions — the length contract only binds fresh
+	// executions.
+	if !out.Duplicate && len(out.Predictions) != len(batch) {
 		return nil, fmt.Errorf("serve client: sent %d branches, got %d predictions", len(batch), len(out.Predictions))
 	}
 	return &out, nil
@@ -135,6 +138,72 @@ func (c *Client) CloseSession(ctx context.Context, id string) (*SessionFinal, er
 		return nil, err
 	}
 	return &out, nil
+}
+
+// ExportSession pulls session id's checkpoint blob from the admin
+// transfer API. The bytes are an opaque, self-validating snapshot —
+// meaningful only to ImportSession on another llbpd. Deliberately
+// single-attempt regardless of the retry policy: the cluster tier owns
+// transfer retries (each retry re-exports, so a torn read is never
+// replayed).
+func (c *Client) ExportSession(ctx context.Context, id string) ([]byte, error) {
+	path := "/admin/v1/sessions/" + id + "/export"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(http.MethodPost, path, resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// ImportSession installs an exported checkpoint blob as session id on
+// the server, replacing any existing session under that ID. A corrupt
+// blob fails with an error satisfying errors.Is(err, ErrSnapshotCorrupt)
+// and installs nothing. Single-attempt, like ExportSession.
+func (c *Client) ImportSession(ctx context.Context, id string, blob []byte) (*SessionFinal, error) {
+	path := "/admin/v1/sessions/" + id + "/import"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(http.MethodPost, path, resp)
+	}
+	var out SessionFinal
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// apiError decodes a non-200 response's versioned error envelope into a
+// typed *APIError (falling back to a bare status error).
+func apiError(method, path string, resp *http.Response) error {
+	var er errorReply
+	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&er) == nil && er.Error.Message != "" {
+		return fmt.Errorf("serve client: %s %s: %w", method, path,
+			&APIError{Code: er.Error.Code, Message: er.Error.Message, Status: resp.StatusCode})
+	}
+	return fmt.Errorf("serve client: %s %s: status %d", method, path, resp.StatusCode)
 }
 
 // ServerStats fetches the server-wide snapshot from /v1/stats.

@@ -34,6 +34,11 @@ const (
 	CodeOverloaded = "overloaded"
 	// CodeInternal: the server hit an unexpected internal failure.
 	CodeInternal = "internal"
+	// CodeSnapshotCorrupt: an admin-imported checkpoint failed the
+	// snapshot layer's integrity checks (bad magic, truncation, checksum
+	// mismatch, version skew). The import installed nothing; the caller
+	// should re-export and resend.
+	CodeSnapshotCorrupt = "snapshot_corrupt"
 )
 
 // Sentinel errors, one per code; *APIError unwraps to these.
@@ -46,6 +51,7 @@ var (
 	ErrDraining          = errors.New("server is draining")
 	ErrOverloaded        = errors.New("server overloaded, batch shed")
 	ErrInternal          = errors.New("internal server error")
+	ErrSnapshotCorrupt   = errors.New("snapshot corrupt")
 )
 
 // codeSentinels maps envelope codes to their errors.Is sentinels.
@@ -58,6 +64,7 @@ var codeSentinels = map[string]error{
 	CodeDraining:          ErrDraining,
 	CodeOverloaded:        ErrOverloaded,
 	CodeInternal:          ErrInternal,
+	CodeSnapshotCorrupt:   ErrSnapshotCorrupt,
 }
 
 // APIError is a decoded llbpd error envelope. It satisfies errors.As, and

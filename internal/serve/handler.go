@@ -61,7 +61,14 @@ type PredictResponse struct {
 	Created   bool   `json:"created,omitempty"`
 	// Restored reports that this batch revived the session from an
 	// on-disk checkpoint (set only alongside Created).
-	Restored    bool               `json:"restored,omitempty"`
+	Restored bool `json:"restored,omitempty"`
+	// Duplicate reports that the batch was already applied under the
+	// exactly-once sequencing contract and was answered from the session's
+	// running statistics without re-executing — in which case Predictions
+	// is empty (the original per-branch reply is gone). llbpd itself never
+	// sets this on the HTTP path; the cluster gateway does when a resent
+	// forward turns out to be a duplicate downstream.
+	Duplicate   bool               `json:"duplicate,omitempty"`
 	Predictions []BranchPrediction `json:"predictions"`
 	Stats       SessionStats       `json:"stats"`
 }
@@ -86,6 +93,8 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /admin/v1/sessions/{id}/export", s.handleSessionExport)
+	mux.HandleFunc("POST /admin/v1/sessions/{id}/import", s.handleSessionImport)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)

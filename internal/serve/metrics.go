@@ -44,6 +44,9 @@ type metrics struct {
 	snapshotSaveErrors  *obs.Counter // failed checkpoint write attempts (retries count individually)
 	snapshotQuarantined *obs.Counter // corrupt checkpoints renamed *.corrupt
 
+	sessionsExported *obs.Counter // admin checkpoint exports served
+	sessionsImported *obs.Counter // admin checkpoint imports installed
+
 	// Binary-protocol (internal/wire) series, incremented by the wire
 	// listener through WireMetrics. They live on the same registry as the
 	// HTTP families so one /metrics scrape covers both protocols.
@@ -82,6 +85,9 @@ func newMetrics(shards int, live func() (map[string]int, int)) *metrics {
 		snapshotRestores:    reg.Counter("snapshot_restores_total"),
 		snapshotSaveErrors:  reg.Counter("snapshot_save_errors_total"),
 		snapshotQuarantined: reg.Counter("snapshot_quarantined_total"),
+
+		sessionsExported: reg.Counter("sessions_exported_total"),
+		sessionsImported: reg.Counter("sessions_imported_total"),
 
 		batchLatency:    reg.Histogram("batch_latency_us", latencyBuckets),
 		queueDepth:      reg.Histogram("batch_queue_depth", depthBuckets),

@@ -37,6 +37,8 @@ var goldenFamilies = map[string]string{
 	"llbpd_snapshot_restores_total":      "counter",
 	"llbpd_snapshot_save_errors_total":   "counter",
 	"llbpd_snapshot_quarantined_total":   "counter",
+	"llbpd_sessions_exported_total":      "counter",
+	"llbpd_sessions_imported_total":      "counter",
 	"llbpd_wire_frames_rx_total":         "counter",
 	"llbpd_wire_frames_tx_total":         "counter",
 	"llbpd_wire_bytes_rx_total":          "counter",

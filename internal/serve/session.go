@@ -143,6 +143,7 @@ func (s *Session) snapshotLocked() SessionStats {
 		Batches:       s.batches,
 		MPKI:          s.stats.MPKI(),
 		Accuracy:      s.stats.Accuracy(),
+		WireCursor:    s.wireSeq,
 	}
 }
 
@@ -161,6 +162,11 @@ type SessionStats struct {
 	Batches       uint64  `json:"batches"`
 	MPKI          float64 `json:"mpki"`
 	Accuracy      float64 `json:"accuracy"`
+	// WireCursor is the session's exactly-once sequencing cursor (the
+	// highest applied binary-protocol batch number; 0 = unsequenced). The
+	// cluster gateway reads it to resume a relocated session's stream at
+	// the right batch number.
+	WireCursor uint64 `json:"wire_cursor,omitempty"`
 }
 
 // SessionFinal is a finished session's terminal record, emitted on DELETE

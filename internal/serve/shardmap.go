@@ -69,6 +69,17 @@ func (sm *shardMap) getOrCreate(id string, create func() (*Session, error)) (s *
 	return s, true, nil
 }
 
+// put installs s as the session for id, replacing and returning any
+// existing one (the admin import path's overwrite semantics).
+func (sm *shardMap) put(id string, s *Session) *Session {
+	sh := sm.shard(id)
+	sh.mu.Lock()
+	old := sh.m[id]
+	sh.m[id] = s
+	sh.mu.Unlock()
+	return old
+}
+
 // remove deletes and returns the session for id, or nil.
 func (sm *shardMap) remove(id string) *Session {
 	sh := sm.shard(id)

@@ -141,6 +141,28 @@ func AppendPredictOK(dst []byte, seq uint64, flags byte, predictor string, batch
 	return finishFrame(dst, mark)
 }
 
+// AppendPredictOKRaw encodes a Predict response from already-packed
+// outcome vectors — the relay form AppendPredictOK's batch+predictions
+// form reduces to. It exists for forwarding paths (the cluster gateway)
+// that hold a decoded PredictOK from a downstream server and must re-emit
+// it upstream byte-compatibly without re-deriving per-branch outcomes it
+// has no batch for. Each vector must be exactly ceil(n/8) bytes, as
+// produced by appendBits and returned by DecodePredictOK; predictor is a
+// byte view so a decoded frame relays without a string allocation.
+func AppendPredictOKRaw(dst []byte, seq uint64, flags byte, predictor []byte, n int, cond, taken, correct, second []byte, st WireStats) []byte {
+	dst, mark := beginFrame(dst, FramePredictOK, seq)
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(predictor)))
+	dst = append(dst, predictor...)
+	dst = binary.AppendUvarint(dst, uint64(n))
+	dst = append(dst, cond...)
+	dst = append(dst, taken...)
+	dst = append(dst, correct...)
+	dst = append(dst, second...)
+	dst = appendStats(dst, st)
+	return finishFrame(dst, mark)
+}
+
 // AppendNack encodes a typed refusal for the request tagged seq.
 func AppendNack(dst []byte, seq uint64, code, message string, retryable bool, retryAfterMillis uint64) []byte {
 	dst, mark := beginFrame(dst, FrameNack, seq)

@@ -192,23 +192,33 @@ type wireConn struct {
 	seed   maphash.Seed
 }
 
-func (s *Server) serveConn(c net.Conn) {
-	defer c.Close()
-	hs := s.cfg.HandshakeTimeout
-	c.SetDeadline(time.Now().Add(hs))
+// AcceptHandshake performs the server side of the preamble exchange on a
+// freshly accepted connection: read the client's 6-byte preamble, verify
+// magic and version, echo ours back. On any mismatch it returns an error
+// without writing — say nothing a non-wire peer could misparse; the
+// caller just hangs up. Exported for other wire-speaking listeners (the
+// cluster gateway's upstream frontend) so there is exactly one handshake
+// implementation.
+func AcceptHandshake(c net.Conn, timeout time.Duration) error {
+	c.SetDeadline(time.Now().Add(timeout))
 	var got [len(preamble)]byte
 	if _, err := io.ReadFull(c, got[:]); err != nil {
-		return
+		return err
 	}
 	if got != preamble {
-		// Wrong magic or version: say nothing a non-wire peer could
-		// misparse; just hang up.
-		return
+		return malformedf("bad client preamble % x", got[:])
 	}
 	if _, err := c.Write(preamble[:]); err != nil {
+		return err
+	}
+	return c.SetDeadline(time.Time{})
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer c.Close()
+	if AcceptHandshake(c, s.cfg.HandshakeTimeout) != nil {
 		return
 	}
-	c.SetDeadline(time.Time{})
 
 	ctx, cancel := context.WithCancel(context.Background())
 	wc := &wireConn{

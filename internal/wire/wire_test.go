@@ -208,6 +208,65 @@ func TestWireCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWirePredictOKRawRelay locks the property the gateway's wire relay
+// depends on: re-encoding a decoded PredictOK with AppendPredictOKRaw
+// (possibly under a new sequence number) produces a frame byte-identical
+// to encoding the same response from scratch.
+func TestWirePredictOKRawRelay(t *testing.T) {
+	batch := []core.Branch{
+		{PC: 0x4000_1000, Kind: core.CondDirect, Target: 0x4000_1020, Taken: true, InstrGap: 3},
+		{PC: 0x4000_1008, Kind: core.Call, Target: 0x4800_0000, Taken: true, InstrGap: 2},
+		{PC: 0x4800_0040, Kind: core.Return, Taken: true, InstrGap: 9},
+		{PC: 0x4000_1010, Kind: core.CondDirect, Target: 0x4000_0f00, Taken: false, InstrGap: 1},
+		{PC: 0x3fff_ff00, Kind: core.CondDirect, Target: 0x4000_0000, Taken: true, InstrGap: 250},
+	}
+	preds := []core.Prediction{
+		{Taken: true}, {Taken: true}, {Taken: true}, {Taken: true, FromSecondLevel: true}, {Taken: false},
+	}
+	st := WireStats{Instructions: 1000, CondBranches: 3, Mispredicts: 2, UncondCount: 2, SecondLevelOK: 1, Batches: 4}
+	want := AppendPredictOK(nil, 17, FlagCreated|FlagRestored, "tsl-8k", batch, preds, st)
+
+	body, _, _, err := ReadFrame(bytes.NewReader(want), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, payload, err := ParseHeader(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok PredictOK
+	if err := DecodePredictOK(payload, &ok, 1024); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same seq: byte-identical to the original frame.
+	got := AppendPredictOKRaw(nil, 17, ok.Flags, ok.Predictor, ok.N, ok.Cond, ok.Taken, ok.Correct, ok.Second, ok.Stats)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("raw relay not byte-identical:\n got % x\nwant % x", got, want)
+	}
+
+	// New seq (the gateway answers with the upstream's sequence number,
+	// not the downstream's): still decodes to the identical response.
+	relayed := AppendPredictOKRaw(nil, 900, ok.Flags, ok.Predictor, ok.N, ok.Cond, ok.Taken, ok.Correct, ok.Second, ok.Stats)
+	body, _, _, err = ReadFrame(bytes.NewReader(relayed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, seq, payload, err := ParseHeader(body)
+	if err != nil || typ != FramePredictOK || seq != 900 {
+		t.Fatalf("relayed header: typ=%#x seq=%d err=%v", typ, seq, err)
+	}
+	var ok2 PredictOK
+	if err := DecodePredictOK(payload, &ok2, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if ok2.Flags != ok.Flags || string(ok2.Predictor) != string(ok.Predictor) || ok2.N != ok.N || ok2.Stats != ok.Stats ||
+		!bytes.Equal(ok2.Cond, ok.Cond) || !bytes.Equal(ok2.Taken, ok.Taken) ||
+		!bytes.Equal(ok2.Correct, ok.Correct) || !bytes.Equal(ok2.Second, ok.Second) {
+		t.Fatalf("relayed response diverged: %+v vs %+v", ok2, ok)
+	}
+}
+
 func TestWireCorruptFrameRejected(t *testing.T) {
 	frame := AppendPing(nil, 1)
 	for i := 4; i < len(frame); i++ { // skip the length prefix: CRC guards the body
