@@ -56,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -71,6 +72,33 @@ func orDisabled(addr string) string {
 	return addr
 }
 
+// parseSize parses a byte size with an optional K/M/G/T suffix (powers of
+// 1024), e.g. "256M", "2G", "1048576". Empty means 0 (disabled).
+func parseSize(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	case 't', 'T':
+		mult, s = 1<<40, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid size %q (want e.g. 256M, 2G)", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("size must be non-negative")
+	}
+	return n * mult, nil
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8713", "HTTP/JSON listen address")
@@ -82,6 +110,9 @@ func main() {
 		predictor = flag.String("predictor", "llbp-x", "default predictor for new sessions")
 		snapDir   = flag.String("snapshot-dir", "", "checkpoint evicted/drained sessions here and restore them on demand (empty disables)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service address")
+
+		storeBudget = flag.String("store-budget", "", "cap the shared pattern store's resident bytes across all sessions, e.g. 256M or 2G; over-budget batches spill idle sessions LRU-first (empty disables)")
+		storeShare  = flag.Bool("store-share", false, "deduplicate spilled sessions' frozen predictor state between sessions declaring the same workload fingerprint, and resume from the in-memory frozen tier before disk")
 
 		admitTimeout = flag.Duration("admit-timeout", 2*time.Second, "shed a batch with 429 if no worker slot frees up within this (<0 waits forever)")
 
@@ -102,6 +133,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "llbpd:", err)
 		os.Exit(2)
 	}
+	budgetBytes, err := parseSize(*storeBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llbpd: -store-budget:", err)
+		os.Exit(2)
+	}
 
 	srv := serve.New(serve.Config{
 		Shards:           *shards,
@@ -112,6 +148,8 @@ func main() {
 		SnapshotDir:      *snapDir,
 		EnablePprof:      *pprofOn,
 		AdmitTimeout:     *admitTimeout,
+		StoreBudget:      budgetBytes,
+		StoreShare:       *storeShare,
 		Faults:           inj,
 	})
 	hs := &http.Server{
@@ -176,6 +214,10 @@ func main() {
 	if *snapDir != "" {
 		fmt.Printf("llbpd: checkpoints in %s (%d saved, %d restored, %d write errors, %d quarantined)\n",
 			*snapDir, snap.SnapshotSaves, snap.SnapshotRestores, snap.SnapshotSaveErrors, snap.SnapshotQuarantined)
+	}
+	if budgetBytes > 0 || *storeShare {
+		fmt.Printf("llbpd: pattern store spilled %d sessions (budget %d bytes, %d frozen, %d thawed, %d dedup hits, %d shared restores)\n",
+			snap.StoreSpills, snap.StoreBudgetBytes, snap.StoreFreezes, snap.StoreThaws, snap.StoreDedupHits, snap.StoreSharedRestores)
 	}
 	if len(finals) > 0 {
 		fmt.Printf("%-24s %-10s %12s %12s %10s\n", "session", "predictor", "instructions", "mispredicts", "MPKI")

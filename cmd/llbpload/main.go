@@ -15,6 +15,7 @@
 //	llbpload -workloads nodeapp,kafka,wikipedia,whiskey -sessions 8 -instr 200000
 //	llbpload -predictor tsl-64k -batch 8192 -skip-local
 //	llbpload -resume -resume-wait 3s
+//	llbpload -fingerprint workload -tolerance 0
 //	llbpload -gateway -addr http://localhost:8712 -tolerance 0
 //
 // With -gateway the target is an llbpgw routing gateway instead of a
@@ -31,6 +32,12 @@
 // the janitor evict it to disk, then keeps streaming: the daemon restores
 // the predictor transparently and the MPKI cross-check still holds
 // exactly, proving evict-to-disk round-trips lose no learned state.
+//
+// With -fingerprint workload every session declares its workload name as
+// a fingerprint on each predict. Against a daemon running -store-budget
+// (and optionally -store-share), that turns the run into the shared
+// pattern store's budget drill: sessions spill and resume under memory
+// pressure while the -tolerance 0 cross-check holds bit-exactly.
 package main
 
 import (
@@ -79,6 +86,7 @@ func main() {
 		resumeWait = flag.Duration("resume-wait", 3*time.Second, "how long a -resume pause lasts (set > the daemon's -ttl)")
 		retries    = flag.Int("retries", 0, "max attempts per request: retry shed (429) and draining (503) batches with exponential backoff (0 disables)")
 		gateway    = flag.Bool("gateway", false, "the target is an llbpgw routing gateway: probe cluster routing stats instead of llbpd server stats")
+		fngprint   = flag.String("fingerprint", "", `workload fingerprint declared on every predict: "workload" stamps each session's workload name, any other value is sent verbatim (empty disables; ignored by -proto=binary, which has no fingerprint field)`)
 	)
 	flag.Parse()
 	if *sessions < 1 || *batchSize < 1 || *instr == 0 {
@@ -101,14 +109,18 @@ func main() {
 	// The HTTP client is always built: it carries the load for -proto=http
 	// and serves the final /v1/stats probe either way (the daemon fronts
 	// both protocols over the same machinery).
-	client := serve.NewClient(*addr, &http.Client{
+	hc := &http.Client{
 		Transport: &http.Transport{MaxIdleConnsPerHost: *sessions},
 		Timeout:   2 * time.Minute,
-	})
+	}
+	client := serve.NewClient(*addr, hc)
 	var wc *wire.Client
 	if *proto == "binary" {
 		wc = wire.NewClient(*wireAddr)
 		defer wc.Close()
+		if *fngprint != "" {
+			fmt.Fprintln(os.Stderr, "llbpload: -fingerprint ignored: the binary protocol has no fingerprint field")
+		}
 	}
 	if *retries > 0 {
 		// The MPKI cross-check below still applies verbatim: retried
@@ -121,11 +133,39 @@ func main() {
 			wc.WithRetry(serve.RetryPolicy{MaxAttempts: *retries})
 		}
 	}
-	newSession := func(id string) batchSession {
+	// Client.Fingerprint is client-wide, so "-fingerprint workload" needs
+	// one client per distinct fingerprint; they all share hc's connection
+	// pool, and the plain probe client above stays fingerprint-free.
+	var (
+		fpMu      sync.Mutex
+		fpClients = map[string]*serve.Client{}
+	)
+	clientFor := func(wl string) *serve.Client {
+		fp := *fngprint
+		if fp == "" {
+			return client
+		}
+		if fp == "workload" {
+			fp = wl
+		}
+		fpMu.Lock()
+		defer fpMu.Unlock()
+		c, ok := fpClients[fp]
+		if !ok {
+			c = serve.NewClient(*addr, hc)
+			c.Fingerprint = fp
+			if *retries > 0 {
+				c.WithRetry(serve.RetryPolicy{MaxAttempts: *retries})
+			}
+			fpClients[fp] = c
+		}
+		return c
+	}
+	newSession := func(id, wl string) batchSession {
 		if wc != nil {
 			return newWireSession(wc, id, *predictor)
 		}
-		return &httpSession{client: client, id: id, predictor: *predictor}
+		return &httpSession{client: clientFor(wl), id: id, predictor: *predictor}
 	}
 	// SIGINT/SIGTERM cancels every in-flight request, pause, and local
 	// verification run; sessions report context.Canceled and the run exits
@@ -153,7 +193,7 @@ func main() {
 			if *resume {
 				pauseAt = *instr / 2
 			}
-			results[i] = streamSession(ctx, newSession(id), id, wl, *instr, *batchSize, pauseAt, *resumeWait)
+			results[i] = streamSession(ctx, newSession(id, wl), id, wl, *instr, *batchSize, pauseAt, *resumeWait)
 		}(i)
 	}
 	wg.Wait()
@@ -191,8 +231,13 @@ func main() {
 			fmt.Printf("llbpload: %d retries performed, %d shed NACKs absorbed, %d reconnects\n",
 				wc.Retries(), wc.ShedSeen(), wc.Reconnects())
 		} else {
+			nretries, nshed := client.Retries(), client.ShedSeen()
+			for _, c := range fpClients {
+				nretries += c.Retries()
+				nshed += c.ShedSeen()
+			}
 			fmt.Printf("llbpload: %d retries performed, %d 429-shed responses absorbed\n",
-				client.Retries(), client.ShedSeen())
+				nretries, nshed)
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 
 	"llbpx/internal/core"
 	"llbpx/internal/hashutil"
+	"llbpx/internal/patternpool"
 	"llbpx/internal/tage"
 )
 
@@ -109,6 +110,20 @@ func (p *Predictor) Baseline() *tage.Predictor { return p.tsl }
 
 // Directory exposes the context directory for occupancy diagnostics.
 func (p *Predictor) Directory() *ContextDir { return p.cd }
+
+// AttachPatternPool backs the second-level pattern store with a shared
+// pool namespace (patternpool.Attacher). Must be called before the first
+// branch executes.
+func (p *Predictor) AttachPatternPool(ns *patternpool.Namespace) { p.cd.AttachPool(ns) }
+
+// ReleasePatternStore hands the pattern store's storage back to the pool
+// and empties the pattern buffer (patternpool.Releaser). The predictor's
+// second level is empty afterwards; the TAGE-SC-L first level keeps its
+// state.
+func (p *Predictor) ReleasePatternStore() {
+	p.pb.Reset()
+	p.cd.Release()
+}
 
 // Tracker returns the useful-pattern tracker, or nil when CollectUseful is
 // off.

@@ -1,0 +1,13 @@
+//go:build !slowcheck
+
+package llbp
+
+// psProv is the per-set namespace-provenance stamp. In normal builds it
+// is zero-sized and the stamp/check hooks compile to nothing, keeping
+// the hot path untouched; `-tags slowcheck` swaps in the checking
+// version (provcheck_on.go).
+type psProv struct{}
+
+func (d *ContextDir) stampProv(*PatternSet) {}
+
+func (d *ContextDir) checkProv(*PatternSet) {}

@@ -1,0 +1,25 @@
+//go:build slowcheck
+
+package llbp
+
+import "fmt"
+
+// psProv is the slowcheck shadow-mode provenance stamp: every pattern
+// set records the directory (and hence pool namespace) that owns it.
+// Because pooled storage slabs are recycled between sessions, a bug that
+// let one session read another's patterns — a stale pattern-buffer
+// pointer, an unwiped recycled slab, a row aliased across directories —
+// would surface here as an owner mismatch instead of silently leaking
+// another tenant's branch history.
+type psProv struct {
+	owner uint64
+}
+
+func (d *ContextDir) stampProv(s *PatternSet) { s.prov.owner = d.provID }
+
+func (d *ContextDir) checkProv(s *PatternSet) {
+	if s.prov.owner != d.provID {
+		panic(fmt.Sprintf("llbp: pattern set %#x owned by namespace %d read by namespace %d",
+			s.CID, s.prov.owner, d.provID))
+	}
+}

@@ -111,8 +111,15 @@ func (d *ContextDir) SaveState(w *snapshot.Writer) {
 		}
 		return
 	}
-	for row := range d.rowLen {
-		n := int(d.rowLen[row])
+	// Iterate the geometry, not the (possibly still unmaterialized)
+	// storage: a lazily deferred store serializes exactly like a
+	// materialized empty one, so snapshots stay bit-identical regardless
+	// of when storage appeared.
+	for row := 0; row < d.numSets; row++ {
+		n := 0
+		if d.rowLen != nil {
+			n = int(d.rowLen[row])
+		}
 		w.Count(n)
 		for i := 0; i < n; i++ {
 			d.store[row*d.assoc+i].saveState(w)
@@ -137,13 +144,14 @@ func (d *ContextDir) LoadState(r *snapshot.Reader) {
 				r.Fail("duplicate context %#x", cid)
 				return
 			}
+			d.stampProv(s)
 			if !loadPatternSetBody(r, d.cfg, s) {
 				return
 			}
 		}
 		return
 	}
-	for rowIdx := range d.rowLen {
+	for rowIdx := 0; rowIdx < d.numSets; rowIdx++ {
 		n := r.Count(d.assoc)
 		for i := 0; i < n && r.Err() == nil; i++ {
 			cid := r.U64()
@@ -154,8 +162,10 @@ func (d *ContextDir) LoadState(r *snapshot.Reader) {
 				r.Fail("context %#x stored in wrong row %d", cid, rowIdx)
 				return
 			}
+			d.ensure()
 			s := &d.store[rowIdx*d.assoc+i]
 			s.reset(cid, d.cfg)
+			d.stampProv(s)
 			if !loadPatternSetBody(r, d.cfg, s) {
 				return
 			}

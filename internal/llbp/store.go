@@ -1,7 +1,11 @@
 package llbp
 
 import (
+	"sync/atomic"
+	"unsafe"
+
 	"llbpx/internal/oatable"
+	"llbpx/internal/patternpool"
 	"llbpx/internal/tage"
 )
 
@@ -79,6 +83,9 @@ type PatternSet struct {
 	slots []Pattern
 	// unbounded (limit mode) storage, keyed by packPatternKey.
 	overflow *oatable.Map[Pattern]
+	// prov is the slowcheck-only namespace-provenance stamp (zero-sized
+	// in normal builds); see provcheck_on.go.
+	prov psProv
 	// Dirty marks modifications since the set was fetched into the PB.
 	Dirty bool
 }
@@ -270,17 +277,27 @@ const infChunkSize = 1024
 // sets. Replacement keeps the sets with the most confident patterns (the
 // paper's policy), evicting the least-trained set of the index set.
 //
-// Finite geometries are one flat preallocated value array (row r occupies
+// Finite geometries are one flat value array (row r occupies
 // store[r*assoc : r*assoc+rowLen[r]], in replacement order); eviction
 // recycles the victim's storage in place. Unbounded modes grow a chunked
 // slab indexed by an open-addressed cid table. Neither mode allocates on
 // the steady-state prediction path.
+//
+// Storage is materialized lazily on the first insert (or snapshot load).
+// A directory attached to a patternpool namespace draws its arrays from
+// the pool's shared slab arena — fully re-initialized before use, so the
+// view stays private and bit-identical to a freshly allocated store —
+// and charges their bytes against the pool's budget. Release returns the
+// storage to the arena; a released directory re-materializes privately
+// if used again.
 type ContextDir struct {
 	// Finite geometry.
-	store  []PatternSet
-	rowLen []int32
-	assoc  int
-	mask   uint64
+	store   []PatternSet
+	rowLen  []int32
+	backing []Pattern
+	assoc   int
+	numSets int
+	mask    uint64
 
 	// InfiniteContexts / NoContext mode.
 	infMode   bool
@@ -290,11 +307,54 @@ type ContextDir struct {
 
 	cfg     *Config
 	evicted uint64 // count of discarded pattern sets
+
+	ns      *patternpool.Namespace // nil = private store
+	charged int64                  // bytes currently charged to ns
+	provID  uint64                 // unique owner stamp for slowcheck provenance
 }
 
-// NewContextDir builds the directory for cfg.
+// provSeq hands out directory provenance IDs; pool-attached directories
+// override theirs with the namespace's pool-unique ID.
+var provSeq atomic.Uint64
+
+// Byte sizes used for pool budget accounting.
+const (
+	patternBytes    = int64(unsafe.Sizeof(Pattern{}))
+	patternSetBytes = int64(unsafe.Sizeof(PatternSet{}))
+	rowLenBytes     = int64(unsafe.Sizeof(int32(0)))
+)
+
+// Slab classes for the pool arena. Finite-geometry slabs embed the exact
+// shape so recycled arrays always fit; the infinite-mode chunk class is
+// shape-independent (chunks have a fixed size).
+const infChunkClass = uint64(1)
+
+func (d *ContextDir) slabClass() uint64 {
+	c := uint64(d.numSets)<<20 | uint64(d.assoc)<<10 | uint64(d.cfg.PatternsPerSet)<<1 | 2
+	if d.cfg.InfinitePatterns {
+		c |= 1
+	}
+	return c
+}
+
+// dirSlabs is the finite-geometry storage bundle recycled through the
+// pool arena.
+type dirSlabs struct {
+	store   []PatternSet
+	rowLen  []int32
+	backing []Pattern
+}
+
+func (d *ContextDir) slabBytes() int64 {
+	return int64(len(d.store))*patternSetBytes +
+		int64(len(d.rowLen))*rowLenBytes +
+		int64(len(d.backing))*patternBytes
+}
+
+// NewContextDir builds the directory for cfg. Storage is deferred to the
+// first insert so an attached pool namespace can supply it.
 func NewContextDir(cfg *Config) *ContextDir {
-	d := &ContextDir{cfg: cfg}
+	d := &ContextDir{cfg: cfg, provID: provSeq.Add(1)}
 	if cfg.InfiniteContexts || cfg.NoContext {
 		d.infMode = true
 		return d
@@ -303,24 +363,98 @@ func NewContextDir(cfg *Config) *ContextDir {
 	for numSets*2*cfg.CDAssoc <= cfg.NumContexts {
 		numSets *= 2
 	}
+	d.numSets = numSets
 	d.assoc = cfg.NumContexts / numSets
 	d.mask = uint64(numSets - 1)
-	d.store = make([]PatternSet, numSets*d.assoc)
-	d.rowLen = make([]int32, numSets)
-	if !cfg.InfinitePatterns {
-		// One shared backing array for every set's slots: the whole pattern
-		// store is two allocations, and set pointers/slot pointers are
-		// stable for the predictor's lifetime.
-		backing := make([]Pattern, len(d.store)*cfg.PatternsPerSet)
-		for i := range backing {
-			backing[i].LenIdx = -1
-		}
-		pps := cfg.PatternsPerSet
-		for i := range d.store {
-			d.store[i].slots = backing[i*pps : (i+1)*pps : (i+1)*pps]
+	return d
+}
+
+// AttachPool backs the directory's storage with a shared pool namespace.
+// Must be called before the first insert (serve attaches at session
+// construction); attaching after materialization leaves the existing
+// private storage in place and only affects future infinite-mode growth.
+func (d *ContextDir) AttachPool(ns *patternpool.Namespace) {
+	d.ns = ns
+	if ns != nil {
+		d.provID = ns.ProvenanceID()
+	}
+}
+
+// ensure materializes finite-geometry storage: one store array, one row
+// length array, and (outside the +Inf Patterns limit mode) one shared
+// backing array for every set's slots — so the whole pattern store is at
+// most three allocations, recycled whole through the pool arena, and set
+// and slot pointers are stable until Release.
+func (d *ContextDir) ensure() {
+	if d.store != nil || d.infMode {
+		return
+	}
+	n := d.numSets * d.assoc
+	pps := d.cfg.PatternsPerSet
+	if d.ns != nil {
+		if v, ok := d.ns.GetSlab(d.slabClass()); ok {
+			sl := v.(dirSlabs)
+			d.store, d.rowLen, d.backing = sl.store, sl.rowLen, sl.backing
+			// A recycled slab carries a previous session's state: wipe it
+			// to exactly the freshly-allocated form (bit-exactness bar).
+			for i := range d.store {
+				d.store[i] = PatternSet{}
+			}
+			for i := range d.rowLen {
+				d.rowLen[i] = 0
+			}
 		}
 	}
-	return d
+	if d.store == nil {
+		d.store = make([]PatternSet, n)
+		d.rowLen = make([]int32, d.numSets)
+		if !d.cfg.InfinitePatterns {
+			d.backing = make([]Pattern, n*pps)
+		}
+	}
+	if d.backing != nil {
+		for i := range d.backing {
+			d.backing[i] = Pattern{LenIdx: -1}
+		}
+		for i := range d.store {
+			d.store[i].slots = d.backing[i*pps : (i+1)*pps : (i+1)*pps]
+		}
+	}
+	if d.ns != nil {
+		b := d.slabBytes()
+		d.charged += b
+		d.ns.Charge(b)
+	}
+}
+
+// Release returns the directory's storage (to the pool arena when
+// attached) and drops its budget charge. The directory remains usable —
+// the next insert re-materializes privately — but all previously handed
+// out PatternSet pointers are invalid; callers must drop their pattern
+// buffer first. Idempotent.
+func (d *ContextDir) Release() {
+	ns := d.ns
+	if d.store != nil {
+		if ns != nil {
+			ns.PutSlab(d.slabClass(), dirSlabs{store: d.store, rowLen: d.rowLen, backing: d.backing}, d.slabBytes())
+		}
+		d.store, d.rowLen, d.backing = nil, nil, nil
+	}
+	if d.infMode && d.infCount > 0 {
+		if ns != nil {
+			for _, chunk := range d.infChunks {
+				ns.PutSlab(infChunkClass, chunk, int64(infChunkSize)*patternSetBytes)
+			}
+		}
+		d.infChunks = nil
+		d.infCount = 0
+		d.infIdx.Clear()
+	}
+	if ns != nil {
+		ns.Uncharge(d.charged)
+	}
+	d.charged = 0
+	d.ns = nil
 }
 
 // infAt returns the slab slot at index idx.
@@ -335,7 +469,24 @@ func (d *ContextDir) infInsert(cid uint64) (s *PatternSet, existed bool) {
 		return d.infAt(*pi), true
 	}
 	if d.infCount%infChunkSize == 0 {
-		d.infChunks = append(d.infChunks, make([]PatternSet, infChunkSize))
+		var chunk []PatternSet
+		if d.ns != nil {
+			if v, ok := d.ns.GetSlab(infChunkClass); ok {
+				chunk = v.([]PatternSet)
+				for i := range chunk {
+					chunk[i] = PatternSet{}
+				}
+			}
+		}
+		if chunk == nil {
+			chunk = make([]PatternSet, infChunkSize)
+		}
+		if d.ns != nil {
+			b := int64(infChunkSize) * patternSetBytes
+			d.charged += b
+			d.ns.Charge(b)
+		}
+		d.infChunks = append(d.infChunks, chunk)
 	}
 	idx := int32(d.infCount)
 	d.infCount++
@@ -351,7 +502,7 @@ func (d *ContextDir) Capacity() int {
 	if d.infMode {
 		return 0
 	}
-	return len(d.store)
+	return d.numSets * d.assoc
 }
 
 // Live returns the number of resident pattern sets.
@@ -366,6 +517,21 @@ func (d *ContextDir) Live() int {
 	return n
 }
 
+// StoreBytes returns the bytes currently charged for this directory's
+// materialized storage (0 before first use or after Release).
+func (d *ContextDir) StoreBytes() int64 {
+	if d.ns != nil {
+		return d.charged
+	}
+	if d.infMode {
+		return int64(len(d.infChunks)) * int64(infChunkSize) * patternSetBytes
+	}
+	if d.store == nil {
+		return 0
+	}
+	return d.slabBytes()
+}
+
 // Evicted returns the number of pattern sets discarded by replacement.
 func (d *ContextDir) Evicted() uint64 { return d.evicted }
 
@@ -373,14 +539,20 @@ func (d *ContextDir) Evicted() uint64 { return d.evicted }
 func (d *ContextDir) Lookup(cid uint64) *PatternSet {
 	if d.infMode {
 		if pi := d.infIdx.Get(cid); pi != nil {
-			return d.infAt(*pi)
+			s := d.infAt(*pi)
+			d.checkProv(s)
+			return s
 		}
+		return nil
+	}
+	if d.store == nil {
 		return nil
 	}
 	row := cid & d.mask
 	base := int(row) * d.assoc
 	for i := 0; i < int(d.rowLen[row]); i++ {
 		if s := &d.store[base+i]; s.CID == cid {
+			d.checkProv(s)
 			return s
 		}
 	}
@@ -399,13 +571,16 @@ func (d *ContextDir) Insert(cid uint64) (s *PatternSet, evictedCID uint64, evict
 	}
 	if d.infMode {
 		s, _ := d.infInsert(cid)
+		d.stampProv(s)
 		return s, 0, false
 	}
+	d.ensure()
 	row := cid & d.mask
 	base := int(row) * d.assoc
 	if n := int(d.rowLen[row]); n < d.assoc {
 		s = &d.store[base+n]
 		s.reset(cid, d.cfg)
+		d.stampProv(s)
 		d.rowLen[row]++
 		return s, 0, false
 	}
@@ -420,6 +595,7 @@ func (d *ContextDir) Insert(cid uint64) (s *PatternSet, evictedCID uint64, evict
 	s = &d.store[base+victim]
 	evictedCID = s.CID
 	s.reset(cid, d.cfg)
+	d.stampProv(s)
 	d.evicted++
 	return s, evictedCID, true
 }
@@ -497,6 +673,11 @@ func (b *PatternBuffer) Fill(cid uint64, set *PatternSet, now, availAt int64, fr
 // Drop removes cid from the buffer without writeback accounting (used when
 // the directory invalidates a context).
 func (b *PatternBuffer) Drop(cid uint64) { b.entries.Delete(cid) }
+
+// Reset empties the buffer, dropping every entry without retiring stats.
+// Used when the backing pattern store is released: buffered sets alias
+// directory storage, so they must not outlive it.
+func (b *PatternBuffer) Reset() { b.entries.Clear() }
 
 func (b *PatternBuffer) evictLRU(now int64) {
 	var victimCID uint64

@@ -5,6 +5,7 @@ import (
 
 	"llbpx/internal/core"
 	"llbpx/internal/llbp"
+	"llbpx/internal/patternpool"
 	"llbpx/internal/tage"
 )
 
@@ -99,11 +100,11 @@ func New(cfg Config) (*Predictor, error) {
 		return nil, fmt.Errorf("llbpx %q: baseline: %w", cfg.Base.Name, err)
 	}
 	p := &Predictor{
-		cfg:         cfg,
-		tsl:         tsl,
-		bank:        tage.NewTagBank(cfg.Base.TagBits),
-		pb:          llbp.NewPatternBuffer(cfg.Base.PBEntries),
-		ctt:         newCTT(cfg.CTTEntries, cfg.CTTAssoc, cfg.CTTTagBits, cfg.AvgHistSat),
+		cfg:          cfg,
+		tsl:          tsl,
+		bank:         tage.NewTagBank(cfg.Base.TagBits),
+		pb:           llbp.NewPatternBuffer(cfg.Base.PBEntries),
+		ctt:          newCTT(cfg.CTTEntries, cfg.CTTAssoc, cfg.CTTTagBits, cfg.AvgHistSat),
 		shallowLens:  cfg.shallowLens(),
 		deepLens:     cfg.deepLens(),
 		shallowDelay: llbp.NewCtxDelay(cfg.Base.D, cfg.WShallow),
@@ -522,3 +523,17 @@ func (p *Predictor) FinishMeasurement() { p.pb.FlushStats() }
 
 // Directory exposes the context directory for diagnostics.
 func (p *Predictor) Directory() *llbp.ContextDir { return p.cd }
+
+// AttachPatternPool backs the second-level pattern store with a shared
+// pool namespace (patternpool.Attacher). Must be called before the first
+// branch executes.
+func (p *Predictor) AttachPatternPool(ns *patternpool.Namespace) { p.cd.AttachPool(ns) }
+
+// ReleasePatternStore hands the pattern store's storage back to the pool
+// and empties the pattern buffer (patternpool.Releaser). The predictor's
+// second level is empty afterwards; the TAGE-SC-L first level keeps its
+// state.
+func (p *Predictor) ReleasePatternStore() {
+	p.pb.Reset()
+	p.cd.Release()
+}

@@ -1,0 +1,54 @@
+package patternpool
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzNamespaceKey locks the (tenant, cid) keying path: the canonical
+// encoding must round-trip, be injective (no two distinct keys share an
+// encoding — the field boundary cannot be smuggled), and the
+// allocation-free Hash must agree with hashing the materialized
+// encoding byte for byte.
+func FuzzNamespaceKey(f *testing.F) {
+	f.Add("", "", "", "")
+	f.Add("acme", "acme/session-1", "acme", "acme/session-2")
+	f.Add("a", "bc", "ab", "c")
+	f.Add("t\x00x", "y", "t", "\x00xy")
+	f.Fuzz(func(t *testing.T, tenant1, cid1, tenant2, cid2 string) {
+		k1 := Key{Tenant: tenant1, CID: cid1}
+		k2 := Key{Tenant: tenant2, CID: cid2}
+
+		enc1 := AppendEncode(nil, k1)
+		dec, ok := DecodeKey(enc1)
+		if !ok || dec != k1 {
+			t.Fatalf("round trip failed: %+v -> %x -> %+v (ok=%v)", k1, enc1, dec, ok)
+		}
+
+		// Injectivity: distinct keys must encode (and hash the prefix
+		// structure) differently.
+		enc2 := AppendEncode(nil, k2)
+		if k1 != k2 && bytes.Equal(enc1, enc2) {
+			t.Fatalf("distinct keys %+v and %+v share encoding %x", k1, k2, enc1)
+		}
+
+		// Hash must equal FNV-1a over the materialized encoding.
+		h := uint64(fnvOffset)
+		for _, b := range enc1 {
+			h = (h ^ uint64(b)) * fnvPrime
+		}
+		if got := k1.Hash(); got != h {
+			t.Fatalf("Hash() = %#x, want %#x (FNV-1a of encoding)", got, h)
+		}
+
+		// Trailing garbage and truncation must be rejected.
+		if _, ok := DecodeKey(append(enc1, 0)); ok {
+			t.Fatal("trailing byte accepted")
+		}
+		if len(enc1) > 0 {
+			if dec, ok := DecodeKey(enc1[:len(enc1)-1]); ok && dec == k1 {
+				t.Fatal("truncated encoding decoded to the original key")
+			}
+		}
+	})
+}

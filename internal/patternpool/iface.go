@@ -1,0 +1,18 @@
+package patternpool
+
+// Attacher is implemented by predictors whose second-level pattern store
+// can be backed by a pool namespace. The serving layer attaches a
+// namespace right after constructing the predictor, before any branch is
+// executed, so all of the predictor's pattern storage is charged to (and
+// recycled through) the pool.
+type Attacher interface {
+	AttachPatternPool(*Namespace)
+}
+
+// Releaser is implemented by predictors that can hand their pattern
+// storage back to the pool. Releasing drops every live pattern (and any
+// derived caches such as the pattern buffer) — callers must have frozen
+// or checkpointed whatever state they want to keep first.
+type Releaser interface {
+	ReleasePatternStore()
+}

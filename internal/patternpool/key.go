@@ -1,0 +1,75 @@
+package patternpool
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// AppendEncode appends the canonical encoding of k to dst: each field as
+// a uvarint length prefix followed by its bytes. The length prefixes
+// make the encoding injective — ("ab","c") and ("a","bc") cannot
+// collide — which FuzzNamespaceKey locks.
+func AppendEncode(dst []byte, k Key) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(k.Tenant)))
+	dst = append(dst, k.Tenant...)
+	dst = binary.AppendUvarint(dst, uint64(len(k.CID)))
+	dst = append(dst, k.CID...)
+	return dst
+}
+
+// DecodeKey inverts AppendEncode. ok is false on truncation, overlong
+// lengths, or trailing bytes.
+func DecodeKey(b []byte) (k Key, ok bool) {
+	tenant, rest, ok := decodeField(b)
+	if !ok {
+		return Key{}, false
+	}
+	cid, rest, ok := decodeField(rest)
+	if !ok || len(rest) != 0 {
+		return Key{}, false
+	}
+	return Key{Tenant: tenant, CID: cid}, true
+}
+
+func decodeField(b []byte) (s string, rest []byte, ok bool) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 || n > uint64(len(b)-w) {
+		return "", nil, false
+	}
+	return string(b[w : w+int(n)]), b[w+int(n):], true
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash is FNV-1a over the canonical encoding, computed without
+// materializing it (allocation-free; used for shard routing).
+func (k Key) Hash() uint64 {
+	h := uint64(fnvOffset)
+	h = hashField(h, k.Tenant)
+	h = hashField(h, k.CID)
+	return h
+}
+
+func hashField(h uint64, s string) uint64 {
+	// Inline uvarint(len) exactly as AppendEncode emits it.
+	n := uint64(len(s))
+	for n >= 0x80 {
+		h = (h ^ (n&0x7f | 0x80)) * fnvPrime
+		n >>= 7
+	}
+	h = (h ^ n) * fnvPrime
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// bodySum is the content hash frozen-blob dedup keys on. Collision
+// resistance matters here — two different predictor states must never
+// dedup to one blob — so this is SHA-256, not FNV.
+func bodySum(body []byte) [sha256.Size]byte {
+	return sha256.Sum256(body)
+}

@@ -1,0 +1,58 @@
+package patternpool
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain is the package's goleak-style final-stack assertion: after
+// the concurrency bar has finished, no goroutine running this
+// repository's code may still exist. The pool spawns no goroutines of
+// its own, so anything left with an "llbpx/" frame is a test worker the
+// synchronization failed to join.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := awaitNoLeaks(3 * time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "goroutine leak: %d goroutine(s) still running llbpx code after all tests:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// awaitNoLeaks polls for leaked goroutines until the deadline, giving
+// just-finished tests a grace period to wind their goroutines down.
+func awaitNoLeaks(timeout time.Duration) []string {
+	deadline := time.Now().Add(timeout)
+	for {
+		leaked := leakedGoroutines()
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// leakedGoroutines returns the stacks of goroutines that are executing
+// (or were created by) this repository's code, excluding the caller.
+func leakedGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var leaked []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if !strings.Contains(g, "llbpx/") {
+			continue
+		}
+		if strings.Contains(g, "leakedGoroutines") {
+			continue
+		}
+		leaked = append(leaked, g)
+	}
+	return leaked
+}

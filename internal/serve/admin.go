@@ -69,17 +69,21 @@ func (s *Server) ExportSession(id string) ([]byte, error) {
 func (s *Server) ImportSession(id string, data []byte) (SessionFinal, error) {
 	var sess *Session
 	_, _, err := snapshot.Load(bytes.NewReader(data), func(name string) (snapshot.State, error) {
-		ns, nerr := newSession(id, name)
+		ns, nerr := s.newSession(id, name, "")
 		if nerr != nil {
 			return nil, nerr
 		}
 		if _, ok := ns.pred.(snapshot.State); !ok {
+			s.releaseSessionStore(ns)
 			return nil, fmt.Errorf("predictor %q does not support snapshots", name)
 		}
 		sess = ns
 		return sessionState{ns}, nil
 	})
 	if err != nil {
+		if sess != nil {
+			s.releaseSessionStore(sess)
+		}
 		if errors.Is(err, snapshot.ErrCorrupt) {
 			return SessionFinal{}, fmt.Errorf("serve: import of session %q: %v: %w", id, err, ErrSnapshotCorrupt)
 		}
@@ -88,6 +92,9 @@ func (s *Server) ImportSession(id string, data []byte) (SessionFinal, error) {
 	sess.restored = true
 	sess.touch()
 	if old := s.sessions.put(id, sess); old != nil {
+		// The import's namespace replaced old's under the same pool key;
+		// releasing still hands old's storage slabs back to the arena.
+		s.releaseSessionStore(old)
 		s.metrics.observeSessionEnd(old)
 	}
 	s.removeSnapshot(id)

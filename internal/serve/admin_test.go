@@ -174,7 +174,7 @@ func TestAdminExportPreservesWireCursor(t *testing.T) {
 	srvB, _ := testServer(t, Config{})
 	branches := workloadBranches(t, "nodeapp", 20_000)
 
-	sess, _, _, err := srvA.AcquireSession("seq", "tsl-8k")
+	sess, _, _, err := srvA.AcquireSession("seq", "tsl-8k", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestAdminExportPreservesWireCursor(t *testing.T) {
 		t.Fatalf("imported wire cursor %d, want 3", fin.Stats.WireCursor)
 	}
 	// A resend of batch 3 on the new owner is a duplicate; batch 4 applies.
-	moved, _, _, err := srvB.AcquireSession("seq", "")
+	moved, _, _, err := srvB.AcquireSession("seq", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}

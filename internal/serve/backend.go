@@ -64,24 +64,33 @@ func (s *Server) RetryAfter() time.Duration {
 }
 
 // AcquireSession returns the live session for id, creating it (or
-// restoring it from a checkpoint) on first use. requested is the
-// client's explicitly named predictor: "" accepts whatever exists (or
-// the server default for a fresh session), and a non-empty name that
-// conflicts with an existing session's predictor fails with
-// ErrPredictorConflict. created reports a session that entered memory on
-// this call; restored that it came back from an on-disk checkpoint.
-func (s *Server) AcquireSession(id, requested string) (sess *Session, created, restored bool, err error) {
+// restoring it from the pattern pool's frozen tier or a checkpoint) on
+// first use. requested is the client's explicitly named predictor: ""
+// accepts whatever exists (or the server default for a fresh session),
+// and a non-empty name that conflicts with an existing session's
+// predictor fails with ErrPredictorConflict. fingerprint is the workload
+// fingerprint a freshly created session declares ("" = none; ignored for
+// existing sessions). created reports a session that entered memory on
+// this call; restored that it came back warm (frozen tier or disk).
+//
+// The returned session is pinned against budget spilling; the caller
+// must call ReleaseSessionRef exactly once when its batch completes.
+func (s *Server) AcquireSession(id, requested, fingerprint string) (sess *Session, created, restored bool, err error) {
 	predictorName := requested
 	if predictorName == "" {
 		predictorName = s.cfg.DefaultPredictor
 	}
 	sess, created, err = s.sessions.getOrCreate(id, func() (*Session, error) {
-		// A checkpointed session resumes warm; any restore failure
-		// (no file, corrupt bytes, predictor mismatch) cold-starts.
+		// A spilled session resumes warm from the pool's frozen tier,
+		// then from its on-disk checkpoint; any restore failure (no
+		// state, corrupt bytes, predictor mismatch) cold-starts.
+		if ts, ok := s.thawSession(id, requested); ok {
+			return ts, nil
+		}
 		if rs, ok := s.restoreSession(id, requested); ok {
 			return rs, nil
 		}
-		return newSession(id, predictorName)
+		return s.newSession(id, predictorName, fingerprint)
 	})
 	if err != nil {
 		return nil, false, false, err
@@ -93,11 +102,24 @@ func (s *Server) AcquireSession(id, requested string) (sess *Session, created, r
 			s.metrics.sessionsCreated.Inc()
 		}
 	} else if requested != "" && requested != sess.PredictorName {
+		s.ReleaseSessionRef(sess)
 		return nil, false, false, fmt.Errorf("session %q runs predictor %q, not %q: %w",
 			id, sess.PredictorName, requested, ErrPredictorConflict)
 	}
 	return sess, created, created && sess.restored, nil
 }
+
+// ReleaseSessionRef drops the spill pin AcquireSession took. Call exactly
+// once per successful AcquireSession, after the batch (or whatever the
+// session was acquired for) completes.
+func (s *Server) ReleaseSessionRef(sess *Session) { sess.pins.Add(-1) }
+
+// ReclaimStore brings the shared pattern pool back under its byte budget
+// by trimming frozen blobs and spilling least-recently-used idle
+// sessions. skip (may be nil) is never spilled — pass the session the
+// caller is still responding for. Transports call this after a batch
+// completes; it is a cheap no-op while the pool is within budget.
+func (s *Server) ReclaimStore(skip *Session) { s.reclaimStore(skip) }
 
 // WireStatus is ExecuteWireBatch's sequencing verdict.
 type WireStatus int
@@ -162,9 +184,12 @@ func (s *Server) CloseSession(id string) (SessionFinal, bool) {
 		return SessionFinal{}, false
 	}
 	s.removeSnapshot(id)
+	final := sess.final()
+	s.releaseSessionStore(sess)
+	s.store.Forget(poolKey(id))
 	s.metrics.sessionsClosed.Inc()
 	s.metrics.observeSessionEnd(sess)
-	return sess.final(), true
+	return final, true
 }
 
 // FireFault fires the named fault-injection site on the server's

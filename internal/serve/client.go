@@ -8,6 +8,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -34,6 +35,12 @@ type Client struct {
 	base  string
 	hc    *http.Client
 	retry RetryPolicy
+
+	// Fingerprint is the workload fingerprint every Predict declares
+	// ("" = none). The server consults it only on the batch that creates
+	// a session; under -store-share, evicted sessions with identical
+	// fingerprints share their frozen predictor state.
+	Fingerprint string
 
 	nretries atomic.Uint64 // resend attempts performed
 	nshed    atomic.Uint64 // 429 overloaded envelopes observed
@@ -105,12 +112,16 @@ func (c *Client) Predict(ctx context.Context, id, predictor string, batch []core
 	for i, b := range batch {
 		records[i] = RecordFromBranch(b)
 	}
-	body, err := json.Marshal(PredictRequest{Predictor: predictor, Branches: records})
+	body, err := json.Marshal(PredictRequest{
+		Predictor:           predictor,
+		WorkloadFingerprint: c.Fingerprint,
+		Branches:            records,
+	})
 	if err != nil {
 		return nil, err
 	}
 	var out PredictResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/predict", body, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/predict", body, &out); err != nil {
 		return nil, err
 	}
 	// A duplicate reply (gateway-resolved resend) carries statistics but no
@@ -125,7 +136,7 @@ func (c *Client) Predict(ctx context.Context, id, predictor string, batch []core
 // SessionStats fetches a session's running statistics.
 func (c *Client) SessionStats(ctx context.Context, id string) (*SessionFinal, error) {
 	var out SessionFinal
-	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id, nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -134,7 +145,7 @@ func (c *Client) SessionStats(ctx context.Context, id string) (*SessionFinal, er
 // CloseSession deletes a session and returns its final statistics.
 func (c *Client) CloseSession(ctx context.Context, id string) (*SessionFinal, error) {
 	var out SessionFinal
-	if err := c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -38,9 +38,11 @@ func (s *Server) EvictIdle() int {
 			s.metrics.observeSessionEnd(sess)
 		}
 	}
-	// With a snapshot directory, eviction is checkpoint-to-disk: the next
-	// batch for the same session ID restores the predictor transparently.
-	s.checkpointSessions(evicted)
+	// With a snapshot directory, eviction is checkpoint-to-disk (and, with
+	// sharing on, freeze-to-pool): the next batch for the same session ID
+	// restores the predictor transparently. Either way the session's
+	// pattern storage goes back to the pool for the next session.
+	s.retireSessions(evicted)
 	return len(evicted)
 }
 

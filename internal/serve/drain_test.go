@@ -49,9 +49,9 @@ func TestEvictionTTL(t *testing.T) {
 // TestEvictIdleSkipsFreshSessions pins the cutoff logic directly.
 func TestEvictIdleSkipsFreshSessions(t *testing.T) {
 	sm := newShardMap(2)
-	old, _ := newSession("old", "tsl-8k")
+	old, _ := newTestSession("old", "tsl-8k")
 	old.lastUsed.Store(time.Now().Add(-time.Hour).UnixNano())
-	fresh, _ := newSession("fresh", "tsl-8k")
+	fresh, _ := newTestSession("fresh", "tsl-8k")
 	sm.shard("old").m["old"] = old
 	sm.shard("fresh").m["fresh"] = fresh
 
@@ -63,7 +63,7 @@ func TestEvictIdleSkipsFreshSessions(t *testing.T) {
 		t.Fatal("fresh session must survive")
 	}
 	// A busy session (mutex held) is never evicted, even when idle.
-	old2, _ := newSession("busy", "tsl-8k")
+	old2, _ := newTestSession("busy", "tsl-8k")
 	old2.lastUsed.Store(time.Now().Add(-time.Hour).UnixNano())
 	old2.mu.Lock()
 	defer old2.mu.Unlock()

@@ -49,6 +49,13 @@ type PredictRequest struct {
 	// batch creates the session (empty = server default). A non-empty name
 	// that conflicts with an existing session's predictor is a 409.
 	Predictor string `json:"predictor,omitempty"`
+	// WorkloadFingerprint optionally declares the session's workload
+	// identity (any stable string — a trace name, a binary hash).
+	// Consulted only when the batch creates the session. Under
+	// -store-share, evicted sessions with identical fingerprints share
+	// their frozen predictor blobs; live predictions are never shared, so
+	// a fingerprint never changes a session's prediction stream.
+	WorkloadFingerprint string `json:"workload_fingerprint,omitempty"`
 	// Branches is the batch, in retire order.
 	Branches []BranchRecord `json:"branches"`
 }
@@ -169,7 +176,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.endBatch()
 
-	sess, created, restored, err := s.AcquireSession(id, req.Predictor)
+	sess, created, restored, err := s.AcquireSession(id, req.Predictor, req.WorkloadFingerprint)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrPredictorConflict):
@@ -181,6 +188,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	defer s.ReleaseSessionRef(sess)
 
 	// Bounded worker pool: a slot gates the CPU-heavy predictor walk so a
 	// flood of batches queues here instead of oversubscribing the host —
@@ -210,6 +218,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	s.releaseSlot()
 	s.metrics.observeBatch(sess.PredictorName, s.sessions.index(id), delta, elapsed, depth)
+	// The batch may have grown the session's pattern store past the pool
+	// budget; spill colder sessions before answering.
+	s.reclaimStore(sess)
 
 	writeJSON(w, http.StatusOK, PredictResponse{
 		Session:     id,

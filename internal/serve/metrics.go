@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"llbpx/internal/obs"
+	"llbpx/internal/patternpool"
 	"llbpx/internal/stats"
 )
 
@@ -47,6 +48,12 @@ type metrics struct {
 	sessionsExported *obs.Counter // admin checkpoint exports served
 	sessionsImported *obs.Counter // admin checkpoint imports installed
 
+	storeSpills *obs.Counter // sessions spilled by pattern-pool budget pressure
+
+	// store is the shared pattern pool; its gauges and counters are
+	// rendered from the pool's own atomics at collect time.
+	store *patternpool.Pool
+
 	// Binary-protocol (internal/wire) series, incremented by the wire
 	// listener through WireMetrics. They live on the same registry as the
 	// HTTP families so one /metrics scrape covers both protocols.
@@ -66,11 +73,12 @@ type metrics struct {
 // newMetrics builds the metric set. live supplies the instantaneous
 // per-predictor and total live-session counts (they live in the shard
 // map, not here) for both the JSON snapshot and the text exposition.
-func newMetrics(shards int, live func() (map[string]int, int)) *metrics {
+func newMetrics(shards int, live func() (map[string]int, int), store *patternpool.Pool) *metrics {
 	reg := obs.NewRegistry("llbpd_")
 	m := &metrics{
 		start: time.Now(),
 		reg:   reg,
+		store: store,
 
 		sessionsCreated: reg.Counter("sessions_created_total"),
 		sessionsEvicted: reg.Counter("sessions_evicted_total"),
@@ -88,6 +96,8 @@ func newMetrics(shards int, live func() (map[string]int, int)) *metrics {
 
 		sessionsExported: reg.Counter("sessions_exported_total"),
 		sessionsImported: reg.Counter("sessions_imported_total"),
+
+		storeSpills: reg.Counter("store_spills_total"),
 
 		batchLatency:    reg.Histogram("batch_latency_us", latencyBuckets),
 		queueDepth:      reg.Histogram("batch_queue_depth", depthBuckets),
@@ -123,6 +133,15 @@ func newMetrics(shards int, live func() (map[string]int, int)) *metrics {
 	reg.GaugeFunc("batch_latency_p90_us", func() float64 { return m.batchLatency.Quantile(0.90) })
 	reg.GaugeFunc("batch_latency_p99_us", func() float64 { return m.batchLatency.Quantile(0.99) })
 	reg.GaugeFunc("batch_latency_p999_us", func() float64 { return m.batchLatency.Quantile(0.999) })
+
+	// Shared pattern-pool series, read straight from the pool's atomics.
+	reg.GaugeFunc("store_budget_bytes", func() float64 { return float64(store.Budget()) })
+	reg.GaugeFunc("store_resident_bytes", func() float64 { return float64(store.TotalBytes()) })
+	reg.GaugeFunc("store_attached_bytes", func() float64 { return float64(store.AttachedBytes()) })
+	reg.GaugeFunc("store_frozen_bytes", func() float64 { return float64(store.FrozenBytes()) })
+	reg.GaugeFunc("store_arena_bytes", func() float64 { return float64(store.ArenaBytes()) })
+	reg.GaugeFunc("store_namespaces", func() float64 { return float64(store.Namespaces()) })
+	reg.GaugeFunc("store_frozen_sessions", func() float64 { return float64(store.FrozenCount()) })
 
 	reg.OnCollect(func(w *obs.ExpoWriter) { m.collect(w, live) })
 	return m
@@ -206,6 +225,31 @@ func (m *metrics) collect(w *obs.ExpoWriter, live func() (map[string]int, int)) 
 		}
 	}
 
+	// Pattern-pool lifecycle counters live in the pool (one snapshot read
+	// here), plus the per-tenant attached-bytes breakdown.
+	pc := m.store.CountersSnapshot()
+	w.Family("store_freezes_total", "counter")
+	w.Value("store_freezes_total", float64(pc.Freezes))
+	w.Family("store_thaws_total", "counter")
+	w.Value("store_thaws_total", float64(pc.Thaws))
+	w.Family("store_shared_restores_total", "counter")
+	w.Value("store_shared_restores_total", float64(pc.SharedRestores))
+	w.Family("store_dedup_hits_total", "counter")
+	w.Value("store_dedup_hits_total", float64(pc.DedupHits))
+	w.Family("store_frozen_evictions_total", "counter")
+	w.Value("store_frozen_evictions_total", float64(pc.FrozenEvictions))
+
+	w.Family("store_tenant_bytes", "gauge")
+	tb := m.store.TenantBytes()
+	tenants := make([]string, 0, len(tb))
+	for t := range tb {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		w.Labeled("store_tenant_bytes", fmt.Sprintf("tenant=%q", t), float64(tb[t]))
+	}
+
 	w.Family("shard_batch_latency_us", "gauge")
 	for i, h := range m.shardLatency {
 		if h.Count() == 0 {
@@ -282,13 +326,13 @@ type StatsSnapshot struct {
 	// Wire* summarize the binary streaming protocol (internal/wire):
 	// frames and bytes per direction, NACK frames sent, connections
 	// accepted, and the p99 frame service latency.
-	WireFramesRx        uint64  `json:"wire_frames_rx"`
-	WireFramesTx        uint64  `json:"wire_frames_tx"`
-	WireBytesRx         uint64  `json:"wire_bytes_rx"`
-	WireBytesTx         uint64  `json:"wire_bytes_tx"`
-	WireNacks           uint64  `json:"wire_nacks"`
-	WireConns           uint64  `json:"wire_conns"`
-	WireFrameLatP99Us   float64 `json:"wire_frame_latency_p99_us"`
+	WireFramesRx      uint64  `json:"wire_frames_rx"`
+	WireFramesTx      uint64  `json:"wire_frames_tx"`
+	WireBytesRx       uint64  `json:"wire_bytes_rx"`
+	WireBytesTx       uint64  `json:"wire_bytes_tx"`
+	WireNacks         uint64  `json:"wire_nacks"`
+	WireConns         uint64  `json:"wire_conns"`
+	WireFrameLatP99Us float64 `json:"wire_frame_latency_p99_us"`
 
 	// SessionLifetimeP50Ms / P99Ms summarize closed and evicted sessions'
 	// in-memory lifetimes.
@@ -296,6 +340,27 @@ type StatsSnapshot struct {
 	SessionLifetimeP99Ms float64 `json:"session_lifetime_p99_ms"`
 	// SessionsLiveByPredictor counts live sessions per predictor name.
 	SessionsLiveByPredictor map[string]int `json:"sessions_live_by_predictor"`
+
+	// Store* summarize the shared memory-budgeted pattern pool: the
+	// configured budget (0 = unlimited), the resident-byte breakdown
+	// (attached = live sessions' pattern storage, frozen = evicted
+	// sessions' deduplicated blobs, arena = recycled slabs awaiting
+	// reuse), lifecycle counters, and the per-tenant attached-bytes
+	// quota view.
+	StoreBudgetBytes     int64            `json:"store_budget_bytes"`
+	StoreResidentBytes   int64            `json:"store_resident_bytes"`
+	StoreAttachedBytes   int64            `json:"store_attached_bytes"`
+	StoreFrozenBytes     int64            `json:"store_frozen_bytes"`
+	StoreArenaBytes      int64            `json:"store_arena_bytes"`
+	StoreNamespaces      int              `json:"store_namespaces"`
+	StoreFrozenSessions  int              `json:"store_frozen_sessions"`
+	StoreSpills          uint64           `json:"store_spills"`
+	StoreFreezes         uint64           `json:"store_freezes"`
+	StoreThaws           uint64           `json:"store_thaws"`
+	StoreSharedRestores  uint64           `json:"store_shared_restores"`
+	StoreDedupHits       uint64           `json:"store_dedup_hits"`
+	StoreFrozenEvictions uint64           `json:"store_frozen_evictions"`
+	StoreTenantBytes     map[string]int64 `json:"store_tenant_bytes"`
 }
 
 // snapshot assembles the full snapshot; the live-session counts are
@@ -341,6 +406,21 @@ func (m *metrics) snapshot(sessionsLive int, byPred map[string]int) StatsSnapsho
 		SessionLifetimeP99Ms:    m.sessionLifetime.Quantile(0.99),
 		SessionsLiveByPredictor: byPred,
 	}
+	pc := m.store.CountersSnapshot()
+	snap.StoreBudgetBytes = m.store.Budget()
+	snap.StoreResidentBytes = m.store.TotalBytes()
+	snap.StoreAttachedBytes = m.store.AttachedBytes()
+	snap.StoreFrozenBytes = m.store.FrozenBytes()
+	snap.StoreArenaBytes = m.store.ArenaBytes()
+	snap.StoreNamespaces = m.store.Namespaces()
+	snap.StoreFrozenSessions = m.store.FrozenCount()
+	snap.StoreSpills = m.storeSpills.Value()
+	snap.StoreFreezes = pc.Freezes
+	snap.StoreThaws = pc.Thaws
+	snap.StoreSharedRestores = pc.SharedRestores
+	snap.StoreDedupHits = pc.DedupHits
+	snap.StoreFrozenEvictions = pc.FrozenEvictions
+	snap.StoreTenantBytes = m.store.TenantBytes()
 	if up > 0 {
 		snap.BranchesPerSec = float64(branches) / up
 	}

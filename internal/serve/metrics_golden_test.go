@@ -46,6 +46,20 @@ var goldenFamilies = map[string]string{
 	"llbpd_wire_nacks_total":             "counter",
 	"llbpd_wire_conns_total":             "counter",
 	"llbpd_wire_frame_latency_us":        "histogram",
+	"llbpd_store_budget_bytes":           "gauge",
+	"llbpd_store_resident_bytes":         "gauge",
+	"llbpd_store_attached_bytes":         "gauge",
+	"llbpd_store_frozen_bytes":           "gauge",
+	"llbpd_store_arena_bytes":            "gauge",
+	"llbpd_store_namespaces":             "gauge",
+	"llbpd_store_frozen_sessions":        "gauge",
+	"llbpd_store_tenant_bytes":           "gauge",
+	"llbpd_store_spills_total":           "counter",
+	"llbpd_store_freezes_total":          "counter",
+	"llbpd_store_thaws_total":            "counter",
+	"llbpd_store_shared_restores_total":  "counter",
+	"llbpd_store_dedup_hits_total":       "counter",
+	"llbpd_store_frozen_evictions_total": "counter",
 	"llbpd_predictor_mpki":               "gauge",
 	"llbpd_predictor_branches_total":     "counter",
 	"llbpd_predictor_mispredicts_total":  "counter",

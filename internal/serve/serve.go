@@ -23,9 +23,11 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"llbpx/internal/faults"
+	"llbpx/internal/patternpool"
 )
 
 // Config parameterizes a Server. The zero value is usable; every field
@@ -67,6 +69,22 @@ type Config struct {
 	// (transient I/O errors should not cost a warm predictor). Default 2;
 	// negative disables retries.
 	SnapshotRetries int
+	// StoreBudget caps the shared pattern pool's total resident bytes
+	// (live second-level pattern storage plus frozen blobs plus the slab
+	// recycling arena) across every session. When a batch pushes the pool
+	// over budget, the server spills least-recently-used idle sessions:
+	// checkpoint to disk, freeze into the pool, release their storage.
+	// Zero or negative disables the budget (sessions are only bounded by
+	// the TTL janitor).
+	StoreBudget int64
+	// StoreShare opts evicted sessions into frozen-state sharing: spilled
+	// predictor blobs are deduplicated between sessions that declared the
+	// same workload fingerprint, and the next batch thaws from the pool
+	// (memory) before falling back to the disk checkpoint. Live sessions
+	// never share state regardless of this setting — sharing is dedup of
+	// immutable frozen bytes, restored copy-out, so per-session streams
+	// stay bit-exact.
+	StoreShare bool
 	// Faults optionally injects deterministic faults (internal/faults) at
 	// the serving stack's named sites — see the Fault* constants. Nil
 	// disables injection entirely; the sites then cost one nil check.
@@ -134,6 +152,10 @@ type Server struct {
 	sessions *shardMap
 	metrics  *metrics
 	pool     chan struct{} // worker-pool slots; len bounds executing batches
+	store    *patternpool.Pool
+	// reclaiming collapses concurrent over-budget reclaim attempts into
+	// one spiller (the others return; the batch that won does the work).
+	reclaiming atomic.Bool
 
 	drainMu  sync.Mutex
 	draining bool
@@ -160,7 +182,12 @@ func New(cfg Config) *Server {
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
-	s.metrics = newMetrics(cfg.Shards, s.sessions.countByPredictor)
+	s.store = patternpool.New(patternpool.Config{
+		Budget:  cfg.StoreBudget,
+		Sharing: cfg.StoreShare,
+		Shards:  cfg.Shards,
+	})
+	s.metrics = newMetrics(cfg.Shards, s.sessions.countByPredictor, s.store)
 	s.mux = s.buildMux()
 	go s.janitor()
 	return s
@@ -168,6 +195,9 @@ func New(cfg Config) *Server {
 
 // Config returns the server's resolved configuration.
 func (s *Server) Config() Config { return s.cfg }
+
+// Store exposes the shared pattern pool (diagnostics and tests).
+func (s *Server) Store() *patternpool.Pool { return s.store }
 
 // Stats returns the current server-wide statistics snapshot.
 func (s *Server) Stats() StatsSnapshot {

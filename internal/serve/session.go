@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"llbpx/internal/core"
+	"llbpx/internal/patternpool"
 	"llbpx/internal/stats"
 )
 
@@ -18,6 +19,11 @@ type Session struct {
 	ID string
 	// PredictorName is the registry name the session was created with.
 	PredictorName string
+	// Fingerprint is the workload fingerprint the session declared at
+	// creation ("" = none). Sessions with identical fingerprints opt into
+	// frozen-state sharing in the pattern pool; it is persisted in
+	// checkpoints so a restored session keeps its declaration.
+	Fingerprint string
 
 	// created is when the session entered memory (cold start or snapshot
 	// restore); the lifetime histogram measures from here.
@@ -26,6 +32,17 @@ type Session struct {
 	// lastUsed is the unix-nano timestamp of the last batch (or creation),
 	// read lock-free by the eviction janitor.
 	lastUsed atomic.Int64
+
+	// pins counts callers holding the session between AcquireSession and
+	// batch completion. The budget spiller only retires sessions with
+	// zero pins (checked under the shard lock, where pins are taken), so
+	// a session can never be spilled out from under an admitted batch —
+	// the TTL janitor gets the same guarantee from its idle re-check.
+	pins atomic.Int32
+
+	// ns is the session's pattern-pool namespace (nil when the predictor
+	// has no poolable second-level store).
+	ns *patternpool.Namespace
 
 	mu      sync.Mutex
 	pred    core.Predictor
@@ -43,17 +60,6 @@ type Session struct {
 	// restored marks a session rebuilt from an on-disk snapshot rather
 	// than created cold (reported once in the creating batch's response).
 	restored bool
-}
-
-// newSession builds a session with a fresh predictor from the registry.
-func newSession(id, predictorName string) (*Session, error) {
-	p, err := NewPredictor(predictorName)
-	if err != nil {
-		return nil, err
-	}
-	s := &Session{ID: id, PredictorName: predictorName, pred: p, created: time.Now()}
-	s.touch()
-	return s, nil
 }
 
 func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }

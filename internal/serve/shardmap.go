@@ -52,19 +52,24 @@ func (sm *shardMap) get(id string) *Session {
 // getOrCreate returns the existing session for id or inserts the one
 // built by create. created reports whether create ran; a create error
 // inserts nothing. The session's lastUsed is refreshed under the shard
-// lock so the janitor cannot see a just-fetched session as idle.
+// lock so the janitor cannot see a just-fetched session as idle, and a
+// pin is taken under the same lock so the budget spiller (pickLRU /
+// removeIfQuiet) cannot retire the session before its batch runs — the caller must
+// release the pin when the batch completes (Server.ReleaseSessionRef).
 func (sm *shardMap) getOrCreate(id string, create func() (*Session, error)) (s *Session, created bool, err error) {
 	sh := sm.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if s = sh.m[id]; s != nil {
 		s.touch()
+		s.pins.Add(1)
 		return s, false, nil
 	}
 	s, err = create()
 	if err != nil {
 		return nil, false, err
 	}
+	s.pins.Add(1)
 	sh.m[id] = s
 	return s, true, nil
 }
@@ -132,6 +137,47 @@ func (sm *shardMap) all() []*Session {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// pickLRU returns (without removing) the least-recently-used session
+// that is not skip and not pinned, plus the lastUsed value it was picked
+// at. The caller spills its state while the session is still reachable,
+// then commits the removal with removeIfQuiet — passing the same asOf so
+// any batch that slipped in between (and made the spilled state stale)
+// aborts the removal.
+func (sm *shardMap) pickLRU(skip *Session) (victim *Session, asOf int64, ok bool) {
+	for i := range sm.shards {
+		sh := &sm.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.m {
+			if s == skip || s.pins.Load() != 0 {
+				continue
+			}
+			if t := s.lastUsed.Load(); victim == nil || t < asOf {
+				victim, asOf = s, t
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return victim, asOf, victim != nil
+}
+
+// removeIfQuiet deletes s from the map only if it is still the mapped
+// session for its ID, unpinned, not mid-batch (TryLock), and untouched
+// since asOf. Pins and touches both happen under the shard lock
+// (getOrCreate), so a session acquired for a batch — even one that ran
+// to completion since the pick — can never be removed here: its acquire
+// advanced lastUsed past asOf. Reports whether the removal committed.
+func (sm *shardMap) removeIfQuiet(s *Session, asOf int64) bool {
+	sh := sm.shard(s.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.m[s.ID] != s || s.pins.Load() != 0 || s.lastUsed.Load() != asOf || !s.mu.TryLock() {
+		return false
+	}
+	s.mu.Unlock()
+	delete(sh.m, s.ID)
+	return true
 }
 
 // evictIdle removes every session idle since cutoff (unix nanos) and

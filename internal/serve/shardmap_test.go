@@ -29,7 +29,7 @@ func TestGetOrCreateVsEvictRace(t *testing.T) {
 				default:
 				}
 				s, was, err := sm.getOrCreate(id, func() (*Session, error) {
-					return newSession(id, "tsl-8k")
+					return newTestSession(id, "tsl-8k")
 				})
 				if err != nil {
 					t.Error(err)
@@ -77,7 +77,7 @@ func TestGetOrCreateVsEvictRace(t *testing.T) {
 func TestEvictSkipsBusySession(t *testing.T) {
 	sm := newShardMap(2)
 	s, _, err := sm.getOrCreate("busy", func() (*Session, error) {
-		return newSession("busy", "tsl-8k")
+		return newTestSession("busy", "tsl-8k")
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +109,7 @@ func TestCountByPredictor(t *testing.T) {
 		{"a", "tsl-8k"}, {"b", "tsl-8k"}, {"c", "llbp-x"},
 	} {
 		if _, _, err := sm.getOrCreate(spec.id, func() (*Session, error) {
-			return newSession(spec.id, spec.pred)
+			return newTestSession(spec.id, spec.pred)
 		}); err != nil {
 			t.Fatal(err)
 		}

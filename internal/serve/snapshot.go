@@ -32,6 +32,7 @@ func (ss sessionState) SaveState(w *snapshot.Writer) {
 	w.U64(st.Overrides)
 	w.U64(s.batches)
 	w.U64(s.wireSeq)
+	w.String(s.Fingerprint)
 	s.pred.(snapshot.State).SaveState(w)
 }
 
@@ -56,6 +57,10 @@ func (ss sessionState) LoadState(r *snapshot.Reader) {
 	}
 	s.batches = r.U64()
 	s.wireSeq = r.U64()
+	s.Fingerprint = r.String(4096)
+	if s.ns != nil {
+		s.ns.SetFingerprint(s.Fingerprint)
+	}
 	s.pred.(snapshot.State).LoadState(r)
 }
 
@@ -146,17 +151,21 @@ func (s *Server) restoreSession(id, want string) (*Session, bool) {
 		if want != "" && name != want {
 			return nil, fmt.Errorf("snapshot holds predictor %q, client wants %q", name, want)
 		}
-		ns, nerr := newSession(id, name)
+		ns, nerr := s.newSession(id, name, "")
 		if nerr != nil {
 			return nil, nerr
 		}
 		if _, ok := ns.pred.(snapshot.State); !ok {
+			s.releaseSessionStore(ns)
 			return nil, fmt.Errorf("predictor %q does not support snapshots", name)
 		}
 		sess = ns
 		return sessionState{ns}, nil
 	})
 	if err != nil {
+		if sess != nil {
+			s.releaseSessionStore(sess)
+		}
 		if errors.Is(err, snapshot.ErrCorrupt) {
 			s.quarantineSnapshot(path)
 		}

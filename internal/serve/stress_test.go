@@ -115,7 +115,7 @@ func TestShardMapConcurrency(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				id := fmt.Sprintf("s-%d", i%17)
-				s, _, err := sm.getOrCreate(id, func() (*Session, error) { return newSession(id, "tsl-8k") })
+				s, _, err := sm.getOrCreate(id, func() (*Session, error) { return newTestSession(id, "tsl-8k") })
 				if err != nil {
 					t.Error(err)
 					return

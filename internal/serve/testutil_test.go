@@ -1,0 +1,15 @@
+package serve
+
+import "time"
+
+// newTestSession builds a pool-less session for shard-map and janitor
+// unit tests that exercise map mechanics without a Server.
+func newTestSession(id, predictorName string) (*Session, error) {
+	p, err := NewPredictor(predictorName)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{ID: id, PredictorName: predictorName, pred: p, created: time.Now()}
+	s.touch()
+	return s, nil
+}

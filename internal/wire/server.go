@@ -402,7 +402,9 @@ func (wc *wireConn) execPredict(j *job) {
 	}
 	defer s.backend.EndBatch()
 
-	sess, created, restored, err := s.backend.AcquireSession(string(j.session), string(j.pred))
+	// The binary protocol has no fingerprint field; wire sessions never
+	// opt into frozen-state sharing.
+	sess, created, restored, err := s.backend.AcquireSession(string(j.session), string(j.pred), "")
 	if err != nil {
 		code := serve.CodeBadRequest
 		switch {
@@ -414,6 +416,7 @@ func (wc *wireConn) execPredict(j *job) {
 		wc.respondNack(j, code, err.Error(), false, 0)
 		return
 	}
+	defer s.backend.ReleaseSessionRef(sess)
 
 	depth := s.backend.PoolDepth()
 	if aerr := s.backend.AcquireSlot(wc.ctx); aerr != nil {
@@ -433,6 +436,7 @@ func (wc *wireConn) execPredict(j *job) {
 	preds := j.preds[:len(j.branches)]
 	status, snap := s.backend.ExecuteWireBatch(sess, j.batchNum, j.branches, preds, depth)
 	s.backend.ReleaseSlot()
+	s.backend.ReclaimStore(sess)
 
 	switch status {
 	case serve.WireOutOfOrder:
