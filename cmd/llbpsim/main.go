@@ -10,20 +10,28 @@
 //	llbpsim -workload nodeapp -predictor llbp-x -save-state warm.snap
 //	llbpsim -workload nodeapp -load-state warm.snap
 //	llbpsim -workload kafka -predictor tsl-64k -attr -attr-top 10
+//	llbpsim -workload kafka -predictor tsl-8k -attr -json > h2p.json
+//	llbpsim -workload kafka -predictor 'bullseye(h2p_file=h2p.json)'
 //	llbpsim -list
+//	llbpsim -list-predictors -json
 //
 // Predictors: tsl-8k tsl-16k tsl-32k tsl-64k tsl-128k tsl-512k tsl-inf
-// llbp llbp-0lat llbp-x (plus anything registered via
-// llbpx.RegisterPredictor).
+// llbp llbp-0lat llbp-x bullseye tournament (plus anything registered via
+// llbpx.RegisterPredictor). -predictor accepts parameterized specs such as
+// "tournament(members=tsl-8k+llbp,chooser_bits=12)"; -list-predictors
+// shows each predictor's parameter schema and storage estimate.
 //
 // -attr attaches a misprediction-attribution observer and prints the
 // paper-style H2P table: the top static branches by misprediction share,
-// with the provider-component breakdown of each branch's misses. SIGINT
-// cancels the run cleanly and reports the partial result.
+// with the provider-component breakdown of each branch's misses. With
+// -json the export is machine-readable — the format bullseye's h2p_file=
+// parameter consumes. SIGINT cancels the run cleanly and reports the
+// partial result.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -50,8 +58,35 @@ func main() {
 		loadState    = flag.String("load-state", "", "warm-start the predictor from a checkpoint file (overrides -predictor)")
 		attr         = flag.Bool("attr", false, "attribute mispredictions per static branch and print the top-K table")
 		attrTop      = flag.Int("attr-top", 20, "rows in the -attr table")
+		listPreds    = flag.Bool("list-predictors", false, "list predictors with parameter schemas, then exit")
+		jsonOut      = flag.Bool("json", false, "machine-readable output: with -list-predictors the registry metadata, with -attr the attribution export")
 	)
 	flag.Parse()
+
+	if *listPreds {
+		infos := llbpx.Predictors()
+		if *jsonOut {
+			emitJSON(struct {
+				Predictors []llbpx.PredictorInfo `json:"predictors"`
+			}{infos})
+			return
+		}
+		for _, info := range infos {
+			fmt.Printf("%-12s %s\n", info.Name, info.Description)
+			if info.StorageBytes > 0 {
+				fmt.Printf("             storage ~%d bytes\n", info.StorageBytes)
+			}
+			for _, p := range info.Params {
+				rng := ""
+				if p.Kind == "int" {
+					rng = fmt.Sprintf(" [%d..%d]", p.Min, p.Max)
+				}
+				fmt.Printf("             %s (%s%s, default %q): %s\n",
+					p.Name, p.Kind, rng, p.Default, p.Desc)
+			}
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("workloads: ", llbpx.WorkloadNames())
@@ -111,6 +146,19 @@ func main() {
 			fatal(serr)
 		}
 		fmt.Printf("checkpointed   %s -> %s\n", predictorName, *saveState)
+	}
+
+	if *jsonOut && attribution != nil {
+		// Pure JSON on stdout so `llbpsim -attr -json > h2p.json` feeds
+		// straight into a bullseye(h2p_file=...) spec.
+		export := attribution.ExportTopK(*attrTop)
+		export.Predictor = res.Predictor
+		export.Workload = *workloadName
+		emitJSON(export)
+		if interrupted {
+			os.Exit(130)
+		}
+		return
 	}
 
 	m := res.Measured
@@ -173,6 +221,14 @@ func buildSource(workloadName, tracePath, champPath string, seed uint64) (llbpx.
 		return nil, err
 	}
 	return llbpx.NewGenerator(prog), nil
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -93,7 +93,7 @@ func loadFingerprints(t *testing.T) map[string]fingerprint {
 }
 
 // TestGoldenFingerprints asserts bit-identical reproduction of the recorded
-// direction streams for the full 10x14 (predictor, workload) matrix, or the
+// direction streams for the full 12x14 (predictor, workload) matrix, or the
 // 3x3 hot-path subset in -short mode.
 func TestGoldenFingerprints(t *testing.T) {
 	recording := os.Getenv("LLBPX_RECORD_FINGERPRINTS") != ""

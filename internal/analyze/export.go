@@ -1,0 +1,70 @@
+package analyze
+
+import (
+	"strconv"
+)
+
+// ExportRow is one static branch in the JSON attribution export. PCs
+// render as "0x..." hex strings: JSON numbers lose precision past 2^53,
+// and 64-bit branch addresses do not fit.
+type ExportRow struct {
+	PC          string  `json:"pc"`
+	Execs       uint64  `json:"execs"`
+	Mispredicts uint64  `json:"mispredicts"`
+	MissRate    float64 `json:"miss_rate"`
+	// SharePct is this branch's percentage of all measured mispredictions;
+	// CumPct the running cumulative share in table order.
+	SharePct float64 `json:"share_pct"`
+	CumPct   float64 `json:"cum_pct"`
+	// ByProvider splits the branch's misses by the providing component
+	// class, keyed by the ProviderNames labels.
+	ByProvider      map[string]uint64 `json:"by_provider"`
+	MeanMissHistory float64           `json:"mean_miss_history"`
+}
+
+// Export is the machine-readable attribution artifact (llbpsim -attr
+// -json). Its table rows are the H2P set in misprediction-share order —
+// the input format bullseye's h2p_file= spec parameter consumes.
+type Export struct {
+	Predictor      string      `json:"predictor,omitempty"`
+	Workload       string      `json:"workload,omitempty"`
+	Branches       uint64      `json:"branches"`
+	Mispredicts    uint64      `json:"mispredicts"`
+	StaticBranches int         `json:"static_branches"`
+	Table          []ExportRow `json:"table"`
+}
+
+// ExportTopK builds the JSON export for the top k branches (k <= 0 = all),
+// in the same deterministic order as Table.
+func (a *Attribution) ExportTopK(k int) Export {
+	top := a.TopK(k)
+	out := Export{
+		Branches:       a.execs,
+		Mispredicts:    a.miss,
+		StaticBranches: len(a.branches),
+		Table:          make([]ExportRow, 0, len(top)),
+	}
+	var cum float64
+	for _, b := range top {
+		share := 0.0
+		if a.miss > 0 {
+			share = 100 * float64(b.Mispredicts) / float64(a.miss)
+		}
+		cum += share
+		byProv := make(map[string]uint64, numProviders)
+		for p := 0; p < numProviders; p++ {
+			byProv[providerNames[p]] = b.ByProvider[p]
+		}
+		out.Table = append(out.Table, ExportRow{
+			PC:              "0x" + strconv.FormatUint(b.PC, 16),
+			Execs:           b.Execs,
+			Mispredicts:     b.Mispredicts,
+			MissRate:        b.MissRate(),
+			SharePct:        share,
+			CumPct:          cum,
+			ByProvider:      byProv,
+			MeanMissHistory: b.MeanMissHistory(),
+		})
+	}
+	return out
+}

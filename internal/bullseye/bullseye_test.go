@@ -1,0 +1,239 @@
+package bullseye
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"llbpx/internal/core"
+	"llbpx/internal/snapshot"
+	"llbpx/internal/tage"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mut := []func(*Config){
+		func(c *Config) { c.MaxBranches = 0 },
+		func(c *Config) { c.MaxBranches = 2; c.Assoc = 4 },
+		func(c *Config) { c.Assoc = 0 },
+		func(c *Config) { c.PatternsPerSet = 0 },
+		func(c *Config) { c.TagBits = 4 },
+		func(c *Config) { c.TagBits = 32 },
+		func(c *Config) { c.PromoteMisses = 0 },
+		func(c *Config) { c.HistIndices = nil },
+		func(c *Config) { c.HistIndices = []int{99} },
+	}
+	for i, m := range mut {
+		c := Default()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+// flipStream is a deterministic branch stream with one H2P branch (a PC
+// whose direction alternates with period 3 — mispredicted by a cold
+// bimodal) plus filler branches that are trivially predictable.
+func flipStream(n int) []core.Branch {
+	out := make([]core.Branch, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, core.Branch{PC: 0x1000, Kind: core.CondDirect, Taken: i%3 == 0, InstrGap: 4})
+		out = append(out, core.Branch{PC: 0x2000, Kind: core.CondDirect, Taken: true, InstrGap: 4})
+	}
+	return out
+}
+
+func driveAll(p *Predictor, branches []core.Branch) {
+	for _, b := range branches {
+		if b.Kind.Conditional() {
+			p.Update(b, p.Predict(b.PC))
+		} else {
+			p.TrackUnconditional(b)
+		}
+	}
+}
+
+// TestOnlineAdmission: a branch the baseline keeps missing crosses the
+// admission threshold, gets dedicated pattern state, and the stats
+// counters account for the whole pipeline.
+func TestOnlineAdmission(t *testing.T) {
+	p := MustNew(Default())
+	driveAll(p, flipStream(4000))
+	st := p.Stats()
+	if st["bullseye.promotions"] < 1 {
+		t.Fatalf("no branch promoted: %v", st)
+	}
+	if st["bullseye.allocs"] < 1 {
+		t.Fatalf("no dedicated patterns allocated: %v", st)
+	}
+	if st["bullseye.sets.live"] < 1 {
+		t.Fatalf("no dedicated set live: %v", st)
+	}
+	if st["bullseye.h2p.tracked"] < 1 {
+		t.Fatalf("candidate filter empty: %v", st)
+	}
+	if !p.admitted(0x1000) {
+		t.Fatal("the hard branch was not admitted")
+	}
+}
+
+// TestSeedPCs: attribution-seeded branches are admitted from the first
+// branch, before any online misses accumulate.
+func TestSeedPCs(t *testing.T) {
+	c := Default()
+	c.SeedPCs = []uint64{0x1000, 0x1000, 0x3000} // duplicate seeds collapse
+	p := MustNew(c)
+	if !p.admitted(0x1000) || !p.admitted(0x3000) {
+		t.Fatal("seeded PCs not admitted")
+	}
+	if p.admitted(0x2000) {
+		t.Fatal("unseeded PC admitted")
+	}
+	if got := p.Stats()["bullseye.promotions"]; got != 2 {
+		t.Fatalf("promotions = %v, want 2 (duplicates collapse)", got)
+	}
+}
+
+// TestDeterministicReplay: two instances over the same stream predict
+// identically — the zero-input determinism every fingerprinted predictor
+// needs.
+func TestDeterministicReplay(t *testing.T) {
+	a, b := MustNew(Default()), MustNew(Default())
+	for i, br := range flipStream(3000) {
+		pa, pb := a.Predict(br.PC), b.Predict(br.PC)
+		if pa != pb {
+			t.Fatalf("branch %d: %+v vs %+v", i, pa, pb)
+		}
+		a.Update(br, pa)
+		b.Update(br, pb)
+	}
+}
+
+// TestSnapshotIdentity: save -> load into a cold instance -> save again
+// must be byte-identical, and the restored instance predicts in lockstep
+// with the original.
+func TestSnapshotIdentity(t *testing.T) {
+	p := MustNew(Default())
+	stream := flipStream(3000)
+	driveAll(p, stream)
+
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, "bullseye", p); err != nil {
+		t.Fatal(err)
+	}
+	blob := append([]byte(nil), buf.Bytes()...)
+
+	q := MustNew(Default())
+	if _, _, err := snapshot.Load(bytes.NewReader(blob), func(string) (snapshot.State, error) {
+		return q, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := snapshot.Save(&buf2, "bullseye", q); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, buf2.Bytes()) {
+		t.Fatal("save -> load -> save is not byte-identical")
+	}
+	for i, br := range stream[:500] {
+		pp, qp := p.Predict(br.PC), q.Predict(br.PC)
+		if pp != qp {
+			t.Fatalf("post-restore divergence at %d: %+v vs %+v", i, pp, qp)
+		}
+		p.Update(br, pp)
+		q.Update(br, qp)
+	}
+}
+
+// TestSnapshotDiscardsSeeds: restoring over an h2p-seeded instance must
+// not fail on duplicate candidates — the snapshot's filter is
+// authoritative.
+func TestSnapshotDiscardsSeeds(t *testing.T) {
+	p := MustNew(Default())
+	driveAll(p, flipStream(2000))
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, "bullseye", p); err != nil {
+		t.Fatal(err)
+	}
+	c := Default()
+	c.SeedPCs = []uint64{0x1000, 0x9999} // overlaps the driven stream's H2P
+	q := MustNew(c)
+	if _, _, err := snapshot.Load(bytes.NewReader(buf.Bytes()), func(string) (snapshot.State, error) {
+		return q, nil
+	}); err != nil {
+		t.Fatalf("restore over seeded instance: %v", err)
+	}
+	if q.admitted(0x9999) {
+		t.Fatal("pre-seed survived restore; snapshot must be authoritative")
+	}
+}
+
+func TestSnapshotRejectsWrongConfig(t *testing.T) {
+	p := MustNew(Default())
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, "bullseye", p); err != nil {
+		t.Fatal(err)
+	}
+	c := Default()
+	c.Name = "bullseye(promote=8)"
+	q := MustNew(c)
+	if _, _, err := snapshot.Load(bytes.NewReader(buf.Bytes()), func(string) (snapshot.State, error) {
+		return q, nil
+	}); err == nil {
+		t.Fatal("restore into a differently-named config must fail")
+	}
+}
+
+func TestLoadH2PFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "h2p.json")
+	data := `{"table":[{"pc":"0x15ff80"},{"pc":"0xffe10"},{"pc":"1a"}]}`
+	if err := os.WriteFile(good, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pcs, err := LoadH2PFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0x15ff80, 0xffe10, 0x1a}
+	if len(pcs) != len(want) {
+		t.Fatalf("pcs = %x, want %x", pcs, want)
+	}
+	for i := range want {
+		if pcs[i] != want[i] {
+			t.Fatalf("pcs[%d] = %#x, want %#x", i, pcs[i], want[i])
+		}
+	}
+
+	if _, err := LoadH2PFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"table":[{"pc":"zz"}]}`), 0o644)
+	if _, err := LoadH2PFile(bad); err == nil {
+		t.Fatal("bad pc accepted")
+	}
+}
+
+// TestBaselineUnchanged: with admission impossible (threshold never
+// reached because the stream is too short), bullseye predicts exactly as
+// its embedded TSL — the second level must be a pure overlay.
+func TestBaselineUnchanged(t *testing.T) {
+	c := Default()
+	c.PromoteMisses = 1 << 20
+	p := MustNew(c)
+	base := tage.MustNew(tage.Config8K())
+	for i, br := range flipStream(2000) {
+		pp, bp := p.Predict(br.PC), base.Predict(br.PC)
+		if pp.Taken != bp.Taken {
+			t.Fatalf("branch %d: bullseye %v, bare tsl-8k %v", i, pp.Taken, bp.Taken)
+		}
+		p.Update(br, pp)
+		base.Update(br, bp)
+	}
+}

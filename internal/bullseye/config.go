@@ -1,0 +1,121 @@
+// Package bullseye implements an H2P-targeted last-level predictor in the
+// style of "Taming Wild Branches" (Bullseye): instead of spreading
+// second-level pattern capacity uniformly across contexts, it dedicates
+// large per-branch pattern sets exclusively to the hard-to-predict
+// branches where the baseline TAGE-SC-L actually fails.
+//
+// The H2P set is either learned online — a candidate filter counts
+// baseline mispredictions per static branch and admits a branch once it
+// crosses a threshold — or seeded from a misprediction-attribution export
+// (llbpsim -attr -json), so an offline profiling run can pre-target the
+// branches that concentrate the misprediction mass.
+//
+// Structurally the second level reuses internal/llbp's building blocks: a
+// set-associative ContextDir keyed by (hashed) branch PC holds one large
+// PatternSet per admitted branch, tagged over the 16 LLBP history lengths
+// by a shared tage.TagBank. Storage materializes lazily and draws from a
+// shared patternpool namespace when attached, so bullseye sessions run
+// under the serving layer's byte budget like every other pool-backed
+// predictor.
+package bullseye
+
+import (
+	"fmt"
+
+	"llbpx/internal/llbp"
+	"llbpx/internal/tage"
+)
+
+// Config parameterizes a bullseye instance.
+type Config struct {
+	// Name labels the configuration (the canonical registry spec).
+	Name string
+
+	// BaseTSL is the first-level TAGE-SC-L configuration. The point of the
+	// design is that a small baseline plus targeted second-level capacity
+	// beats a uniformly larger baseline, so the default is the 8KB budget.
+	BaseTSL tage.Config
+
+	// MaxBranches is the dedicated pattern-set capacity: how many distinct
+	// H2P branches can hold second-level state at once.
+	MaxBranches int
+	// Assoc is the pattern directory associativity.
+	Assoc int
+	// PatternsPerSet is the per-branch pattern capacity — deliberately
+	// large (64 vs LLBP's 16): the whole budget concentrates on few
+	// branches.
+	PatternsPerSet int
+	// TagBits is the stored pattern tag width.
+	TagBits uint
+	// PromoteMisses is the number of baseline mispredictions a static
+	// branch must accumulate before it is admitted to the H2P set.
+	PromoteMisses int
+	// SeedPCs pre-admits these static branches (an attribution-derived H2P
+	// set); their candidate counters start at the admission threshold.
+	SeedPCs []uint64
+	// HistIndices are the TAGE history-length indices patterns may use.
+	HistIndices []int
+}
+
+// Default returns the default bullseye configuration: TSL-8K first level,
+// 512 dedicated branches x 64 patterns, online admission after 4 baseline
+// misses.
+func Default() Config {
+	return Config{
+		Name:           "bullseye",
+		BaseTSL:        tage.Config8K(),
+		MaxBranches:    512,
+		Assoc:          4,
+		PatternsPerSet: 64,
+		TagBits:        13,
+		PromoteMisses:  4,
+		HistIndices:    llbp.DefaultHistIndices,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.MaxBranches < 1 || c.MaxBranches < c.Assoc:
+		return fmt.Errorf("bullseye %q: invalid directory geometry %d/%d", c.Name, c.MaxBranches, c.Assoc)
+	case c.Assoc < 1:
+		return fmt.Errorf("bullseye %q: Assoc must be >= 1", c.Name)
+	case c.PatternsPerSet < 1:
+		return fmt.Errorf("bullseye %q: PatternsPerSet must be >= 1", c.Name)
+	case c.TagBits < 5 || c.TagBits > 31:
+		return fmt.Errorf("bullseye %q: TagBits %d out of range [5,31]", c.Name, c.TagBits)
+	case c.PromoteMisses < 1:
+		return fmt.Errorf("bullseye %q: PromoteMisses must be >= 1", c.Name)
+	case len(c.HistIndices) == 0:
+		return fmt.Errorf("bullseye %q: no history lengths", c.Name)
+	}
+	for _, idx := range c.HistIndices {
+		if idx < 0 || idx >= tage.NumTables {
+			return fmt.Errorf("bullseye %q: history index %d out of range", c.Name, idx)
+		}
+	}
+	return nil
+}
+
+// dirConfig derives the internal llbp.Config backing the per-branch
+// pattern directory. Bucketed replacement needs PatternsPerSet divisible
+// by 4; other capacities fall back to one fully associative bucket.
+func (c Config) dirConfig() llbp.Config {
+	buckets := 4
+	if c.PatternsPerSet%4 != 0 {
+		buckets = 1
+	}
+	return llbp.Config{
+		Name:            c.Name + ".dir",
+		NumContexts:     c.MaxBranches,
+		CDAssoc:         c.Assoc,
+		PatternsPerSet:  c.PatternsPerSet,
+		Buckets:         buckets,
+		TagBits:         c.TagBits,
+		PBEntries:       1, // unused: dedicated state is read directly
+		LatencyBranches: 0,
+		AllocPerMiss:    1,
+		HistIndices:     c.HistIndices,
+		TSL:             c.BaseTSL,
+	}
+}

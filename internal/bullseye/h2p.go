@@ -1,0 +1,40 @@
+package bullseye
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// h2pFile decodes the subset of the llbpsim -attr -json export needed to
+// seed the H2P set: the per-static-branch table's PCs, ranked by
+// misprediction share.
+type h2pFile struct {
+	Table []struct {
+		PC string `json:"pc"`
+	} `json:"table"`
+}
+
+// LoadH2PFile reads an attribution export (llbpsim -attr -json) and
+// returns its static branch PCs in table order, for Config.SeedPCs.
+func LoadH2PFile(path string) ([]uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f h2pFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bullseye: %s: %w", path, err)
+	}
+	pcs := make([]uint64, 0, len(f.Table))
+	for _, row := range f.Table {
+		pc, err := strconv.ParseUint(strings.TrimPrefix(row.PC, "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bullseye: %s: bad pc %q: %w", path, row.PC, err)
+		}
+		pcs = append(pcs, pc)
+	}
+	return pcs, nil
+}

@@ -1,0 +1,82 @@
+package bullseye
+
+import (
+	"llbpx/internal/snapshot"
+)
+
+// maxCand bounds the decoded candidate-filter population.
+const maxCand = 1 << 22
+
+// SaveState implements snapshot.State: baseline TSL, tag bank, dedicated
+// pattern directory, the H2P candidate filter, adaptation state, and
+// measurement counters. The candidate filter serializes in table iteration
+// order; its semantics are per-key, so any order restores identically.
+func (p *Predictor) SaveState(w *snapshot.Writer) {
+	w.Marker("bullseye.predictor")
+	w.String(p.cfg.Name)
+	p.tsl.SaveState(w)
+	p.bank.SaveState(w)
+	p.cd.SaveState(w)
+	w.Marker("bullseye.cand")
+	w.Count(p.cand.Len())
+	p.cand.Range(func(pc uint64, n *int32) bool {
+		w.U64(pc)
+		w.I64(int64(*n))
+		return true
+	})
+	w.I64(p.tick)
+	w.Int(p.trustWeak)
+	w.Int(p.chooser)
+	w.U64(p.probeClock)
+	w.Marker("bullseye.stats")
+	w.U64(p.st.matches)
+	w.U64(p.st.overrides)
+	w.U64(p.st.useful)
+	w.U64(p.st.harmful)
+	w.U64(p.st.allocs)
+	w.U64(p.st.promotions)
+}
+
+// LoadState implements snapshot.State; the receiver must be a cold
+// predictor of the same configuration. Any h2p_file seeding is discarded —
+// the snapshot's candidate filter is authoritative (it is a superset of
+// the seeds the saved instance started from).
+func (p *Predictor) LoadState(r *snapshot.Reader) {
+	r.Marker("bullseye.predictor")
+	if name := r.String(256); r.Err() == nil && name != p.cfg.Name {
+		r.Fail("snapshot is for configuration %q, not %q", name, p.cfg.Name)
+	}
+	if r.Err() != nil {
+		return
+	}
+	p.tsl.LoadState(r)
+	p.bank.LoadState(r)
+	p.cd.LoadState(r)
+	r.Marker("bullseye.cand")
+	p.cand.Clear()
+	n := r.Count(maxCand)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		pc := r.U64()
+		ctr := r.I64In(0, candCtrMax)
+		if r.Err() != nil {
+			return
+		}
+		v, inserted := p.cand.Put(pc)
+		if !inserted {
+			r.Fail("duplicate H2P candidate %#x", pc)
+			return
+		}
+		*v = int32(ctr)
+	}
+	p.tick = r.I64In(0, 1<<62)
+	p.trustWeak = int(r.I64In(-8, 7))
+	p.chooser = int(r.I64In(chooserMin, chooserMax))
+	p.probeClock = r.U64()
+	r.Marker("bullseye.stats")
+	p.st.matches = r.U64()
+	p.st.overrides = r.U64()
+	p.st.useful = r.U64()
+	p.st.harmful = r.U64()
+	p.st.allocs = r.U64()
+	p.st.promotions = r.U64()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"llbpx/internal/bullseye"
+	"llbpx/internal/core"
+	"llbpx/internal/stats"
+	"llbpx/internal/tage"
+	"llbpx/internal/tournament"
+)
+
+func init() {
+	register("diversity",
+		"Predictor diversity: H2P-targeted bullseye and tournament meta-prediction vs their bases",
+		diversity)
+}
+
+func mk8K() core.Predictor { return tage.MustNew(tage.Config8K()) }
+
+func mkBullseye() core.Predictor { return bullseye.MustNew(bullseye.Default()) }
+
+func mkTournament() core.Predictor {
+	return tournament.MustNew(
+		tournament.Config{Name: "tournament", ChooserBits: 12},
+		[]core.Predictor{mk8K(), mkLLBP()},
+	)
+}
+
+// diversity compares the two registry additions against their building
+// blocks: bullseye against the TSL-8K it embeds (the H2P-targeting claim:
+// a small baseline plus per-branch dedicated state beats the bare
+// baseline), and the tsl-8k+llbp tournament against both members (the
+// arbitration claim: the chooser tracks the better member per branch).
+func diversity(sc Scale) (*Result, error) {
+	profiles, err := sc.profiles()
+	if err != nil {
+		return nil, err
+	}
+	makers := []func() core.Predictor{mk8K, mkBullseye, mkTournament, mkLLBP}
+	res, err := grid(sc, profiles, makers)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Predictor diversity: branch MPKI (lower is better)",
+		"workload", "tsl-8k", "bullseye", "tournament", "llbp")
+	sums := make([]float64, len(makers))
+	bullseyeWins := 0
+	for i, prof := range profiles {
+		row := []any{prof.Name}
+		for j := range makers {
+			m := res[i][j].MPKI()
+			sums[j] += m
+			row = append(row, m)
+		}
+		if res[i][1].MPKI() < res[i][0].MPKI() {
+			bullseyeWins++
+		}
+		t.AddRow(row...)
+	}
+	n := float64(len(profiles))
+	t.AddRow("average", sums[0]/n, sums[1]/n, sums[2]/n, sums[3]/n)
+	return &Result{
+		ID:    "diversity",
+		Table: t,
+		Notes: []string{
+			"bullseye = TSL-8K + dedicated 512x64 pattern sets for online-admitted H2P branches;",
+			"it must beat the bare TSL-8K on workloads whose misses concentrate in few static branches.",
+			"tournament = per-branch chooser over {tsl-8k, llbp}; it should track the stronger member (llbp).",
+		},
+	}, nil
+}

@@ -20,6 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig12", "fig13", "fig14a", "fig14b", "fig15a", "fig15b",
 		"fig16a", "fig16b", "breakdown", "sens-hth", "sens-ctt",
 		"sweep-w", "sweep-d", "abl-x", "adapt", "small-tsl",
+		"diversity",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

@@ -42,7 +42,8 @@ var trendChecks = map[string]func(*Result) []string{
 	"fig15b":  checkFig15b,
 	"fig16a":  checkFig16a,
 	"fig16b":  checkFig16b,
-	"sweep-w": checkSweepW,
+	"sweep-w":   checkSweepW,
+	"diversity": checkDiversity,
 }
 
 // cell parses the numeric table cell at (row, col); ok=false for labels.
@@ -312,6 +313,41 @@ func checkFig16b(res *Result) []string {
 		if ok && red < -0.5 {
 			v = append(v, fmt.Sprintf("fig16b: LLBP-X regressed on baseline %s (%.2f%%)", res.Table.Row(i)[0], red))
 		}
+	}
+	return v
+}
+
+func checkDiversity(res *Result) []string {
+	var v []string
+	rows := res.Table.NumRows() - 1 // last row is the average
+	wins := 0
+	for i := 0; i < rows; i++ {
+		base, ok1 := cell(res, i, 1)
+		bull, ok2 := cell(res, i, 2)
+		if ok1 && ok2 && bull < base {
+			wins++
+		}
+	}
+	// The H2P-targeting contract: dedicated per-branch state must beat the
+	// embedded TSL-8K baseline outright on a meaningful share of workloads
+	// (>= 3 of the full 14; >= 1 on the quick four-workload subset).
+	need := 1
+	if rows >= 10 {
+		need = 3
+	}
+	if wins < need {
+		v = append(v, fmt.Sprintf("diversity: bullseye beats tsl-8k on %d/%d workloads, need >= %d", wins, rows, need))
+	}
+	r := lastRow(res)
+	base, ok1 := cell(res, r, 1)
+	tour, ok2 := cell(res, r, 2+1)
+	if !ok1 || !ok2 {
+		return append(v, "diversity: average row unreadable")
+	}
+	// The arbitration contract: a tsl-8k+llbp tournament must track its
+	// stronger member, i.e. land clearly below the weak member's average.
+	if tour >= base {
+		v = append(v, fmt.Sprintf("diversity: tournament average MPKI %.3f should beat tsl-8k's %.3f", tour, base))
 	}
 	return v
 }

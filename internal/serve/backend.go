@@ -65,10 +65,12 @@ func (s *Server) RetryAfter() time.Duration {
 
 // AcquireSession returns the live session for id, creating it (or
 // restoring it from the pattern pool's frozen tier or a checkpoint) on
-// first use. requested is the client's explicitly named predictor: ""
-// accepts whatever exists (or the server default for a fresh session),
-// and a non-empty name that conflicts with an existing session's
-// predictor fails with ErrPredictorConflict. fingerprint is the workload
+// first use. requested is the client's explicitly named predictor spec:
+// "" accepts whatever exists (or the server default for a fresh session),
+// and a non-empty spec that conflicts with an existing session's
+// predictor fails with ErrPredictorConflict. Specs are canonicalized
+// before comparison, so "tournament(chooser_bits=12)" and "tournament"
+// name the same session identity. fingerprint is the workload
 // fingerprint a freshly created session declares ("" = none; ignored for
 // existing sessions). created reports a session that entered memory on
 // this call; restored that it came back warm (frozen tier or disk).
@@ -76,6 +78,14 @@ func (s *Server) RetryAfter() time.Duration {
 // The returned session is pinned against budget spilling; the caller
 // must call ReleaseSessionRef exactly once when its batch completes.
 func (s *Server) AcquireSession(id, requested, fingerprint string) (sess *Session, created, restored bool, err error) {
+	if requested != "" {
+		// Canonicalize so parameter order and explicit defaults don't
+		// fork session identities; an unresolvable spec falls through
+		// unchanged and fails with the proper error in newSession.
+		if canon, err := CanonicalPredictorName(requested); err == nil {
+			requested = canon
+		}
+	}
 	predictorName := requested
 	if predictorName == "" {
 		predictorName = s.cfg.DefaultPredictor

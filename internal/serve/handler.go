@@ -100,6 +100,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/predictors", s.handlePredictors)
 	mux.HandleFunc("POST /admin/v1/sessions/{id}/export", s.handleSessionExport)
 	mux.HandleFunc("POST /admin/v1/sessions/{id}/import", s.handleSessionImport)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -254,6 +255,15 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// predictorsReply is the GET /v1/predictors body.
+type predictorsReply struct {
+	Predictors []PredictorInfo `json:"predictors"`
+}
+
+func (s *Server) handlePredictors(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, predictorsReply{Predictors: Predictors()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -5,103 +5,337 @@ import (
 	"sort"
 	"sync"
 
+	"llbpx/internal/bullseye"
 	"llbpx/internal/core"
 	"llbpx/internal/llbp"
 	llbpximpl "llbpx/internal/llbpx"
 	"llbpx/internal/tage"
+	"llbpx/internal/tournament"
 )
 
 // PredictorFactory builds a fresh predictor instance for one registry
-// configuration.
+// configuration that takes no parameters (the original registration form,
+// kept for extension back-compat).
 type PredictorFactory func() (core.Predictor, error)
 
-// PredictorInfo describes one registry entry.
+// SpecFactory builds a predictor from a resolved parameter set. name is
+// the canonical spec string; factories should label the instance with it
+// so Name(), simulation results, and snapshot headers all agree.
+type SpecFactory func(name string, p Params) (core.Predictor, error)
+
+// ParamInfo is the metadata form of one parameter declaration.
+type ParamInfo struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Default string `json:"default,omitempty"`
+	Min     int64  `json:"min,omitempty"`
+	Max     int64  `json:"max,omitempty"`
+	Desc    string `json:"desc,omitempty"`
+}
+
+// PredictorInfo describes one registry entry: the canonical name, the
+// one-line summary, the parameter schema, and a storage-budget estimate
+// for the resolved configuration (0 when the entry declares none).
 type PredictorInfo struct {
-	// Name is the registry key ("tsl-64k", "llbp-x", ...).
-	Name string
+	// Name is the canonical spec string ("tsl-64k", "bullseye(promote=8)").
+	Name string `json:"name"`
 	// Description is a one-line human-readable summary.
-	Description string
+	Description string `json:"description"`
+	// Params is the parameter schema (empty for parameterless entries).
+	Params []ParamInfo `json:"params,omitempty"`
+	// StorageBytes estimates the configuration's modeled storage budget.
+	StorageBytes int64 `json:"storage_bytes,omitempty"`
 }
 
 // predictorEntry is one row of the registry table.
 type predictorEntry struct {
 	desc    string
-	factory PredictorFactory
+	schema  []ParamDef
+	storage func(Params) int64 // nil = no estimate
+	factory SpecFactory
 }
 
 // The registry table: named predictor configurations a session (or a
 // snapshot load, or cmd/llbpsim) can be created with. Built-ins are
 // registered at init; experiments and external code extend it through
-// RegisterPredictor (exported at the root facade), so nothing else in the
-// repository hard-codes the configuration vocabulary.
+// RegisterPredictor / RegisterPredictorSpec (exported at the root facade),
+// so nothing else in the repository hard-codes the configuration
+// vocabulary.
 var (
 	regMu          sync.RWMutex
 	predictorTable = map[string]predictorEntry{}
 )
 
+// tslConfigs maps the first-level configuration vocabulary bullseye's
+// base= parameter accepts.
+var tslConfigs = map[string]func() tage.Config{
+	"tsl-8k":   tage.Config8K,
+	"tsl-16k":  tage.Config16K,
+	"tsl-32k":  tage.Config32K,
+	"tsl-64k":  tage.Config64K,
+	"tsl-128k": tage.Config128K,
+	"tsl-512k": tage.Config512K,
+}
+
+// llbpStorageBytes estimates an LLBP configuration's modeled storage: the
+// second-level pattern store (tag + counter bits per pattern) plus the
+// first-level TAGE-SC-L budget.
+func llbpStorageBytes(cfg llbp.Config) int64 {
+	patBits := int64(cfg.NumContexts) * int64(cfg.PatternsPerSet) * int64(cfg.TagBits+5)
+	return patBits/8 + int64(cfg.TSL.StorageBits()/8)
+}
+
 func init() {
-	mustRegister := func(name, desc string, factory PredictorFactory) {
-		if err := RegisterPredictor(name, desc, factory); err != nil {
+	mustRegister := func(name, desc string, schema []ParamDef, storage func(Params) int64, factory SpecFactory) {
+		if err := RegisterPredictorSpec(name, desc, schema, storage, factory); err != nil {
 			panic(err)
 		}
 	}
-	mustRegister("tsl-8k", "TAGE-SC-L, 8KB storage budget",
-		func() (core.Predictor, error) { return tage.New(tage.Config8K()) })
-	mustRegister("tsl-16k", "TAGE-SC-L, 16KB storage budget",
-		func() (core.Predictor, error) { return tage.New(tage.Config16K()) })
-	mustRegister("tsl-32k", "TAGE-SC-L, 32KB storage budget",
-		func() (core.Predictor, error) { return tage.New(tage.Config32K()) })
-	mustRegister("tsl-64k", "TAGE-SC-L, 64KB storage budget (paper baseline)",
-		func() (core.Predictor, error) { return tage.New(tage.Config64K()) })
-	mustRegister("tsl-128k", "TAGE-SC-L, 128KB storage budget",
-		func() (core.Predictor, error) { return tage.New(tage.Config128K()) })
-	mustRegister("tsl-512k", "TAGE-SC-L, 512KB storage budget",
-		func() (core.Predictor, error) { return tage.New(tage.Config512K()) })
-	mustRegister("tsl-inf", "TAGE-SC-L with unbounded tables (upper bound)",
-		func() (core.Predictor, error) { return tage.New(tage.ConfigInf()) })
-	mustRegister("llbp", "LLBP over TSL-64K (515KB backing store, W=8, D=4)",
-		func() (core.Predictor, error) { return llbp.New(llbp.Default()) })
-	mustRegister("llbp-0lat", "LLBP with zero-latency backing store",
-		func() (core.Predictor, error) { return llbp.New(llbp.ZeroLatency()) })
-	mustRegister("llbp-x", "LLBP-X: dynamic context depth + history range selection",
-		func() (core.Predictor, error) { return llbpximpl.New(llbpximpl.Default()) })
+	regTSL := func(name, desc string, cfg func() tage.Config) {
+		bytes := int64(cfg().StorageBits() / 8)
+		mustRegister(name, desc, nil,
+			func(Params) int64 { return bytes },
+			func(string, Params) (core.Predictor, error) { return tage.New(cfg()) })
+	}
+	regTSL("tsl-8k", "TAGE-SC-L, 8KB storage budget", tage.Config8K)
+	regTSL("tsl-16k", "TAGE-SC-L, 16KB storage budget", tage.Config16K)
+	regTSL("tsl-32k", "TAGE-SC-L, 32KB storage budget", tage.Config32K)
+	regTSL("tsl-64k", "TAGE-SC-L, 64KB storage budget (paper baseline)", tage.Config64K)
+	regTSL("tsl-128k", "TAGE-SC-L, 128KB storage budget", tage.Config128K)
+	regTSL("tsl-512k", "TAGE-SC-L, 512KB storage budget", tage.Config512K)
+	regTSL("tsl-inf", "TAGE-SC-L with unbounded tables (upper bound)", tage.ConfigInf)
+
+	regLLBP := func(name, desc string, cfg func() llbp.Config) {
+		bytes := llbpStorageBytes(cfg())
+		mustRegister(name, desc, nil,
+			func(Params) int64 { return bytes },
+			func(string, Params) (core.Predictor, error) { return llbp.New(cfg()) })
+	}
+	regLLBP("llbp", "LLBP over TSL-64K (515KB backing store, W=8, D=4)", llbp.Default)
+	regLLBP("llbp-0lat", "LLBP with zero-latency backing store", llbp.ZeroLatency)
+	{
+		bytes := llbpStorageBytes(llbp.Default()) // LLBP-X shares LLBP's store geometry
+		mustRegister("llbp-x", "LLBP-X: dynamic context depth + history range selection", nil,
+			func(Params) int64 { return bytes },
+			func(string, Params) (core.Predictor, error) { return llbpximpl.New(llbpximpl.Default()) })
+	}
+
+	mustRegister("bullseye",
+		"H2P-targeted: dedicated per-branch pattern sets over a small TAGE-SC-L",
+		[]ParamDef{
+			{Name: "base", Kind: ParamString, Default: "tsl-8k",
+				Desc: "first-level TAGE-SC-L configuration (tsl-8k ... tsl-512k)"},
+			{Name: "branches", Kind: ParamInt, Default: "512", Min: 16, Max: 1 << 16,
+				Desc: "dedicated pattern-set capacity (distinct H2P branches)"},
+			{Name: "patterns", Kind: ParamInt, Default: "64", Min: 4, Max: 1024,
+				Desc: "patterns per dedicated branch set"},
+			{Name: "assoc", Kind: ParamInt, Default: "4", Min: 1, Max: 16,
+				Desc: "pattern directory associativity"},
+			{Name: "promote", Kind: ParamInt, Default: "4", Min: 1, Max: 1 << 20,
+				Desc: "baseline mispredictions before a branch is admitted as H2P"},
+			{Name: "tag_bits", Kind: ParamInt, Default: "13", Min: 5, Max: 31,
+				Desc: "stored pattern tag width in bits"},
+			{Name: "h2p_file", Kind: ParamString, Default: "",
+				Desc: "attribution JSON (llbpsim -attr -json) pre-seeding the H2P set"},
+		},
+		bullseyeStorage, buildBullseye)
+
+	mustRegister("tournament",
+		"meta-predictor arbitrating registry members with a confidence-weighted chooser",
+		[]ParamDef{
+			{Name: "members", Kind: ParamSpecList, Default: "tsl-8k+llbp",
+				Desc: "2-4 member predictor specs joined with '+'"},
+			{Name: "chooser_bits", Kind: ParamInt, Default: "12", Min: 4, Max: 20,
+				Desc: "log2 of chooser table entries"},
+		},
+		tournamentStorage, buildTournament)
 }
 
-// RegisterPredictor adds a named predictor configuration to the registry.
-// The name becomes usable everywhere registry names are: session creation,
-// cmd/llbpsim -predictor, and snapshot loading (snapshots embed the name
-// and resolve through this same table). It returns an error — rather than
-// overwriting — when the name is empty, the factory is nil, or the name is
-// already taken, so built-ins cannot be shadowed.
+// buildBullseye is the registry factory for the H2P-targeted predictor.
+func buildBullseye(name string, p Params) (core.Predictor, error) {
+	base, ok := tslConfigs[p.Str("base")]
+	if !ok {
+		return nil, fmt.Errorf("serve: bullseye base %q is not a bounded tsl-* configuration", p.Str("base"))
+	}
+	cfg := bullseye.Default()
+	cfg.Name = name
+	cfg.BaseTSL = base()
+	cfg.MaxBranches = p.Int("branches")
+	cfg.PatternsPerSet = p.Int("patterns")
+	cfg.Assoc = p.Int("assoc")
+	cfg.PromoteMisses = p.Int("promote")
+	cfg.TagBits = uint(p.Int("tag_bits"))
+	if f := p.Str("h2p_file"); f != "" {
+		pcs, err := bullseye.LoadH2PFile(f)
+		if err != nil {
+			return nil, fmt.Errorf("serve: bullseye h2p_file: %w", err)
+		}
+		cfg.SeedPCs = pcs
+	}
+	return bullseye.New(cfg)
+}
+
+func bullseyeStorage(p Params) int64 {
+	bytes := int64(p.Int("branches")) * int64(p.Int("patterns")) * int64(p.Int("tag_bits")+5) / 8
+	if base, ok := tslConfigs[p.Str("base")]; ok {
+		bytes += int64(base().StorageBits() / 8)
+	}
+	return bytes
+}
+
+// buildTournament is the registry factory for the meta-predictor; members
+// resolve recursively through NewPredictor, so any registry spec —
+// including parameterized ones — can be a member.
+func buildTournament(name string, p Params) (core.Predictor, error) {
+	specs := SplitSpecList(p.Str("members"))
+	if len(specs) < 2 || len(specs) > tournament.MaxMembers {
+		return nil, fmt.Errorf("serve: tournament needs 2..%d members, got %d", tournament.MaxMembers, len(specs))
+	}
+	members := make([]core.Predictor, len(specs))
+	for i, ms := range specs {
+		m, err := NewPredictor(ms)
+		if err != nil {
+			return nil, fmt.Errorf("serve: tournament member %q: %w", ms, err)
+		}
+		members[i] = m
+	}
+	return tournament.New(tournament.Config{Name: name, ChooserBits: p.Int("chooser_bits")}, members)
+}
+
+func tournamentStorage(p Params) int64 {
+	specs := SplitSpecList(p.Str("members"))
+	total := int64(len(specs)) * (1 << p.Int("chooser_bits")) / 2 // 4-bit chooser counters
+	for _, ms := range specs {
+		total += storageOfSpec(ms)
+	}
+	return total
+}
+
+// storageOfSpec estimates a spec's storage budget, 0 when unresolvable or
+// unestimated.
+func storageOfSpec(spec string) int64 {
+	sp, err := ParseSpec(spec)
+	if err != nil {
+		return 0
+	}
+	e, ok := lookupEntry(sp.Name)
+	if !ok || e.storage == nil {
+		return 0
+	}
+	params, err := resolveParams(e.schema, sp, canonicalMember)
+	if err != nil {
+		return 0
+	}
+	return e.storage(params)
+}
+
+// RegisterPredictor adds a parameterless predictor configuration to the
+// registry (the original extension API; see RegisterPredictorSpec for
+// parameterized entries). The name becomes usable everywhere registry
+// specs are: session creation, cmd/llbpsim -predictor, and snapshot
+// loading. It returns an error — rather than overwriting — when the name
+// is empty, the factory is nil, or the name is already taken, so built-ins
+// cannot be shadowed.
 func RegisterPredictor(name, desc string, factory PredictorFactory) error {
+	if factory == nil {
+		return fmt.Errorf("serve: predictor %q needs a non-nil factory", name)
+	}
+	return RegisterPredictorSpec(name, desc, nil, nil,
+		func(string, Params) (core.Predictor, error) { return factory() })
+}
+
+// RegisterPredictorSpec adds a parameterized predictor configuration. The
+// schema declares the accepted parameters with typed defaults; storage
+// (optional) estimates a resolved configuration's modeled storage budget
+// in bytes; factory receives the canonical spec string and the fully
+// resolved parameter map.
+func RegisterPredictorSpec(name, desc string, schema []ParamDef, storage func(Params) int64, factory SpecFactory) error {
 	if name == "" {
 		return fmt.Errorf("serve: predictor name must be non-empty")
 	}
+	if !validSpecName(name) {
+		return fmt.Errorf("serve: predictor name %q is not a valid spec name", name)
+	}
 	if factory == nil {
 		return fmt.Errorf("serve: predictor %q needs a non-nil factory", name)
+	}
+	for _, d := range schema {
+		if !validSpecName(d.Name) {
+			return fmt.Errorf("serve: predictor %q: invalid parameter name %q", name, d.Name)
+		}
+		probe := PredictorSpec{Name: name, Params: map[string]string{d.Name: d.Default}}
+		if _, err := resolveParams(schema, probe, func(s string) (string, error) { return s, nil }); err != nil {
+			return fmt.Errorf("serve: predictor %q: parameter %q default %q does not validate: %v",
+				name, d.Name, d.Default, err)
+		}
 	}
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, dup := predictorTable[name]; dup {
 		return fmt.Errorf("serve: predictor %q already registered", name)
 	}
-	predictorTable[name] = predictorEntry{desc: desc, factory: factory}
+	predictorTable[name] = predictorEntry{desc: desc, schema: schema, storage: storage, factory: factory}
 	return nil
 }
 
-// NewPredictor constructs a fresh predictor instance for a registry name.
-// An unknown name returns an error wrapping ErrUnknownPredictor.
-func NewPredictor(name string) (core.Predictor, error) {
+// lookupEntry fetches a registry row under its own read lock. Callers
+// never hold regMu across resolution, so spec-list members can recurse
+// through the registry without re-entering the lock.
+func lookupEntry(name string) (predictorEntry, bool) {
 	regMu.RLock()
 	e, ok := predictorTable[name]
 	regMu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("serve: %w %q (known: %v)", ErrUnknownPredictor, name, PredictorNames())
-	}
-	return e.factory()
+	return e, ok
 }
 
-// PredictorNames returns the registry names in sorted order.
+// canonicalMember canonicalizes one spec-list member (the resolveParams
+// injection point).
+func canonicalMember(spec string) (string, error) {
+	return CanonicalPredictorName(spec)
+}
+
+// CanonicalPredictorName resolves a spec through the registry and returns
+// its canonical string: parameters validated, normalized, sorted, and
+// dropped when equal to their defaults. A bare builtin name canonicalizes
+// to itself. Unknown base names return an error wrapping
+// ErrUnknownPredictor.
+func CanonicalPredictorName(spec string) (string, error) {
+	sp, err := ParseSpec(spec)
+	if err != nil {
+		return "", err
+	}
+	e, ok := lookupEntry(sp.Name)
+	if !ok {
+		return "", fmt.Errorf("serve: %w %q (known: %v)", ErrUnknownPredictor, sp.Name, PredictorNames())
+	}
+	params, err := resolveParams(e.schema, sp, canonicalMember)
+	if err != nil {
+		return "", err
+	}
+	return canonicalString(sp.Name, e.schema, params), nil
+}
+
+// NewPredictor constructs a fresh predictor instance from a spec. An
+// unknown base name returns an error wrapping ErrUnknownPredictor; a
+// malformed spec or invalid parameter returns a plain error (the HTTP
+// layer's generic bad_request).
+func NewPredictor(spec string) (core.Predictor, error) {
+	sp, err := ParseSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: invalid predictor spec: %w", err)
+	}
+	e, ok := lookupEntry(sp.Name)
+	if !ok {
+		return nil, fmt.Errorf("serve: %w %q (known: %v)", ErrUnknownPredictor, sp.Name, PredictorNames())
+	}
+	params, err := resolveParams(e.schema, sp, canonicalMember)
+	if err != nil {
+		return nil, err
+	}
+	return e.factory(canonicalString(sp.Name, e.schema, params), params)
+}
+
+// PredictorNames returns the registry's base names in sorted order.
 func PredictorNames() []string {
 	regMu.RLock()
 	out := make([]string, 0, len(predictorTable))
@@ -113,23 +347,51 @@ func PredictorNames() []string {
 	return out
 }
 
-// DescribePredictor returns a registry entry's one-line description and
-// whether the name is registered.
-func DescribePredictor(name string) (string, bool) {
-	regMu.RLock()
-	e, ok := predictorTable[name]
-	regMu.RUnlock()
-	return e.desc, ok
+// DescribePredictor resolves a spec and returns its metadata: canonical
+// name, description, parameter schema, and the storage estimate for the
+// resolved configuration. ok is false for unknown names, malformed specs,
+// and invalid parameters.
+func DescribePredictor(spec string) (PredictorInfo, bool) {
+	sp, err := ParseSpec(spec)
+	if err != nil {
+		return PredictorInfo{}, false
+	}
+	e, ok := lookupEntry(sp.Name)
+	if !ok {
+		return PredictorInfo{}, false
+	}
+	params, err := resolveParams(e.schema, sp, canonicalMember)
+	if err != nil {
+		return PredictorInfo{}, false
+	}
+	info := PredictorInfo{
+		Name:        canonicalString(sp.Name, e.schema, params),
+		Description: e.desc,
+	}
+	if len(e.schema) > 0 {
+		info.Params = make([]ParamInfo, len(e.schema))
+		for i, d := range e.schema {
+			info.Params[i] = ParamInfo{
+				Name: d.Name, Kind: d.Kind.String(), Default: d.Default,
+				Min: d.Min, Max: d.Max, Desc: d.Desc,
+			}
+		}
+	}
+	if e.storage != nil {
+		info.StorageBytes = e.storage(params)
+	}
+	return info, true
 }
 
-// Predictors returns every registry entry, sorted by name.
+// Predictors returns metadata for every registry entry at its default
+// configuration, sorted by name.
 func Predictors() []PredictorInfo {
 	names := PredictorNames()
 	out := make([]PredictorInfo, 0, len(names))
-	regMu.RLock()
 	for _, name := range names {
-		out = append(out, PredictorInfo{Name: name, Description: predictorTable[name].desc})
+		if info, ok := DescribePredictor(name); ok {
+			out = append(out, info)
+		}
 	}
-	regMu.RUnlock()
 	return out
 }

@@ -214,11 +214,11 @@ func TestMetricsMoveUnderTraffic(t *testing.T) {
 
 func TestPredictorRegistry(t *testing.T) {
 	names := PredictorNames()
-	// The ten builtin configurations must always be present; extensions
+	// The twelve builtin configurations must always be present; extensions
 	// registered by other tests or embedders may add more.
 	builtins := []string{
 		"tsl-8k", "tsl-16k", "tsl-32k", "tsl-64k", "tsl-128k", "tsl-512k",
-		"tsl-inf", "llbp", "llbp-0lat", "llbp-x",
+		"tsl-inf", "llbp", "llbp-0lat", "llbp-x", "bullseye", "tournament",
 	}
 	have := make(map[string]bool, len(names))
 	for _, n := range names {
@@ -240,8 +240,12 @@ func TestPredictorRegistry(t *testing.T) {
 		if p.Name() == "" {
 			t.Fatalf("%s built a nameless predictor", name)
 		}
-		if desc, ok := DescribePredictor(name); !ok || desc == "" {
-			t.Fatalf("DescribePredictor(%s) = %q, %v", name, desc, ok)
+		info, ok := DescribePredictor(name)
+		if !ok || info.Description == "" {
+			t.Fatalf("DescribePredictor(%s) = %+v, %v", name, info, ok)
+		}
+		if info.Name != name {
+			t.Fatalf("DescribePredictor(%s) canonical name = %q", name, info.Name)
 		}
 	}
 	if _, err := NewPredictor("nope"); err == nil {

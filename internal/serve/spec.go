@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Predictor specs --------------------------------------------------------
+//
+// A spec names a registry predictor plus optional parameters:
+//
+//	tsl-64k
+//	bullseye(promote=8,branches=1024)
+//	tournament(members=tsl-8k+llbp,chooser_bits=12)
+//
+// Grammar:
+//
+//	spec   := name | name '(' params ')'
+//	params := param (',' param)*
+//	param  := key '=' value
+//
+// Names and keys are runs of [A-Za-z0-9._-]. Values may contain nested
+// balanced parentheses (a member spec inside a spec-list) and '+', which
+// joins members of a spec-list value; a ',' separates parameters only at
+// parenthesis depth zero. Whitespace around names, keys, and values is
+// ignored.
+//
+// The canonical rendering (PredictorSpec.String) sorts parameters by key;
+// canonicalization against a registry schema (CanonicalPredictorName)
+// additionally normalizes each value and drops parameters equal to their
+// defaults, so a bare name is its own canonical form and specs that differ
+// only in spelling collapse to one session identity.
+
+// maxSpecLen bounds spec strings; nested canonicalization recurses on
+// strictly shorter substrings, so this also bounds the recursion depth.
+const maxSpecLen = 4096
+
+// PredictorSpec is a parsed predictor specification.
+type PredictorSpec struct {
+	// Name is the registry base name.
+	Name string
+	// Params holds the explicitly given parameters (nil when none).
+	Params map[string]string
+}
+
+// String renders the spec canonically: the bare name when there are no
+// parameters, otherwise name(k=v,...) with keys sorted.
+func (sp PredictorSpec) String() string {
+	if len(sp.Params) == 0 {
+		return sp.Name
+	}
+	keys := make([]string, 0, len(sp.Params))
+	for k := range sp.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(sp.Name)
+	b.WriteByte('(')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(sp.Params[k])
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// validSpecName reports whether s is a legal spec name or parameter key.
+func validSpecName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseSpec parses a predictor spec string. The result round-trips:
+// ParseSpec(sp.String()) yields an equal spec.
+func ParseSpec(s string) (PredictorSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return PredictorSpec{}, fmt.Errorf("empty predictor spec")
+	}
+	if len(s) > maxSpecLen {
+		return PredictorSpec{}, fmt.Errorf("predictor spec exceeds %d bytes", maxSpecLen)
+	}
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		if !validSpecName(s) {
+			return PredictorSpec{}, fmt.Errorf("invalid predictor name %q", s)
+		}
+		return PredictorSpec{Name: s}, nil
+	}
+	name := strings.TrimSpace(s[:open])
+	if !validSpecName(name) {
+		return PredictorSpec{}, fmt.Errorf("invalid predictor name %q", s[:open])
+	}
+	if s[len(s)-1] != ')' {
+		return PredictorSpec{}, fmt.Errorf("spec %q: missing closing ')'", s)
+	}
+	body := s[open+1 : len(s)-1]
+	sp := PredictorSpec{Name: name}
+	if strings.TrimSpace(body) == "" {
+		return sp, nil
+	}
+	// Split the body on parenthesis-depth-zero commas; a ',' inside a
+	// nested member spec belongs to its value.
+	depth, start := 0, 0
+	var parts []string
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return PredictorSpec{}, fmt.Errorf("spec %q: unbalanced parentheses", s)
+			}
+		case ',':
+			if depth == 0 {
+				parts = append(parts, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return PredictorSpec{}, fmt.Errorf("spec %q: unbalanced parentheses", s)
+	}
+	parts = append(parts, body[start:])
+	sp.Params = make(map[string]string, len(parts))
+	for _, part := range parts {
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return PredictorSpec{}, fmt.Errorf("spec %q: parameter %q is not key=value", s, strings.TrimSpace(part))
+		}
+		key := strings.TrimSpace(part[:eq])
+		if !validSpecName(key) {
+			return PredictorSpec{}, fmt.Errorf("spec %q: invalid parameter key %q", s, part[:eq])
+		}
+		if _, dup := sp.Params[key]; dup {
+			return PredictorSpec{}, fmt.Errorf("spec %q: duplicate parameter %q", s, key)
+		}
+		sp.Params[key] = strings.TrimSpace(part[eq+1:])
+	}
+	return sp, nil
+}
+
+// SplitSpecList splits a spec-list value ("tsl-8k+llbp") on '+' at
+// parenthesis depth zero, so member specs may themselves carry parameters.
+// Members are whitespace-trimmed; empty members are kept (validation is
+// the caller's job).
+func SplitSpecList(v string) []string {
+	depth, start := 0, 0
+	var out []string
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '+':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(v[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	return append(out, strings.TrimSpace(v[start:]))
+}
+
+// Parameter schemas ------------------------------------------------------
+
+// ParamKind types a registry parameter.
+type ParamKind int
+
+const (
+	// ParamInt is a decimal integer bounded by ParamDef.Min/Max.
+	ParamInt ParamKind = iota
+	// ParamBool is "true"/"false" (strconv.ParseBool forms accepted).
+	ParamBool
+	// ParamString is free-form (factory-validated).
+	ParamString
+	// ParamSpecList is '+'-joined member predictor specs, each of which
+	// must itself resolve through the registry.
+	ParamSpecList
+)
+
+// String names the kind for metadata output.
+func (k ParamKind) String() string {
+	switch k {
+	case ParamInt:
+		return "int"
+	case ParamBool:
+		return "bool"
+	case ParamString:
+		return "string"
+	case ParamSpecList:
+		return "spec-list"
+	}
+	return "unknown"
+}
+
+// ParamDef declares one parameter a registry predictor accepts.
+type ParamDef struct {
+	// Name is the parameter key.
+	Name string
+	// Kind types the value.
+	Kind ParamKind
+	// Default is the value used when the parameter is omitted; it must
+	// itself validate (and, for spec-lists, be canonical).
+	Default string
+	// Min and Max bound ParamInt values inclusively.
+	Min, Max int64
+	// Desc is a one-line description for metadata output.
+	Desc string
+}
+
+// Params is a fully resolved parameter map: every schema key present, every
+// value validated and normalized. The typed accessors re-parse without
+// error handling because resolution already guaranteed the form.
+type Params map[string]string
+
+// Int returns a resolved ParamInt value.
+func (p Params) Int(name string) int {
+	n, _ := strconv.ParseInt(p[name], 10, 64)
+	return int(n)
+}
+
+// Bool returns a resolved ParamBool value.
+func (p Params) Bool(name string) bool {
+	b, _ := strconv.ParseBool(p[name])
+	return b
+}
+
+// Str returns a resolved ParamString or ParamSpecList value.
+func (p Params) Str(name string) string { return p[name] }
+
+// resolveParams validates sp's explicit parameters against schema and
+// merges them over the defaults, normalizing each value (canonical decimal
+// for ints, "true"/"false" for bools, canonical member specs for
+// spec-lists). canonMember canonicalizes one spec-list member; it is
+// injected so this file stays independent of the registry table.
+func resolveParams(schema []ParamDef, sp PredictorSpec, canonMember func(string) (string, error)) (Params, error) {
+	out := make(Params, len(schema))
+	for _, d := range schema {
+		out[d.Name] = d.Default
+	}
+	keys := make([]string, 0, len(sp.Params))
+	for k := range sp.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := sp.Params[k]
+		var def *ParamDef
+		for i := range schema {
+			if schema[i].Name == k {
+				def = &schema[i]
+				break
+			}
+		}
+		if def == nil {
+			if len(schema) == 0 {
+				return nil, fmt.Errorf("serve: predictor %q takes no parameters", sp.Name)
+			}
+			known := make([]string, len(schema))
+			for i, d := range schema {
+				known[i] = d.Name
+			}
+			return nil, fmt.Errorf("serve: predictor %q has no parameter %q (known: %s)",
+				sp.Name, k, strings.Join(known, ", "))
+		}
+		switch def.Kind {
+		case ParamInt:
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("serve: predictor %q: parameter %s=%q is not an integer", sp.Name, k, v)
+			}
+			if n < def.Min || n > def.Max {
+				return nil, fmt.Errorf("serve: predictor %q: parameter %s=%d out of range [%d,%d]",
+					sp.Name, k, n, def.Min, def.Max)
+			}
+			v = strconv.FormatInt(n, 10)
+		case ParamBool:
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return nil, fmt.Errorf("serve: predictor %q: parameter %s=%q is not a boolean", sp.Name, k, v)
+			}
+			v = strconv.FormatBool(b)
+		case ParamSpecList:
+			members := SplitSpecList(v)
+			canon := make([]string, len(members))
+			for i, m := range members {
+				cm, err := canonMember(m)
+				if err != nil {
+					return nil, fmt.Errorf("serve: predictor %q: parameter %s member %q: %w", sp.Name, k, m, err)
+				}
+				canon[i] = cm
+			}
+			v = strings.Join(canon, "+")
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// canonicalString renders the canonical spec for a resolved parameter set:
+// parameters still at their defaults are dropped, so the bare name is the
+// canonical form of a default-configured predictor.
+func canonicalString(name string, schema []ParamDef, resolved Params) string {
+	var diff map[string]string
+	for _, d := range schema {
+		if v := resolved[d.Name]; v != d.Default {
+			if diff == nil {
+				diff = make(map[string]string)
+			}
+			diff[d.Name] = v
+		}
+	}
+	return PredictorSpec{Name: name, Params: diff}.String()
+}

@@ -1,0 +1,85 @@
+package tournament
+
+import (
+	"llbpx/internal/snapshot"
+)
+
+// maxRelBytes bounds the decoded chooser table (20 chooser bits x
+// MaxMembers).
+const maxRelBytes = (1 << 20) * MaxMembers
+
+// SaveState implements snapshot.State: the chooser table, meta state, and
+// every member's state in member order. Members that do not implement
+// snapshot.State are recorded as absent and restored cold.
+func (p *Predictor) SaveState(w *snapshot.Writer) {
+	w.Marker("tournament.predictor")
+	w.String(p.cfg.Name)
+	w.Count(len(p.members))
+	for _, m := range p.members {
+		s, ok := m.(snapshot.State)
+		w.Bool(ok)
+		if ok {
+			s.SaveState(w)
+		}
+	}
+	w.Marker("tournament.chooser")
+	w.Bytes(p.rel)
+	w.I64(p.tick)
+	w.Marker("tournament.stats")
+	for i := 0; i < MaxMembers; i++ {
+		w.U64(p.st.chosen[i])
+	}
+	w.U64(p.st.disagreements)
+}
+
+// LoadState implements snapshot.State; the receiver must be a cold
+// predictor of the same configuration (same canonical spec, hence same
+// member list and chooser geometry).
+func (p *Predictor) LoadState(r *snapshot.Reader) {
+	r.Marker("tournament.predictor")
+	if name := r.String(4096); r.Err() == nil && name != p.cfg.Name {
+		r.Fail("snapshot is for configuration %q, not %q", name, p.cfg.Name)
+	}
+	if n := r.Count(MaxMembers); r.Err() == nil && n != len(p.members) {
+		r.Fail("snapshot has %d members, predictor has %d", n, len(p.members))
+	}
+	if r.Err() != nil {
+		return
+	}
+	for i, m := range p.members {
+		s, ok := m.(snapshot.State)
+		if saved := r.Bool(); r.Err() == nil && saved != ok {
+			r.Fail("member %d: snapshot state presence %v, predictor %v", i, saved, ok)
+		}
+		if r.Err() != nil {
+			return
+		}
+		if ok {
+			s.LoadState(r)
+			if r.Err() != nil {
+				return
+			}
+		}
+	}
+	r.Marker("tournament.chooser")
+	rel := r.Bytes(maxRelBytes)
+	if r.Err() == nil && len(rel) != len(p.rel) {
+		r.Fail("chooser table is %d bytes, want %d", len(rel), len(p.rel))
+	}
+	if r.Err() != nil {
+		return
+	}
+	for i, v := range rel {
+		if v > relMax {
+			r.Fail("chooser entry %d out of range: %d", i, v)
+			return
+		}
+	}
+	copy(p.rel, rel)
+	p.tick = r.I64In(0, 1<<62)
+	r.Marker("tournament.stats")
+	for i := 0; i < MaxMembers; i++ {
+		p.st.chosen[i] = r.U64()
+	}
+	p.st.disagreements = r.U64()
+}

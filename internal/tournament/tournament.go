@@ -1,0 +1,252 @@
+// Package tournament implements a meta-predictor that arbitrates between
+// member predictors per branch with a confidence-weighted chooser: each
+// chooser entry tracks a small reliability counter per member, the
+// member's score is its reliability scaled up plus its current prediction
+// confidence, and the highest score provides. Reliability adapts only on
+// branches where the members disagree — agreement carries no signal —
+// which is the classic tournament (e.g. Alpha 21264) shape generalized to
+// N members and confidence-carrying predictions.
+//
+// Members are full core.Predictor instances driven in lockstep: every
+// member predicts and trains on every branch exactly as it would running
+// alone, so the meta-predictor's stream is a pure arbitration over
+// independently evolving members.
+package tournament
+
+import (
+	"fmt"
+
+	"llbpx/internal/core"
+	"llbpx/internal/hashutil"
+	"llbpx/internal/patternpool"
+)
+
+const (
+	// MaxMembers bounds the member count (scratch state is fixed-size so
+	// the hot path never allocates).
+	MaxMembers = 4
+	// Reliability counters live in [0, relMax], starting neutral.
+	relMax  = 15
+	relInit = 8
+	// confCap clamps a member's reported confidence into the score's
+	// low-order range, keeping reliability the dominant term.
+	confCap = 7
+)
+
+// Config parameterizes a tournament instance.
+type Config struct {
+	// Name labels the configuration (the canonical registry spec).
+	Name string
+	// ChooserBits is log2 of the chooser table's entry count.
+	ChooserBits int
+}
+
+// tournStats are the measurement counters.
+type tournStats struct {
+	chosen        [MaxMembers]uint64
+	disagreements uint64
+}
+
+// predState is the scratch carried from Predict to the matching Update.
+type predState struct {
+	idx    int // chooser base index (entry * member count)
+	choice int
+	agree  bool
+	preds  [MaxMembers]core.Prediction
+}
+
+// Predictor is the tournament meta-predictor. It implements
+// core.BatchPredictor and snapshot.State, and forwards the patternpool
+// attach/release protocol to every member that supports it.
+type Predictor struct {
+	cfg     Config
+	members []core.Predictor
+	mask    uint64
+	// rel is the chooser table: entries x members reliability counters,
+	// flattened as rel[entry*len(members)+member].
+	rel  []uint8
+	cur  predState
+	tick int64
+	st   tournStats
+}
+
+// New constructs a tournament over 2..MaxMembers member predictors.
+func New(cfg Config, members []core.Predictor) (*Predictor, error) {
+	if len(members) < 2 || len(members) > MaxMembers {
+		return nil, fmt.Errorf("tournament %q: needs 2..%d members, got %d", cfg.Name, MaxMembers, len(members))
+	}
+	if cfg.ChooserBits < 4 || cfg.ChooserBits > 20 {
+		return nil, fmt.Errorf("tournament %q: ChooserBits %d out of range [4,20]", cfg.Name, cfg.ChooserBits)
+	}
+	for i, m := range members {
+		if m == nil {
+			return nil, fmt.Errorf("tournament %q: member %d is nil", cfg.Name, i)
+		}
+	}
+	entries := 1 << cfg.ChooserBits
+	p := &Predictor{
+		cfg:     cfg,
+		members: append([]core.Predictor(nil), members...),
+		mask:    uint64(entries - 1),
+		rel:     make([]uint8, entries*len(members)),
+	}
+	for i := range p.rel {
+		p.rel[i] = relInit
+	}
+	return p, nil
+}
+
+// MustNew is New but panics on configuration errors.
+func MustNew(cfg Config, members []core.Predictor) *Predictor {
+	p, err := New(cfg, members)
+	if err != nil {
+		panic(fmt.Sprintf("tournament: invalid config: %v", err))
+	}
+	return p
+}
+
+// Name implements core.Predictor.
+func (p *Predictor) Name() string { return p.cfg.Name }
+
+// Config returns the predictor's configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// Members exposes the member predictors (read-only use).
+func (p *Predictor) Members() []core.Predictor { return p.members }
+
+// Predict implements core.Predictor: every member predicts, and the
+// chooser entry's best reliability-plus-confidence score provides. Ties
+// keep the lowest member index, so ordering in the members list is a
+// deterministic priority.
+func (p *Predictor) Predict(pc uint64) core.Prediction {
+	c := &p.cur
+	n := len(p.members)
+	c.idx = int(hashutil.Mix64(hashutil.PCMix(pc))&p.mask) * n
+	c.agree = true
+	c.choice = 0
+	best := -1
+	for i := 0; i < n; i++ {
+		pr := p.members[i].Predict(pc)
+		c.preds[i] = pr
+		if pr.Taken != c.preds[0].Taken {
+			c.agree = false
+		}
+		conf := pr.Confidence
+		if conf < 0 {
+			conf = 0
+		} else if conf > confCap {
+			conf = confCap
+		}
+		score := int(p.rel[c.idx+i])*(confCap+1) + conf
+		if score > best {
+			best = score
+			c.choice = i
+		}
+	}
+	p.st.chosen[c.choice]++
+	return c.preds[c.choice]
+}
+
+// Update implements core.Predictor: reliability adapts on member
+// disagreement, then every member trains on its own prediction — each
+// member evolves exactly as it would running alone.
+func (p *Predictor) Update(b core.Branch, pred core.Prediction) {
+	c := &p.cur
+	if !c.agree {
+		p.st.disagreements++
+		for i := range p.members {
+			r := &p.rel[c.idx+i]
+			if c.preds[i].Taken == b.Taken {
+				if *r < relMax {
+					*r++
+				}
+			} else if *r > 0 {
+				*r--
+			}
+		}
+	}
+	for i, m := range p.members {
+		m.Update(b, c.preds[i])
+	}
+	p.tick++
+}
+
+// TrackUnconditional implements core.Predictor.
+func (p *Predictor) TrackUnconditional(b core.Branch) {
+	for _, m := range p.members {
+		m.TrackUnconditional(b)
+	}
+	p.tick++
+}
+
+// RunBatch implements core.BatchPredictor: the canonical per-branch loop.
+func (p *Predictor) RunBatch(batch []core.Branch, preds []core.Prediction) {
+	for i, b := range batch {
+		if b.Kind.Conditional() {
+			pred := p.Predict(b.PC)
+			preds[i] = pred
+			p.Update(b, pred)
+		} else {
+			p.TrackUnconditional(b)
+			preds[i] = core.Prediction{Taken: true}
+		}
+	}
+}
+
+// AttachPatternPool forwards the namespace to every member that supports
+// the pool protocol (patternpool.Attacher). Members draw slabs of their
+// own geometry classes, so several members share one namespace safely.
+func (p *Predictor) AttachPatternPool(ns *patternpool.Namespace) {
+	for _, m := range p.members {
+		if a, ok := m.(patternpool.Attacher); ok {
+			a.AttachPatternPool(ns)
+		}
+	}
+}
+
+// ReleasePatternStore forwards release to every member that supports it
+// (patternpool.Releaser).
+func (p *Predictor) ReleasePatternStore() {
+	for _, m := range p.members {
+		if r, ok := m.(patternpool.Releaser); ok {
+			r.ReleasePatternStore()
+		}
+	}
+}
+
+// Stats implements core.StatsProvider: the meta-level counters plus every
+// member's counters under a deterministic m<i>. prefix.
+func (p *Predictor) Stats() map[string]float64 {
+	m := map[string]float64{
+		"tournament.disagreements": float64(p.st.disagreements),
+	}
+	for i, mem := range p.members {
+		m[fmt.Sprintf("tournament.chosen.m%d", i)] = float64(p.st.chosen[i])
+		if sp, ok := mem.(core.StatsProvider); ok {
+			for k, v := range sp.Stats() {
+				m[fmt.Sprintf("m%d.%s", i, k)] = v
+			}
+		}
+	}
+	return m
+}
+
+// ResetStats implements core.Resetter (warmup boundary).
+func (p *Predictor) ResetStats() {
+	p.st = tournStats{}
+	for _, m := range p.members {
+		if r, ok := m.(core.Resetter); ok {
+			r.ResetStats()
+		}
+	}
+}
+
+// FinishMeasurement forwards the end-of-run hook to members that have one
+// (llbp folds resident pattern-buffer entries into its stats here).
+func (p *Predictor) FinishMeasurement() {
+	for _, m := range p.members {
+		if f, ok := m.(interface{ FinishMeasurement() }); ok {
+			f.FinishMeasurement()
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package tournament
+
+import (
+	"bytes"
+	"testing"
+
+	"llbpx/internal/core"
+	"llbpx/internal/snapshot"
+	"llbpx/internal/tage"
+)
+
+// fixed is a stub member that always predicts the same direction and
+// records the predictions handed back to its Update.
+type fixed struct {
+	taken   bool
+	conf    int
+	updates []core.Prediction
+}
+
+func (f *fixed) Name() string { return "fixed" }
+func (f *fixed) Predict(pc uint64) core.Prediction {
+	return core.Prediction{Taken: f.taken, Confidence: f.conf}
+}
+func (f *fixed) Update(b core.Branch, pred core.Prediction) { f.updates = append(f.updates, pred) }
+func (f *fixed) TrackUnconditional(b core.Branch)           {}
+
+func members(ms ...core.Predictor) []core.Predictor { return ms }
+
+func TestNewValidation(t *testing.T) {
+	good := Config{Name: "t", ChooserBits: 8}
+	if _, err := New(good, members(&fixed{}, &fixed{})); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		cfg Config
+		ms  []core.Predictor
+	}{
+		{good, members(&fixed{})},                                        // too few
+		{good, members(&fixed{}, &fixed{}, &fixed{}, &fixed{}, &fixed{})}, // too many
+		{good, members(&fixed{}, nil)},                                   // nil member
+		{Config{Name: "t", ChooserBits: 3}, members(&fixed{}, &fixed{})}, // bits low
+		{Config{Name: "t", ChooserBits: 21}, members(&fixed{}, &fixed{})}, // bits high
+	}
+	for i, tc := range cases {
+		if _, err := New(tc.cfg, tc.ms); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// TestChooserLearns: one member is always right, the other always wrong;
+// after a few disagreements the chooser must follow the right one, and
+// keep following it even though both report equal confidence.
+func TestChooserLearns(t *testing.T) {
+	right := &fixed{taken: true, conf: 3}
+	wrong := &fixed{taken: false, conf: 3}
+	// The wrong member first: ties break toward index 0, so learning —
+	// not ordering — must flip the choice.
+	p := MustNew(Config{Name: "t", ChooserBits: 8}, members(wrong, right))
+	b := core.Branch{PC: 0x40, Kind: core.CondDirect, Taken: true, InstrGap: 4}
+	for i := 0; i < 64; i++ {
+		p.Update(b, p.Predict(b.PC))
+	}
+	if pred := p.Predict(b.PC); !pred.Taken {
+		t.Fatal("chooser still follows the always-wrong member after 64 disagreements")
+	}
+	st := p.Stats()
+	if st["tournament.disagreements"] < 64 {
+		t.Fatalf("disagreements = %v, want >= 64", st["tournament.disagreements"])
+	}
+	if st["tournament.chosen.m1"] == 0 {
+		t.Fatalf("right member never chosen: %v", st)
+	}
+}
+
+// TestMembersTrainOnOwnPredictions: each member's Update receives the
+// prediction IT made, not the tournament's choice — members must evolve
+// exactly as they would running alone.
+func TestMembersTrainOnOwnPredictions(t *testing.T) {
+	a := &fixed{taken: true, conf: 1}
+	c := &fixed{taken: false, conf: 5}
+	p := MustNew(Config{Name: "t", ChooserBits: 8}, members(a, c))
+	b := core.Branch{PC: 0x40, Kind: core.CondDirect, Taken: true, InstrGap: 4}
+	for i := 0; i < 8; i++ {
+		p.Update(b, p.Predict(b.PC))
+	}
+	if len(a.updates) != 8 || len(c.updates) != 8 {
+		t.Fatalf("update counts %d/%d, want 8/8", len(a.updates), len(c.updates))
+	}
+	for i := 0; i < 8; i++ {
+		if !a.updates[i].Taken || a.updates[i].Confidence != 1 {
+			t.Fatalf("member a got %+v at %d, want its own prediction", a.updates[i], i)
+		}
+		if c.updates[i].Taken || c.updates[i].Confidence != 5 {
+			t.Fatalf("member c got %+v at %d, want its own prediction", c.updates[i], i)
+		}
+	}
+}
+
+// TestConfidenceBreaksNeutralTies: with reliability still neutral, the
+// more confident member provides.
+func TestConfidenceBreaksNeutralTies(t *testing.T) {
+	meek := &fixed{taken: false, conf: 1}
+	bold := &fixed{taken: true, conf: 7}
+	p := MustNew(Config{Name: "t", ChooserBits: 8}, members(meek, bold))
+	if pred := p.Predict(0x40); !pred.Taken {
+		t.Fatal("equal reliability must fall to the confident member")
+	}
+}
+
+// counted is a fixed stub that also exposes internal counters.
+type counted struct{ fixed }
+
+func (c *counted) Stats() map[string]float64 { return map[string]float64{"hits": 42} }
+
+// TestStatsMergesMembers: a stats-capable member's counters surface under
+// the m<i>. prefix; stats-less members contribute only their chosen count.
+func TestStatsMergesMembers(t *testing.T) {
+	p := MustNew(Config{Name: "t", ChooserBits: 8}, members(&counted{}, &fixed{}))
+	b := core.Branch{PC: 0x40, Kind: core.CondDirect, Taken: true, InstrGap: 4}
+	for i := 0; i < 32; i++ {
+		p.Update(b, p.Predict(b.PC))
+	}
+	st := p.Stats()
+	if _, ok := st["tournament.disagreements"]; !ok {
+		t.Fatalf("own counters missing: %v", st)
+	}
+	if st["m0.hits"] != 42 {
+		t.Fatalf("member stats not merged under m0. prefix: %v", st)
+	}
+}
+
+// TestSnapshotIdentity: save -> load -> save is byte-identical with real
+// snapshot-capable members, and stub members without snapshot support are
+// recorded as absent rather than failing.
+func TestSnapshotIdentity(t *testing.T) {
+	mk := func() *Predictor {
+		return MustNew(Config{Name: "t", ChooserBits: 8},
+			members(tage.MustNew(tage.Config8K()), tage.MustNew(tage.Config16K())))
+	}
+	p := mk()
+	for i := 0; i < 2000; i++ {
+		b := core.Branch{PC: uint64(0x40 + i%7*8), Kind: core.CondDirect, Taken: i%3 != 0, InstrGap: 4}
+		p.Update(b, p.Predict(b.PC))
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, "t", p); err != nil {
+		t.Fatal(err)
+	}
+	blob := append([]byte(nil), buf.Bytes()...)
+	q := mk()
+	if _, _, err := snapshot.Load(bytes.NewReader(blob), func(string) (snapshot.State, error) {
+		return q, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := snapshot.Save(&buf2, "t", q); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, buf2.Bytes()) {
+		t.Fatal("save -> load -> save is not byte-identical")
+	}
+
+	// Stateless stub members round-trip as absent.
+	s := MustNew(Config{Name: "s", ChooserBits: 8}, members(&fixed{}, &fixed{taken: true}))
+	var sb bytes.Buffer
+	if err := snapshot.Save(&sb, "s", s); err != nil {
+		t.Fatal(err)
+	}
+	s2 := MustNew(Config{Name: "s", ChooserBits: 8}, members(&fixed{}, &fixed{taken: true}))
+	if _, _, err := snapshot.Load(bytes.NewReader(sb.Bytes()), func(string) (snapshot.State, error) {
+		return s2, nil
+	}); err != nil {
+		t.Fatalf("stub-member round trip: %v", err)
+	}
+}
+
+// TestSnapshotRejectsMismatch: wrong name or member-count snapshots fail
+// instead of silently corrupting.
+func TestSnapshotRejectsMismatch(t *testing.T) {
+	p := MustNew(Config{Name: "t", ChooserBits: 8},
+		members(tage.MustNew(tage.Config8K()), tage.MustNew(tage.Config16K())))
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, "t", p); err != nil {
+		t.Fatal(err)
+	}
+	other := MustNew(Config{Name: "other", ChooserBits: 8},
+		members(tage.MustNew(tage.Config8K()), tage.MustNew(tage.Config16K())))
+	if _, _, err := snapshot.Load(bytes.NewReader(buf.Bytes()), func(string) (snapshot.State, error) {
+		return other, nil
+	}); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+	three := MustNew(Config{Name: "t", ChooserBits: 8},
+		members(tage.MustNew(tage.Config8K()), tage.MustNew(tage.Config16K()), &fixed{}))
+	if _, _, err := snapshot.Load(bytes.NewReader(buf.Bytes()), func(string) (snapshot.State, error) {
+		return three, nil
+	}); err == nil {
+		t.Fatal("member-count mismatch accepted")
+	}
+}

@@ -146,23 +146,68 @@ type LLBPXPredictor = llbpximpl.Predictor
 // NewLLBPX builds an LLBP-X predictor.
 func NewLLBPX(cfg LLBPXConfig) (*LLBPXPredictor, error) { return llbpximpl.New(cfg) }
 
-// NewPredictorByName builds any predictor configuration from the shared
-// registry name ("tsl-8k" … "tsl-inf", "llbp", "llbp-0lat", "llbp-x") —
-// the vocabulary cmd/llbpsim and the llbpd serving layer share.
-func NewPredictorByName(name string) (Predictor, error) { return serve.NewPredictor(name) }
+// NewPredictorByName builds any predictor configuration from a registry
+// spec: a bare name ("tsl-8k" … "tsl-inf", "llbp", "llbp-0lat", "llbp-x",
+// "bullseye", "tournament") or a parameterized form such as
+// "tournament(members=tsl-8k+llbp,chooser_bits=12)" — the vocabulary
+// cmd/llbpsim and the llbpd serving layer share.
+func NewPredictorByName(spec string) (Predictor, error) { return serve.NewPredictor(spec) }
 
 // PredictorNames lists the registry's predictor configuration names.
 func PredictorNames() []string { return serve.PredictorNames() }
+
+// PredictorSpec is a parsed predictor spec: a registry name plus explicit
+// parameters.
+type PredictorSpec = serve.PredictorSpec
+
+// ParseSpec parses "name" or "name(key=value,...)" into a PredictorSpec.
+// It validates syntax only; parameter names, types, and ranges are checked
+// against the registered schema when the spec is resolved.
+func ParseSpec(spec string) (PredictorSpec, error) { return serve.ParseSpec(spec) }
+
+// CanonicalPredictorName resolves a spec against the registry and returns
+// its canonical form: parameters validated, defaults elided, keys sorted.
+// Two specs naming the same configuration canonicalize identically, which
+// is the identity llbpd sessions and snapshots key on.
+func CanonicalPredictorName(spec string) (string, error) {
+	return serve.CanonicalPredictorName(spec)
+}
 
 // PredictorFactory builds a fresh predictor instance for one registered
 // configuration.
 type PredictorFactory = serve.PredictorFactory
 
-// PredictorInfo describes one registry entry (name + one-line summary).
+// SpecFactory builds a predictor from its canonical spec string and
+// resolved parameters.
+type SpecFactory = serve.SpecFactory
+
+// Params carries a spec's resolved parameters (defaults filled in,
+// values validated and normalized).
+type Params = serve.Params
+
+// ParamKind is a predictor parameter's type.
+type ParamKind = serve.ParamKind
+
+// Parameter kinds.
+const (
+	ParamInt      = serve.ParamInt
+	ParamBool     = serve.ParamBool
+	ParamString   = serve.ParamString
+	ParamSpecList = serve.ParamSpecList
+)
+
+// ParamDef declares one parameter a predictor accepts.
+type ParamDef = serve.ParamDef
+
+// ParamInfo describes one parameter in a PredictorInfo.
+type ParamInfo = serve.ParamInfo
+
+// PredictorInfo describes one registry entry: name, one-line summary,
+// parameter schema, and estimated second-level storage.
 type PredictorInfo = serve.PredictorInfo
 
 // RegisterPredictor adds a named predictor configuration to the shared
-// registry. The name becomes usable everywhere registry names are:
+// registry. The name becomes usable everywhere registry specs are:
 // NewPredictorByName, cmd/llbpsim -predictor, llbpd session creation, and
 // snapshot loading. Registration fails (rather than overwrites) on an
 // empty name, a nil factory, or a name already taken — built-ins cannot
@@ -171,9 +216,18 @@ func RegisterPredictor(name, desc string, factory PredictorFactory) error {
 	return serve.RegisterPredictor(name, desc, factory)
 }
 
-// DescribePredictor returns a registered configuration's one-line
-// description and whether the name exists.
-func DescribePredictor(name string) (string, bool) { return serve.DescribePredictor(name) }
+// RegisterPredictorSpec adds a parameterized predictor configuration:
+// schema declares the accepted parameters (with typed defaults and
+// ranges), storage optionally estimates the configuration's second-level
+// bytes, and factory receives the canonical spec plus resolved parameters.
+func RegisterPredictorSpec(name, desc string, schema []ParamDef, storage func(Params) int64, factory SpecFactory) error {
+	return serve.RegisterPredictorSpec(name, desc, schema, storage, factory)
+}
+
+// DescribePredictor resolves a spec and returns its full metadata —
+// canonical name, description, parameter schema, storage estimate — and
+// whether the spec resolves.
+func DescribePredictor(spec string) (PredictorInfo, bool) { return serve.DescribePredictor(spec) }
 
 // Predictors returns every registry entry, sorted by name.
 func Predictors() []PredictorInfo { return serve.Predictors() }
@@ -288,6 +342,15 @@ type BranchProfile = analyze.BranchProfile
 
 // NewMispredictAttribution returns an empty attribution observer.
 func NewMispredictAttribution() *MispredictAttribution { return analyze.NewAttribution() }
+
+// AttributionExport is the machine-readable attribution artifact
+// (MispredictAttribution.ExportTopK, llbpsim -attr -json): the H2P set in
+// misprediction-share order, the format bullseye's h2p_file= spec
+// parameter consumes.
+type AttributionExport = analyze.Export
+
+// AttributionExportRow is one static branch in an AttributionExport.
+type AttributionExportRow = analyze.ExportRow
 
 // Timing model --------------------------------------------------------------
 

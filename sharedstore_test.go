@@ -20,7 +20,7 @@ import (
 
 // poolPredictors are the registry predictors whose second level can be
 // pool-backed (they implement patternpool.Attacher).
-var poolPredictors = []string{"llbp", "llbp-0lat", "llbp-x"}
+var poolPredictors = []string{"llbp", "llbp-0lat", "llbp-x", "bullseye", "tournament"}
 
 // attachPooled builds predName attached to a fresh namespace in pool.
 func attachPooled(t *testing.T, pool *patternpool.Pool, predName, tenant, cid, fp string) (llbpx.Predictor, *patternpool.Namespace) {

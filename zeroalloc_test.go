@@ -49,7 +49,7 @@ func TestHotPathZeroAlloc(t *testing.T) {
 	if testing.Short() {
 		workloads = workloads[:1]
 	}
-	for _, predName := range []string{"tsl-64k", "llbp", "llbp-x"} {
+	for _, predName := range []string{"tsl-64k", "llbp", "llbp-x", "bullseye", "tournament"} {
 		for _, wlName := range workloads {
 			t.Run(predName+"/"+wlName, func(t *testing.T) {
 				t.Parallel()

@@ -46,8 +46,8 @@ func TestRegisterPredictorFacade(t *testing.T) {
 	if !found {
 		t.Fatalf("%q missing from PredictorNames: %v", name, names)
 	}
-	if desc, ok := llbpx.DescribePredictor(name); !ok || desc != "test-only alternating stub" {
-		t.Fatalf("DescribePredictor = %q, %v", desc, ok)
+	if info, ok := llbpx.DescribePredictor(name); !ok || info.Description != "test-only alternating stub" {
+		t.Fatalf("DescribePredictor = %+v, %v", info, ok)
 	}
 	infoFound := false
 	for _, info := range llbpx.Predictors() {
