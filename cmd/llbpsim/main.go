@@ -81,8 +81,12 @@ func main() {
 				if p.Kind == "int" {
 					rng = fmt.Sprintf(" [%d..%d]", p.Min, p.Max)
 				}
-				fmt.Printf("             %s (%s%s, default %q): %s\n",
-					p.Name, p.Kind, rng, p.Default, p.Desc)
+				local := ""
+				if p.LocalOnly {
+					local = ", local only"
+				}
+				fmt.Printf("             %s (%s%s, default %q%s): %s\n",
+					p.Name, p.Kind, rng, p.Default, local, p.Desc)
 			}
 		}
 		return
@@ -112,7 +116,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "llbpsim: cannot restore %s (%v); starting cold\n", *loadState, lerr)
 		} else {
 			p, predictorName = lp, name
-			fmt.Printf("warm-started   %s from %s\n", name, *loadState)
+			noticef(*jsonOut, "warm-started   %s from %s\n", name, *loadState)
 		}
 	}
 	if p == nil {
@@ -145,7 +149,7 @@ func main() {
 		if serr := llbpx.SavePredictorFile(*saveState, predictorName, p); serr != nil {
 			fatal(serr)
 		}
-		fmt.Printf("checkpointed   %s -> %s\n", predictorName, *saveState)
+		noticef(*jsonOut, "checkpointed   %s -> %s\n", predictorName, *saveState)
 	}
 
 	if *jsonOut && attribution != nil {
@@ -221,6 +225,17 @@ func buildSource(workloadName, tracePath, champPath string, seed uint64) (llbpx.
 		return nil, err
 	}
 	return llbpx.NewGenerator(prog), nil
+}
+
+// noticef prints a progress notice: to stderr under -json so stdout stays
+// a pure machine-readable document (`llbpsim -attr -json > h2p.json` must
+// capture only the export), to stdout otherwise.
+func noticef(jsonOut bool, format string, args ...any) {
+	w := os.Stdout
+	if jsonOut {
+		w = os.Stderr
+	}
+	fmt.Fprintf(w, format, args...)
 }
 
 func emitJSON(v any) {

@@ -98,6 +98,58 @@ func TestSeedPCs(t *testing.T) {
 	}
 }
 
+// TestCandidateFilterCap: a stream of one-off mispredicting PCs — the
+// adversarial shape in the memory-budgeted serving context — must never
+// grow the filter past candCap (its attach-time budget charge), must not
+// allocate once the table is at its working size, and must not evict
+// admitted H2P branches in favor of cold candidates.
+func TestCandidateFilterCap(t *testing.T) {
+	c := Default()
+	c.SeedPCs = []uint64{0x1000}
+	p := MustNew(c)
+	next := uint64(0x10_0000)
+	hostile := func() {
+		next += 64
+		pred := p.Predict(next)
+		// Every prediction for a never-seen PC comes from the baseline, so
+		// inverting it forces a baseline miss — one filter insertion each.
+		p.Update(core.Branch{PC: next, Kind: core.CondDirect, Taken: !pred.Taken, InstrGap: 4}, pred)
+	}
+	for i := 0; i < 3*candCap; i++ {
+		hostile()
+		if got := p.TrackedBranches(); got > candCap {
+			t.Fatalf("after %d unique PCs: filter holds %d > cap %d", i+1, got, candCap)
+		}
+	}
+	if !p.admitted(0x1000) {
+		t.Fatal("admitted branch evicted by one-off candidates")
+	}
+	if allocs := testing.AllocsPerRun(100, hostile); allocs != 0 {
+		t.Fatalf("recycling through the capped filter allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestSeedTruncation: more attribution seeds than candCap keep the
+// hottest prefix (exports rank by misprediction share) and stop at the
+// cap instead of rehashing past it.
+func TestSeedTruncation(t *testing.T) {
+	c := Default()
+	c.SeedPCs = make([]uint64, candCap+100)
+	for i := range c.SeedPCs {
+		c.SeedPCs[i] = uint64(0x1000 + 8*i)
+	}
+	p := MustNew(c)
+	if got := p.TrackedBranches(); got != candCap {
+		t.Fatalf("tracked = %d, want the cap %d", got, candCap)
+	}
+	if !p.admitted(c.SeedPCs[0]) {
+		t.Fatal("highest-ranked seed dropped")
+	}
+	if p.admitted(c.SeedPCs[candCap]) {
+		t.Fatal("over-cap seed admitted")
+	}
+}
+
 // TestDeterministicReplay: two instances over the same stream predict
 // identically — the zero-input determinism every fingerprinted predictor
 // needs.
@@ -212,6 +264,9 @@ func TestLoadH2PFile(t *testing.T) {
 
 	if _, err := LoadH2PFile(filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("missing file accepted")
+	}
+	if _, err := LoadH2PFile(dir); err == nil {
+		t.Fatal("non-regular file (directory) accepted")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	os.WriteFile(bad, []byte(`{"table":[{"pc":"zz"}]}`), 0o644)

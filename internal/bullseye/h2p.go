@@ -17,9 +17,27 @@ type h2pFile struct {
 	} `json:"table"`
 }
 
+// maxH2PFileBytes caps how much of an attribution export is read into
+// memory. Real exports are a few KB of top-K rows; the cap keeps a
+// mistaken path — a device file, a giant unrelated file — from growing
+// the process without bound.
+const maxH2PFileBytes = 16 << 20
+
 // LoadH2PFile reads an attribution export (llbpsim -attr -json) and
-// returns its static branch PCs in table order, for Config.SeedPCs.
+// returns its static branch PCs in table order, for Config.SeedPCs. Only
+// regular files under maxH2PFileBytes are accepted: a fifo or device
+// would block or stream forever under os.ReadFile.
 func LoadH2PFile(path string) ([]uint64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if !fi.Mode().IsRegular() {
+		return nil, fmt.Errorf("bullseye: %s: not a regular file", path)
+	}
+	if fi.Size() > maxH2PFileBytes {
+		return nil, fmt.Errorf("bullseye: %s: %d bytes exceeds the %d-byte attribution export limit", path, fi.Size(), maxH2PFileBytes)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err

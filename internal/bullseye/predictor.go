@@ -20,17 +20,24 @@ const (
 	chooserGate = -12
 )
 
-// candReserve pre-sizes the candidate filter so steady-state admission
-// tracking never rehashes (the zero-alloc bar); candCtrMax saturates the
-// per-branch miss counters.
+// candCap hard-caps the candidate filter's population. The table is
+// reserved for exactly this many entries at construction, so admission
+// tracking never rehashes (the zero-alloc bar), and a workload — or an
+// adversarial client — streaming distinct mispredicting PCs can never
+// grow the filter past its attach-time budget charge: at the cap, the
+// coldest candidates are evicted to make room (see compactCand).
+// candCtrMax saturates the per-branch miss counters.
 const (
-	candReserve = 1 << 13
-	candCtrMax  = 1 << 30
+	candCap    = 1 << 13
+	candCtrMax = 1 << 30
 	// candChargeBytes is the candidate filter's budget charge against an
-	// attached pool namespace: a conservative 16 bytes per reserved entry
-	// (key + counter + table overhead). The filter is allocated eagerly at
-	// construction, so the charge is attach-time constant.
-	candChargeBytes = int64(candReserve) * 16
+	// attached pool namespace, covering its full capped footprint: the
+	// open-addressed table holds 2*candCap slots at 13 bytes each
+	// (control byte + uint64 key + int32 counter) plus 8 bytes per entry
+	// of preallocated eviction scratch — 34 bytes per capped entry. All
+	// of it is allocated eagerly at construction, so the charge is
+	// attach-time constant and exact.
+	candChargeBytes = int64(candCap) * 34
 )
 
 // bullseyeStats are the measurement counters.
@@ -69,7 +76,10 @@ type Predictor struct {
 	// cand is the H2P candidate filter: static branch PC -> saturating
 	// count of baseline mispredictions. A branch whose count reaches
 	// PromoteMisses is admitted and may hold a dedicated pattern set.
-	cand oatable.Map[int32]
+	// Population is hard-capped at candCap; candScratch is the
+	// preallocated key buffer the eviction sweep collects into.
+	cand        oatable.Map[int32]
+	candScratch []uint64
 
 	ns   *patternpool.Namespace
 	tick int64
@@ -105,8 +115,14 @@ func New(cfg Config) (*Predictor, error) {
 		return nil, fmt.Errorf("bullseye %q: directory: %w", cfg.Name, err)
 	}
 	p.cd = llbp.NewContextDir(&p.dirCfg)
-	p.cand.Reserve(candReserve)
+	p.cand.Reserve(candCap)
+	p.candScratch = make([]uint64, 0, candCap)
 	for _, pc := range cfg.SeedPCs {
+		if p.cand.Len() >= candCap {
+			// Attribution exports rank by misprediction share, so
+			// truncating at the cap keeps the hottest branches.
+			break
+		}
 		n, inserted := p.cand.Put(pc)
 		*n = int32(cfg.PromoteMisses)
 		if inserted {
@@ -280,14 +296,27 @@ func (p *Predictor) Update(b core.Branch, pred core.Prediction) {
 	}
 
 	// H2P admission tracking: count baseline mispredictions per static
-	// branch; crossing the threshold promotes the branch.
+	// branch; crossing the threshold promotes the branch. At the
+	// population cap, a new PC first evicts the coldest candidates —
+	// streams of one-off mispredicting PCs recycle through the filter's
+	// fixed footprint instead of growing it.
 	if baselineWrong {
-		n, _ := p.cand.Put(b.PC)
-		if *n < candCtrMax {
-			*n++
+		n := p.cand.Get(b.PC)
+		if n == nil {
+			if p.cand.Len() >= candCap {
+				p.compactCand()
+			}
+			if p.cand.Len() < candCap {
+				n, _ = p.cand.Put(b.PC)
+			}
 		}
-		if int(*n) == p.cfg.PromoteMisses {
-			p.st.promotions++
+		if n != nil {
+			if *n < candCtrMax {
+				*n++
+			}
+			if int(*n) == p.cfg.PromoteMisses {
+				p.st.promotions++
+			}
 		}
 	}
 
@@ -302,6 +331,40 @@ func (p *Predictor) Update(b core.Branch, pred core.Prediction) {
 	p.tsl.CommitDetail(b, d, scInput, scApplied)
 	p.bank.Update(p.tsl.History())
 	p.tick++
+}
+
+// compactCand frees candidate-filter slots when the population hits
+// candCap: every not-yet-admitted candidate is dropped first (they hold
+// partial miss counts a genuinely hard branch will quickly re-earn), and
+// only when every resident is admitted does the lowest-count batch go
+// instead. The sweep always evicts at least one entry, collects keys into
+// the preallocated scratch buffer, and deletes outside the Range — so the
+// hot path stays allocation-free even under an adversarial stream of
+// unique PCs. Evicted admitted branches merely stop allocating new
+// dedicated patterns; any existing pattern set ages out of the directory
+// through its normal replacement.
+func (p *Predictor) compactCand() {
+	evict := p.candScratch[:0]
+	min := int32(candCtrMax)
+	p.cand.Range(func(pc uint64, n *int32) bool {
+		if int(*n) < p.cfg.PromoteMisses {
+			evict = append(evict, pc)
+		} else if *n < min {
+			min = *n
+		}
+		return true
+	})
+	if len(evict) == 0 {
+		p.cand.Range(func(pc uint64, n *int32) bool {
+			if *n <= min {
+				evict = append(evict, pc)
+			}
+			return true
+		})
+	}
+	for _, pc := range evict {
+		p.cand.Delete(pc)
+	}
 }
 
 // allocate installs a pattern one active history length above the current

@@ -4,8 +4,9 @@ import (
 	"llbpx/internal/snapshot"
 )
 
-// maxCand bounds the decoded candidate-filter population.
-const maxCand = 1 << 22
+// maxCand bounds the decoded candidate-filter population: the live filter
+// is hard-capped at candCap, so no valid snapshot can hold more.
+const maxCand = candCap
 
 // SaveState implements snapshot.State: baseline TSL, tag bank, dedicated
 // pattern directory, the H2P candidate filter, adaptation state, and
@@ -43,7 +44,9 @@ func (p *Predictor) SaveState(w *snapshot.Writer) {
 // the seeds the saved instance started from).
 func (p *Predictor) LoadState(r *snapshot.Reader) {
 	r.Marker("bullseye.predictor")
-	if name := r.String(256); r.Err() == nil && name != p.cfg.Name {
+	// 4096 matches the registry's maxSpecLen: canonical bullseye specs
+	// embed h2p_file paths and routinely exceed a 256-byte read limit.
+	if name := r.String(4096); r.Err() == nil && name != p.cfg.Name {
 		r.Fail("snapshot is for configuration %q, not %q", name, p.cfg.Name)
 	}
 	if r.Err() != nil {

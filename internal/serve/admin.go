@@ -69,7 +69,7 @@ func (s *Server) ExportSession(id string) ([]byte, error) {
 func (s *Server) ImportSession(id string, data []byte) (SessionFinal, error) {
 	var sess *Session
 	_, _, err := snapshot.Load(bytes.NewReader(data), func(name string) (snapshot.State, error) {
-		ns, nerr := s.newSession(id, name, "")
+		ns, nerr := s.newSession(id, name, "", false)
 		if nerr != nil {
 			return nil, nerr
 		}

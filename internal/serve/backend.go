@@ -100,7 +100,9 @@ func (s *Server) AcquireSession(id, requested, fingerprint string) (sess *Sessio
 		if rs, ok := s.restoreSession(id, requested); ok {
 			return rs, nil
 		}
-		return s.newSession(id, predictorName, fingerprint)
+		// requested != "" means the client explicitly named the spec; the
+		// server-chosen default is trusted configuration.
+		return s.newSession(id, predictorName, fingerprint, requested != "")
 	})
 	if err != nil {
 		return nil, false, false, err

@@ -31,6 +31,9 @@ type ParamInfo struct {
 	Min     int64  `json:"min,omitempty"`
 	Max     int64  `json:"max,omitempty"`
 	Desc    string `json:"desc,omitempty"`
+	// LocalOnly marks parameters accepted only in local configuration
+	// (rejected in specs arriving over the serving API).
+	LocalOnly bool `json:"local_only,omitempty"`
 }
 
 // PredictorInfo describes one registry entry: the canonical name, the
@@ -135,8 +138,8 @@ func init() {
 				Desc: "baseline mispredictions before a branch is admitted as H2P"},
 			{Name: "tag_bits", Kind: ParamInt, Default: "13", Min: 5, Max: 31,
 				Desc: "stored pattern tag width in bits"},
-			{Name: "h2p_file", Kind: ParamString, Default: "",
-				Desc: "attribution JSON (llbpsim -attr -json) pre-seeding the H2P set"},
+			{Name: "h2p_file", Kind: ParamString, Default: "", LocalOnly: true,
+				Desc: "attribution JSON (llbpsim -attr -json) pre-seeding the H2P set; local construction only"},
 		},
 		bullseyeStorage, buildBullseye)
 
@@ -193,7 +196,9 @@ func buildTournament(name string, p Params) (core.Predictor, error) {
 	}
 	members := make([]core.Predictor, len(specs))
 	for i, ms := range specs {
-		m, err := NewPredictor(ms)
+		// Members inherit the enclosing spec's trust: a client-supplied
+		// tournament cannot smuggle LocalOnly parameters inside a member.
+		m, err := newPredictor(ms, p.ClientOrigin())
 		if err != nil {
 			return nil, fmt.Errorf("serve: tournament member %q: %w", ms, err)
 		}
@@ -318,8 +323,25 @@ func CanonicalPredictorName(spec string) (string, error) {
 // NewPredictor constructs a fresh predictor instance from a spec. An
 // unknown base name returns an error wrapping ErrUnknownPredictor; a
 // malformed spec or invalid parameter returns a plain error (the HTTP
-// layer's generic bad_request).
+// layer's generic bad_request). The spec is treated as trusted local
+// configuration (the CLI, the Go facade, snapshot restore): parameters
+// declared LocalOnly — those that reach into the local filesystem — are
+// accepted. Specs arriving from remote clients must go through
+// NewClientPredictor instead.
 func NewPredictor(spec string) (core.Predictor, error) {
+	return newPredictor(spec, false)
+}
+
+// NewClientPredictor is NewPredictor for untrusted, client-supplied specs
+// (the llbpd serving path). Parameters declared LocalOnly are rejected
+// before the factory runs — no file is ever opened on a client's behalf —
+// and the restriction propagates into spec-list members, so nesting a
+// restricted parameter inside a tournament member does not bypass it.
+func NewClientPredictor(spec string) (core.Predictor, error) {
+	return newPredictor(spec, true)
+}
+
+func newPredictor(spec string, clientOrigin bool) (core.Predictor, error) {
 	sp, err := ParseSpec(spec)
 	if err != nil {
 		return nil, fmt.Errorf("serve: invalid predictor spec: %w", err)
@@ -328,9 +350,20 @@ func NewPredictor(spec string) (core.Predictor, error) {
 	if !ok {
 		return nil, fmt.Errorf("serve: %w %q (known: %v)", ErrUnknownPredictor, sp.Name, PredictorNames())
 	}
+	if clientOrigin {
+		for _, d := range e.schema {
+			if _, given := sp.Params[d.Name]; given && d.LocalOnly {
+				return nil, fmt.Errorf("serve: predictor %q: parameter %q is only accepted in local configuration, not from clients",
+					sp.Name, d.Name)
+			}
+		}
+	}
 	params, err := resolveParams(e.schema, sp, canonicalMember)
 	if err != nil {
 		return nil, err
+	}
+	if clientOrigin {
+		params[paramClientOrigin] = "true"
 	}
 	return e.factory(canonicalString(sp.Name, e.schema, params), params)
 }
@@ -373,7 +406,7 @@ func DescribePredictor(spec string) (PredictorInfo, bool) {
 		for i, d := range e.schema {
 			info.Params[i] = ParamInfo{
 				Name: d.Name, Kind: d.Kind.String(), Default: d.Default,
-				Min: d.Min, Max: d.Max, Desc: d.Desc,
+				Min: d.Min, Max: d.Max, Desc: d.Desc, LocalOnly: d.LocalOnly,
 			}
 		}
 	}

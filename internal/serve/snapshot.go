@@ -151,7 +151,7 @@ func (s *Server) restoreSession(id, want string) (*Session, bool) {
 		if want != "" && name != want {
 			return nil, fmt.Errorf("snapshot holds predictor %q, client wants %q", name, want)
 		}
-		ns, nerr := s.newSession(id, name, "")
+		ns, nerr := s.newSession(id, name, "", false)
 		if nerr != nil {
 			return nil, nerr
 		}

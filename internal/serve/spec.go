@@ -227,12 +227,32 @@ type ParamDef struct {
 	Min, Max int64
 	// Desc is a one-line description for metadata output.
 	Desc string
+	// LocalOnly restricts the parameter to trusted local construction
+	// (NewPredictor: the CLI, the Go facade, snapshot restore). Specs
+	// arriving from clients (NewClientPredictor: the llbpd serving path)
+	// are rejected when they set it. Use it for parameters that reach
+	// into the local filesystem or otherwise must not be remotely
+	// controllable.
+	LocalOnly bool
 }
 
 // Params is a fully resolved parameter map: every schema key present, every
 // value validated and normalized. The typed accessors re-parse without
 // error handling because resolution already guaranteed the form.
 type Params map[string]string
+
+// paramClientOrigin is the reserved Params key recording that a parameter
+// set was resolved from an untrusted client spec (NewClientPredictor).
+// The key starts with '!', which validSpecName rejects — and resolveParams
+// refuses keys outside the schema anyway — so no spec can set it from the
+// outside; it is injected after resolution and never rendered into
+// canonical spec strings (canonicalString walks the schema only).
+const paramClientOrigin = "!client-origin"
+
+// ClientOrigin reports whether this parameter set came from an untrusted
+// client-supplied spec. Factories that construct nested predictors (e.g.
+// tournament members) must consult it so LocalOnly restrictions propagate.
+func (p Params) ClientOrigin() bool { return p[paramClientOrigin] == "true" }
 
 // Int returns a resolved ParamInt value.
 func (p Params) Int(name string) int {

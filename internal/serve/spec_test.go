@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -233,6 +235,74 @@ func TestSpecResolutionErrors(t *testing.T) {
 	if _, err := NewPredictor("nope"); err == nil || !strings.Contains(err.Error(), "unknown predictor") {
 		t.Errorf("unknown name error unhelpful: %v", err)
 	}
+}
+
+// TestClientSpecsRejectLocalOnlyParams is the serving-layer security
+// lock: a client-supplied spec must never make the server touch its
+// filesystem. h2p_file builds locally (the CLI/facade path) but is
+// rejected — before any file I/O — when the same spec arrives through
+// the client constructor, including nested inside a tournament member.
+func TestClientSpecsRejectLocalOnlyParams(t *testing.T) {
+	seed := filepath.Join(t.TempDir(), "h2p.json")
+	if err := os.WriteFile(seed, []byte(`{"table":[{"pc":"0x1234"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := "bullseye(h2p_file=" + seed + ")"
+	if _, err := NewPredictor(spec); err != nil {
+		t.Fatalf("NewPredictor(%q): %v", spec, err)
+	}
+	if _, err := NewClientPredictor(spec); err == nil || !strings.Contains(err.Error(), "h2p_file") {
+		t.Fatalf("NewClientPredictor(%q) = %v, want an h2p_file rejection", spec, err)
+	}
+	// The rejection must not be a file-existence oracle: a missing path
+	// draws the same error as an existing one.
+	if _, err := NewClientPredictor("bullseye(h2p_file=/does/not/exist)"); err == nil ||
+		!strings.Contains(err.Error(), "h2p_file") || strings.Contains(err.Error(), "no such file") {
+		t.Fatalf("client rejection must not come from file I/O: %v", err)
+	}
+	nested := "tournament(members=bullseye(h2p_file=" + seed + ")+tsl-8k)"
+	if _, err := NewPredictor(nested); err != nil {
+		t.Fatalf("NewPredictor(%q): %v", nested, err)
+	}
+	if _, err := NewClientPredictor(nested); err == nil || !strings.Contains(err.Error(), "h2p_file") {
+		t.Fatalf("NewClientPredictor(%q) = %v, want an h2p_file rejection", nested, err)
+	}
+	// Ordinary client specs still build.
+	if p, err := NewClientPredictor("bullseye(promote=8)"); err != nil || p == nil {
+		t.Fatalf("NewClientPredictor(bullseye(promote=8)): %v", err)
+	}
+	// And the metadata API declares the restriction.
+	info, ok := DescribePredictor("bullseye")
+	if !ok {
+		t.Fatal("bullseye did not resolve")
+	}
+	for _, pd := range info.Params {
+		if pd.Name == "h2p_file" && !pd.LocalOnly {
+			t.Error("h2p_file metadata must carry local_only")
+		}
+	}
+}
+
+// TestSessionRejectsLocalOnlySpec covers the path the HTTP layer reaches:
+// a client-requested h2p_file spec fails session creation, while the
+// server operator's configured default remains free to use one.
+func TestSessionRejectsLocalOnlySpec(t *testing.T) {
+	seed := filepath.Join(t.TempDir(), "h2p.json")
+	if err := os.WriteFile(seed, []byte(`{"table":[{"pc":"0x1234"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{})
+	defer srv.Close()
+	if _, _, _, err := srv.AcquireSession("s1", "bullseye(h2p_file="+seed+")", ""); err == nil {
+		t.Fatal("client h2p_file spec created a session")
+	}
+	trusted := New(Config{DefaultPredictor: "bullseye(h2p_file=" + seed + ")"})
+	defer trusted.Close()
+	sess, _, _, err := trusted.AcquireSession("s2", "", "")
+	if err != nil {
+		t.Fatalf("server-configured default with h2p_file: %v", err)
+	}
+	trusted.ReleaseSessionRef(sess)
 }
 
 // TestParameterizedSpecBuilds exercises the factory path: explicit

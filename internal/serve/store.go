@@ -38,8 +38,18 @@ func poolKey(id string) patternpool.Key {
 
 // newSession builds a session with a fresh predictor from the registry,
 // attached to the server's pattern pool when the predictor supports it.
-func (s *Server) newSession(id, predictorName, fingerprint string) (*Session, error) {
-	p, err := NewPredictor(predictorName)
+// clientSpec marks predictorName as client-supplied: LocalOnly parameters
+// (e.g. bullseye's h2p_file) are then rejected, so a remote client can
+// never make the server touch its filesystem through a predictor spec.
+// Trusted names — the server default, snapshot/frozen/import headers,
+// which themselves originate from gated creations or operator
+// configuration — pass clientSpec=false.
+func (s *Server) newSession(id, predictorName, fingerprint string, clientSpec bool) (*Session, error) {
+	construct := NewPredictor
+	if clientSpec {
+		construct = NewClientPredictor
+	}
+	p, err := construct(predictorName)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +160,7 @@ func (s *Server) thawSession(id, want string) (*Session, bool) {
 		s.store.Freeze(poolKey(id), hdr.Fingerprint, hdrBytes, body)
 		return nil, false
 	}
-	sess, err := s.newSession(id, hdr.Predictor, hdr.Fingerprint)
+	sess, err := s.newSession(id, hdr.Predictor, hdr.Fingerprint, false)
 	if err != nil {
 		return nil, false
 	}
