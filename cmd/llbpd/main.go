@@ -109,7 +109,10 @@ func main() {
 		ttl       = flag.Duration("ttl", 5*time.Minute, "evict sessions idle longer than this (<0 disables)")
 		predictor = flag.String("predictor", "llbp-x", "default predictor for new sessions")
 		snapDir   = flag.String("snapshot-dir", "", "checkpoint evicted/drained sessions here and restore them on demand (empty disables)")
-		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service address")
+
+		replicaEvery    = flag.Int("replica-every", 16, "ship a session's checkpoint to its standby after this many applied batches (gateway-driven replication)")
+		replicaInterval = flag.Duration("replica-interval", 2*time.Second, "replication anti-entropy period: lagging or freshly placed standbys are re-shipped this often")
+		pprofOn         = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service address")
 
 		storeBudget = flag.String("store-budget", "", "cap the shared pattern store's resident bytes across all sessions, e.g. 256M or 2G; over-budget batches spill idle sessions LRU-first (empty disables)")
 		storeShare  = flag.Bool("store-share", false, "deduplicate spilled sessions' frozen predictor state between sessions declaring the same workload fingerprint, and resume from the in-memory frozen tier before disk")
@@ -150,6 +153,8 @@ func main() {
 		AdmitTimeout:     *admitTimeout,
 		StoreBudget:      budgetBytes,
 		StoreShare:       *storeShare,
+		ReplicaEvery:     *replicaEvery,
+		ReplicaInterval:  *replicaInterval,
 		Faults:           inj,
 	})
 	hs := &http.Server{

@@ -100,6 +100,8 @@ func main() {
 		healthEvery      = flag.Duration("health-every", 2*time.Second, "backend liveness probe interval (<0 disables)")
 		healthFails      = flag.Int("health-fails", 3, "consecutive failures that declare a backend dead")
 		transferAttempts = flag.Int("transfer-attempts", 4, "migration attempts per relocation (each re-exports)")
+		replicate        = flag.Bool("replicate", false, "hot-standby session replication: primaries ship checkpoints to the next ring member and a death verdict promotes the standby instead of cold-rerouting")
+		replayTail       = flag.Int("replay-tail", 64, "applied batches retained per session for post-promotion replay (must cover the backends' -replica-every)")
 
 		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "http.Server.ReadHeaderTimeout")
 		readTimeout       = flag.Duration("read-timeout", time.Minute, "http.Server.ReadTimeout")
@@ -131,6 +133,8 @@ func main() {
 		HealthEvery:      *healthEvery,
 		HealthFails:      *healthFails,
 		TransferAttempts: *transferAttempts,
+		Replicate:        *replicate,
+		ReplayTail:       *replayTail,
 		Faults:           inj,
 	})
 	if err != nil {
@@ -198,4 +202,8 @@ func main() {
 	st := g.Stats()
 	fmt.Printf("llbpgw: routed %d batches (%d forward errors, %d retries), %d migrations (%d failed), %d reroutes, %d cursor resyncs\n",
 		st.RoutedBatches, st.ForwardErrors, st.ForwardRetries, st.Migrations, st.MigrationErrors, st.Reroutes, st.CursorResyncs)
+	if *replicate {
+		fmt.Printf("llbpgw: replication: %d promotions (%d failed), %d standby syncs, %d batches replayed\n",
+			st.Promotions, st.PromotionErrors, st.ReplicaSyncs, st.ReplayedBatches)
+	}
 }

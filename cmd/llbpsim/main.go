@@ -41,6 +41,7 @@ import (
 	"syscall"
 
 	"llbpx"
+	"llbpx/internal/tournament"
 )
 
 func main() {
@@ -59,6 +60,7 @@ func main() {
 		attr         = flag.Bool("attr", false, "attribute mispredictions per static branch and print the top-K table")
 		attrTop      = flag.Int("attr-top", 20, "rows in the -attr table")
 		listPreds    = flag.Bool("list-predictors", false, "list predictors with parameter schemas, then exit")
+		chooserDump  = flag.Bool("chooser-stats", false, "after the run, dump the tournament meta-predictor's per-member reliability counters as JSON (tournament predictors only)")
 		jsonOut      = flag.Bool("json", false, "machine-readable output: with -list-predictors the registry metadata, with -attr the attribution export")
 	)
 	flag.Parse()
@@ -150,6 +152,23 @@ func main() {
 			fatal(serr)
 		}
 		noticef(*jsonOut, "checkpointed   %s -> %s\n", predictorName, *saveState)
+	}
+
+	if *chooserDump {
+		// Pure JSON on stdout, same contract as -attr -json: pipe it into
+		// jq or diff it across runs to see which member the chooser trusts
+		// where and how decisively.
+		cp, ok := p.(interface {
+			ChooserStats() tournament.ChooserStats
+		})
+		if !ok {
+			fatal(fmt.Errorf("-chooser-stats: predictor %q is not a tournament meta-predictor", res.Predictor))
+		}
+		emitJSON(cp.ChooserStats())
+		if interrupted {
+			os.Exit(130)
+		}
+		return
 	}
 
 	if *jsonOut && attribution != nil {

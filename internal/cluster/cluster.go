@@ -54,6 +54,15 @@ const (
 	// attempt re-exports from scratch; the import side's CRC rejects torn
 	// bytes before anything is installed.
 	FaultTransfer = "cluster.transfer"
+	// FaultReplicate fires on the primary before each checkpoint ship to
+	// the standby (error rules) and tears the shipped bytes under
+	// partial-write rules. The site lives in internal/replica; llbpd
+	// serves it, so one -inject spec arms it on every backend.
+	FaultReplicate = serve.FaultReplicate
+	// FaultPromote fires before each standby-promotion attempt during
+	// failover; an injected error is retried inside the promotion loop
+	// (a promotion abandoned too early degrades to a cold reroute).
+	FaultPromote = "cluster.promote"
 )
 
 // Backend identifies one llbpd instance the gateway can route to.
@@ -103,6 +112,17 @@ type Config struct {
 	// Faults optionally injects deterministic faults at FaultForward and
 	// FaultTransfer. Nil disables injection.
 	Faults *faults.Injector
+	// Replicate enables hot-standby session replication: each session's
+	// primary ships incremental checkpoints to the next distinct backend
+	// on the ring, and a death verdict promotes that standby instead of
+	// cold-rerouting (see replicate.go).
+	Replicate bool
+	// ReplayTail bounds the per-session replay buffer of recently applied
+	// batches the gateway retains for post-promotion catch-up (default
+	// 64). It must be at least the primaries' ship cadence
+	// (serve.Config.ReplicaEvery), or failover cannot bridge the
+	// unshipped gap exactly.
+	ReplayTail int
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +153,9 @@ func (c Config) withDefaults() Config {
 	if c.TransferAttempts <= 0 {
 		c.TransferAttempts = 4
 	}
+	if c.ReplayTail <= 0 {
+		c.ReplayTail = 64
+	}
 	return c
 }
 
@@ -148,6 +171,10 @@ type backendState struct {
 	// answers pings while draining.
 	leaving atomic.Bool
 	fails   atomic.Int32 // consecutive failures toward the death verdict
+	// nextProbe (unix nanos) gates the health prober: after consecutive
+	// probe failures the backend is skipped until this deadline, backing
+	// off exponentially so a dead backend is not hammered every tick.
+	nextProbe atomic.Int64
 }
 
 // gwSession is the gateway's routing record for one session. mu is the
@@ -169,6 +196,17 @@ type gwSession struct {
 	last    wire.WireStats
 	touched bool // last is meaningful
 	closed  bool
+
+	// Replication state (Config.Replicate; see replicate.go). epoch is the
+	// session's fence epoch: ships and transfers are stamped with it, and
+	// each promotion bumps it, fencing off the previous primary's line of
+	// history. replicaVersion is the ring version the standby assignment
+	// was computed at (0 = unassigned); tail is the bounded replay buffer
+	// of recently acknowledged batches.
+	epoch          uint64
+	standby        string
+	replicaVersion uint64
+	tail           []tailEntry
 }
 
 // Gateway routes sessions over the backend set. Create with New; it
@@ -462,6 +500,10 @@ type ClusterStats struct {
 	Migrations      uint64          `json:"migrations"`
 	MigrationErrors uint64          `json:"migration_errors"`
 	WireConns       uint64          `json:"wire_conns"`
+	Promotions      uint64          `json:"promotions"`
+	PromotionErrors uint64          `json:"promotion_errors"`
+	ReplicaSyncs    uint64          `json:"replica_syncs"`
+	ReplayedBatches uint64          `json:"replayed_batches"`
 }
 
 // Stats assembles the gateway-wide snapshot.
@@ -499,5 +541,9 @@ func (g *Gateway) Stats() ClusterStats {
 		Migrations:      m.migrations.Value(),
 		MigrationErrors: m.migrationErrors.Value(),
 		WireConns:       m.conns.Value(),
+		Promotions:      m.promotions.Value(),
+		PromotionErrors: m.promotionErrors.Value(),
+		ReplicaSyncs:    m.replicaSyncs.Value(),
+		ReplayedBatches: m.replayedBatches.Value(),
 	}
 }

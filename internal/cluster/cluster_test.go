@@ -33,7 +33,14 @@ type testBackend struct {
 
 func startBackend(t *testing.T, name, snapDir string) *testBackend {
 	t.Helper()
-	srv := serve.New(serve.Config{SnapshotDir: snapDir, SessionTTL: -1})
+	return startBackendWith(t, name, serve.New(serve.Config{SnapshotDir: snapDir, SessionTTL: -1}))
+}
+
+// startBackendWith mounts an already-configured serve.Server as a
+// backend (tests that need non-default llbpd configuration, e.g.
+// replication cadence, build the server themselves).
+func startBackendWith(t *testing.T, name string, srv *serve.Server) *testBackend {
+	t.Helper()
 	ws := wire.NewServer(srv, wire.Config{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -50,10 +50,16 @@ func (g *Gateway) ownerLocked(ctx context.Context, gs *gwSession) *backendState 
 				// stay put and let a later pass retry the move.
 				return cur
 			}
-			// Dead source, failed transfer: reroute bare. The new owner
-			// cold-starts or warm-restores from the shared snapshot dir.
-			g.metrics.reroutes.Inc()
-			gs.next = 0
+			// Dead source, failed transfer. With replication on, the ring's
+			// new target for the session is — by LookupN construction —
+			// exactly its standby: promote the warm copy and replay the
+			// unshipped tail instead of degrading. Only when promotion also
+			// fails (no standby ever installed, fenced off, gap in the
+			// tail) does the session reroute bare.
+			if !(g.cfg.Replicate && g.promote(ctx, gs, tgt) == nil) {
+				g.metrics.reroutes.Inc()
+				gs.next = 0
+			}
 		}
 	} else {
 		// First route (or a session that never reached a backend): nothing
@@ -100,8 +106,22 @@ func (g *Gateway) transfer(ctx context.Context, gs *gwSession, from, to *backend
 		// the wire between export and import — the import's integrity
 		// checks must catch it.
 		blob = g.tornBlob(blob)
-		fin, err := to.hc.ImportSession(ctx, gs.id, blob)
+		var fin *serve.SessionFinal
+		if g.cfg.Replicate {
+			// Stamp the session's fence epoch into the transfer so a
+			// fenced-off former primary's export cannot overwrite
+			// post-failover state.
+			fin, err = to.hc.ImportSessionAt(ctx, gs.id, gs.epoch, blob)
+		} else {
+			fin, err = to.hc.ImportSession(ctx, gs.id, blob)
+		}
 		if err != nil {
+			if errors.Is(err, serve.ErrStaleEpoch) {
+				// Another line of history already owns the session there;
+				// re-exporting the same stale state cannot win.
+				g.metrics.migrationErrors.Inc()
+				return err
+			}
 			lastErr = err
 			continue
 		}
@@ -226,6 +246,10 @@ func (g *Gateway) forward(ctx context.Context, gs *gwSession, predictor string, 
 			gs.last = ok.Stats
 			gs.touched = true
 			g.metrics.routedBatches.Inc()
+			if g.cfg.Replicate {
+				g.recordTail(gs, num, batch)
+				g.ensureReplica(ctx, gs, bs)
+			}
 			return assign && dup, nil
 		}
 		if assign {
@@ -293,6 +317,7 @@ func (g *Gateway) closeSession(ctx context.Context, id string) (string, wire.Wir
 		pred, st, err := bs.wc.CloseSession(cctx, id)
 		cancel()
 		if err == nil {
+			g.dropReplicaTarget(ctx, gs)
 			gs.closed = true
 			g.forget(id)
 			return pred, st, nil
@@ -300,6 +325,7 @@ func (g *Gateway) closeSession(ctx context.Context, id string) (string, wire.Wir
 		var ne *wire.NackError
 		if errors.As(err, &ne) {
 			if ne.Code == serve.CodeSessionNotFound && gs.predictor != "" && gs.touched {
+				g.dropReplicaTarget(ctx, gs)
 				gs.closed = true
 				g.forget(id)
 				return gs.predictor, gs.last, nil

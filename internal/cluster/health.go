@@ -11,6 +11,14 @@ import (
 // dead — it leaves the ring and its sessions migrate. A dead backend
 // that answers again is revived and rebalanced back in, unless it is
 // leaving (draining backends still answer pings; see markAlive).
+//
+// Consecutive failures back off: each failed probe pushes the backend's
+// next-probe deadline out exponentially (capped at 8× HealthEvery), so a
+// backend that is down for minutes is probed every few ticks instead of
+// burning a dial timeout on every single one. The first failure does not
+// delay — the death verdict at HealthFails consecutive misses is reached
+// on the ticker's native cadence — and one successful probe resets the
+// backoff entirely.
 func (g *Gateway) prober() {
 	defer g.wg.Done()
 	t := time.NewTicker(g.cfg.HealthEvery)
@@ -27,18 +35,41 @@ func (g *Gateway) prober() {
 			list = append(list, bs)
 		}
 		g.mu.Unlock()
+		now := time.Now()
 		for _, bs := range list {
+			if now.UnixNano() < bs.nextProbe.Load() {
+				continue // still in backoff from earlier failures
+			}
 			ctx, cancel := context.WithTimeout(g.ctx, g.cfg.HealthEvery)
 			err := bs.wc.Ping(ctx)
 			cancel()
 			switch {
 			case err != nil:
 				g.noteFailure(bs)
+				backoff := probeBackoff(int(bs.fails.Load()), g.cfg.HealthEvery)
+				bs.nextProbe.Store(now.Add(backoff).UnixNano())
 			case !bs.alive.Load():
+				bs.nextProbe.Store(0)
 				g.markAlive(bs)
 			default:
+				bs.nextProbe.Store(0)
 				bs.fails.Store(0)
 			}
 		}
 	}
+}
+
+// probeBackoff is the extra wait imposed after the fails-th consecutive
+// probe failure, on top of the prober's HealthEvery tick spacing:
+// nothing for the first failure, then every doubling up to a cap of
+// 8× HealthEvery.
+func probeBackoff(fails int, every time.Duration) time.Duration {
+	if fails <= 1 {
+		return 0
+	}
+	shift := fails - 2
+	if shift > 3 {
+		shift = 3
+	}
+	return every << shift
 }

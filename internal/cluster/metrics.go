@@ -27,6 +27,10 @@ type gwMetrics struct {
 	migrations      *obs.Counter // live session transfers completed
 	migrationErrors *obs.Counter // relocations whose transfer attempts were exhausted
 	conns           *obs.Counter // wire frontend connections accepted
+	promotions      *obs.Counter // standby promotions completed (warm failovers)
+	promotionErrors *obs.Counter // promotions abandoned to a bare reroute
+	replicaSyncs    *obs.Counter // standby placements (re)asserted on primaries
+	replayedBatches *obs.Counter // tail batches replayed into promoted standbys
 
 	migrationDur *obs.Histogram // completed migration duration, µs
 }
@@ -45,6 +49,10 @@ func newGwMetrics(g *Gateway) *gwMetrics {
 		migrations:      reg.Counter("migrations_total"),
 		migrationErrors: reg.Counter("migration_errors_total"),
 		conns:           reg.Counter("wire_conns_total"),
+		promotions:      reg.Counter("promotions_total"),
+		promotionErrors: reg.Counter("promotion_errors_total"),
+		replicaSyncs:    reg.Counter("replica_syncs_total"),
+		replayedBatches: reg.Counter("replica_replayed_batches_total"),
 
 		migrationDur: reg.Histogram("migration_duration_us", latencyBuckets),
 	}

@@ -15,21 +15,25 @@ import (
 // fine (add it here); renaming or retyping one is a breaking change this
 // test is meant to flag.
 var gwGoldenFamilies = map[string]string{
-	"llbpgw_uptime_seconds":         "gauge",
-	"llbpgw_sessions_known":         "gauge",
-	"llbpgw_backends_live":          "gauge",
-	"llbpgw_ring_version":           "gauge",
-	"llbpgw_routed_batches_total":   "counter",
-	"llbpgw_forward_errors_total":   "counter",
-	"llbpgw_forward_retries_total":  "counter",
-	"llbpgw_reroutes_total":         "counter",
-	"llbpgw_cursor_resyncs_total":   "counter",
-	"llbpgw_migrations_total":       "counter",
-	"llbpgw_migration_errors_total": "counter",
-	"llbpgw_wire_conns_total":       "counter",
-	"llbpgw_migration_duration_us":  "histogram",
-	"llbpgw_backend_up":             "gauge",
-	"llbpgw_backend_sessions":       "gauge",
+	"llbpgw_uptime_seconds":                 "gauge",
+	"llbpgw_sessions_known":                 "gauge",
+	"llbpgw_backends_live":                  "gauge",
+	"llbpgw_ring_version":                   "gauge",
+	"llbpgw_routed_batches_total":           "counter",
+	"llbpgw_forward_errors_total":           "counter",
+	"llbpgw_forward_retries_total":          "counter",
+	"llbpgw_reroutes_total":                 "counter",
+	"llbpgw_cursor_resyncs_total":           "counter",
+	"llbpgw_migrations_total":               "counter",
+	"llbpgw_migration_errors_total":         "counter",
+	"llbpgw_wire_conns_total":               "counter",
+	"llbpgw_promotions_total":               "counter",
+	"llbpgw_promotion_errors_total":         "counter",
+	"llbpgw_replica_syncs_total":            "counter",
+	"llbpgw_replica_replayed_batches_total": "counter",
+	"llbpgw_migration_duration_us":          "histogram",
+	"llbpgw_backend_up":                     "gauge",
+	"llbpgw_backend_sessions":               "gauge",
 }
 
 // TestGatewayMetricsGoldenExposition locks the gateway's /metrics

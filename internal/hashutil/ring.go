@@ -109,6 +109,35 @@ func (r *Ring) Lookup(key string) string {
 	return r.points[i].node
 }
 
+// LookupN returns up to n distinct members for key, in ring order: the
+// owner first (identical to Lookup), then each successive distinct
+// member clockwise. The second entry is the natural hot-standby
+// placement — when the owner leaves the ring, the first remaining point
+// past the key is by construction a point of that former successor, so
+// Lookup(key) lands exactly where the standby already lives.
+func (r *Ring) LookupN(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	for scanned := 0; scanned < len(r.points) && len(out) < n; scanned++ {
+		node := r.points[(i+scanned)%len(r.points)].node
+		seen := false
+		for _, o := range out {
+			if o == node {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
 // Contains reports whether node is a member.
 func (r *Ring) Contains(node string) bool {
 	_, ok := r.weights[node]

@@ -131,6 +131,63 @@ func TestRingDistributionSkew(t *testing.T) {
 	}
 }
 
+// TestRingLookupN locks the standby-placement contract the replication
+// tier leans on: LookupN's first entry matches Lookup, entries are
+// distinct, and — the failover property — removing the owner makes
+// Lookup land exactly on the former second entry.
+func TestRingLookupN(t *testing.T) {
+	t.Run("empty and degenerate", func(t *testing.T) {
+		r := NewRing(16)
+		if got := r.LookupN("k", 2); got != nil {
+			t.Fatalf("LookupN on empty ring = %v, want nil", got)
+		}
+		r.Add("only", 1)
+		if got := r.LookupN("k", 0); got != nil {
+			t.Fatalf("LookupN(n=0) = %v, want nil", got)
+		}
+		got := r.LookupN("k", 3)
+		if len(got) != 1 || got[0] != "only" {
+			t.Fatalf("LookupN single-member = %v, want [only]", got)
+		}
+	})
+
+	r := NewRing(64)
+	for _, n := range []string{"n1", "n2", "n3", "n4"} {
+		r.Add(n, 1)
+	}
+	for _, k := range ringKeys(2000) {
+		got := r.LookupN(k, 2)
+		if len(got) != 2 {
+			t.Fatalf("LookupN(%q, 2) = %v, want 2 members", k, got)
+		}
+		if got[0] != r.Lookup(k) {
+			t.Fatalf("LookupN(%q)[0] = %q, Lookup = %q", k, got[0], r.Lookup(k))
+		}
+		if got[0] == got[1] {
+			t.Fatalf("LookupN(%q) repeated member %q", k, got[0])
+		}
+	}
+
+	t.Run("owner removal promotes the successor", func(t *testing.T) {
+		for _, k := range ringKeys(2000) {
+			owners := r.LookupN(k, 2)
+			r.Remove(owners[0])
+			if got := r.Lookup(k); got != owners[1] {
+				t.Fatalf("after removing owner %q of %q, Lookup = %q, want standby %q",
+					owners[0], k, got, owners[1])
+			}
+			r.Add(owners[0], 1)
+		}
+	})
+
+	t.Run("n larger than membership returns all members", func(t *testing.T) {
+		got := r.LookupN("some-key", 99)
+		if len(got) != r.Len() {
+			t.Fatalf("LookupN(99) = %d members, want %d", len(got), r.Len())
+		}
+	})
+}
+
 // TestRingMinimalMovement locks the property the cluster tier's
 // migration cost depends on: a membership change only moves keys between
 // the changed member and the rest.

@@ -1,0 +1,83 @@
+// Package replica implements hot-standby session replication for the
+// cluster tier: the primary llbpd asynchronously ships each session's
+// checkpoint blob (the admin-export format — predictor state plus the
+// exactly-once applied-batch cursor) to a standby backend, so a death
+// verdict promotes an already-warm copy instead of cold-starting or
+// paging state in from a shared snapshot directory.
+//
+// The package owns two things: the ship blob framing — a fixed header
+// carrying the session's fence epoch around the untouched snapshot
+// bytes — and the Shipper, the primary-side background machinery that
+// batches ships per (primary, standby) pair over one persistent
+// connection and re-ships laggards from an anti-entropy loop. The
+// receiving side (install, fencing, promotion) lives in internal/serve,
+// which imports this package; replica deliberately knows nothing about
+// serve.
+//
+// Epoch fencing: every ship carries the session's epoch, a per-session
+// counter the gateway bumps on every promotion. A receiver rejects any
+// ship whose epoch is below the highest it has seen for that session,
+// so a falsely-declared-dead primary that resurrects cannot overwrite
+// the promoted line of history with its stale fork — its ships bounce
+// off the fence until the gateway reconfigures it.
+package replica
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// SiteReplicate is the fault-injection site fired before every ship
+// attempt (error rules) and wrapped around the shipped bytes
+// (partial-write rules tear the blob in flight; the receiver's snapshot
+// CRC rejects it). The name lives here so internal/serve's shipper and
+// internal/cluster's chaos tests share one spelling without an import
+// cycle.
+const SiteReplicate = "cluster.replicate"
+
+// Blob framing: magic + version + epoch, then the snapshot bytes
+// verbatim. The header is deliberately fixed-width so a receiver can
+// check the fence before decoding (or even holding) the payload.
+const (
+	blobMagic   = "LLBPREPL"
+	blobVersion = 1
+	// HeaderLen is the fixed framing size: 8-byte magic, 1-byte version,
+	// 8-byte little-endian epoch.
+	HeaderLen = len(blobMagic) + 1 + 8
+)
+
+// ErrCorrupt reports a ship blob whose framing is damaged: bad magic,
+// truncated epoch header, or a version this build does not speak.
+// Deliberately distinct from snapshot.ErrCorrupt — the payload has not
+// been looked at yet.
+var ErrCorrupt = errors.New("replica: corrupt or incompatible ship blob")
+
+// EncodeBlob frames a session's exported snapshot bytes for shipping
+// under the given fence epoch.
+func EncodeBlob(epoch uint64, snapshot []byte) []byte {
+	out := make([]byte, HeaderLen+len(snapshot))
+	copy(out, blobMagic)
+	out[len(blobMagic)] = blobVersion
+	binary.LittleEndian.PutUint64(out[len(blobMagic)+1:], epoch)
+	copy(out[HeaderLen:], snapshot)
+	return out
+}
+
+// DecodeBlob splits a ship blob into its fence epoch and the snapshot
+// payload (a sub-slice of data, not a copy). Framing damage returns an
+// error wrapping ErrCorrupt; the payload's own integrity is the
+// snapshot layer's job.
+func DecodeBlob(data []byte) (epoch uint64, snapshot []byte, err error) {
+	if len(data) < HeaderLen {
+		return 0, nil, fmt.Errorf("%w: %d bytes, need %d-byte header", ErrCorrupt, len(data), HeaderLen)
+	}
+	if string(data[:len(blobMagic)]) != blobMagic {
+		return 0, nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:len(blobMagic)])
+	}
+	if v := data[len(blobMagic)]; v != blobVersion {
+		return 0, nil, fmt.Errorf("%w: version %d, want %d", ErrCorrupt, v, blobVersion)
+	}
+	epoch = binary.LittleEndian.Uint64(data[len(blobMagic)+1:])
+	return epoch, data[HeaderLen:], nil
+}

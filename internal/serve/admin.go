@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 
 	"llbpx/internal/snapshot"
 )
@@ -57,16 +58,13 @@ func (s *Server) ExportSession(id string) ([]byte, error) {
 	return nil, fmt.Errorf("serve: no session %q: %w", id, ErrSessionNotFound)
 }
 
-// ImportSession installs an exported checkpoint blob as live session id,
-// replacing any existing session under that ID (the transfer's
-// destination must win — the source already quiesced and exported the
-// authoritative state). The blob runs through the snapshot layer's full
-// integrity checks before anything is installed: a corrupt or torn blob
-// returns ErrSnapshotCorrupt and changes nothing, so the caller can
-// re-export and retry — the same quarantine philosophy as the restore
-// path, minus the file to rename. A stale on-disk checkpoint for the ID
-// is deleted so it cannot resurrect pre-transfer state.
-func (s *Server) ImportSession(id string, data []byte) (SessionFinal, error) {
+// decodeSessionBlob materializes an exported checkpoint blob as a fully
+// constructed session — predictor state, statistics, and cursor restored
+// — WITHOUT publishing it in the shard map. The import path publishes it
+// immediately; the replication path parks it as a warm standby instead.
+// A corrupt or torn blob returns ErrSnapshotCorrupt and leaves nothing
+// allocated.
+func (s *Server) decodeSessionBlob(id string, data []byte) (*Session, error) {
 	var sess *Session
 	_, _, err := snapshot.Load(bytes.NewReader(data), func(name string) (snapshot.State, error) {
 		ns, nerr := s.newSession(id, name, "", false)
@@ -85,10 +83,60 @@ func (s *Server) ImportSession(id string, data []byte) (SessionFinal, error) {
 			s.releaseSessionStore(sess)
 		}
 		if errors.Is(err, snapshot.ErrCorrupt) {
-			return SessionFinal{}, fmt.Errorf("serve: import of session %q: %v: %w", id, err, ErrSnapshotCorrupt)
+			return nil, fmt.Errorf("serve: import of session %q: %v: %w", id, err, ErrSnapshotCorrupt)
 		}
+		return nil, err
+	}
+	return sess, nil
+}
+
+// ImportSession installs an exported checkpoint blob as live session id,
+// replacing any existing session under that ID (the transfer's
+// destination must win — the source already quiesced and exported the
+// authoritative state). The blob runs through the snapshot layer's full
+// integrity checks before anything is installed: a corrupt or torn blob
+// returns ErrSnapshotCorrupt and changes nothing, so the caller can
+// re-export and retry — the same quarantine philosophy as the restore
+// path, minus the file to rename. A stale on-disk checkpoint for the ID
+// is deleted so it cannot resurrect pre-transfer state.
+func (s *Server) ImportSession(id string, data []byte) (SessionFinal, error) {
+	// Epoch 0 always passes the fence on servers that never replicated the
+	// session, so non-replicating gateways are unaffected.
+	return s.ImportSessionAt(id, 0, data)
+}
+
+// ImportSessionAt is ImportSession under an epoch fence: a replicating
+// gateway stamps its session epoch into the transfer so a fenced-off
+// former primary cannot overwrite post-failover state with a stale
+// export. The fence follows the same rule as standby installs — reject
+// below it, raise it on success.
+func (s *Server) ImportSessionAt(id string, epoch uint64, data []byte) (SessionFinal, error) {
+	s.replMu.Lock()
+	if fence := s.epochs[id]; epoch < fence {
+		s.replMu.Unlock()
+		s.metrics.replicaStaleEpochs.Inc()
+		return SessionFinal{}, fmt.Errorf("serve: import of %q at epoch %d, fence at %d: %w", id, epoch, fence, ErrStaleEpoch)
+	}
+	s.replMu.Unlock()
+	sess, err := s.decodeSessionBlob(id, data)
+	if err != nil {
 		return SessionFinal{}, err
 	}
+	s.replMu.Lock()
+	if fence := s.epochs[id]; epoch < fence {
+		s.replMu.Unlock()
+		s.releaseSessionStore(sess)
+		s.metrics.replicaStaleEpochs.Inc()
+		return SessionFinal{}, fmt.Errorf("serve: import of %q at epoch %d, fence at %d: %w", id, epoch, fence, ErrStaleEpoch)
+	}
+	if epoch > s.epochs[id] {
+		s.epochs[id] = epoch
+	}
+	s.replMu.Unlock()
+	// A live import supersedes any warm standby held for the ID (this
+	// server may have been the session's standby before becoming its
+	// owner); release it rather than strand its pattern storage.
+	s.DropStandby(id)
 	sess.restored = true
 	sess.touch()
 	if old := s.sessions.put(id, sess); old != nil {
@@ -134,9 +182,20 @@ func (s *Server) handleSessionImport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "reading checkpoint body: %v", err)
 		return
 	}
-	fin, err := s.ImportSession(id, data)
+	// Replicating gateways stamp the session's fence epoch into the
+	// transfer; absent header = epoch 0 (fence-free legacy import).
+	var epoch uint64
+	if h := r.Header.Get("X-LLBP-Epoch"); h != "" {
+		if epoch, err = strconv.ParseUint(h, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "bad X-LLBP-Epoch %q: %v", h, err)
+			return
+		}
+	}
+	fin, err := s.ImportSessionAt(id, epoch, data)
 	if err != nil {
 		switch {
+		case errors.Is(err, ErrStaleEpoch):
+			writeError(w, http.StatusConflict, CodeStaleEpoch, "%v", err)
 		case errors.Is(err, ErrSnapshotCorrupt):
 			writeError(w, http.StatusUnprocessableEntity, CodeSnapshotCorrupt, "%v", err)
 		case errors.Is(err, ErrUnknownPredictor):

@@ -184,6 +184,7 @@ func (s *Server) ExecuteWireBatch(sess *Session, batchNum uint64, batch []core.B
 	snap := sess.snapshotLocked()
 	sess.mu.Unlock()
 	s.metrics.observeBatch(sess.PredictorName, s.sessions.index(sess.ID), delta, time.Since(start), depth)
+	s.noteReplicaBatch(sess.ID)
 	return WireApplied, snap
 }
 
@@ -195,6 +196,7 @@ func (s *Server) CloseSession(id string) (SessionFinal, bool) {
 	if sess == nil {
 		return SessionFinal{}, false
 	}
+	s.dropReplica(id)
 	s.removeSnapshot(id)
 	final := sess.final()
 	s.releaseSessionStore(sess)

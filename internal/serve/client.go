@@ -206,6 +206,101 @@ func (c *Client) ImportSession(ctx context.Context, id string, blob []byte) (*Se
 	return &out, nil
 }
 
+// ImportSessionAt is ImportSession stamped with a replica fence epoch
+// (the X-LLBP-Epoch header): a fenced-off destination rejects the
+// transfer with ErrStaleEpoch instead of regressing post-failover state.
+func (c *Client) ImportSessionAt(ctx context.Context, id string, epoch uint64, blob []byte) (*SessionFinal, error) {
+	path := "/admin/v1/sessions/" + id + "/import"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("X-LLBP-Epoch", strconv.FormatUint(epoch, 10))
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(http.MethodPost, path, resp)
+	}
+	var out SessionFinal
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SetReplicaTarget assigns (or with target "" clears) session id's
+// standby on the primary at this client's base URL, under the given
+// fence epoch. Single-attempt; the gateway re-asserts placement on its
+// own cadence, so a lost assignment heals at the next forward.
+func (c *Client) SetReplicaTarget(ctx context.Context, id, target string, epoch uint64) error {
+	body, err := json.Marshal(replicaTargetRequest{StandbyURL: target, Epoch: epoch})
+	if err != nil {
+		return err
+	}
+	var out replicaReply
+	return c.rawJSON(ctx, http.MethodPost, "/admin/v1/sessions/"+url.PathEscape(id)+"/replica", body, &out)
+}
+
+// PromoteStandby promotes the warm standby for session id on the server
+// into its live session map under the given fence epoch, returning the
+// promoted session's record (its WireCursor tells the gateway which
+// batches still need replaying). ErrSessionNotFound means no standby was
+// installed; ErrStaleEpoch means a newer line of history already fenced
+// this one off.
+func (c *Client) PromoteStandby(ctx context.Context, id string, epoch uint64) (*SessionFinal, error) {
+	body, err := json.Marshal(promoteRequest{Epoch: epoch})
+	if err != nil {
+		return nil, err
+	}
+	var out SessionFinal
+	if err := c.rawJSON(ctx, http.MethodPost, "/admin/v1/sessions/"+url.PathEscape(id)+"/promote", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DropStandby discards the warm standby for session id on the server
+// (best-effort cleanup when a session closes or moves).
+func (c *Client) DropStandby(ctx context.Context, id string) error {
+	var out replicaReply
+	return c.rawJSON(ctx, http.MethodDelete, "/admin/v1/sessions/"+url.PathEscape(id)+"/standby", nil, &out)
+}
+
+// rawJSON is a single-attempt JSON round-trip outside the retry policy
+// (replica-admin calls are owned by the gateway's own retry loops).
+func (c *Client) rawJSON(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(method, path, resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
 // apiError decodes a non-200 response's versioned error envelope into a
 // typed *APIError (falling back to a bare status error).
 func apiError(method, path string, resp *http.Response) error {

@@ -66,6 +66,9 @@ func (s *Server) Drain() []SessionFinal {
 	s.stopOnce.Do(func() { close(s.janitorStop) })
 	<-s.janitorDone
 	s.inflight.Wait()
+	// Every batch has settled, so the shipper's last accounting is final;
+	// stop it (and release any warm standbys) before checkpointing.
+	s.stopReplication()
 
 	sessions := s.sessions.all()
 	// All batches have completed and no new ones are accepted, so every

@@ -39,6 +39,10 @@ const (
 	// mismatch, version skew). The import installed nothing; the caller
 	// should re-export and resend.
 	CodeSnapshotCorrupt = "snapshot_corrupt"
+	// CodeStaleEpoch: a replica ship, import, or promotion carried a fence
+	// epoch below the session's — the sender's line of history was fenced
+	// off by a failover and must stop (HTTP 409). Nothing was installed.
+	CodeStaleEpoch = "stale_epoch"
 )
 
 // Sentinel errors, one per code; *APIError unwraps to these.
@@ -52,6 +56,7 @@ var (
 	ErrOverloaded        = errors.New("server overloaded, batch shed")
 	ErrInternal          = errors.New("internal server error")
 	ErrSnapshotCorrupt   = errors.New("snapshot corrupt")
+	ErrStaleEpoch        = errors.New("stale replica epoch")
 )
 
 // codeSentinels maps envelope codes to their errors.Is sentinels.
@@ -65,6 +70,7 @@ var codeSentinels = map[string]error{
 	CodeOverloaded:        ErrOverloaded,
 	CodeInternal:          ErrInternal,
 	CodeSnapshotCorrupt:   ErrSnapshotCorrupt,
+	CodeStaleEpoch:        ErrStaleEpoch,
 }
 
 // APIError is a decoded llbpd error envelope. It satisfies errors.As, and

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"llbpx/internal/core"
+	"llbpx/internal/tournament"
 )
 
 // Wire types ---------------------------------------------------------------
@@ -98,11 +99,16 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions/{id}/predict", s.handlePredict)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("GET /v1/sessions/{id}/chooser", s.handleSessionChooser)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/predictors", s.handlePredictors)
 	mux.HandleFunc("POST /admin/v1/sessions/{id}/export", s.handleSessionExport)
 	mux.HandleFunc("POST /admin/v1/sessions/{id}/import", s.handleSessionImport)
+	mux.HandleFunc("POST /admin/v1/sessions/{id}/replica", s.handleReplicaTarget)
+	mux.HandleFunc("POST /admin/v1/sessions/{id}/standby", s.handleStandbyInstall)
+	mux.HandleFunc("POST /admin/v1/sessions/{id}/promote", s.handleStandbyPromote)
+	mux.HandleFunc("DELETE /admin/v1/sessions/{id}/standby", s.handleStandbyDrop)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -219,6 +225,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	s.releaseSlot()
 	s.metrics.observeBatch(sess.PredictorName, s.sessions.index(id), delta, elapsed, depth)
+	s.noteReplicaBatch(id)
 	// The batch may have grown the session's pattern store past the pool
 	// budget; spill colder sessions before answering.
 	s.reclaimStore(sess)
@@ -241,6 +248,31 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, sess.final())
+}
+
+// handleSessionChooser is GET /v1/sessions/{id}/chooser: the tournament
+// meta-predictor's per-member chooser dump (reliability counters, chosen
+// counts). Sessions running a non-tournament predictor are a 400 — the
+// endpoint is meaningful only when there is a chooser table to read.
+func (s *Server) handleSessionChooser(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess := s.sessions.get(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, CodeSessionNotFound, "no session %q", id)
+		return
+	}
+	cp, ok := sess.pred.(interface {
+		ChooserStats() tournament.ChooserStats
+	})
+	if !ok {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"session %q predictor %q has no chooser (not a tournament)", id, sess.PredictorName)
+		return
+	}
+	sess.mu.Lock()
+	cs := cp.ChooserStats()
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, cs)
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {

@@ -50,6 +50,17 @@ type metrics struct {
 
 	storeSpills *obs.Counter // sessions spilled by pattern-pool budget pressure
 
+	replicaShips       *obs.Counter // checkpoint ships delivered to a standby
+	replicaShipErrors  *obs.Counter // ship attempts lost (fault, transport, fence, export)
+	replicaShipBytes   *obs.Counter // framed replica bytes delivered
+	replicaInstalls    *obs.Counter // standby installs accepted from a primary
+	replicaStaleEpochs *obs.Counter // ships/imports/promotes rejected by the epoch fence
+	replicaPromotions  *obs.Counter // standbys promoted into the live session map
+
+	// standbyCount supplies the instantaneous warm-standby session count
+	// (it lives in the server's standby table, not here).
+	standbyCount func() int
+
 	// store is the shared pattern pool; its gauges and counters are
 	// rendered from the pool's own atomics at collect time.
 	store *patternpool.Pool
@@ -99,6 +110,13 @@ func newMetrics(shards int, live func() (map[string]int, int), store *patternpoo
 
 		storeSpills: reg.Counter("store_spills_total"),
 
+		replicaShips:       reg.Counter("replica_ships_total"),
+		replicaShipErrors:  reg.Counter("replica_ship_errors_total"),
+		replicaShipBytes:   reg.Counter("replica_ship_bytes_total"),
+		replicaInstalls:    reg.Counter("replica_installs_total"),
+		replicaStaleEpochs: reg.Counter("replica_stale_epochs_total"),
+		replicaPromotions:  reg.Counter("replica_promotions_total"),
+
 		batchLatency:    reg.Histogram("batch_latency_us", latencyBuckets),
 		queueDepth:      reg.Histogram("batch_queue_depth", depthBuckets),
 		snapSaveDur:     reg.Histogram("snapshot_save_duration_us", latencyBuckets),
@@ -142,6 +160,15 @@ func newMetrics(shards int, live func() (map[string]int, int), store *patternpoo
 	reg.GaugeFunc("store_arena_bytes", func() float64 { return float64(store.ArenaBytes()) })
 	reg.GaugeFunc("store_namespaces", func() float64 { return float64(store.Namespaces()) })
 	reg.GaugeFunc("store_frozen_sessions", func() float64 { return float64(store.FrozenCount()) })
+
+	// Warm standby sessions held for other primaries (set by the server
+	// after construction; guard for metrics built in isolation by tests).
+	reg.GaugeFunc("replica_standby_sessions", func() float64 {
+		if m.standbyCount == nil {
+			return 0
+		}
+		return float64(m.standbyCount())
+	})
 
 	reg.OnCollect(func(w *obs.ExpoWriter) { m.collect(w, live) })
 	return m
@@ -323,6 +350,17 @@ type StatsSnapshot struct {
 	SnapshotSaveP99Us    float64 `json:"snapshot_save_p99_us"`
 	SnapshotRestoreP99Us float64 `json:"snapshot_restore_p99_us"`
 
+	// Replica* summarize hot-standby replication: primary-side ship
+	// outcomes, standby-side installs and fence rejections, promotions
+	// into the live map, and the warm-standby count.
+	ReplicaShips           uint64 `json:"replica_ships"`
+	ReplicaShipErrors      uint64 `json:"replica_ship_errors"`
+	ReplicaShipBytes       uint64 `json:"replica_ship_bytes"`
+	ReplicaInstalls        uint64 `json:"replica_installs"`
+	ReplicaStaleEpochs     uint64 `json:"replica_stale_epochs"`
+	ReplicaPromotions      uint64 `json:"replica_promotions"`
+	ReplicaStandbySessions int    `json:"replica_standby_sessions"`
+
 	// Wire* summarize the binary streaming protocol (internal/wire):
 	// frames and bytes per direction, NACK frames sent, connections
 	// accepted, and the p99 frame service latency.
@@ -394,6 +432,13 @@ func (m *metrics) snapshot(sessionsLive int, byPred map[string]int) StatsSnapsho
 		SnapshotSaveP99Us:    m.snapSaveDur.Quantile(0.99),
 		SnapshotRestoreP99Us: m.snapRestoreDur.Quantile(0.99),
 
+		ReplicaShips:       m.replicaShips.Value(),
+		ReplicaShipErrors:  m.replicaShipErrors.Value(),
+		ReplicaShipBytes:   m.replicaShipBytes.Value(),
+		ReplicaInstalls:    m.replicaInstalls.Value(),
+		ReplicaStaleEpochs: m.replicaStaleEpochs.Value(),
+		ReplicaPromotions:  m.replicaPromotions.Value(),
+
 		WireFramesRx:      m.wire.FramesRx.Value(),
 		WireFramesTx:      m.wire.FramesTx.Value(),
 		WireBytesRx:       m.wire.BytesRx.Value(),
@@ -405,6 +450,9 @@ func (m *metrics) snapshot(sessionsLive int, byPred map[string]int) StatsSnapsho
 		SessionLifetimeP50Ms:    m.sessionLifetime.Quantile(0.50),
 		SessionLifetimeP99Ms:    m.sessionLifetime.Quantile(0.99),
 		SessionsLiveByPredictor: byPred,
+	}
+	if m.standbyCount != nil {
+		snap.ReplicaStandbySessions = m.standbyCount()
 	}
 	pc := m.store.CountersSnapshot()
 	snap.StoreBudgetBytes = m.store.Budget()

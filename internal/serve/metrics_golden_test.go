@@ -39,6 +39,13 @@ var goldenFamilies = map[string]string{
 	"llbpd_snapshot_quarantined_total":   "counter",
 	"llbpd_sessions_exported_total":      "counter",
 	"llbpd_sessions_imported_total":      "counter",
+	"llbpd_replica_ships_total":          "counter",
+	"llbpd_replica_ship_errors_total":    "counter",
+	"llbpd_replica_ship_bytes_total":     "counter",
+	"llbpd_replica_installs_total":       "counter",
+	"llbpd_replica_stale_epochs_total":   "counter",
+	"llbpd_replica_promotions_total":     "counter",
+	"llbpd_replica_standby_sessions":     "gauge",
 	"llbpd_wire_frames_rx_total":         "counter",
 	"llbpd_wire_frames_tx_total":         "counter",
 	"llbpd_wire_bytes_rx_total":          "counter",

@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"llbpx/internal/replica"
+)
+
+// TestStandbyInstallPromoteExact: primary streams half a workload, ships
+// its export to a standby server, streams the second half there after a
+// promotion — the promoted session's stats must be bit-exact with an
+// unbroken run. This is failover fidelity at the serve layer, below the
+// gateway's replay machinery (the ship here covers every batch).
+func TestStandbyInstallPromoteExact(t *testing.T) {
+	branches := workloadBranches(t, "nodeapp", 60_000)
+	half := len(branches) / 2
+
+	_, refClient := testServer(t, Config{})
+	ref := sendInBatches(t, refClient, "ref", "tsl-8k", branches, 500)
+
+	primary, pClient := testServer(t, Config{})
+	standby, sClient := testServer(t, Config{})
+	sendInBatches(t, pClient, "s1", "tsl-8k", branches[:half], 500)
+
+	blob, err := primary.ExportSession("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := standby.InstallStandby("s1", replica.EncodeBlob(4, blob)); err != nil {
+		t.Fatal(err)
+	}
+	if got := standby.StandbySessions(); got != 1 {
+		t.Fatalf("standby sessions = %d, want 1", got)
+	}
+	// The warm standby is invisible to the client surface until promoted.
+	if _, err := sClient.SessionStats(context.Background(), "s1"); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("standby leaked into the live map: err = %v", err)
+	}
+
+	fin, err := standby.PromoteStandby("s1", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.ID != "s1" || fin.Predictor != "tsl-8k" {
+		t.Fatalf("promoted final %+v", fin)
+	}
+	if standby.StandbySessions() != 0 {
+		t.Fatal("promotion left the standby entry behind")
+	}
+	got := sendInBatches(t, sClient, "s1", "tsl-8k", branches[half:], 500)
+	if got.Mispredicts != ref.Mispredicts || got.CondBranches != ref.CondBranches || got.MPKI != ref.MPKI {
+		t.Fatalf("promoted stream diverged: got %+v, ref %+v", got, ref)
+	}
+	snap := standby.Stats()
+	if snap.ReplicaInstalls != 1 || snap.ReplicaPromotions != 1 {
+		t.Fatalf("installs=%d promotions=%d, want 1/1", snap.ReplicaInstalls, snap.ReplicaPromotions)
+	}
+}
+
+// TestEpochFencing: promotion raises the fence, after which the old
+// primary's line of history — late ships, epoch-stamped re-imports, a
+// second promotion at the stale epoch — is rejected with ErrStaleEpoch
+// and changes nothing. The split-brain guarantee at the serve layer.
+func TestEpochFencing(t *testing.T) {
+	branches := workloadBranches(t, "nodeapp", 30_000)
+	primary, pClient := testServer(t, Config{})
+	standby, _ := testServer(t, Config{})
+	sendInBatches(t, pClient, "s1", "tsl-8k", branches, 500)
+	blob, err := primary.ExportSession("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := standby.InstallStandby("s1", replica.EncodeBlob(2, blob)); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := standby.PromoteStandby("s1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The fenced primary keeps shipping at its pre-failover epoch.
+	if err := standby.InstallStandby("s1", replica.EncodeBlob(2, blob)); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale ship err = %v, want ErrStaleEpoch", err)
+	}
+	// A stale epoch-stamped transfer import is fenced the same way.
+	if _, err := standby.ImportSessionAt("s1", 2, blob); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale import err = %v, want ErrStaleEpoch", err)
+	}
+	// Re-promoting below the fence (no standby either way) is fenced
+	// before the lookup.
+	if _, err := standby.PromoteStandby("s1", 2); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale promote err = %v, want ErrStaleEpoch", err)
+	}
+	// The promoted session is untouched by all of the above.
+	sess := standby.sessions.get("s1")
+	if sess == nil {
+		t.Fatal("promoted session vanished")
+	}
+	if live := sess.final(); live.Stats != fin.Stats {
+		t.Fatalf("fenced writes mutated the promoted session: %+v != %+v", live.Stats, fin.Stats)
+	}
+	if snap := standby.Stats(); snap.ReplicaStaleEpochs != 3 {
+		t.Fatalf("stale epochs = %d, want 3", snap.ReplicaStaleEpochs)
+	}
+	// At-the-fence epochs still pass (the fence rejects strictly below).
+	if err := standby.InstallStandby("s1", replica.EncodeBlob(3, blob)); err != nil {
+		t.Fatalf("at-fence install: %v", err)
+	}
+	// Legacy imports (epoch 0, no header) on a server whose fence was
+	// never raised — the primary itself — are unaffected by fencing.
+	if _, err := primary.ImportSession("s1", blob); err != nil {
+		t.Fatalf("legacy import: %v", err)
+	}
+}
+
+// TestInstallStandbyCorruptBlob: framing damage and payload damage both
+// reject with ErrSnapshotCorrupt and install nothing.
+func TestInstallStandbyCorruptBlob(t *testing.T) {
+	branches := workloadBranches(t, "nodeapp", 20_000)
+	primary, pClient := testServer(t, Config{})
+	standby, _ := testServer(t, Config{})
+	sendInBatches(t, pClient, "s1", "tsl-8k", branches, 500)
+	blob, err := primary.ExportSession("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	framed := replica.EncodeBlob(1, blob)
+	for name, data := range map[string][]byte{
+		"truncated header": framed[:replica.HeaderLen-2],
+		"torn payload":     framed[:len(framed)*2/3],
+		"bad magic":        append([]byte("XXXXXXXX"), framed[8:]...),
+	} {
+		if err := standby.InstallStandby("s1", data); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("%s: err = %v, want ErrSnapshotCorrupt", name, err)
+		}
+	}
+	if standby.StandbySessions() != 0 {
+		t.Fatal("corrupt blob installed a standby")
+	}
+}
+
+// TestShipperEndToEnd: a primary with a live replication target ships on
+// the batch cadence without any manual export, and the standby holds a
+// warm session. The full primary→standby pump over real HTTP.
+func TestShipperEndToEnd(t *testing.T) {
+	branches := workloadBranches(t, "nodeapp", 40_000)
+	primary, pClient := testServer(t, Config{ReplicaEvery: 2, ReplicaInterval: 20 * time.Millisecond})
+	standby, _ := testServer(t, Config{})
+	hs := httptest.NewServer(standby)
+	defer hs.Close()
+
+	sendInBatches(t, pClient, "s1", "tsl-8k", branches[:len(branches)/2], 500)
+	primary.SetReplicaTarget("s1", hs.URL, 1)
+	sendInBatches(t, pClient, "s1", "tsl-8k", branches[len(branches)/2:], 500)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if lag, ok := primary.ReplicaLag("s1"); ok && lag == 0 && standby.StandbySessions() == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if lag, ok := primary.ReplicaLag("s1"); !ok || lag != 0 {
+		t.Fatalf("replica lag = %d ok=%v, want 0 true", lag, ok)
+	}
+	if standby.StandbySessions() != 1 {
+		t.Fatal("standby never materialized")
+	}
+	pSnap := primary.Stats()
+	if pSnap.ReplicaShips == 0 || pSnap.ReplicaShipBytes == 0 {
+		t.Fatalf("ships=%d bytes=%d, want > 0", pSnap.ReplicaShips, pSnap.ReplicaShipBytes)
+	}
+	// Closing the session tears down its replication state on the primary.
+	if _, err := pClient.CloseSession(context.Background(), "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := primary.ReplicaLag("s1"); ok {
+		t.Fatal("closed session still has a replication target")
+	}
+}
+
+// TestReplicaAdminHTTP drives the replica admin endpoints through the
+// client wrappers: target assignment, promote (404 without a standby,
+// then success), drop, and the stale-epoch 409 mapping.
+func TestReplicaAdminHTTP(t *testing.T) {
+	branches := workloadBranches(t, "nodeapp", 20_000)
+	primary, pClient := testServer(t, Config{})
+	standby, sClient := testServer(t, Config{})
+	sendInBatches(t, pClient, "s1", "tsl-8k", branches, 500)
+	blob, err := primary.ExportSession("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	if err := pClient.SetReplicaTarget(ctx, "s1", "", 1); err != nil {
+		t.Fatalf("clear target: %v", err)
+	}
+	if _, err := sClient.PromoteStandby(ctx, "s1", 1); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("promote without standby: %v, want ErrSessionNotFound", err)
+	}
+	if err := standby.InstallStandby("s1", replica.EncodeBlob(1, blob)); err != nil {
+		t.Fatal(err)
+	}
+	fin, err := sClient.PromoteStandby(ctx, "s1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.ID != "s1" {
+		t.Fatalf("promoted %+v", fin)
+	}
+	// Fenced transfer import over HTTP maps to a 409 stale_epoch envelope.
+	if _, err := sClient.ImportSessionAt(ctx, "s1", 1, blob); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("stale import via HTTP: %v, want ErrStaleEpoch", err)
+	}
+	if err := standby.InstallStandby("s1", replica.EncodeBlob(9, blob)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sClient.DropStandby(ctx, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if standby.StandbySessions() != 0 {
+		t.Fatal("DropStandby left the entry")
+	}
+}
+
+// TestConcurrentQuarantineRace (satellite): two servers sharing one
+// snapshot directory race to restore the same corrupt checkpoint. The
+// rename-to-*.corrupt is the atomic arbiter: exactly one server
+// quarantines and counts it, the loser cold-starts without error, and
+// no duplicate *.corrupt files appear.
+func TestConcurrentQuarantineRace(t *testing.T) {
+	dir := t.TempDir()
+	srvA, clientA := testServer(t, snapTestConfig(dir))
+	srvB, clientB := testServer(t, snapTestConfig(dir))
+
+	path := evictToDisk(t, srvA, clientA, dir, "shared")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	branches := workloadBranches(t, "nodeapp", 10_000)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, c := range []*Client{clientA, clientB} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = c.Predict(context.Background(), "shared", "tsl-8k", branches[600:1200])
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("racer %d errored: %v (the loser must cold-start, not fail)", i, err)
+		}
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "*.corrupt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("quarantine files = %v, want exactly one", matches)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt checkpoint still present: %v", err)
+	}
+	total := srvA.Stats().SnapshotQuarantined + srvB.Stats().SnapshotQuarantined
+	if total != 1 {
+		t.Fatalf("quarantined counter sum = %d, want exactly 1 (one winner)", total)
+	}
+}
+
+// TestChooserEndpoint (satellite): a tournament session exposes its
+// chooser table; non-tournament sessions are a 400, missing sessions a
+// 404.
+func TestChooserEndpoint(t *testing.T) {
+	branches := workloadBranches(t, "nodeapp", 40_000)
+	srv, client := testServer(t, Config{})
+	sendInBatches(t, client, "tourney", "tournament", branches, 500)
+	sendInBatches(t, client, "plain", "tsl-8k", branches[:1000], 500)
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sessions/tourney/chooser", nil))
+	if rec.Code != 200 {
+		t.Fatalf("chooser status %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	for _, want := range []string{`"chooser_bits"`, `"members"`, `"mean_reliability"`, `"chosen"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("chooser body missing %s: %s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sessions/plain/chooser", nil))
+	if rec.Code != 400 {
+		t.Fatalf("non-tournament chooser status = %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sessions/ghost/chooser", nil))
+	if rec.Code != 404 {
+		t.Fatalf("missing-session chooser status = %d, want 404", rec.Code)
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"llbpx/internal/faults"
 	"llbpx/internal/patternpool"
+	"llbpx/internal/replica"
 )
 
 // Config parameterizes a Server. The zero value is usable; every field
@@ -89,6 +90,13 @@ type Config struct {
 	// the serving stack's named sites — see the Fault* constants. Nil
 	// disables injection entirely; the sites then cost one nil check.
 	Faults *faults.Injector
+	// ReplicaEvery ships a session's checkpoint to its standby after this
+	// many applied batches (default 16). Only sessions the gateway gave a
+	// replication target via SetReplicaTarget ship anything.
+	ReplicaEvery int
+	// ReplicaInterval is the replication anti-entropy period: lagging or
+	// never-shipped standbys are repaired each tick (default 2s).
+	ReplicaInterval time.Duration
 }
 
 // Fault-injection site names the serving stack fires (internal/faults).
@@ -165,6 +173,13 @@ type Server struct {
 	janitorDone chan struct{}
 	stopOnce    sync.Once
 
+	// Replication state (see replica.go): the primary-side shipper plus
+	// this server's standby table and per-session fence epochs.
+	shipper  *replica.Shipper
+	replMu   sync.Mutex
+	standbys map[string]*standbyEntry
+	epochs   map[string]uint64
+
 	mux *http.ServeMux
 }
 
@@ -188,6 +203,8 @@ func New(cfg Config) *Server {
 		Shards:  cfg.Shards,
 	})
 	s.metrics = newMetrics(cfg.Shards, s.sessions.countByPredictor, s.store)
+	s.metrics.standbyCount = s.StandbySessions
+	s.startReplication()
 	s.mux = s.buildMux()
 	go s.janitor()
 	return s

@@ -176,10 +176,10 @@ func TestCanonicalPredictorName(t *testing.T) {
 	cases := []struct{ in, want string }{
 		{"bullseye", "bullseye"},
 		{"bullseye()", "bullseye"},
-		{"bullseye(promote=4)", "bullseye"},                  // default elided
-		{"bullseye(promote=8)", "bullseye(promote=8)"},       //
-		{"bullseye(promote=08)", "bullseye(promote=8)"},      // canonical decimal
-		{"bullseye( promote = 8 )", "bullseye(promote=8)"},   // whitespace
+		{"bullseye(promote=4)", "bullseye"},                // default elided
+		{"bullseye(promote=8)", "bullseye(promote=8)"},     //
+		{"bullseye(promote=08)", "bullseye(promote=8)"},    // canonical decimal
+		{"bullseye( promote = 8 )", "bullseye(promote=8)"}, // whitespace
 		{"bullseye(branches=1024,promote=8)", "bullseye(branches=1024,promote=8)"},
 		{"bullseye(promote=8,branches=1024)", "bullseye(branches=1024,promote=8)"}, // key order
 		{"tournament", "tournament"},
@@ -214,17 +214,17 @@ func TestCanonicalPredictorName(t *testing.T) {
 // TestSpecResolutionErrors pins the failure modes clients see.
 func TestSpecResolutionErrors(t *testing.T) {
 	for _, in := range []string{
-		"nope",                                // unknown name
-		"bullseye(nope=1)",                    // unknown parameter
-		"tsl-64k(x=1)",                        // parameterless predictor
-		"bullseye(promote=zero)",              // not an integer
-		"bullseye(promote=0)",                 // below Min
-		"bullseye(branches=99999999)",         // above Max
-		"tournament(members=tsl-8k)",          // too few members
-		"tournament(members=tsl-8k+nope)",     // unknown member
-		"tournament(chooser_bits=99)",         // out of range
-		"bullseye(base=llbp)",                 // base must be a tsl config
-		"bullseye(h2p_file=/does/not/exist)",  // unreadable seed file
+		"nope",                                           // unknown name
+		"bullseye(nope=1)",                               // unknown parameter
+		"tsl-64k(x=1)",                                   // parameterless predictor
+		"bullseye(promote=zero)",                         // not an integer
+		"bullseye(promote=0)",                            // below Min
+		"bullseye(branches=99999999)",                    // above Max
+		"tournament(members=tsl-8k)",                     // too few members
+		"tournament(members=tsl-8k+nope)",                // unknown member
+		"tournament(chooser_bits=99)",                    // out of range
+		"bullseye(base=llbp)",                            // base must be a tsl config
+		"bullseye(h2p_file=/does/not/exist)",             // unreadable seed file
 		"tournament(members=tsl-8k+llbp+llbp+llbp+llbp)", // too many members
 	} {
 		if _, err := NewPredictor(in); err == nil {

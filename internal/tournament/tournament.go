@@ -231,6 +231,64 @@ func (p *Predictor) Stats() map[string]float64 {
 	return m
 }
 
+// MemberChooserStats is one member's slice of the chooser export:
+// how often it provided, its mean reliability across the chooser table,
+// and on how many entries it holds the strictly-or-tied-highest
+// reliability (ties resolve to the lowest index, matching Predict).
+type MemberChooserStats struct {
+	Name            string  `json:"name"`
+	Chosen          uint64  `json:"chosen"`
+	MeanReliability float64 `json:"mean_reliability"`
+	TopEntries      int     `json:"top_entries"`
+}
+
+// ChooserStats is the tournament's machine-readable chooser dump — the
+// offline-analysis export behind `llbpsim -chooser-stats` and llbpd's
+// GET /v1/sessions/{id}/chooser.
+type ChooserStats struct {
+	Predictor     string               `json:"predictor"`
+	ChooserBits   int                  `json:"chooser_bits"`
+	Entries       int                  `json:"entries"`
+	Disagreements uint64               `json:"disagreements"`
+	Members       []MemberChooserStats `json:"members"`
+}
+
+// ChooserStats summarizes the chooser table per member.
+func (p *Predictor) ChooserStats() ChooserStats {
+	n := len(p.members)
+	entries := len(p.rel) / n
+	sums := make([]uint64, n)
+	tops := make([]int, n)
+	for e := 0; e < entries; e++ {
+		base := e * n
+		best, bestRel := 0, -1
+		for i := 0; i < n; i++ {
+			r := int(p.rel[base+i])
+			sums[i] += uint64(r)
+			if r > bestRel {
+				best, bestRel = i, r
+			}
+		}
+		tops[best]++
+	}
+	cs := ChooserStats{
+		Predictor:     p.cfg.Name,
+		ChooserBits:   p.cfg.ChooserBits,
+		Entries:       entries,
+		Disagreements: p.st.disagreements,
+		Members:       make([]MemberChooserStats, n),
+	}
+	for i := 0; i < n; i++ {
+		cs.Members[i] = MemberChooserStats{
+			Name:            p.members[i].Name(),
+			Chosen:          p.st.chosen[i],
+			MeanReliability: float64(sums[i]) / float64(entries),
+			TopEntries:      tops[i],
+		}
+	}
+	return cs
+}
+
 // ResetStats implements core.Resetter (warmup boundary).
 func (p *Predictor) ResetStats() {
 	p.st = tournStats{}

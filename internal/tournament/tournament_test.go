@@ -35,10 +35,10 @@ func TestNewValidation(t *testing.T) {
 		cfg Config
 		ms  []core.Predictor
 	}{
-		{good, members(&fixed{})},                                        // too few
+		{good, members(&fixed{})}, // too few
 		{good, members(&fixed{}, &fixed{}, &fixed{}, &fixed{}, &fixed{})}, // too many
-		{good, members(&fixed{}, nil)},                                   // nil member
-		{Config{Name: "t", ChooserBits: 3}, members(&fixed{}, &fixed{})}, // bits low
+		{good, members(&fixed{}, nil)},                                    // nil member
+		{Config{Name: "t", ChooserBits: 3}, members(&fixed{}, &fixed{})},  // bits low
 		{Config{Name: "t", ChooserBits: 21}, members(&fixed{}, &fixed{})}, // bits high
 	}
 	for i, tc := range cases {
